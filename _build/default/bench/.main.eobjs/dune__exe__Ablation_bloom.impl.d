@@ -1,0 +1,1 @@
+bench/ablation_bloom.ml: Config Db Disk_model Int64 List Littletable Lt_util Printf Schema Support Table Value

@@ -1,0 +1,1 @@
+bench/fig2.ml: Db List Littletable Lt_net Lt_util Printf Support Table

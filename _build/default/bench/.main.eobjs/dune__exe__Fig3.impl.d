@@ -1,0 +1,1 @@
+bench/fig3.ml: Config Db Disk_model Float Int64 List Littletable Lt_util Printf Stats String Support Table

@@ -1,0 +1,1 @@
+bench/fig4.ml: Config Db Disk_model Float Int64 List Littletable Lt_util Printf Support Table

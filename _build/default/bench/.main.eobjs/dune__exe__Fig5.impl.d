@@ -1,0 +1,1 @@
+bench/fig5.ml: Config Db Disk_model Int64 List Littletable Lt_util Printf Query Support Table Value

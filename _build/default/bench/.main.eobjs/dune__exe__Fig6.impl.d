@@ -1,0 +1,1 @@
+bench/fig6.ml: Config Db Disk_model Filename Int64 List Littletable Lt_util Printf Query Support Table Value

@@ -1,0 +1,1 @@
+bench/fig9.ml: Array Db Format Fun Int64 List Littletable Lt_util Printf Query Stats Support Table Value

@@ -1,0 +1,1 @@
+bench/fig_headline.ml: Config Db Disk_model Filename Float Littletable Lt_util Printf Query Support Table

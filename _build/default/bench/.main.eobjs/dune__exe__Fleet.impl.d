@@ -1,0 +1,1 @@
+bench/fleet.ml: Cdf Float Format List Lt_util Printf Support Xorshift

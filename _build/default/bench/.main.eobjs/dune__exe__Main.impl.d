@@ -1,0 +1,1 @@
+bench/main.ml: Ablation_bloom Array Fig2 Fig3 Fig4 Fig5 Fig6 Fig9 Fig_headline Fleet List Micro Printf String Support Sys Tablet_bounds Unix

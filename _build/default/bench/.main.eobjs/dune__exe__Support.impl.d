@@ -1,0 +1,1 @@
+bench/support.ml: Config Db Float Int64 List Littletable Lt_util Lt_vfs Printf Schema String Unix Value Xorshift

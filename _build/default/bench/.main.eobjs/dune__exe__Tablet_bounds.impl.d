@@ -1,0 +1,1 @@
+bench/tablet_bounds.ml: Array List Littletable Lt_util Merge_policy Printf Support

@@ -1,0 +1,59 @@
+(* Figure 4: aggregate insert throughput vs number of writers.
+
+   Paper setup (§5.1.4): each of 1..32 writers inserts 500 MB into its
+   own table in 32-row (128-byte) batches. Because the server "shares
+   almost no state between tables", small-batch inserts are CPU-bound
+   and aggregate throughput climbs with writers until it approaches the
+   disk's peak write rate (~75% at 32 writers).
+
+   This container has one core, so parallel CPU cannot be measured
+   directly; instead we run each writer's (real) engine work serially,
+   take the slowest single writer's CPU time as the parallel critical
+   path — the paper's writers are independent processes on a 12-core
+   machine, far more cores than writers' CPU demand — and combine it
+   with the shared disk model:
+
+       aggregate = total bytes / max(max_i cpu_i, modeled disk time) *)
+
+open Littletable
+open Support
+
+let run ~per_writer () =
+  header "Figure 4: aggregate insert throughput vs number of writers";
+  note "paper: rises from ~37 MB/s at one writer toward ~75%% of the";
+  note "disk's peak with 32 writers.";
+  note "(volume per writer: %s, scaled from 500 MB)" (human_bytes per_writer);
+  let row_size = 128 in
+  let rows_per_batch = 32 in
+  table_header
+    [ ("writers", 8); ("agg MB/s", 10); ("%% of disk peak", 14); ("max cpu s", 10); ("disk s", 8) ];
+  List.iter
+    (fun writers ->
+      (* Small flushes keep per-writer heap bounded at this scale. *)
+      let env = make_env ~config:(Config.make ~flush_size:(2 * mib) ()) () in
+      let batches = per_writer / (rows_per_batch * row_size) in
+      let cpu_times =
+        List.init writers (fun w ->
+            let rng = Lt_util.Xorshift.create (Int64.of_int (1000 + w)) in
+            let table =
+              Db.create_table env.db (Printf.sprintf "w%d" w) (row_schema ())
+                ~ttl:None
+            in
+            let t0 = wall () in
+            for _ = 1 to batches do
+              Table.insert table
+                (make_batch rng ~clock:env.clock ~n:rows_per_batch ~row_size);
+              Lt_util.Clock.advance env.clock (Lt_util.Clock.usec rows_per_batch)
+            done;
+            Table.flush_all table;
+            wall () -. t0)
+      in
+      let disk_s = Disk_model.elapsed_s env.model in
+      let max_cpu = List.fold_left Float.max 0.0 cpu_times in
+      let total_bytes = writers * batches * rows_per_batch * row_size in
+      let agg = float_of_int total_bytes /. 1e6 /. Float.max max_cpu disk_s in
+      Printf.printf "%-8d  %-10.1f  %-14.1f  %-10.2f  %-8.2f\n" writers agg
+        (agg /. disk_seq_mb_s *. 100.0)
+        max_cpu disk_s;
+      Db.close env.db)
+    [ 1; 2; 4; 8; 16; 32 ]

@@ -1,0 +1,111 @@
+(* Figures 7, 8 and 10: production-metrics CDFs.
+
+   These figures are measurements of Meraki's production fleet, which we
+   cannot query; per the substitution rule (DESIGN.md) we regenerate them
+   from a synthetic fleet whose distributions are calibrated to the
+   statistics the paper states:
+
+   - Fig. 7: LittleTable totals 320 TB across shards (largest 6.7 TB);
+     PostgreSQL totals 14 TB (largest 341 GB) — shards split when
+     PostgreSQL outgrows RAM or LittleTable fills disks, so sizes are
+     roughly log-normal with a ~20x ratio between the two systems.
+   - Fig. 8: per-table median key 45 B (all < 128 B); median value 61 B,
+     91% <= 1 kB, tail to 75 kB (HLL blobs).
+   - Fig. 10: >90% of queries look back <= 1 week; TTLs cluster at a
+     year or more, cut off by disk space. *)
+
+open Lt_util
+
+let shards = 300
+
+let gen_shard_sizes rng =
+  (* Log-normal LittleTable sizes, clipped to the stated max, then scaled
+     so the fleet total matches 320 TB. *)
+  let raw =
+    List.init shards (fun _ ->
+        Float.min 6.7 (Xorshift.log_normal rng ~mu:(-0.2) ~sigma:0.85))
+  in
+  let total = List.fold_left ( +. ) 0.0 raw in
+  let scale = 320.0 /. total in
+  let lt = List.map (fun s -> Float.min 6.7 (s *. scale)) raw in
+  (* PostgreSQL sizes: ~1/20 of LittleTable with its own spread. *)
+  let pg =
+    List.map
+      (fun l ->
+        Float.min 0.341
+          (l /. 20.0 *. (0.5 +. Xorshift.float rng) *. 2.0 /. 1.5))
+      lt
+  in
+  (lt, pg)
+
+let fig7 () =
+  Support.header "Figure 7: distribution of PostgreSQL and LittleTable sizes";
+  Support.note "paper: LittleTable total 320 TB (max 6.7 TB/shard); PostgreSQL";
+  Support.note "total 14 TB (max 341 GB/shard) -- a ~20x ratio.";
+  let rng = Xorshift.create 77L in
+  let lt, pg = gen_shard_sizes rng in
+  let lt_cdf = Cdf.of_samples lt and pg_cdf = Cdf.of_samples (List.map (fun x -> x *. 1000.0) pg) in
+  Format.printf "%a@." (Cdf.pp_series ~label:"LittleTable size per shard" ~unit:"TB") lt_cdf;
+  Format.printf "%a@." (Cdf.pp_series ~label:"PostgreSQL size per shard" ~unit:"GB") pg_cdf;
+  Printf.printf "fleet totals: LittleTable %.0f TB, PostgreSQL %.1f TB (ratio %.0fx)\n"
+    (List.fold_left ( +. ) 0.0 lt)
+    (List.fold_left ( +. ) 0.0 pg)
+    (List.fold_left ( +. ) 0.0 lt /. List.fold_left ( +. ) 0.0 pg)
+
+let fig8 () =
+  Support.header "Figure 8: distribution of key and value sizes per table";
+  Support.note "paper: median key 45 B, all keys < 128 B; median value 61 B,";
+  Support.note "91%% of tables <= 1 kB average value, tail to 75 kB (HLL sets).";
+  let rng = Xorshift.create 88L in
+  let tables = 270 in
+  let keys =
+    List.init tables (fun _ ->
+        Float.min 127.0 (8.0 +. Xorshift.log_normal rng ~mu:3.6 ~sigma:0.45))
+  in
+  let values =
+    List.init tables (fun _ ->
+        (* 91% small (log-normal around 61 B), 9% large probabilistic
+           set representations up to 75 kB. *)
+        if Xorshift.float rng < 0.91 then
+          Float.min 1024.0 (Xorshift.log_normal rng ~mu:4.1 ~sigma:0.8)
+        else Float.min 75_000.0 (Xorshift.log_normal rng ~mu:8.5 ~sigma:1.0))
+  in
+  Format.printf "%a@." (Cdf.pp_series ~label:"average key size per table" ~unit:"bytes") (Cdf.of_samples keys);
+  Format.printf "%a@." (Cdf.pp_series ~label:"average value size per table" ~unit:"bytes") (Cdf.of_samples values);
+  let kcdf = Cdf.of_samples keys and vcdf = Cdf.of_samples values in
+  Printf.printf "medians: key %.0f B (paper 45), value %.0f B (paper 61); value <= 1 kB: %.0f%% (paper 91%%)\n"
+    (Cdf.quantile kcdf 0.5) (Cdf.quantile vcdf 0.5)
+    (Cdf.fraction_below vcdf 1024.0 *. 100.0)
+
+let fig10 () =
+  Support.header "Figure 10: query lookback vs row TTL";
+  Support.note "paper: >90%% of queries look back <= 1 week, yet most tables";
+  Support.note "retain a year or more -- the opportunity 2-D clustering exploits.";
+  let rng = Xorshift.create 1010L in
+  let day = 1.0 and week = 7.0 in
+  (* Lookback mixture (days): hour-ish/day/week dominate; a long tail of
+     forensics and year-end reporting. *)
+  let lookbacks =
+    List.init 5000 (fun _ ->
+        let u = Xorshift.float rng in
+        if u < 0.38 then day /. 24.0 *. (1.0 +. Xorshift.float rng)
+        else if u < 0.68 then day *. (1.0 +. Xorshift.float rng)
+        else if u < 0.92 then week *. (0.3 +. (0.7 *. Xorshift.float rng))
+        else if u < 0.97 then 30.0 *. (1.0 +. (2.0 *. Xorshift.float rng))
+        else 180.0 +. (215.0 *. Xorshift.float rng))
+  in
+  (* TTLs (days): a few short-lived debug tables; most a year or more. *)
+  let ttls =
+    List.init 270 (fun _ ->
+        let u = Xorshift.float rng in
+        if u < 0.08 then 7.0 +. (21.0 *. Xorshift.float rng)
+        else if u < 0.25 then 90.0 +. (90.0 *. Xorshift.float rng)
+        else if u < 0.75 then 365.0 +. (30.0 *. Xorshift.float rng)
+        else 395.0 +. (395.0 *. Xorshift.float rng))
+  in
+  Format.printf "%a@." (Cdf.pp_series ~label:"query lookback" ~unit:"days") (Cdf.of_samples lookbacks);
+  Format.printf "%a@." (Cdf.pp_series ~label:"row TTL per table" ~unit:"days") (Cdf.of_samples ttls);
+  let lb = Cdf.of_samples lookbacks and tt = Cdf.of_samples ttls in
+  Printf.printf "lookback <= 1 week: %.0f%% (paper >90%%); TTL >= 1 year: %.0f%%\n"
+    (Cdf.fraction_below lb 7.0 *. 100.0)
+    ((1.0 -. Cdf.fraction_below tt 364.9) *. 100.0)

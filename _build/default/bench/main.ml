@@ -1,0 +1,60 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5). See DESIGN.md for the experiment index and
+   EXPERIMENTS.md for recorded paper-vs-measured results.
+
+     dune exec bench/main.exe            run everything (scaled volumes)
+     dune exec bench/main.exe -- fig5    run one experiment
+     dune exec bench/main.exe -- --full  paper-scale volumes (slow)
+
+   Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+   tablet-bounds micro *)
+
+let mib = Support.mib
+
+let experiments ~full =
+  let v_fig2 = if full then 500 * mib else 16 * mib in
+  let v_fig3 = if full then 16 * 1024 * mib else 512 * mib in
+  let v_fig4 = if full then 500 * mib else 4 * mib in
+  let v_fig5 = if full then 2048 * mib else 64 * mib in
+  let v_fig6_tablet = if full then 16 * mib else 2 * mib in
+  let v_head = if full then 512 * mib else 48 * mib in
+  [
+    ("headline", fun () -> Fig_headline.run ~volume:v_head ());
+    ("fig2", fun () -> Fig2.run ~volume:v_fig2 ());
+    ("fig3", fun () -> Fig3.run ~volume:v_fig3 ());
+    ("fig4", fun () -> Fig4.run ~per_writer:v_fig4 ());
+    ("fig5", fun () -> Fig5.run ~total_bytes:v_fig5 ());
+    ("fig6", fun () -> Fig6.run ~tablet_bytes:v_fig6_tablet ());
+    ("fig7", Fleet.fig7);
+    ("fig8", Fleet.fig8);
+    ("fig9", Fig9.run);
+    ("fig10", Fleet.fig10);
+    ("tablet-bounds", Tablet_bounds.run);
+    ("ablation-bloom", Ablation_bloom.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let selected = List.filter (fun a -> a <> "--full") args in
+  let experiments = experiments ~full in
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" n
+                  (String.concat " " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  Printf.printf "LittleTable benchmark harness (%s volumes)\n"
+    (if full then "paper-scale" else "scaled");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

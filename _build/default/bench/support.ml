@@ -1,0 +1,148 @@
+(* Shared infrastructure for the benchmark harness.
+
+   Every experiment runs the real engine against an in-memory filesystem
+   wrapped in the spinning-disk cost model (see lib/vfs/disk_model.mli and
+   DESIGN.md): wall-clock measures the CPU side, the model measures the
+   disk side of the paper's testbed. Where the paper's number is the
+   combination (e.g. insert throughput), we report
+   bytes / max(cpu seconds, modeled disk seconds). *)
+
+open Littletable
+module Clock = Lt_util.Clock
+module Vfs = Lt_vfs.Vfs
+module Disk_model = Lt_vfs.Disk_model
+
+let mib = 1024 * 1024
+
+(* The paper's disk: 8 ms seek, 120 MB/s sequential (§5.1.1). *)
+let disk_seq_mb_s = 120.0
+
+type env = {
+  db : Db.t;
+  clock : Clock.t;
+  vfs : Vfs.t;
+  model : Disk_model.t;
+}
+
+let make_env ?(config = Config.default) ?(readahead = 128 * 1024) () =
+  let model =
+    Disk_model.create ~config:(Disk_model.config ~readahead ()) ()
+  in
+  let vfs = Vfs.with_model model (Vfs.memory ()) in
+  let clock = Clock.manual ~start:1_720_000_000_000_000L () in
+  let db = Db.open_ ~config ~clock ~vfs ~dir:"bench" () in
+  { db; clock; vfs; model }
+
+(* ------------------------------------------------------------------ *)
+(* The 128-byte-row workload of §5.1.2: six key columns (five int64
+   keys plus ts) and a filler blob bringing the stored row size to the
+   requested size. Generated with xorshift so the LZ codec cannot
+   shrink it, as in the paper. *)
+(* ------------------------------------------------------------------ *)
+
+let row_schema () =
+  let col name ctype default = { Schema.name; ctype; default } in
+  Schema.create
+    ~columns:
+      [
+        col "k1" Value.T_int64 (Value.Int64 0L);
+        col "k2" Value.T_int64 (Value.Int64 0L);
+        col "k3" Value.T_int64 (Value.Int64 0L);
+        col "k4" Value.T_int64 (Value.Int64 0L);
+        col "k5" Value.T_int64 (Value.Int64 0L);
+        col "ts" Value.T_timestamp (Value.Timestamp 0L);
+        col "payload" Value.T_blob (Value.Blob "");
+      ]
+    ~pkey:[ "k1"; "k2"; "k3"; "k4"; "k5"; "ts" ]
+
+(* Fixed overhead of the six key columns (5 x 8 + 8 key bytes) plus the
+   blob length prefix; the payload fills the row to [row_size]. *)
+let payload_size ~row_size = max 0 (row_size - 50)
+
+let make_row rng ~ts ~row_size =
+  let open Lt_util in
+  [|
+    Value.Int64 (Xorshift.next rng);
+    Value.Int64 (Xorshift.next rng);
+    Value.Int64 (Xorshift.next rng);
+    Value.Int64 (Xorshift.next rng);
+    Value.Int64 (Xorshift.next rng);
+    Value.Timestamp ts;
+    Value.Blob (Xorshift.bytes rng (payload_size ~row_size));
+  |]
+
+(* A batch of [n] rows with consecutive current timestamps. *)
+let make_batch rng ~clock ~n ~row_size =
+  let now = Clock.now clock in
+  List.init n (fun i -> make_row rng ~ts:(Int64.add now (Int64.of_int i)) ~row_size)
+
+(* The Figure-1 usage schema: key (network, device, ts). *)
+let usage_schema_like () =
+  let col name ctype default = { Schema.name; ctype; default } in
+  Schema.create
+    ~columns:
+      [
+        col "network" Value.T_int64 (Value.Int64 0L);
+        col "device" Value.T_int64 (Value.Int64 0L);
+        col "ts" Value.T_timestamp (Value.Timestamp 0L);
+        col "bytes" Value.T_int64 (Value.Int64 0L);
+        col "rate" Value.T_double (Value.Double 0.0);
+      ]
+    ~pkey:[ "network"; "device"; "ts" ]
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wall () = Unix.gettimeofday ()
+
+type measurement = {
+  cpu_s : float;  (** wall-clock of the engine work *)
+  disk_s : float;  (** modeled disk-busy time *)
+  bytes : int;  (** logical row bytes moved *)
+}
+
+(* Effective throughput: the device and the CPU overlap, so the slower
+   side bounds the pipeline. *)
+let effective_mb_s m =
+  let t = Float.max m.cpu_s m.disk_s in
+  if t <= 0.0 then Float.infinity
+  else float_of_int m.bytes /. 1e6 /. t
+
+let disk_mb_s m =
+  if m.disk_s <= 0.0 then Float.infinity
+  else float_of_int m.bytes /. 1e6 /. m.disk_s
+
+let measure env ~bytes f =
+  Disk_model.reset env.model;
+  let t0 = wall () in
+  f ();
+  let cpu_s = wall () -. t0 in
+  { cpu_s; disk_s = Disk_model.elapsed_s env.model; bytes }
+
+(* ------------------------------------------------------------------ *)
+(* Output helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let header title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let note fmt = Printf.printf (fmt ^^ "\n")
+
+let table_header cols =
+  Printf.printf "%s\n" (String.concat "  " (List.map (fun (n, w) -> Printf.sprintf "%-*s" w n) cols));
+  Printf.printf "%s\n"
+    (String.concat "  " (List.map (fun (_, w) -> String.make w '-') cols))
+
+let human_bytes n =
+  if n >= 1 lsl 30 then Printf.sprintf "%.1f GiB" (float_of_int n /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (float_of_int n /. float_of_int (1 lsl 20))
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+(* Scale factors: full paper volumes take hours through a bytecode-ish
+   single-core container, so each figure runs a scaled volume by default
+   and notes it. *)
+let scaled ~default_full ~scale = default_full / scale

@@ -1,0 +1,76 @@
+(* Appendix ablation: the merge policy's logarithmic guarantees.
+
+   The appendix proves that merging the first adjacent pair with
+   |t_i| <= 2|t_{i+1}| (plus following tablets) keeps both the number of
+   tablets and the number of times any row is rewritten logarithmic in
+   the table size. This bench simulates the online process — flush a
+   tablet, run the policy to a fixpoint, repeat — over thousands of
+   flushes and prints measured values against the bounds, plus the write
+   amplification a naive always-merge-into-one policy would pay. *)
+
+open Littletable
+
+type sim = {
+  mutable tablets : (int * int) list;  (** (size, max per-row rewrite depth) *)
+  mutable max_rewrites : int;
+  mutable bytes_rewritten : int;
+}
+
+let merge_to_fixpoint ~max_tablet_size sim =
+  let rec step () =
+    let arr = Array.of_list sim.tablets in
+    match Merge_policy.plan_sizes ~max_tablet_size (Array.map fst arr) with
+    | None -> ()
+    | Some (start, len) ->
+        let size = ref 0 and depth = ref 0 in
+        for i = start to start + len - 1 do
+          size := !size + fst arr.(i);
+          depth := max !depth (snd arr.(i))
+        done;
+        sim.bytes_rewritten <- sim.bytes_rewritten + !size;
+        sim.max_rewrites <- max sim.max_rewrites (!depth + 1);
+        let out = ref [] in
+        Array.iteri
+          (fun i t ->
+            if i < start || i >= start + len then out := t :: !out
+            else if i = start then out := (!size, !depth + 1) :: !out)
+          arr;
+        sim.tablets <- List.rev !out;
+        step ()
+  in
+  step ()
+
+let run () =
+  Support.header "Appendix: merge policy keeps tablets and rewrites logarithmic";
+  Support.note "online simulation: flush one tablet, merge to fixpoint, repeat.";
+  Support.note "tablet-count bound: log2(T+1); rewrite bound: log1.5(T) + 2.";
+  Support.table_header
+    [ ("flushes", 8); ("total size", 11); ("tablets", 8); ("bound", 6);
+      ("rewrites", 9); ("bound", 6); ("write amp", 10); ("naive amp", 10) ];
+  let rng = Lt_util.Xorshift.create 123L in
+  List.iter
+    (fun n ->
+      (* n flushes of ~16-unit tablets with jitter, arriving one at a
+         time (newest timespan last). *)
+      let sim = { tablets = []; max_rewrites = 0; bytes_rewritten = 0 } in
+      let total = ref 0 in
+      let naive_rewritten = ref 0 and naive_total = ref 0 in
+      for _ = 1 to n do
+        let size = 8 + Lt_util.Xorshift.int rng 16 in
+        total := !total + size;
+        (* Naive policy: every flush rewrites the whole table so far. *)
+        if !naive_total > 0 then naive_rewritten := !naive_rewritten + !naive_total + size;
+        naive_total := !naive_total + size;
+        sim.tablets <- sim.tablets @ [ (size, 0) ];
+        merge_to_fixpoint ~max_tablet_size:max_int sim
+      done;
+      let log2 x = log (float_of_int x) /. log 2.0 in
+      let log15 x = log (float_of_int x) /. log 1.5 in
+      Printf.printf "%-8d  %-11d  %-8d  %-6.0f  %-9d  %-6.0f  %-10.2f  %-10.2f\n" n
+        !total (List.length sim.tablets)
+        (log2 (!total + 1))
+        sim.max_rewrites
+        (log15 !total +. 2.0)
+        (float_of_int (!total + sim.bytes_rewritten) /. float_of_int !total)
+        (float_of_int (!total + !naive_rewritten) /. float_of_int !total))
+    [ 16; 64; 256; 1024; 4096 ]

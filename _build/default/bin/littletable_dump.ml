@@ -1,0 +1,128 @@
+(* Offline inspection of LittleTable data directories — the sst_dump of
+   this engine. Useful for debugging layouts and verifying archival
+   copies without starting a server.
+
+     littletable_dump --dir DB_DIR                    # database overview
+     littletable_dump --dir DB_DIR --table usage      # per-tablet detail
+     littletable_dump --dir DB_DIR --table usage --rows 20   # sample rows *)
+
+open Littletable
+module Vfs = Lt_vfs.Vfs
+
+let human_bytes n =
+  if n >= 1 lsl 30 then Printf.sprintf "%.1f GiB" (float_of_int n /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1f MiB" (float_of_int n /. float_of_int (1 lsl 20))
+  else if n >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let pp_ts ts =
+  let s = Int64.to_float ts /. 1e6 in
+  let tm = Unix.gmtime s in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let dump_table vfs ~db_dir ~name ~rows =
+  let dir = Filename.concat db_dir name in
+  let desc = Descriptor.load vfs ~dir in
+  Printf.printf "table %s\n" name;
+  Format.printf "  %a@." Schema.pp desc.Descriptor.schema;
+  (match desc.Descriptor.ttl with
+  | Some ttl ->
+      Printf.printf "  ttl: %.1f days\n" (Int64.to_float ttl /. 86_400e6)
+  | None -> Printf.printf "  ttl: none\n");
+  Printf.printf "  next tablet id: %d\n" desc.Descriptor.next_id;
+  Printf.printf "  tablets: %d\n" (List.length desc.Descriptor.tablets);
+  let total_rows = ref 0 and total_bytes = ref 0 in
+  List.iter
+    (fun (m : Descriptor.tablet_meta) ->
+      total_rows := !total_rows + m.Descriptor.row_count;
+      total_bytes := !total_bytes + m.Descriptor.size;
+      Printf.printf "    %-14s %8d rows  %10s  [%s .. %s]\n" m.Descriptor.file
+        m.Descriptor.row_count
+        (human_bytes m.Descriptor.size)
+        (pp_ts m.Descriptor.min_ts) (pp_ts m.Descriptor.max_ts);
+      (* Footer-level detail from the tablet itself. *)
+      match
+        Tablet.open_reader vfs
+          ~path:(Filename.concat dir m.Descriptor.file)
+          ~into:desc.Descriptor.schema
+      with
+      | reader ->
+          let stored = Tablet.stored_schema reader in
+          Printf.printf "        blocks %d, schema v%d%s\n"
+            (Tablet.block_count reader)
+            (Schema.version stored)
+            (if Tablet.may_contain_prefix reader "\xff\xff\xff\xff\xff\xff\xff"
+               || Tablet.may_contain_prefix reader "\x00"
+             then "" (* cannot tell without a bloom *)
+             else "");
+          Tablet.close reader
+      | exception exn ->
+          Printf.printf "        !! unreadable: %s\n" (Printexc.to_string exn))
+    desc.Descriptor.tablets;
+  Printf.printf "  total: %d rows, %s on disk\n" !total_rows (human_bytes !total_bytes);
+  if rows > 0 then begin
+    Printf.printf "  first %d rows:\n" rows;
+    let clock = Lt_util.Clock.system in
+    let table = Table.open_ vfs ~clock ~config:Config.default ~dir ~name in
+    let result = Table.query table (Query.with_limit rows Query.all) in
+    List.iter
+      (fun row ->
+        Printf.printf "    %s\n"
+          (String.concat ", "
+             (Array.to_list (Array.map Value.to_string row))))
+      result.Table.rows;
+    Table.close table
+  end
+
+let run db_dir table rows =
+  let vfs = Vfs.real () in
+  match table with
+  | Some name -> dump_table vfs ~db_dir ~name ~rows
+  | None ->
+      let entries = try Vfs.readdir vfs db_dir with Vfs.Io_error _ -> [] in
+      let tables =
+        List.filter
+          (fun name ->
+            Descriptor.exists vfs ~dir:(Filename.concat db_dir name))
+          entries
+      in
+      Printf.printf "database %s: %d table(s)\n" db_dir (List.length tables);
+      List.iter
+        (fun name ->
+          let desc = Descriptor.load vfs ~dir:(Filename.concat db_dir name) in
+          let bytes =
+            List.fold_left
+              (fun a (m : Descriptor.tablet_meta) -> a + m.Descriptor.size)
+              0 desc.Descriptor.tablets
+          in
+          let nrows =
+            List.fold_left
+              (fun a (m : Descriptor.tablet_meta) -> a + m.Descriptor.row_count)
+              0 desc.Descriptor.tablets
+          in
+          Printf.printf "  %-24s %3d tablets  %10d rows  %10s\n" name
+            (List.length desc.Descriptor.tablets)
+            nrows (human_bytes bytes))
+        tables
+
+open Cmdliner
+
+let db_dir =
+  let doc = "Database directory." in
+  Arg.(required & opt (some string) None & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+
+let table =
+  let doc = "Inspect one table in detail." in
+  Arg.(value & opt (some string) None & info [ "t"; "table" ] ~docv:"TABLE" ~doc)
+
+let rows =
+  let doc = "Also print the first N rows of the table." in
+  Arg.(value & opt int 0 & info [ "rows" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Inspect LittleTable data directories offline" in
+  Cmd.v (Cmd.info "littletable-dump" ~doc) Term.(const run $ db_dir $ table $ rows)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,53 @@
+(* The LittleTable server executable.
+
+   Serves a database directory over TCP:
+     dune exec bin/littletable_server.exe -- --dir /var/lib/littletable --port 7447 *)
+
+let setup_logging level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let run dir port maintenance level =
+  setup_logging level;
+  let db = Littletable.Db.open_ ~dir () in
+  let server = Lt_net.Server.start ~maintenance_period_s:maintenance ~db ~port () in
+  Printf.printf "littletable: serving %s on 127.0.0.1:%d\n%!" dir
+    (Lt_net.Server.port server);
+  let stop _ =
+    Printf.printf "littletable: shutting down\n%!";
+    Lt_net.Server.stop server;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Lt_net.Server.wait server
+
+open Cmdliner
+
+let dir =
+  let doc = "Database directory (created if absent)." in
+  Arg.(value & opt string "./littletable-data" & info [ "d"; "dir" ] ~docv:"DIR" ~doc)
+
+let port =
+  let doc = "TCP port to listen on (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7447 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let maintenance =
+  let doc = "Seconds between background maintenance passes." in
+  Arg.(value & opt float 1.0 & info [ "maintenance-period" ] ~docv:"SECONDS" ~doc)
+
+let log_level =
+  let doc = "Log verbosity: quiet, error, warning, info, debug." in
+  Arg.(value & opt (enum [ ("quiet", None); ("error", Some Logs.Error);
+                           ("warning", Some Logs.Warning); ("info", Some Logs.Info);
+                           ("debug", Some Logs.Debug) ])
+         (Some Logs.Info)
+       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let cmd =
+  let doc = "LittleTable time-series database server" in
+  let info = Cmd.info "littletable-server" ~doc in
+  Cmd.v info Term.(const run $ dir $ port $ maintenance $ log_level)
+
+let () = exit (Cmd.eval cmd)

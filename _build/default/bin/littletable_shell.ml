@@ -1,0 +1,67 @@
+(* Interactive SQL shell against a LittleTable server.
+
+     dune exec bin/littletable_shell.exe -- --port 7447
+     littletable> SELECT device, SUM(bytes) FROM usage WHERE network = 7 GROUP BY device;
+
+   Also runs one-shot statements with -e. *)
+
+let execute_line client line =
+  match String.trim line with
+  | "" -> ()
+  | ".quit" | ".exit" | "exit" | "quit" -> raise Exit
+  | line -> (
+      match Lt_net.Client.sql client line with
+      | result -> Format.printf "%a@." Lt_sql.Executor.pp_result result
+      | exception Lt_sql.Lexer.Syntax_error msg ->
+          Format.printf "syntax error: %s@." msg
+      | exception Lt_sql.Planner.Plan_error msg ->
+          Format.printf "plan error: %s@." msg
+      | exception Lt_sql.Executor.Exec_error msg -> Format.printf "error: %s@." msg
+      | exception Lt_net.Client.Remote_error msg ->
+          Format.printf "server error: %s@." msg)
+
+let repl client =
+  (try
+     while true do
+       print_string "littletable> ";
+       flush stdout;
+       match In_channel.input_line In_channel.stdin with
+       | None -> raise Exit
+       | Some line -> execute_line client line
+     done
+   with Exit -> ());
+  print_newline ()
+
+let run host port statement =
+  match Lt_net.Client.connect ~host ~port () with
+  | client -> (
+      match statement with
+      | Some stmt ->
+          execute_line client stmt;
+          Lt_net.Client.close client
+      | None ->
+          repl client;
+          Lt_net.Client.close client)
+  | exception Lt_net.Client.Remote_error msg ->
+      Printf.eprintf "littletable-shell: %s\n" msg;
+      exit 1
+
+open Cmdliner
+
+let host =
+  let doc = "Server host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "h"; "host" ] ~docv:"HOST" ~doc)
+
+let port =
+  let doc = "Server port." in
+  Arg.(value & opt int 7447 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let statement =
+  let doc = "Execute one SQL statement and exit." in
+  Arg.(value & opt (some string) None & info [ "e"; "execute" ] ~docv:"SQL" ~doc)
+
+let cmd =
+  let doc = "SQL shell for the LittleTable server" in
+  Cmd.v (Cmd.info "littletable-shell" ~doc) Term.(const run $ host $ port $ statement)
+
+let () = exit (Cmd.eval cmd)

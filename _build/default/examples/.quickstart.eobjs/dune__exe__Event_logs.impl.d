@@ -1,0 +1,1 @@
+examples/event_logs.ml: Array Db Device Events_grabber Filename Int64 List Littletable Lt_apps Lt_net Lt_sql Lt_util Printf Stats Sys Table Value

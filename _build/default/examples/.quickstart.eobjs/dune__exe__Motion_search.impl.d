@@ -1,0 +1,1 @@
+examples/motion_search.ml: Array Char Db Device Int64 List Littletable Lt_apps Lt_util Lt_vfs Motion Printf Query Stats String Table

@@ -1,0 +1,1 @@
+examples/motion_search.mli:

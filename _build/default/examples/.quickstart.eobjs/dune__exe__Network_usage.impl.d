@@ -1,0 +1,1 @@
+examples/network_usage.ml: Aggregator Config_store Db Device Float Int64 List Littletable Lt_apps Lt_util Lt_vfs Option Printf Stats String Table Usage_grabber Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Db Filename Format Int64 List Littletable Lt_sql Lt_util Printf Query Schema Sys Table Value

@@ -1,0 +1,1 @@
+examples/shard_lifecycle.ml: Array Config Int64 List Littletable Lt_apps Lt_util Lt_vfs Printf Query Shard String Table Value

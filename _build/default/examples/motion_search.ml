@@ -1,0 +1,78 @@
+(* Video motion search (§4.3): cameras -> MotionGrabber -> LittleTable ->
+   rectangle search and a motion heatmap.
+
+     dune exec examples/motion_search.exe
+
+   Simulates two security cameras for a day, stores their coalesced
+   32-bit motion words, then performs the Dashboard interactions: "a
+   security incident occurred near the doorway — search that rectangle
+   backwards in time", plus a motion-over-time heatmap of the full
+   frame. *)
+
+open Littletable
+open Lt_apps
+module Clock = Lt_util.Clock
+
+let () =
+  let clock = Clock.manual ~start:1_720_000_000_000_000L () in
+  let db = Db.open_ ~clock ~vfs:(Lt_vfs.Vfs.memory ()) ~dir:"db" () in
+  let table = Motion.create_table db "motion" in
+  let grabber = Motion.create ~table ~clock () in
+  let cameras =
+    List.init 2 (fun i ->
+        Device.create ~seed:(Int64.of_int (i + 5)) ~network:1L
+          ~device:(Int64.of_int (i + 1)) ~clock ())
+  in
+
+  (* A day of 5-minute grabber polls. *)
+  let t0 = Clock.now clock in
+  for _ = 1 to 288 do
+    Clock.advance clock (Int64.mul 5L Clock.minute);
+    List.iter Device.step cameras;
+    ignore (Motion.poll grabber cameras)
+  done;
+  let t1 = Clock.now clock in
+  let rows = (Table.query table Query.all).Table.rows in
+  Printf.printf "stored %d motion events from %d cameras over 24 h\n"
+    (List.length rows) (List.length cameras);
+  (* The paper's envelope: ~51,000 rows/camera/week searched at 500k
+     rows/s ~ 100 ms; here the events table is smaller but the query
+     path is identical. *)
+
+  (* Rectangle search: the "doorway" occupies macroblocks x 10..21,
+     y 8..15 — search camera 1 backwards in time. *)
+  let doorway = { Motion.x0 = 10; y0 = 8; x1 = 21; y1 = 15 } in
+  Printf.printf "\nmost recent motion in the doorway rectangle (camera 1):\n";
+  let hits =
+    Motion.search table ~camera:1L ~rect:doorway ~ts_min:t0 ~ts_max:t1 ~limit:5
+  in
+  List.iter
+    (fun (ts, w, duration) ->
+      let minutes_ago = Int64.to_int (Int64.div (Int64.sub t1 ts) Clock.minute) in
+      Printf.printf "  %4d min ago: cell (row %d, col %d), %d macroblocks, %.1f s\n"
+        minutes_ago (Motion.word_row w) (Motion.word_col w)
+        (List.length (Motion.word_macroblocks w))
+        (Int64.to_float duration /. 1.0e6))
+    hits;
+
+  (* Heatmap of the full frame over the day. *)
+  Printf.printf "\nmotion heatmap, camera 1 (60x34 macroblocks, '.' to '9'):\n";
+  let grid = Motion.heatmap table ~camera:1L ~ts_min:t0 ~ts_max:t1 in
+  let max_count =
+    Array.fold_left (fun m row -> Array.fold_left max m row) 1 grid
+  in
+  Array.iter
+    (fun row ->
+      let line =
+        String.init (Array.length row) (fun x ->
+            let v = row.(x) in
+            if v = 0 then '.'
+            else Char.chr (Char.code '0' + min 9 (v * 9 / max_count)))
+      in
+      Printf.printf "  %s\n" line)
+    grid;
+
+  let s = Table.stats table in
+  Printf.printf "\nmotion table: %d rows inserted, %d queries, scan ratio %.2f\n"
+    s.Stats.rows_inserted s.Stats.queries (Stats.scan_ratio s);
+  Db.close db

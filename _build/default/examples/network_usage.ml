@@ -1,0 +1,133 @@
+(* Network usage pipeline (§4.1): simulated devices -> UsageGrabber ->
+   LittleTable -> aggregator rollups -> Dashboard-style ASCII graphs.
+
+     dune exec examples/network_usage.exe
+
+   Runs a deterministic three-hour simulation of two networks of devices
+   polled every minute, aggregates per-network 10-minute rollups with
+   HyperLogLog device counts and a per-tag rollup joined against the
+   config store, then renders the graphs Dashboard would draw. Includes
+   a mid-run LittleTable "crash" to show the recovery story. *)
+
+open Littletable
+open Lt_apps
+module Clock = Lt_util.Clock
+
+let bar width value max_value =
+  let n =
+    if max_value <= 0.0 then 0
+    else int_of_float (Float.min 1.0 (value /. max_value) *. float_of_int width)
+  in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let () =
+  let clock = Clock.manual ~start:1_720_000_000_000_000L () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let db = Db.open_ ~clock ~vfs ~dir:"db" () in
+
+  (* Networks, devices, and user-defined tags (the PostgreSQL side). *)
+  let cs = Config_store.create () in
+  Config_store.add_network cs ~id:1L ~name:"hq-campus";
+  Config_store.add_network cs ~id:2L ~name:"branch";
+  let devices =
+    List.concat_map
+      (fun (network, count) ->
+        List.init count (fun i ->
+            let device = Int64.of_int (i + 1) in
+            let tags = if i mod 2 = 0 then [ "office" ] else [ "warehouse" ] in
+            Config_store.add_device cs ~network ~device ~tags;
+            Device.create ~seed:(Int64.of_int (i + 7)) ~network ~device ~clock ()))
+      [ (1L, 4); (2L, 2) ]
+  in
+
+  let usage = Usage_grabber.create_table db "usage" in
+  let grabber = Usage_grabber.create ~table:usage ~clock () in
+  let rollup = Db.create_table db "usage_10m" (Aggregator.rollup_schema ()) ~ttl:None in
+  let by_tag = Db.create_table db "usage_by_tag" (Aggregator.tag_schema ()) ~ttl:None in
+  let agg = Aggregator.create ~source:usage ~dest:rollup ~clock () in
+  let tag_agg = Aggregator.create ~tags:cs ~source:usage ~dest:by_tag ~clock () in
+
+  let t0 = Clock.now clock in
+  Printf.printf "simulating 3 hours of minute-by-minute polling...\n";
+  for minute = 1 to 180 do
+    Clock.advance clock Clock.minute;
+    List.iter Device.step devices;
+    ignore (Usage_grabber.poll grabber devices);
+
+    (* A LittleTable crash 90 minutes in: unflushed rows vanish; the
+       grabber rebuilds its cache from the surviving rows and resumes.
+       Customers just see a brief gap (§4.1.1). *)
+    if minute = 90 then begin
+      Lt_vfs.Vfs.crash vfs;
+      Usage_grabber.crash grabber;
+      Usage_grabber.rebuild_cache grabber
+        ~devices:(List.map (fun d -> (Device.network d, Device.device_id d)) devices);
+      Printf.printf "  [minute 90] simulated crash + recovery (cache rebuilt: %d devices)\n"
+        (Usage_grabber.cache_size grabber)
+    end;
+    (* Aggregators run every 10 minutes, as background processes would. *)
+    if minute mod 10 = 0 then begin
+      ignore (Aggregator.run_once agg);
+      ignore (Aggregator.run_once tag_agg)
+    end
+  done;
+  let t1 = Clock.now clock in
+
+  (* Graph 1: total bytes per device on network 1 over the whole run —
+     reads one contiguous key range of the source table. *)
+  print_newline ();
+  Printf.printf "bytes per device, network hq-campus (3 h):\n";
+  let per_device = Usage_grabber.network_usage usage ~network:1L ~ts_min:t0 ~ts_max:t1 in
+  let max_bytes =
+    List.fold_left (fun m (_, b) -> Float.max m (Int64.to_float b)) 1.0 per_device
+  in
+  List.iter
+    (fun (device, bytes) ->
+      Printf.printf "  device %2Ld  %s %8.1f MB\n" device
+        (bar 40 (Int64.to_float bytes) max_bytes)
+        (Int64.to_float bytes /. 1.0e6))
+    per_device;
+
+  (* Graph 2: the 10-minute rollup per network — what a month-long graph
+     would read instead of four million raw rows (§4.1.2). *)
+  List.iter
+    (fun network ->
+      let name = Option.value ~default:"?" (Config_store.network_name cs network) in
+      Printf.printf "\n10-minute rollup, network %s (bytes, ~devices):\n" name;
+      let rows =
+        Aggregator.read_rollup rollup ~key:(Value.Int64 network) ~ts_min:t0 ~ts_max:t1
+      in
+      let max_b =
+        List.fold_left (fun m (_, b, _) -> Float.max m (Int64.to_float b)) 1.0 rows
+      in
+      List.iter
+        (fun (ts, bytes, hll) ->
+          let minutes = Int64.to_int (Int64.div (Int64.sub ts t0) Clock.minute) in
+          Printf.printf "  +%3d min  %s %8.1f MB  (%.0f devices)\n" minutes
+            (bar 32 (Int64.to_float bytes) max_b)
+            (Int64.to_float bytes /. 1.0e6)
+            hll)
+        rows)
+    [ 1L; 2L ];
+
+  (* Graph 3: usage per user-defined tag, joining LittleTable data with
+     the config store. *)
+  Printf.printf "\nusage per tag (whole run):\n";
+  List.iter
+    (fun tag ->
+      let rows =
+        Aggregator.read_rollup by_tag ~key:(Value.String tag) ~ts_min:t0 ~ts_max:t1
+      in
+      let total = List.fold_left (fun a (_, b, _) -> Int64.add a b) 0L rows in
+      Printf.printf "  %-10s %10.1f MB over %d periods\n" tag
+        (Int64.to_float total /. 1.0e6)
+        (List.length rows))
+    (Config_store.all_tags cs);
+
+  (* Engine-side numbers: the §5.2.4 efficiency metric. *)
+  let s = Table.stats usage in
+  Printf.printf
+    "\nsource table: %d rows inserted, %d queries, scan ratio %.2f, %d tablets on disk\n"
+    s.Stats.rows_inserted s.Stats.queries (Stats.scan_ratio s)
+    (Table.tablet_count usage);
+  Db.close db

@@ -1,0 +1,1 @@
+lib/apps/aggregator.ml: Array Clock Config_store Descriptor Hashtbl Int64 List Littletable Lt_hll Lt_util Period Printf Query Schema Table Value

@@ -1,0 +1,1 @@
+lib/apps/aggregator.mli: Config_store Littletable Lt_util Schema Table Value

@@ -1,0 +1,1 @@
+lib/apps/config_store.ml: Hashtbl List Option Printf

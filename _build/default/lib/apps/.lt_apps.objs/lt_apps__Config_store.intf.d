@@ -1,0 +1,1 @@
+lib/apps/config_store.mli:

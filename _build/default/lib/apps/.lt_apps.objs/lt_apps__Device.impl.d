@@ -1,0 +1,1 @@
+lib/apps/device.ml: Array Clock Float Int32 Int64 List Lt_util Printf Xorshift

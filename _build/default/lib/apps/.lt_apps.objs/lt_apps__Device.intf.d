@@ -1,0 +1,1 @@
+lib/apps/device.mli: Lt_util

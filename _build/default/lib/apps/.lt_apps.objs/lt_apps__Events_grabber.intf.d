@@ -1,0 +1,1 @@
+lib/apps/events_grabber.mli: Db Device Littletable Lt_util Schema Table

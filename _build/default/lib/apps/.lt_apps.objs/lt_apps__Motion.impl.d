@@ -1,0 +1,1 @@
+lib/apps/motion.ml: Array Clock Db Device Hashtbl Int32 Int64 List Littletable Lt_util Option Query Schema Table Value

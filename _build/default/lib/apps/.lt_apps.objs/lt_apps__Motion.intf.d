@@ -1,0 +1,1 @@
+lib/apps/motion.mli: Db Device Littletable Lt_util Schema Table

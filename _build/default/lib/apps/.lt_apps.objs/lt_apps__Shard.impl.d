@@ -1,0 +1,1 @@
+lib/apps/shard.ml: Aggregator Config Db Device Events_grabber Int64 List Littletable Lt_util Lt_vfs Stats Table Usage_grabber Value

@@ -1,0 +1,1 @@
+lib/apps/shard.mli: Config Db Littletable Lt_util Lt_vfs Table

@@ -1,0 +1,1 @@
+lib/apps/usage_grabber.ml: Array Clock Db Device Hashtbl Int64 List Littletable Lt_util Query Schema Table Value

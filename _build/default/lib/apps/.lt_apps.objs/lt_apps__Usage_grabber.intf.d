@@ -1,0 +1,1 @@
+lib/apps/usage_grabber.mli: Db Device Littletable Lt_util Schema Table

@@ -1,0 +1,72 @@
+(** Aggregators and rollups (§4.1.2).
+
+    "Background processes within Dashboard aggregate this source table to
+    a new table of cumulative bytes transferred per network over
+    ten-minute periods" — turning a month-long graph from a four-million
+    row scan into a few thousand rows. Aggregators run outside the
+    database on purpose: Meraki "originally intended to build aggregation
+    directly into LittleTable, in the style of rrdtool", but a separate
+    process iterates faster and can join LittleTable source data with
+    PostgreSQL dimension tables (here {!Config_store} tags) and keep
+    HyperLogLog client sketches.
+
+    Crash handling reproduced from the paper:
+    - because rows flush in insertion order, finding any destination row
+      for a period proves all earlier periods completed; {!recover}
+      locates the newest destination row by querying "over exponentially
+      longer periods in the past" and then binary-searching;
+    - an aggregator must not consume source rows that may not be durable
+      yet. Both of the paper's answers are available: assume data older
+      than [safety_lag] (20 minutes) is on disk, or issue the proposed
+      flush-before-timestamp command ([`Flush_command]). *)
+
+open Littletable
+
+(** Destination schema for the network rollup: key (network, ts); values
+    [bytes int64] (total over the period), [devices blob] (serialized
+    HyperLogLog of active devices). *)
+val rollup_schema : unit -> Schema.t
+
+(** Destination schema for the tag rollup: key (tag, ts); values
+    [bytes int64], [devices blob] (HLL). *)
+val tag_schema : unit -> Schema.t
+
+type durability = Safety_lag of int64 | Flush_command
+
+type t
+
+(** [create ~source ~dest ~clock ()] aggregates the UsageGrabber table
+    [source] into [dest] over [period] (default 10 minutes) windows.
+    [tags] switches to per-tag aggregation using the config store. *)
+val create :
+  ?period:int64 ->
+  ?durability:durability ->
+  ?tags:Config_store.t ->
+  source:Table.t ->
+  dest:Table.t ->
+  clock:Lt_util.Clock.t ->
+  unit ->
+  t
+
+(** Aggregate every complete, durable period not yet done; returns the
+    number of periods processed. *)
+val run_once : t -> int
+
+(** Forget the position (simulates an aggregator crash). *)
+val crash : t -> unit
+
+(** Re-derive the resume position from the destination table via
+    exponential lookback + binary search. *)
+val recover : t -> unit
+
+(** The period start the next [run_once] will aggregate ([None] before
+    the first run/recovery decides). Exposed for tests. *)
+val position : t -> int64 option
+
+(** {1 Dashboard-side reads} *)
+
+(** [(period_start, bytes, distinct_devices)] rows for one group key
+    (network id rendered as int64, or tag) over a range. *)
+val read_rollup :
+  Table.t -> key:Value.t -> ts_min:int64 -> ts_max:int64 ->
+  (int64 * int64 * float) list

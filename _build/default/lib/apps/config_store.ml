@@ -1,0 +1,36 @@
+type t = {
+  network_names : (int64, string) Hashtbl.t;
+  device_info : (int64 * int64, string list) Hashtbl.t;
+}
+
+let create () =
+  { network_names = Hashtbl.create 16; device_info = Hashtbl.create 64 }
+
+let add_network t ~id ~name = Hashtbl.replace t.network_names id name
+
+let add_device t ~network ~device ~tags =
+  if not (Hashtbl.mem t.network_names network) then
+    invalid_arg (Printf.sprintf "Config_store: unknown network %Ld" network);
+  Hashtbl.replace t.device_info (network, device) tags
+
+let network_name t id = Hashtbl.find_opt t.network_names id
+
+let device_tags t ~network ~device =
+  Option.value ~default:[] (Hashtbl.find_opt t.device_info (network, device))
+
+let devices t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.device_info [])
+
+let devices_in_network t network =
+  List.sort compare
+    (Hashtbl.fold
+       (fun (n, d) _ acc -> if n = network then d :: acc else acc)
+       t.device_info [])
+
+let networks t =
+  List.sort compare
+    (Hashtbl.fold (fun id _ acc -> id :: acc) t.network_names [])
+
+let all_tags t =
+  List.sort_uniq compare
+    (Hashtbl.fold (fun _ tags acc -> tags @ acc) t.device_info [])

@@ -1,0 +1,32 @@
+(** A stand-in for the PostgreSQL configuration database.
+
+    Dashboard stores device configuration in PostgreSQL; aggregators
+    "join source data from LittleTable with dimension tables from our
+    configuration data" — e.g. user-defined tags on access points, so a
+    school can chart usage for "classrooms" vs "playing-fields"
+    (§4.1.2). This module provides just those dimension rows: networks,
+    devices, and their tags. *)
+
+type t
+
+val create : unit -> t
+
+val add_network : t -> id:int64 -> name:string -> unit
+
+(** @raise Invalid_argument if the network is unknown. *)
+val add_device : t -> network:int64 -> device:int64 -> tags:string list -> unit
+
+val network_name : t -> int64 -> string option
+
+(** Tags of a device (empty when unknown). *)
+val device_tags : t -> network:int64 -> device:int64 -> string list
+
+(** All (network, device) pairs, sorted. *)
+val devices : t -> (int64 * int64) list
+
+val devices_in_network : t -> int64 -> int64 list
+
+val networks : t -> int64 list
+
+(** All distinct tags, sorted. *)
+val all_tags : t -> string list

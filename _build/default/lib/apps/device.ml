@@ -1,0 +1,176 @@
+open Lt_util
+
+type event = { event_id : int64; event_ts : int64; body : string }
+
+type motion_event = { motion_ts : int64; word : int32; duration : int64 }
+
+(* Bounded flash: devices retain only the most recent entries. *)
+let event_flash_capacity = 4096
+
+let motion_flash_capacity = 8192
+
+type t = {
+  network : int64;
+  device : int64;
+  clock : Clock.t;
+  rng : Xorshift.t;
+  mutable online : bool;
+  mutable last_step : int64;
+  (* Byte counter. *)
+  mutable counter : int64;
+  mutable rate : float;  (** bytes per second, random walk *)
+  (* Event log. *)
+  mutable next_event_id : int64;
+  mutable events : event list;  (** newest first, bounded *)
+  mutable events_emitted : int;
+  (* Motion. *)
+  mutable motion : motion_event list;  (** newest first, bounded *)
+  mutable motion_emitted : int;
+  mutable active_cell : (int * int * int32 * int64) option;
+      (** (row, col, accumulated bits, since_ts): coalescing state for
+          motion in the same coarse cell across successive frames (§4.3) *)
+}
+
+let create ~seed ~network ~device ~clock () =
+  let rng = Xorshift.create (Int64.add seed (Int64.mul 31L (Int64.add network device))) in
+  {
+    network;
+    device;
+    clock;
+    rng;
+    online = true;
+    last_step = Clock.now clock;
+    counter = 0L;
+    rate = 1000.0 +. (Xorshift.float rng *. 100_000.0);
+    next_event_id = 1L;
+    events = [];
+    events_emitted = 0;
+    motion = [];
+    motion_emitted = 0;
+    active_cell = None;
+  }
+
+let network t = t.network
+
+let device_id t = t.device
+
+let set_online t b = t.online <- b
+
+let is_online t = t.online
+
+let reboot t =
+  t.counter <- 0L;
+  t.active_cell <- None
+
+let events_emitted t = t.events_emitted
+
+let motion_emitted t = t.motion_emitted
+
+let truncate n xs =
+  let rec go i = function
+    | [] -> []
+    | _ when i = n -> []
+    | x :: tl -> x :: go (i + 1) tl
+  in
+  go 0 xs
+
+let push_event t ts body =
+  let ev = { event_id = t.next_event_id; event_ts = ts; body } in
+  t.next_event_id <- Int64.add t.next_event_id 1L;
+  t.events <- truncate event_flash_capacity (ev :: t.events);
+  t.events_emitted <- t.events_emitted + 1
+
+let event_bodies = [| "assoc"; "disassoc"; "dhcp_lease"; "8021x_auth"; "dfs_event" |]
+
+let random_mac rng =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (Xorshift.int rng 256)
+    (Xorshift.int rng 256) (Xorshift.int rng 256) (Xorshift.int rng 256)
+    (Xorshift.int rng 256) (Xorshift.int rng 256)
+
+(* Coarse grid (§4.3): a 960x540 frame is 60x34 16x16-pixel macroblocks;
+   coarse cells of 6x4 macroblocks give a 10x9 grid, so row and column
+   each fit a nibble and the 24 macroblocks fill the rest of the word. *)
+let coarse_cols = 10
+
+let coarse_rows = 9
+
+let make_word ~row ~col ~blocks =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int ((row lsl 4) lor col)) 24)
+    (Int32.logand (Int32.of_int blocks) 0xFFFFFFl)
+
+let finish_motion t end_ts =
+  match t.active_cell with
+  | None -> ()
+  | Some (row, col, bits, since) ->
+      let ev =
+        {
+          motion_ts = since;
+          word = make_word ~row ~col ~blocks:(Int32.to_int bits);
+          duration = Int64.max 0L (Int64.sub end_ts since);
+        }
+      in
+      t.motion <- truncate motion_flash_capacity (ev :: t.motion);
+      t.motion_emitted <- t.motion_emitted + 1;
+      t.active_cell <- None
+
+(* Advance one simulated second. *)
+let tick t now =
+  (* Random-walk the transfer rate within [100 B/s, 1 MB/s]. *)
+  t.rate <- t.rate *. (0.95 +. (Xorshift.float t.rng *. 0.1));
+  t.rate <- Float.max 100.0 (Float.min 1.0e6 t.rate);
+  t.counter <- Int64.add t.counter (Int64.of_float t.rate);
+  (* Events: roughly one every 30 simulated seconds. *)
+  if Xorshift.int t.rng 30 = 0 then begin
+    let body =
+      Printf.sprintf "%s client=%s"
+        event_bodies.(Xorshift.int t.rng (Array.length event_bodies))
+        (random_mac t.rng)
+    in
+    push_event t now body
+  end;
+  (* Motion: bursts; while a burst is active the same coarse cell keeps
+     accumulating macroblock bits, coalescing into one event (§4.3). *)
+  match t.active_cell with
+  | Some (row, col, bits, since) ->
+      if Xorshift.int t.rng 4 = 0 then finish_motion t now
+      else begin
+        let more = Int32.of_int (Xorshift.int t.rng 0x1000000) in
+        t.active_cell <- Some (row, col, Int32.logor bits more, since)
+      end
+  | None ->
+      if Xorshift.int t.rng 20 = 0 then begin
+        let row = Xorshift.int t.rng coarse_rows in
+        let col = Xorshift.int t.rng coarse_cols in
+        let bits = Int32.of_int (1 lsl Xorshift.int t.rng 24) in
+        t.active_cell <- Some (row, col, bits, now)
+      end
+
+let step t =
+  let now = Clock.now t.clock in
+  (* Walk forward in one-second increments (bounded work per step: cap
+     at an hour of catch-up, enough for any grabber cadence). *)
+  let second = Clock.sec 1 in
+  let steps =
+    Int64.to_int (Int64.min 3600L (Int64.div (Int64.sub now t.last_step) second))
+  in
+  for i = 1 to steps do
+    tick t (Int64.add t.last_step (Int64.mul (Int64.of_int i) second))
+  done;
+  if steps > 0 then t.last_step <- Int64.add t.last_step (Int64.mul (Int64.of_int steps) second)
+
+let read_counter t =
+  if not t.online then None else Some (Clock.now t.clock, t.counter)
+
+let fetch_events_after t after =
+  if not t.online then None
+  else begin
+    let keep ev =
+      match after with None -> true | Some id -> ev.event_id > id
+    in
+    Some (List.rev (List.filter keep t.events))
+  end
+
+let fetch_motion_after t ts =
+  if not t.online then None
+  else Some (List.rev (List.filter (fun m -> m.motion_ts > ts) t.motion))

@@ -1,0 +1,70 @@
+(** Simulated Meraki devices.
+
+    The paper's applications pull time-series data from physical devices
+    over mtunnel; we do not have those, so this module simulates the
+    device-side behaviour the grabbers depend on (see DESIGN.md):
+
+    - a monotonically increasing byte counter whose rate follows a
+      bounded random walk (resetting on "reboot"),
+    - an event log with ids "from a monotonically increasing counter"
+      (§4.2), held in bounded flash so old events age out,
+    - per-frame motion events encoded exactly as §4.3 describes
+      (coalesced 32-bit words: coarse-cell row/col nibbles plus 24
+      macroblock bits), also in bounded flash,
+    - an availability model: devices go offline and online, and while
+      offline they keep accumulating — "data recently inserted into
+      LittleTable can generally be re-read from the devices themselves".
+
+    Everything is deterministic given the seed and a manual clock.
+    [step] advances internal state to the clock's current time; grabbers
+    then fetch, exactly mirroring the poll-based production pipeline. *)
+
+type t
+
+val create :
+  seed:int64 ->
+  network:int64 ->
+  device:int64 ->
+  clock:Lt_util.Clock.t ->
+  unit ->
+  t
+
+val network : t -> int64
+val device_id : t -> int64
+
+(** {1 Availability} *)
+
+val set_online : t -> bool -> unit
+val is_online : t -> bool
+
+(** Simulate a device reboot: the byte counter resets to zero; the event
+    log and its id counter survive (they live in flash). *)
+val reboot : t -> unit
+
+(** {1 Simulation} *)
+
+(** Advance internal state to the clock's current time: accrue bytes,
+    possibly emit events and motion. Call after advancing the clock. *)
+val step : t -> unit
+
+(** {1 Fetch interfaces} (what the grabbers call; [None] when offline) *)
+
+(** Current (time, total bytes transferred). *)
+val read_counter : t -> (int64 * int64) option
+
+type event = { event_id : int64; event_ts : int64; body : string }
+
+(** Events with ids strictly greater than the supplied id ([None] = from
+    the oldest retained event), oldest first. *)
+val fetch_events_after : t -> int64 option -> event list option
+
+type motion_event = { motion_ts : int64; word : int32; duration : int64 }
+
+(** Motion events with timestamps strictly greater than [ts], oldest
+    first. *)
+val fetch_motion_after : t -> int64 -> motion_event list option
+
+(** {1 Introspection} (for tests) *)
+
+val events_emitted : t -> int
+val motion_emitted : t -> int

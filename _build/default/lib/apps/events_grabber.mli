@@ -1,0 +1,61 @@
+(** EventsGrabber (§4.2).
+
+    Devices assign each log event "a unique id from a monotonically
+    increasing counter"; the grabber caches the most recent id fetched
+    from each device, supplies it on every poll, and inserts the newer
+    events into a table keyed (network, device, ts) with the id and
+    contents as values.
+
+    Recovery reproduced from the paper:
+    - after a restart, a query over a fixed recent window rebuilds the
+      id cache for active devices;
+    - for a device absent from that window, the grabber fetches with no
+      id, receives the device's {e oldest} retained event, and uses its
+      timestamp to bound a deeper search for the device's latest stored
+      row ({!Littletable.Table.latest});
+    - optional sentinel rows carrying the latest id cap how far back
+      that search ever needs to go. *)
+
+open Littletable
+
+(** Key (network, device, ts); values [event_id int64], [body string].
+    A sentinel row has [event_id] = latest id and [body] = ["@sentinel"]. *)
+val schema : unit -> Schema.t
+
+val create_table : Db.t -> ?ttl:int64 -> string -> Table.t
+
+val sentinel_body : string
+
+type t
+
+(** [sentinel_every] inserts a sentinel row for each device every N
+    polls (0 disables, the default). *)
+val create :
+  ?sentinel_every:int -> table:Table.t -> clock:Lt_util.Clock.t -> unit -> t
+
+(** Fetch new events from every online device; returns rows inserted
+    (sentinels included). *)
+val poll : t -> Device.t list -> int
+
+val crash : t -> unit
+
+(** Rebuild the id cache: scan the last [lookback] of rows; for devices
+    not seen there, consult the device's oldest event and search the
+    table backwards. *)
+val recover : t -> devices:Device.t list -> lookback:int64 -> unit
+
+val cached_id : t -> network:int64 -> device:int64 -> int64 option
+
+(** {1 Dashboard-side reads} *)
+
+(** Events for a device over a range, oldest first: [(ts, id, body)].
+    Sentinel rows are filtered out. *)
+val device_events :
+  Table.t -> network:int64 -> device:int64 -> ts_min:int64 -> ts_max:int64 ->
+  (int64 * int64 * string) list
+
+(** Substring search over a network's events (forensics / debugging,
+    §4.2), newest first, capped at [limit]. *)
+val search :
+  Table.t -> network:int64 -> pattern:string -> ts_min:int64 -> ts_max:int64 ->
+  limit:int -> (int64 * int64 * int64 * string) list

@@ -1,0 +1,81 @@
+(** Video motion search (§4.3).
+
+    Meraki cameras store video locally; Dashboard stores only compact
+    motion metadata in LittleTable so users can "select any rectangular
+    area of interest in a camera's video frame and search backwards in
+    time for motion events within that area", and to draw heatmaps.
+
+    A 960x540 frame is a 60x34 grid of 16x16-pixel macroblocks, grouped
+    into coarse cells of 6x4 macroblocks (a 10x9 coarse grid). A motion
+    event is one 32-bit word: "a nibble each for the row and column of
+    the coarse cell within the frame, and a bit each to indicate the
+    presence or absence of motion in the 24 macroblocks"; motion in the
+    same cell across successive frames coalesces into one event with a
+    duration. *)
+
+open Littletable
+
+(** {1 Motion words} *)
+
+(** Macroblock-grid geometry. *)
+val frame_cols : int  (** 60 *)
+
+val frame_rows : int  (** 34 (the last coarse row is clipped) *)
+
+val cell_cols : int  (** 6 macroblocks per coarse cell, horizontally *)
+
+val cell_rows : int  (** 4 macroblocks per coarse cell, vertically *)
+
+val coarse_cols : int  (** 10 *)
+
+val coarse_rows : int  (** 9 *)
+
+(** [word ~row ~col ~blocks] packs a coarse-cell position (row/col
+    nibbles) and a 24-bit macroblock mask.
+    @raise Invalid_argument when out of range. *)
+val word : row:int -> col:int -> blocks:int -> int32
+
+val word_row : int32 -> int
+val word_col : int32 -> int
+val word_blocks : int32 -> int
+
+(** Macroblock coordinates (x, y in the 60x34 grid) with motion. *)
+val word_macroblocks : int32 -> (int * int) list
+
+(** {1 Storage} *)
+
+(** Key (camera, ts); values [word int32], [duration int64]. *)
+val schema : unit -> Schema.t
+
+val create_table : Db.t -> ?ttl:int64 -> string -> Table.t
+
+(** {1 MotionGrabber} *)
+
+type t
+
+val create : table:Table.t -> clock:Lt_util.Clock.t -> unit -> t
+
+(** Fetch new motion events from each online camera; returns rows
+    inserted. *)
+val poll : t -> Device.t list -> int
+
+val crash : t -> unit
+
+(** Rebuild per-camera fetch positions from the newest stored row. *)
+val recover : t -> cameras:Device.t list -> lookback:int64 -> unit
+
+(** {1 Search and heatmaps} *)
+
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+(** Inclusive macroblock-coordinate rectangle, 0 <= x < 60, 0 <= y < 34. *)
+
+(** Motion events for [camera] intersecting [rect], newest first
+    (searching "backwards in time", §4.3): [(ts, word, duration)]. *)
+val search :
+  Table.t -> camera:int64 -> rect:rect -> ts_min:int64 -> ts_max:int64 ->
+  limit:int -> (int64 * int32 * int64) list
+
+(** Per-macroblock motion-event counts over a range: a 60x34 matrix
+    indexed [.(y).(x)]. *)
+val heatmap :
+  Table.t -> camera:int64 -> ts_min:int64 -> ts_max:int64 -> int array array

@@ -1,0 +1,124 @@
+open Littletable
+module Clock = Lt_util.Clock
+
+type t = {
+  db : Db.t;
+  clock : Clock.t;
+  networks : int64 list;
+  usage : Table.t;
+  events : Table.t;
+  rollup : Table.t;
+  usage_grabber : Usage_grabber.t;
+  events_grabber : Events_grabber.t;
+  aggregator : Aggregator.t;
+  devices : Device.t list;
+}
+
+let networks t = t.networks
+
+let db t = t.db
+
+let usage_table t = t.usage
+
+let events_table t = t.events
+
+let make_devices ~clock ~networks ~devices_per_network =
+  List.concat_map
+    (fun network ->
+      List.init devices_per_network (fun i ->
+          Device.create
+            ~seed:(Int64.add (Int64.mul network 1000L) (Int64.of_int i))
+            ~network
+            ~device:(Int64.of_int (i + 1))
+            ~clock ()))
+    networks
+
+let assemble ~db ~clock ~networks ~devices_per_network ~fresh =
+  let usage =
+    if fresh then Usage_grabber.create_table db "usage"
+    else Db.table db "usage"
+  in
+  let events =
+    if fresh then Events_grabber.create_table db "events"
+    else Db.table db "events"
+  in
+  let rollup =
+    if fresh then Db.create_table db "usage_10m" (Aggregator.rollup_schema ()) ~ttl:None
+    else Db.table db "usage_10m"
+  in
+  let usage_grabber = Usage_grabber.create ~table:usage ~clock () in
+  let events_grabber = Events_grabber.create ~sentinel_every:32 ~table:events ~clock () in
+  let aggregator = Aggregator.create ~source:usage ~dest:rollup ~clock () in
+  let devices = make_devices ~clock ~networks ~devices_per_network in
+  let t =
+    { db; clock; networks; usage; events; rollup; usage_grabber; events_grabber;
+      aggregator; devices }
+  in
+  if not fresh then begin
+    (* Post-crash/failover recovery, as the applications do (§4). *)
+    Usage_grabber.rebuild_cache usage_grabber
+      ~devices:(List.map (fun d -> (Device.network d, Device.device_id d)) devices);
+    Events_grabber.recover events_grabber ~devices ~lookback:Clock.hour;
+    Aggregator.recover aggregator
+  end;
+  t
+
+let create ?(config = Config.default) ~vfs ~clock ~dir ~networks
+    ~devices_per_network () =
+  let db = Db.open_ ~config ~clock ~vfs ~dir () in
+  assemble ~db ~clock ~networks ~devices_per_network ~fresh:true
+
+let attach ?(config = Config.default) ~vfs ~clock ~dir ~networks
+    ~devices_per_network () =
+  let db = Db.open_ ~config ~clock ~vfs ~dir () in
+  assemble ~db ~clock ~networks ~devices_per_network ~fresh:false
+
+let tick t =
+  List.iter Device.step t.devices;
+  ignore (Usage_grabber.poll t.usage_grabber t.devices);
+  ignore (Events_grabber.poll t.events_grabber t.devices);
+  ignore (Aggregator.run_once t.aggregator);
+  Db.maintenance t.db
+
+let row_count t =
+  List.fold_left
+    (fun acc table -> acc + (Table.stats table).Stats.rows_inserted)
+    0 [ t.usage; t.events; t.rollup ]
+
+let archive_to_spare t ~spare_vfs ~spare_dir =
+  Db.flush_all t.db;
+  ignore
+    (Lt_vfs.Sync.until_stable ~src:(Db.vfs t.db) ~src_dir:(Db.dir t.db)
+       ~dst:spare_vfs ~dst_dir:spare_dir ())
+
+let failover ?(config = Config.default) ~spare_vfs ~clock ~spare_dir ~networks
+    ~devices_per_network () =
+  attach ~config ~vfs:spare_vfs ~clock ~dir:spare_dir ~networks
+    ~devices_per_network ()
+
+let split ?(config = Config.default) t ~vfs ~left_dir ~right_dir
+    ~devices_per_network () =
+  Db.flush_all t.db;
+  let n = List.length t.networks in
+  let left_nets = List.filteri (fun i _ -> i < n / 2) t.networks in
+  let right_nets = List.filteri (fun i _ -> i >= n / 2) t.networks in
+  let clone dst_dir keep_nets =
+    ignore
+      (Lt_vfs.Sync.until_stable ~src:(Db.vfs t.db) ~src_dir:(Db.dir t.db)
+         ~dst:vfs ~dst_dir ());
+    let child =
+      attach ~config ~vfs ~clock:t.clock ~dir:dst_dir ~networks:keep_nets
+        ~devices_per_network ()
+    in
+    (* Purge the other half's customers from this child: the per-network
+       bulk prefix delete of §7. *)
+    let doomed = List.filter (fun net -> not (List.mem net keep_nets)) t.networks in
+    List.iter
+      (fun net ->
+        ignore (Table.delete_prefix child.usage [ Value.Int64 net ]);
+        ignore (Table.delete_prefix child.events [ Value.Int64 net ]);
+        ignore (Table.delete_prefix child.rollup [ Value.Int64 net ]))
+      doomed;
+    child
+  in
+  (clone left_dir left_nets, clone right_dir right_nets)

@@ -1,0 +1,101 @@
+(** Shards: the unit of Dashboard's horizontal scaling (§2).
+
+    "Dashboard is implemented as a collection of mostly independent
+    servers called shards, each of which implements the entirety of
+    Dashboard's functionality for some subset of Meraki's customers and
+    their devices." A shard bundles a LittleTable database with the
+    grabber/aggregator pipeline of §4 over the customers (networks)
+    assigned to it.
+
+    Fault tolerance (§2.2): every shard has a warm spare kept consistent
+    by continuous archival ({!archive_to_spare}, the §3.5 rsync loop);
+    {!failover} brings the spare up as the new primary, losing only
+    un-archived recent data, which the grabbers then re-fetch from the
+    devices.
+
+    Load balancing (§2.2): "to keep Dashboard responsive, the team
+    splits overloaded shards by mapping roughly half of their customers
+    to each of two new child shards." {!split} clones the shard onto two
+    children and removes the other half's rows from each with the bulk
+    prefix delete — the very capability §7 says Meraki built for data
+    removal at customer granularity. *)
+
+open Littletable
+
+type t
+
+(** [create ~vfs ~clock ~dir ~networks ~devices_per_network ()] builds a
+    shard with its usage/events tables, grabbers, a 10-minute rollup
+    aggregator, and simulated devices for each assigned network. *)
+val create :
+  ?config:Config.t ->
+  vfs:Lt_vfs.Vfs.t ->
+  clock:Lt_util.Clock.t ->
+  dir:string ->
+  networks:int64 list ->
+  devices_per_network:int ->
+  unit ->
+  t
+
+(** Open a shard over an existing database directory (after failover or
+    split). Devices are re-attached from the network list; grabbers
+    recover their caches from the tables, as after any crash (§4). *)
+val attach :
+  ?config:Config.t ->
+  vfs:Lt_vfs.Vfs.t ->
+  clock:Lt_util.Clock.t ->
+  dir:string ->
+  networks:int64 list ->
+  devices_per_network:int ->
+  unit ->
+  t
+
+val networks : t -> int64 list
+
+val db : t -> Db.t
+
+val usage_table : t -> Table.t
+
+val events_table : t -> Table.t
+
+(** One collection cycle: step devices, poll both grabbers, run the
+    rollup aggregator, run maintenance. *)
+val tick : t -> unit
+
+(** Rows currently stored across the shard's tables. *)
+val row_count : t -> int
+
+(** {1 Fault tolerance} *)
+
+(** One archival round to the spare directory (sync until stable). *)
+val archive_to_spare :
+  t -> spare_vfs:Lt_vfs.Vfs.t -> spare_dir:string -> unit
+
+(** Bring a spare directory up as a shard. Equivalent to {!attach}; the
+    grabbers rebuild their caches from the archived tables and re-fetch
+    anything newer from the devices. *)
+val failover :
+  ?config:Config.t ->
+  spare_vfs:Lt_vfs.Vfs.t ->
+  clock:Lt_util.Clock.t ->
+  spare_dir:string ->
+  networks:int64 list ->
+  devices_per_network:int ->
+  unit ->
+  t
+
+(** {1 Load balancing} *)
+
+(** [split t ~vfs ~left_dir ~right_dir] copies the shard's database to
+    two children, assigns each half of the networks, and bulk-deletes
+    the other half's rows from each child. Returns the two children.
+    The parent is left untouched (decommission it after redirecting). *)
+val split :
+  ?config:Config.t ->
+  t ->
+  vfs:Lt_vfs.Vfs.t ->
+  left_dir:string ->
+  right_dir:string ->
+  devices_per_network:int ->
+  unit ->
+  t * t

@@ -1,0 +1,65 @@
+(** UsageGrabber (§4.1.1).
+
+    Periodically fetches each device's byte counter, converts successive
+    samples into average transfer rates, and stores them in a table keyed
+    [(network, device, ts)] so Dashboard can chart either a whole network
+    or one device from the same clustered table (Figure 1).
+
+    Semantics reproduced from the paper:
+    - the very first response from a device only seeds the in-memory
+      cache; no row is written;
+    - a sample after an unavailability longer than the threshold [T] is
+      treated like a first response, so users see a gap rather than a
+      fabricated steady rate;
+    - cache entries older than [T] may be dropped at any time, which is
+      also what makes crash recovery cheap: {!rebuild_cache} re-reads at
+      most the last [T] of rows per device and resumes ("a LittleTable
+      crash thus appears to customers as no more than temporary
+      unreachability of their devices");
+    - a counter that went backwards (device reboot) also reseeds. *)
+
+open Littletable
+
+(** Source-table schema: key (network, device, ts); values
+    [t1 timestamp] (interval start), [counter int64], [rate double]
+    (bytes/second over [\[t1, ts)]), exactly the paper's
+    "(N, D, t2) -> (t1, c2, r)". *)
+val schema : unit -> Schema.t
+
+(** Create the usage table in [db]. *)
+val create_table : Db.t -> ?ttl:int64 -> string -> Table.t
+
+type t
+
+(** [T] defaults to one hour, "subject to taste; Dashboard sets T to an
+    hour". *)
+val create : ?threshold:int64 -> table:Table.t -> clock:Lt_util.Clock.t -> unit -> t
+
+(** Fetch every device once and store resulting rate rows. Offline
+    devices are skipped. Returns the number of rows inserted. *)
+val poll : t -> Device.t list -> int
+
+(** Forget everything (simulates a grabber crash). *)
+val crash : t -> unit
+
+(** Rebuild the cache from the table after a crash: for each device,
+    the newest row within the last [T] seeds (ts, counter). *)
+val rebuild_cache : t -> devices:(int64 * int64) list -> unit
+
+(** Drop cache entries older than [T]. *)
+val prune_cache : t -> unit
+
+val cache_size : t -> int
+
+(** {1 Dashboard-side reads} *)
+
+(** Average rate samples for one device over a time range, oldest first:
+    [(ts, rate)]. *)
+val device_rates :
+  Table.t -> network:int64 -> device:int64 -> ts_min:int64 -> ts_max:int64 ->
+  (int64 * float) list
+
+(** Total bytes transferred per device of a network over a time range
+    (integrating rate over each sample interval, clipped to the range). *)
+val network_usage :
+  Table.t -> network:int64 -> ts_min:int64 -> ts_max:int64 -> (int64 * int64) list

@@ -1,0 +1,1 @@
+lib/bloom/bloom.ml: Binio Bytes Char Lt_util String

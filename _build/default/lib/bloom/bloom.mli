@@ -1,0 +1,36 @@
+(** Bloom filters over tablet keys.
+
+    Section 3.4.5 of the paper proposes storing "with each on-disk tablet a
+    Bloom filter summarizing the tablet's keys, as in bLSM", at a cost of
+    10 bits per row, to skip ~99 % of tablets on latest-row-for-prefix
+    queries and duplicate-key checks. We implement that extension: each
+    tablet footer carries one filter built over the encoded primary keys
+    {e and} every proper key prefix at column granularity, so prefix
+    membership tests work too.
+
+    Standard double-hashing construction: k index functions derived from
+    two 64-bit hashes of the key. *)
+
+type t
+
+(** [create ~bits_per_key ~expected_keys] sizes a filter for
+    [expected_keys] insertions at [bits_per_key] bits each (the paper's
+    default is 10, giving ~1 % false positives). *)
+val create : ?bits_per_key:int -> expected_keys:int -> unit -> t
+
+val add : t -> string -> unit
+
+(** [mem t key] is [false] only if [key] was never added; [true] may be a
+    false positive. *)
+val mem : t -> string -> bool
+
+(** Number of bits in the filter. *)
+val bit_count : t -> int
+
+val hash_count : t -> int
+
+(** {1 Serialization} (stored in the tablet footer) *)
+
+val encode : Buffer.t -> t -> unit
+
+val decode : Lt_util.Binio.cursor -> t

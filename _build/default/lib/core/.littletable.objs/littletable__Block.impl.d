@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Binio Buffer List Lt_util String

@@ -1,0 +1,1 @@
+lib/core/config.ml: Clock Int64 Lt_util

@@ -1,0 +1,1 @@
+lib/core/cursor.ml: Heap Int Key_codec List Lt_util String Value

@@ -1,0 +1,1 @@
+lib/core/cursor.mli: Value

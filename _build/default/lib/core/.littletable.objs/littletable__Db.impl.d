@@ -1,0 +1,1 @@
+lib/core/db.ml: Clock Config Descriptor Filename Fun Hashtbl List Lt_util Lt_vfs Mutex Printf String Table

@@ -1,0 +1,1 @@
+lib/core/db.mli: Config Lt_util Lt_vfs Schema Table

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Binio Buffer Crc32c Filename Int Int64 List Lt_util Lt_vfs Printf Schema String

@@ -1,0 +1,1 @@
+lib/core/flush_graph.ml: Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/core/key_codec.ml: Array Binio Buffer Bytes Char Int32 Int64 List Lt_util Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/core/key_codec.mli: Buffer Lt_util Schema Value

@@ -1,0 +1,1 @@
+lib/core/memtable.ml: Avl Int64 Period Value

@@ -1,0 +1,1 @@
+lib/core/memtable.mli: Avl Period Value

@@ -1,0 +1,1 @@
+lib/core/merge_policy.ml: Array Int Int64 List Period

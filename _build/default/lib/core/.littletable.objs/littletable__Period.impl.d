@@ -1,0 +1,1 @@
+lib/core/period.ml: Clock Format Int64 Lt_util

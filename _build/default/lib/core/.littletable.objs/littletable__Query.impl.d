@@ -1,0 +1,1 @@
+lib/core/query.ml: Format Int64 Key_codec List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/row_codec.ml: Array Binio Buffer Key_codec Lt_util Schema String Value

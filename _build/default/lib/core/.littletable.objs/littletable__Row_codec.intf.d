@@ -1,0 +1,1 @@
+lib/core/row_codec.mli: Schema Value

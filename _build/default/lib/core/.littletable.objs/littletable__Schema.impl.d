@@ -1,0 +1,1 @@
+lib/core/schema.ml: Array Binio Format Hashtbl List Lt_util Printf String Value

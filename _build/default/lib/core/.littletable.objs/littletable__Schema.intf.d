@@ -1,0 +1,1 @@
+lib/core/schema.mli: Buffer Format Lt_util Value

@@ -1,0 +1,1 @@
+lib/core/table.mli: Config Cursor Descriptor Lt_util Lt_vfs Query Schema Stats Value

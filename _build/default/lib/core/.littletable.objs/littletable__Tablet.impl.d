@@ -1,0 +1,1 @@
+lib/core/tablet.ml: Array Binio Block Buffer Crc32c Int64 List Lt_bloom Lt_lz Lt_util Lt_vfs Option Printf Row_codec Schema String

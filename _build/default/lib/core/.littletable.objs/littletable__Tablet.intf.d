@@ -1,0 +1,1 @@
+lib/core/tablet.mli: Lt_vfs Schema Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Binio Char Float Format Int32 Int64 List Lt_util Printf String

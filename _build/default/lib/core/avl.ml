@@ -1,0 +1,145 @@
+type 'v t = Leaf | Node of { l : 'v t; k : string; v : 'v; r : 'v t; h : int; n : int }
+
+let empty = Leaf
+
+let is_empty = function Leaf -> true | Node _ -> false
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+
+let length = function Leaf -> 0 | Node { n; _ } -> n
+
+let node l k v r =
+  Node { l; k; v; r; h = 1 + max (height l) (height r); n = 1 + length l + length r }
+
+(* Standard AVL rebalance of (l, k, v, r) where the inputs are themselves
+   balanced and differ in height by at most two. *)
+let balance l k v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 1 then begin
+    match l with
+    | Leaf -> assert false
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+        if height ll >= height lr then node ll lk lv (node lr k v r)
+        else begin
+          match lr with
+          | Leaf -> assert false
+          | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+              node (node ll lk lv lrl) lrk lrv (node lrr k v r)
+        end
+  end
+  else if hr > hl + 1 then begin
+    match r with
+    | Leaf -> assert false
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+        if height rr >= height rl then node (node l k v rl) rk rv rr
+        else begin
+          match rl with
+          | Leaf -> assert false
+          | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+              node (node l k v rll) rlk rlv (node rlr rk rv rr)
+        end
+  end
+  else node l k v r
+
+exception Duplicate
+
+let insert key value t =
+  let rec go = function
+    | Leaf -> node Leaf key value Leaf
+    | Node { l; k; v; r; _ } ->
+        let c = String.compare key k in
+        if c = 0 then raise Duplicate
+        else if c < 0 then balance (go l) k v r
+        else balance l k v (go r)
+  in
+  match go t with tree -> `Ok tree | exception Duplicate -> `Duplicate
+
+let rec find key = function
+  | Leaf -> None
+  | Node { l; k; v; r; _ } ->
+      let c = String.compare key k in
+      if c = 0 then Some v else if c < 0 then find key l else find key r
+
+let mem key t = find key t <> None
+
+let rec min_key = function
+  | Leaf -> None
+  | Node { l = Leaf; k; _ } -> Some k
+  | Node { l; _ } -> min_key l
+
+let rec max_key = function
+  | Leaf -> None
+  | Node { r = Leaf; k; _ } -> Some k
+  | Node { r; _ } -> max_key r
+
+let rec fold f t acc =
+  match t with
+  | Leaf -> acc
+  | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+(* Iterators are zippers: a stack of nodes still to visit. For the
+   ascending direction, the stack holds nodes whose key and right subtree
+   are pending, smallest on top. *)
+type 'v frame = { fk : string; fv : 'v; rest : 'v t }
+
+type 'v iter = {
+  mutable stack : 'v frame list;
+  dir_asc : bool;
+  lo : string option;  (** inclusive *)
+  hi : string option;  (** exclusive *)
+}
+
+let rec push_left_bounded lo stack = function
+  | Leaf -> stack
+  | Node { l; k; v; r; _ } -> (
+      match lo with
+      | Some b when String.compare k b < 0 ->
+          (* Whole left subtree and this key are below the bound. *)
+          push_left_bounded lo stack r
+      | _ -> push_left_bounded lo ({ fk = k; fv = v; rest = r } :: stack) l)
+
+let rec push_right_bounded hi stack = function
+  | Leaf -> stack
+  | Node { l; k; v; r; _ } -> (
+      match hi with
+      | Some b when String.compare k b >= 0 ->
+          (* This key and the whole right subtree are at/above the bound. *)
+          push_right_bounded hi stack l
+      | _ -> push_right_bounded hi ({ fk = k; fv = v; rest = l } :: stack) r)
+
+let iter_asc ?lo ?hi t =
+  { stack = push_left_bounded lo [] t; dir_asc = true; lo; hi }
+
+let iter_desc ?lo ?hi t =
+  { stack = push_right_bounded hi [] t; dir_asc = false; lo; hi }
+
+let next it =
+  match it.stack with
+  | [] -> None
+  | { fk; fv; rest } :: tl ->
+      if it.dir_asc then begin
+        match it.hi with
+        | Some hi when String.compare fk hi >= 0 ->
+            it.stack <- [];
+            None
+        | _ ->
+            it.stack <- push_left_bounded it.lo tl rest;
+            Some (fk, fv)
+      end
+      else begin
+        match it.lo with
+        | Some lo when String.compare fk lo < 0 ->
+            it.stack <- [];
+            None
+        | _ ->
+            it.stack <- push_right_bounded it.hi tl rest;
+            Some (fk, fv)
+      end
+
+let rec invariant_ok = function
+  | Leaf -> true
+  | Node { l; r; h; n; _ } ->
+      abs (height l - height r) <= 1
+      && h = 1 + max (height l) (height r)
+      && n = 1 + length l + length r
+      && invariant_ok l && invariant_ok r

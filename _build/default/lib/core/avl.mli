@@ -1,0 +1,51 @@
+(** Persistent AVL trees.
+
+    "LittleTable places newly inserted rows into an in-memory tablet,
+    implemented as a balanced binary tree" (§3.2). Ours is persistent:
+    inserts build new roots, so a query can hold a snapshot of every
+    in-memory tablet and scan it without locking against concurrent
+    inserts — the engine's reader/writer isolation rests on this.
+
+    Keys are byte strings compared with [String.compare] (encoded primary
+    keys); insertion rejects duplicates, which is how primary-key
+    uniqueness is enforced within a filling tablet. *)
+
+type 'v t
+
+val empty : 'v t
+
+val is_empty : 'v t -> bool
+
+val length : 'v t -> int
+
+(** [insert k v t] is [`Duplicate] when [k] is already bound. *)
+val insert : string -> 'v -> 'v t -> [ `Ok of 'v t | `Duplicate ]
+
+val find : string -> 'v t -> 'v option
+
+val mem : string -> 'v t -> bool
+
+val min_key : 'v t -> string option
+
+val max_key : 'v t -> string option
+
+(** In-order fold over all bindings, ascending. *)
+val fold : (string -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+
+(** {1 Range iteration}
+
+    Pull-based iterators for the merge cursor. Bounds are half open:
+    ascending iterators yield keys in [\[lo, hi)]; descending iterators
+    yield keys in [\[lo, hi)] in reverse. A missing bound is infinite. *)
+
+type 'v iter
+
+val iter_asc : ?lo:string -> ?hi:string -> 'v t -> 'v iter
+
+val iter_desc : ?lo:string -> ?hi:string -> 'v t -> 'v iter
+
+val next : 'v iter -> (string * 'v) option
+
+(** Internal balance invariant check, exposed for property tests:
+    height difference of every node's children is at most one. *)
+val invariant_ok : 'v t -> bool

@@ -1,0 +1,92 @@
+open Lt_util
+
+type entry = { key : string; value : string }
+
+type builder = {
+  mutable entries : entry list;  (** reversed *)
+  mutable count : int;
+  mutable payload_bytes : int;
+  mutable first : string option;
+  mutable last : string option;
+}
+
+let builder () =
+  { entries = []; count = 0; payload_bytes = 0; first = None; last = None }
+
+(* Upper bound on a varint length prefix for block-sized strings. *)
+let len_overhead n = if n < 0x80 then 1 else if n < 0x4000 then 2 else 3
+
+let add b ~key ~value =
+  (match b.last with
+  | Some last when String.compare key last <= 0 ->
+      invalid_arg "Block.add: keys must be strictly ascending"
+  | _ -> ());
+  b.entries <- { key; value } :: b.entries;
+  b.count <- b.count + 1;
+  b.payload_bytes <-
+    b.payload_bytes + String.length key + String.length value
+    + len_overhead (String.length key)
+    + len_overhead (String.length value);
+  if b.first = None then b.first <- Some key;
+  b.last <- Some key
+
+let entry_count b = b.count
+
+let raw_size b = b.payload_bytes + (4 * b.count) + 5
+
+let last_key b = b.last
+
+let first_key b = b.first
+
+let finish b =
+  let entries = List.rev b.entries in
+  let payload = Buffer.create b.payload_bytes in
+  let offsets =
+    List.map
+      (fun e ->
+        let off = Buffer.length payload in
+        Binio.put_string payload e.key;
+        Binio.put_string payload e.value;
+        off)
+      entries
+  in
+  let out = Buffer.create (raw_size b) in
+  Binio.put_varint out b.count;
+  List.iter (fun off -> Binio.put_u32 out off) offsets;
+  Buffer.add_buffer out payload;
+  b.entries <- [];
+  b.count <- 0;
+  b.payload_bytes <- 0;
+  b.first <- None;
+  b.last <- None;
+  Buffer.contents out
+
+type t = { data : string; offsets : int array; payload_start : int }
+
+let decode data =
+  let cur = Binio.cursor data in
+  let count = Binio.get_varint cur in
+  if count < 0 || count > String.length data then
+    raise (Binio.Corrupt "block: implausible row count");
+  let offsets = Array.init count (fun _ -> Binio.get_u32 cur) in
+  { data; offsets; payload_start = cur.Binio.pos }
+
+let count t = Array.length t.offsets
+
+let entry t i =
+  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
+  let key = Binio.get_string cur in
+  let value = Binio.get_string cur in
+  { key; value }
+
+let key t i =
+  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
+  Binio.get_string cur
+
+let search_geq t k =
+  let lo = ref 0 and hi = ref (count t) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare (key t mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,51 @@
+(** On-disk tablet blocks.
+
+    "LittleTable writes an on-disk tablet as a sequence of rows sorted by
+    their primary keys and grouped into 64 kB blocks" (§3.2). A block is
+    the unit of read, decompression, and checksum. The serialized form is
+
+    {v varint row_count | u32 offsets[row_count] | payload v}
+
+    where [payload] holds, per row, a length-prefixed encoded key and a
+    length-prefixed value. The offsets array supports the binary search
+    within a block that query execution performs after the index search
+    (§3.2). *)
+
+type entry = { key : string; value : string }
+
+(** {1 Building} *)
+
+type builder
+
+val builder : unit -> builder
+
+(** Keys must be added in strictly ascending order (checked). *)
+val add : builder -> key:string -> value:string -> unit
+
+val entry_count : builder -> int
+
+(** Bytes the block will occupy before compression. *)
+val raw_size : builder -> int
+
+val last_key : builder -> string option
+val first_key : builder -> string option
+
+(** Serialize and reset the builder. *)
+val finish : builder -> string
+
+(** {1 Reading} *)
+
+type t
+
+(** @raise Lt_util.Binio.Corrupt on malformed input. *)
+val decode : string -> t
+
+val count : t -> int
+
+val entry : t -> int -> entry
+
+val key : t -> int -> string
+
+(** [search_geq t k] is the smallest index whose key is [>= k], or
+    [count t] when every key is smaller. *)
+val search_geq : t -> string -> int

@@ -1,0 +1,48 @@
+(** Engine tuning knobs, with the paper's defaults. *)
+
+type t = {
+  block_size : int;
+      (** on-disk block target, bytes — 64 kB (§3.2) *)
+  flush_size : int;
+      (** freeze a memtable at this many bytes — 16 MB, "large enough to
+          sustain roughly 95% of the disk's peak write rate" (§3.3) *)
+  flush_age : int64;
+      (** freeze a memtable this long after its first row, microseconds —
+          10 minutes, bounding crash data loss (§3.4.1) *)
+  max_tablet_size : int;
+      (** merged tablets never exceed this — 128 MB (§5.1.3) *)
+  merge_delay : int64;
+      (** leave a tablet alone this long after writing it, so merges see
+          as many inputs as possible — 90 s (§5.1.3) *)
+  rollover_spread : float;
+      (** when a tablet's data ages into a larger time period, delay its
+          merging by a pseudorandom fraction of that period times this
+          factor, spreading rollover merge load (§3.4.2); 0 disables *)
+  bloom_bits_per_key : int;
+      (** per-tablet Bloom filters (§3.4.5) — 10 bits/row; 0 disables *)
+  flush_backlog : int;
+      (** force a synchronous flush when this many frozen memtables are
+          waiting; 1 = flush immediately on freeze (Figure 3 uses 100) *)
+  server_row_limit : int;
+      (** the server's own per-query row cap behind the more-available
+          flag (§3.5) *)
+  enforce_unique : bool;
+      (** primary-key uniqueness checks on insert (§3.4.4) *)
+}
+
+val default : t
+
+(** [default] with selective overrides. *)
+val make :
+  ?block_size:int ->
+  ?flush_size:int ->
+  ?flush_age:int64 ->
+  ?max_tablet_size:int ->
+  ?merge_delay:int64 ->
+  ?rollover_spread:float ->
+  ?bloom_bits_per_key:int ->
+  ?flush_backlog:int ->
+  ?server_row_limit:int ->
+  ?enforce_unique:bool ->
+  unit ->
+  t

@@ -1,0 +1,71 @@
+open Lt_util
+
+type source = unit -> (string * Value.t array) option
+
+type head = { key : string; row : Value.t array; prio : int; src : source }
+
+let merge ~asc sources =
+  let cmp a b =
+    let c = String.compare a.key b.key in
+    let c = if asc then c else -c in
+    (* Equal keys: higher priority (newer tablet) first. *)
+    if c <> 0 then c else Int.compare b.prio a.prio
+  in
+  let heap = Heap.create ~cmp in
+  List.iter
+    (fun (prio, src) ->
+      match src () with
+      | None -> ()
+      | Some (key, row) -> Heap.add heap { key; row; prio; src })
+    sources;
+  let last_key = ref None in
+  let rec next () =
+    match Heap.peek heap with
+    | None -> None
+    | Some top ->
+        (match top.src () with
+        | None -> ignore (Heap.pop heap)
+        | Some (key, row) ->
+            Heap.replace_min heap { top with key; row });
+        if !last_key = Some top.key then next () (* shadowed duplicate *)
+        else begin
+          last_key := Some top.key;
+          Some (top.key, top.row)
+        end
+  in
+  next
+
+let filter_ts ~scanned ?ts_min ?ts_max src =
+  let rec next () =
+    match src () with
+    | None -> None
+    | Some (key, row) ->
+        incr scanned;
+        let ts = Key_codec.ts_of_key key in
+        let ok_lo = match ts_min with None -> true | Some b -> ts >= b in
+        let ok_hi = match ts_max with None -> true | Some b -> ts <= b in
+        if ok_lo && ok_hi then Some (key, row) else next ()
+  in
+  next
+
+let take n src =
+  let left = ref n in
+  fun () ->
+    if !left <= 0 then None
+    else begin
+      match src () with
+      | None ->
+          left := 0;
+          None
+      | some ->
+          decr left;
+          some
+    end
+
+let to_list src =
+  let rec go acc =
+    match src () with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+let rows src = List.map snd (to_list src)

@@ -1,0 +1,35 @@
+(** Merge cursors.
+
+    Query execution "opens a cursor on each tablet, filters any rows that
+    fall outside the query's timestamp bounds (which generally do not
+    align exactly with the tablets' timespans), and merge-sorts the
+    resulting streams to form a single result stream ordered by primary
+    key" (§3.2). This module is that merge-sort: a heap of per-tablet
+    pull iterators.
+
+    Each source carries a priority (its tablet id; memtables are newer
+    than any on-disk tablet they shadow). When two sources yield the same
+    key — possible only if uniqueness enforcement was bypassed — the
+    higher-priority row wins and the others are dropped. *)
+
+(** A pull iterator: [None] means exhausted. Single-consumer. *)
+type source = unit -> (string * Value.t array) option
+
+(** [merge ~asc sources] merge-sorts [(priority, source)] pairs into one
+    ordered, deduplicated stream. *)
+val merge : asc:bool -> (int * source) list -> source
+
+(** [filter_ts ~scanned ?ts_min ?ts_max src] drops rows whose key
+    timestamp (last 8 key bytes) falls outside the inclusive bounds,
+    incrementing [scanned] for every row examined — the numerator of the
+    paper's rows-scanned/rows-returned efficiency metric (§5.2.4). *)
+val filter_ts :
+  scanned:int ref -> ?ts_min:int64 -> ?ts_max:int64 -> source -> source
+
+(** Stop after [n] rows. *)
+val take : int -> source -> source
+
+val to_list : source -> (string * Value.t array) list
+
+(** Rows only, discarding keys. *)
+val rows : source -> Value.t array list

@@ -1,0 +1,92 @@
+open Lt_util
+module Vfs = Lt_vfs.Vfs
+
+type t = {
+  config : Config.t;
+  clock : Clock.t;
+  vfs : Vfs.t;
+  dir : string;
+  tables : (string, Table.t) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let table_dir t name = Filename.concat t.dir name
+
+let open_ ?(config = Config.default) ?(clock = Clock.system)
+    ?(vfs = Vfs.real ()) ~dir () =
+  Vfs.mkdir_p vfs dir;
+  let t =
+    { config; clock; vfs; dir; tables = Hashtbl.create 16; mutex = Mutex.create () }
+  in
+  let entries = try Vfs.readdir vfs dir with Vfs.Io_error _ -> [] in
+  List.iter
+    (fun name ->
+      let tdir = table_dir t name in
+      if Descriptor.exists vfs ~dir:tdir then
+        Hashtbl.replace t.tables name
+          (Table.open_ vfs ~clock ~config ~dir:tdir ~name))
+    entries;
+  t
+
+let config t = t.config
+
+let clock t = t.clock
+
+let vfs t = t.vfs
+
+let dir t = t.dir
+
+let validate_name name =
+  if name = "" || String.contains name '/' || name = Descriptor.file_name then
+    invalid_arg (Printf.sprintf "Db: bad table name %S" name)
+
+let create_table t name schema ~ttl =
+  validate_name name;
+  locked t (fun () ->
+      if Hashtbl.mem t.tables name then
+        invalid_arg (Printf.sprintf "Db: table %S already exists" name);
+      let table =
+        Table.create t.vfs ~clock:t.clock ~config:t.config
+          ~dir:(table_dir t name) ~name schema ~ttl
+      in
+      Hashtbl.replace t.tables name table;
+      table)
+
+let find_table t name = locked t (fun () -> Hashtbl.find_opt t.tables name)
+
+let table t name =
+  match find_table t name with Some tbl -> tbl | None -> raise Not_found
+
+let table_names t =
+  locked t (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []))
+
+let drop_table t name =
+  let tbl =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tables name with
+        | None -> raise Not_found
+        | Some tbl ->
+            Hashtbl.remove t.tables name;
+            tbl)
+  in
+  Table.close tbl;
+  let tdir = table_dir t name in
+  List.iter
+    (fun entry ->
+      let path = Filename.concat tdir entry in
+      try Vfs.delete t.vfs path with Vfs.Io_error _ -> ())
+    (try Vfs.readdir t.vfs tdir with Vfs.Io_error _ -> [])
+
+let all_tables t =
+  locked t (fun () -> Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [])
+
+let maintenance t = List.iter Table.maintenance (all_tables t)
+
+let flush_all t = List.iter Table.flush_all (all_tables t)
+
+let close t = List.iter Table.close (all_tables t)

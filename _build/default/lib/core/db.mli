@@ -1,0 +1,55 @@
+(** A LittleTable database: a directory of tables plus shared
+    configuration, clock, and filesystem.
+
+    LittleTable "is a relational database, run as an independent server
+    process" (§3.1); this module is the embedded engine that both the
+    server ({!Lt_net.Server}) and in-process users (tests, benchmarks,
+    examples) drive. Each table lives in its own subdirectory. The only
+    cross-table state is the shared {!Lt_vfs.Vfs.t} and {!Lt_util.Clock.t}
+    — "the server shares almost no state between tables" (§5.1.4), which
+    is why multi-writer insert throughput scales (Figure 4). *)
+
+type t
+
+(** [open_ ?config ?clock ?vfs ~dir ()] opens (creating the directory if
+    needed) a database rooted at [dir], discovering existing tables from
+    their descriptors. Defaults: {!Config.default}, the system clock, the
+    real filesystem. *)
+val open_ :
+  ?config:Config.t ->
+  ?clock:Lt_util.Clock.t ->
+  ?vfs:Lt_vfs.Vfs.t ->
+  dir:string ->
+  unit ->
+  t
+
+val config : t -> Config.t
+val clock : t -> Lt_util.Clock.t
+val vfs : t -> Lt_vfs.Vfs.t
+val dir : t -> string
+
+(** [create_table t name schema ~ttl].
+    @raise Invalid_argument if the table exists or the name contains
+    ['/'] or is empty. *)
+val create_table : t -> string -> Schema.t -> ttl:int64 option -> Table.t
+
+(** @raise Not_found when absent. *)
+val table : t -> string -> Table.t
+
+val find_table : t -> string -> Table.t option
+
+(** Sorted table names. *)
+val table_names : t -> string list
+
+(** Drop a table and delete its files. @raise Not_found when absent. *)
+val drop_table : t -> string -> unit
+
+(** Run one maintenance pass (flush-by-age, merging, TTL expiry) over
+    every table — the body of the server's background thread. *)
+val maintenance : t -> unit
+
+(** Flush every table's memtables. *)
+val flush_all : t -> unit
+
+(** Close all tables (unflushed data is lost, as after a crash). *)
+val close : t -> unit

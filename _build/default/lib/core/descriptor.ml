@@ -1,0 +1,110 @@
+open Lt_util
+module Vfs = Lt_vfs.Vfs
+
+type tablet_meta = {
+  id : int;
+  file : string;
+  min_ts : int64;
+  max_ts : int64;
+  min_key : string;
+  max_key : string;
+  row_count : int;
+  size : int;
+}
+
+type t = {
+  schema : Schema.t;
+  ttl : int64 option;
+  next_id : int;
+  tablets : tablet_meta list;
+}
+
+let file_name = "DESCRIPTOR"
+
+let magic = 0x4C54444553433031L (* "LTDESC01" *)
+
+let tablet_file id = Printf.sprintf "%06d.tab" id
+
+let compare_meta a b =
+  match Int64.compare a.min_ts b.min_ts with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let normalize t = { t with tablets = List.sort compare_meta t.tablets }
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Binio.put_i64 buf magic;
+  Schema.encode buf t.schema;
+  (match t.ttl with
+  | None -> Binio.put_u8 buf 0
+  | Some ttl ->
+      Binio.put_u8 buf 1;
+      Binio.put_i64 buf ttl);
+  Binio.put_varint buf t.next_id;
+  Binio.put_varint buf (List.length t.tablets);
+  List.iter
+    (fun m ->
+      Binio.put_varint buf m.id;
+      Binio.put_string buf m.file;
+      Binio.put_i64 buf m.min_ts;
+      Binio.put_i64 buf m.max_ts;
+      Binio.put_string buf m.min_key;
+      Binio.put_string buf m.max_key;
+      Binio.put_varint buf m.row_count;
+      Binio.put_varint buf m.size)
+    t.tablets;
+  let body = Buffer.contents buf in
+  let out = Buffer.create (String.length body + 4) in
+  Buffer.add_string out body;
+  Binio.put_i32 out (Crc32c.string body);
+  Buffer.contents out
+
+let decode data =
+  if String.length data < 12 then raise (Binio.Corrupt "descriptor: too short");
+  let body_len = String.length data - 4 in
+  let crc_cur = Binio.cursor ~pos:body_len data in
+  let crc = Binio.get_i32 crc_cur in
+  if Crc32c.string ~len:body_len data <> crc then
+    raise (Binio.Corrupt "descriptor: checksum mismatch");
+  let cur = Binio.cursor data in
+  if Binio.get_i64 cur <> magic then raise (Binio.Corrupt "descriptor: bad magic");
+  let schema = Schema.decode cur in
+  let ttl =
+    match Binio.get_u8 cur with
+    | 0 -> None
+    | 1 -> Some (Binio.get_i64 cur)
+    | _ -> raise (Binio.Corrupt "descriptor: bad ttl tag")
+  in
+  let next_id = Binio.get_varint cur in
+  let n = Binio.get_varint cur in
+  let tablets =
+    List.init n (fun _ ->
+        let id = Binio.get_varint cur in
+        let file = Binio.get_string cur in
+        let min_ts = Binio.get_i64 cur in
+        let max_ts = Binio.get_i64 cur in
+        let min_key = Binio.get_string cur in
+        let max_key = Binio.get_string cur in
+        let row_count = Binio.get_varint cur in
+        let size = Binio.get_varint cur in
+        { id; file; min_ts; max_ts; min_key; max_key; row_count; size })
+  in
+  if cur.Binio.pos <> body_len then
+    raise (Binio.Corrupt "descriptor: trailing bytes");
+  normalize { schema; ttl; next_id; tablets }
+
+let save vfs ~dir t =
+  let path = Filename.concat dir file_name in
+  let tmp = path ^ ".tmp" in
+  let file = Vfs.create vfs tmp in
+  Vfs.append vfs file (encode (normalize t));
+  Vfs.fsync vfs file;
+  Vfs.close vfs file;
+  Vfs.rename vfs ~src:tmp ~dst:path
+
+let load vfs ~dir =
+  let path = Filename.concat dir file_name in
+  decode (Vfs.read_all vfs path)
+
+let exists vfs ~dir = Vfs.exists vfs (Filename.concat dir file_name)

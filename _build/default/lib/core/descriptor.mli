@@ -1,0 +1,49 @@
+(** Table descriptor files.
+
+    "LittleTable caches the range of timestamps each tablet contains ...
+    and it writes the list of on-disk tablets and their timespans to a
+    table descriptor file after every change. Once written, LittleTable
+    atomically renames this file to replace the previous version."
+    (§3.2.) The descriptor is the root of a table's durable state: a
+    tablet exists exactly when the current descriptor lists it. Multi-
+    tablet flushes (§3.4.3) become atomic by writing all new tablet files
+    first and then publishing one new descriptor.
+
+    The file also records the current schema and TTL (§3.5) and the next
+    tablet id. It carries a CRC and is written to a temporary name,
+    fsynced, and renamed over the old version. *)
+
+type tablet_meta = {
+  id : int;
+  file : string;  (** file name within the table directory *)
+  min_ts : int64;
+  max_ts : int64;
+  min_key : string;
+  max_key : string;
+  row_count : int;
+  size : int;  (** bytes on disk *)
+}
+
+type t = {
+  schema : Schema.t;
+  ttl : int64 option;  (** microseconds; [None] = keep forever *)
+  next_id : int;  (** ids [>= next_id] are unused *)
+  tablets : tablet_meta list;  (** sorted by [min_ts], then id *)
+}
+
+val file_name : string
+(** ["DESCRIPTOR"] *)
+
+(** Canonical on-disk tablet file name for an id, e.g. ["000042.tab"]. *)
+val tablet_file : int -> string
+
+(** Sort tablets into canonical order (by timespan lower bound, ties by
+    id, i.e. flush order). *)
+val normalize : t -> t
+
+val save : Lt_vfs.Vfs.t -> dir:string -> t -> unit
+
+(** @raise Lt_util.Binio.Corrupt on a damaged or missing descriptor. *)
+val load : Lt_vfs.Vfs.t -> dir:string -> t
+
+val exists : Lt_vfs.Vfs.t -> dir:string -> bool

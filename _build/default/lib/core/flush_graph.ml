@@ -1,0 +1,54 @@
+module Int_set = Set.Make (Int)
+
+(* deps.(a) = set of tablets that must flush before [a] (reverse edges). *)
+type t = { deps : (int, Int_set.t) Hashtbl.t }
+
+let create () = { deps = Hashtbl.create 16 }
+
+let add_edge t ~before ~after =
+  if before <> after then begin
+    let cur =
+      Option.value ~default:Int_set.empty (Hashtbl.find_opt t.deps after)
+    in
+    Hashtbl.replace t.deps after (Int_set.add before cur)
+  end
+
+let closure t id =
+  let seen = ref (Int_set.singleton id) in
+  let rec visit id =
+    match Hashtbl.find_opt t.deps id with
+    | None -> ()
+    | Some preds ->
+        Int_set.iter
+          (fun p ->
+            if not (Int_set.mem p !seen) then begin
+              seen := Int_set.add p !seen;
+              visit p
+            end)
+          preds
+  in
+  visit id;
+  Int_set.elements !seen
+
+let remove t ids =
+  let doomed = Int_set.of_list ids in
+  Int_set.iter (fun id -> Hashtbl.remove t.deps id) doomed;
+  let updates =
+    Hashtbl.fold
+      (fun id preds acc ->
+        let pruned = Int_set.diff preds doomed in
+        if Int_set.equal pruned preds then acc else (id, pruned) :: acc)
+      t.deps []
+  in
+  List.iter
+    (fun (id, preds) ->
+      if Int_set.is_empty preds then Hashtbl.remove t.deps id
+      else Hashtbl.replace t.deps id preds)
+    updates
+
+let node_count t =
+  let nodes = ref Int_set.empty in
+  Hashtbl.iter
+    (fun id preds -> nodes := Int_set.union (Int_set.add id !nodes) preds)
+    t.deps;
+  Int_set.cardinal !nodes

@@ -1,0 +1,31 @@
+(** Flush-dependency graphs (§3.4.3).
+
+    LittleTable guarantees that if a row survives a crash, every row
+    inserted into the same table before it survives too. With several
+    filling tablets, a client's inserts interleave between tablets, so the
+    table "tracks for each table the tablet t that most recently received
+    an insert. When it processes an insert to a different tablet t' ≠ t,
+    it adds a flush dependency t → t', meaning t must be flushed before
+    t'. ... Before flushing a tablet t, LittleTable first traverses this
+    dependency graph to find the transitive closure of tablets that must
+    be flushed first", flushing the whole closure in one atomic descriptor
+    update. The graph may contain cycles; a cycle simply flushes
+    together. *)
+
+type t
+
+val create : unit -> t
+
+(** [add_edge t ~before ~after]: tablet [before] must flush no later than
+    [after]. Self-edges are ignored. *)
+val add_edge : t -> before:int -> after:int -> unit
+
+(** [closure t id] is every tablet that must be flushed along with [id]
+    (all nodes with a path to [id]), including [id] itself. *)
+val closure : t -> int -> int list
+
+(** Forget flushed tablets: drop the nodes and any edges touching them. *)
+val remove : t -> int list -> unit
+
+(** Number of nodes with at least one edge (for tests/stats). *)
+val node_count : t -> int

@@ -1,0 +1,152 @@
+open Lt_util
+
+let put_be64 buf x =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical x (i * 8)) land 0xff))
+  done
+
+let get_be64 cur =
+  let x = ref 0L in
+  for _ = 0 to 7 do
+    x := Int64.logor (Int64.shift_left !x 8) (Int64.of_int (Binio.get_u8 cur))
+  done;
+  !x
+
+let flip_i64 x = Int64.logxor x Int64.min_int
+
+(* IEEE-754 total order: flip all bits of negatives, just the sign bit of
+   non-negatives. Monotone w.r.t. Float.compare (including -0.0 < 0.0). *)
+let double_to_ordered f =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L < 0 then Int64.lognot bits else flip_i64 bits
+
+let double_of_ordered x =
+  if Int64.compare x 0L < 0 then Int64.float_of_bits (flip_i64 x)
+  else Int64.float_of_bits (Int64.lognot x)
+
+let encode_string buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\x00' -> Buffer.add_string buf "\x01\x01"
+      | '\x01' -> Buffer.add_string buf "\x01\x02"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\x00'
+
+let decode_string cur =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match Binio.get_u8 cur with
+    | 0x00 -> Buffer.contents b
+    | 0x01 -> (
+        match Binio.get_u8 cur with
+        | 0x01 ->
+            Buffer.add_char b '\x00';
+            go ()
+        | 0x02 ->
+            Buffer.add_char b '\x01';
+            go ()
+        | n ->
+            raise (Binio.Corrupt (Printf.sprintf "key string: bad escape %02x" n)))
+    | n ->
+        Buffer.add_char b (Char.chr n);
+        go ()
+  in
+  go ()
+
+let encode_value buf = function
+  | Value.Int32 x ->
+      let x = Int32.logxor x Int32.min_int in
+      for i = 3 downto 0 do
+        Buffer.add_char buf
+          (Char.chr (Int32.to_int (Int32.shift_right_logical x (i * 8)) land 0xff))
+      done
+  | Value.Int64 x -> put_be64 buf (flip_i64 x)
+  | Value.Timestamp x -> put_be64 buf (flip_i64 x)
+  | Value.Double f -> put_be64 buf (double_to_ordered f)
+  | Value.String s -> encode_string buf s
+  | Value.Blob s -> encode_string buf s
+
+let decode_value ctype cur =
+  match ctype with
+  | Value.T_int32 ->
+      let x = ref 0l in
+      for _ = 0 to 3 do
+        x :=
+          Int32.logor (Int32.shift_left !x 8) (Int32.of_int (Binio.get_u8 cur))
+      done;
+      Value.Int32 (Int32.logxor !x Int32.min_int)
+  | Value.T_int64 -> Value.Int64 (flip_i64 (get_be64 cur))
+  | Value.T_timestamp -> Value.Timestamp (flip_i64 (get_be64 cur))
+  | Value.T_double -> Value.Double (double_of_ordered (get_be64 cur))
+  | Value.T_string -> Value.String (decode_string cur)
+  | Value.T_blob -> Value.Blob (decode_string cur)
+
+let encode_key schema row =
+  let buf = Buffer.create 32 in
+  Array.iter (fun i -> encode_value buf row.(i)) (Schema.pkey schema);
+  Buffer.contents buf
+
+let encode_key_with_prefixes schema row =
+  let buf = Buffer.create 32 in
+  let pkey = Schema.pkey schema in
+  let k = Array.length pkey in
+  let prefixes = ref [] in
+  Array.iteri
+    (fun i col ->
+      encode_value buf row.(col);
+      if i < k - 1 then prefixes := Buffer.contents buf :: !prefixes)
+    pkey;
+  (Buffer.contents buf, List.rev !prefixes)
+
+let encode_prefix schema values =
+  let pkey = Schema.pkey schema in
+  let cols = Schema.columns schema in
+  let n = List.length values in
+  if n > Array.length pkey then
+    raise (Schema.Invalid "key prefix longer than the primary key");
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i v ->
+      let col = cols.(pkey.(i)) in
+      if not (Value.matches col.Schema.ctype v) then
+        raise
+          (Schema.Invalid
+             (Printf.sprintf "key prefix: column %S expects %s, got %s"
+                col.Schema.name
+                (Value.type_name col.Schema.ctype)
+                (Value.type_name (Value.type_of v))));
+      encode_value buf v)
+    values;
+  Buffer.contents buf
+
+let decode_key schema key =
+  let cur = Binio.cursor key in
+  let pkey = Schema.pkey schema in
+  let cols = Schema.columns schema in
+  let vs =
+    Array.map (fun i -> decode_value cols.(i).Schema.ctype cur) pkey
+  in
+  Binio.expect_end cur;
+  vs
+
+let ts_of_key key =
+  let n = String.length key in
+  if n < 8 then invalid_arg "ts_of_key: key shorter than 8 bytes";
+  let cur = Binio.cursor ~pos:(n - 8) key in
+  flip_i64 (get_be64 cur)
+
+let prefix_succ p =
+  let n = String.length p in
+  let b = Bytes.of_string p in
+  let rec go i =
+    if i < 0 then None
+    else if Bytes.get b i = '\xff' then go (i - 1)
+    else begin
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) + 1));
+      Some (Bytes.sub_string b 0 (i + 1))
+    end
+  in
+  go (n - 1)

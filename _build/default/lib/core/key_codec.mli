@@ -1,0 +1,51 @@
+(** Order-preserving primary-key encoding.
+
+    LittleTable sorts rows within tablets by primary key and answers every
+    query as an ordered scan over a key range (§3.1). We encode each key
+    as a byte string such that
+
+    - byte-wise [String.compare] on encodings equals the column-by-column
+      value order, and
+    - the encoding is {e prefix-preserving}: the encoding of key columns
+      [v1..vk] is a byte prefix of any full key beginning with those
+      values, so a key-prefix query is exactly a byte-prefix range.
+
+    Per-type forms: integers and timestamps are sign-flipped big-endian;
+    doubles use the IEEE total-order transform; strings and blobs escape
+    0x00/0x01 (as 0x01 0x01 / 0x01 0x02) and end with a 0x00 terminator,
+    which sorts below every escaped byte.
+
+    Because the timestamp is the last key column, the final 8 bytes of any
+    full encoded key are its timestamp — {!ts_of_key} exploits this to
+    filter scans without decoding rows. *)
+
+(** [encode_value buf v] appends the order-preserving form of [v]. *)
+val encode_value : Buffer.t -> Value.t -> unit
+
+(** [decode_value ctype cur] inverts {!encode_value}. *)
+val decode_value : Value.ctype -> Lt_util.Binio.cursor -> Value.t
+
+(** Full primary key of a validated row. *)
+val encode_key : Schema.t -> Value.t array -> string
+
+(** [encode_key_with_prefixes schema row] is the full encoded key paired
+    with every proper column-boundary prefix (1 to k-1 key columns) —
+    the strings inserted into a tablet's Bloom filter so that prefix
+    membership tests work (§3.4.5). *)
+val encode_key_with_prefixes : Schema.t -> Value.t array -> string * string list
+
+(** [encode_prefix schema vs] encodes the first [List.length vs] key
+    columns. @raise Schema.Invalid if the values do not match the leading
+    key column types. *)
+val encode_prefix : Schema.t -> Value.t list -> string
+
+(** Key-column values of an encoded full key, in key order. *)
+val decode_key : Schema.t -> string -> Value.t array
+
+(** Timestamp (microseconds) carried in the last 8 bytes of a full key. *)
+val ts_of_key : string -> int64
+
+(** [prefix_succ p] is the smallest byte string greater than every string
+    having [p] as a prefix, or [None] when no such string exists (all
+    0xff). Used to turn prefix bounds into half-open byte ranges. *)
+val prefix_succ : string -> string option

@@ -1,0 +1,76 @@
+type input = {
+  id : int;
+  size : int;
+  min_ts : int64;
+  max_ts : int64;
+  eligible_at : int64;
+}
+
+type plan = { ids : int list }
+
+let plan_sizes ~max_tablet_size sizes =
+  let n = Array.length sizes in
+  let rec seed i =
+    if i + 1 >= n then None
+    else if sizes.(i) <= 2 * sizes.(i + 1) then Some i
+    else seed (i + 1)
+  in
+  match seed 0 with
+  | None -> None
+  | Some i ->
+      (* Extend the pair rightward while the merged tablet stays within
+         the size cap. The appendix notes the bounds hold "even if
+         LittleTable merges any number of tablets that immediately follow
+         t_{i+1}, regardless of their sizes". *)
+      let total = ref (sizes.(i) + sizes.(i + 1)) in
+      let j = ref (i + 1) in
+      while !j + 1 < n && !total + sizes.(!j + 1) <= max_tablet_size do
+        incr j;
+        total := !total + sizes.(!j)
+      done;
+      Some (i, !j - i + 1)
+
+let plan ~now ~max_tablet_size inputs =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match Int64.compare a.min_ts b.min_ts with
+        | 0 -> Int.compare a.id b.id
+        | c -> c)
+      inputs
+  in
+  (* Split into maximal runs of consecutive, eligible tablets whose data
+     falls in the same concrete time period (the same 4-hour span, day,
+     or week); merging never crosses periods (§3.4.2). A tablet that is
+     ineligible (recently written, or awaiting its rollover delay) breaks
+     the run so that merges never jump over it and reorder timespans. *)
+  let groups = ref [] and current = ref [] and current_bin = ref None in
+  let flush_current () =
+    (match !current with [] -> () | run -> groups := List.rev run :: !groups);
+    current := [];
+    current_bin := None
+  in
+  List.iter
+    (fun t ->
+      let bin = Period.bin ~now t.min_ts in
+      if t.eligible_at > now then flush_current ()
+      else if !current_bin = Some bin then current := t :: !current
+      else begin
+        flush_current ();
+        current := [ t ];
+        current_bin := Some bin
+      end)
+    sorted;
+  flush_current ();
+  let groups = List.rev !groups in
+  let rec try_groups = function
+    | [] -> None
+    | group :: rest -> (
+        let arr = Array.of_list group in
+        let sizes = Array.map (fun t -> t.size) arr in
+        match plan_sizes ~max_tablet_size sizes with
+        | Some (start, len) ->
+            Some { ids = List.init len (fun k -> arr.(start + k).id) }
+        | None -> try_groups rest)
+  in
+  try_groups groups

@@ -1,0 +1,45 @@
+(** The tablet merge policy (§3.4.1, §3.4.2, and the appendix).
+
+    To keep the number of tablets a query must touch logarithmic without
+    rewriting old data over and over, LittleTable "orders tablets by their
+    timespans' lower bounds and merges the oldest adjacent pair such that
+    the newer one is at least half the size of the older
+    (|t_i| <= 2 |t_{i+1}|). It includes in this merge any newer tablets
+    adjacent to this pair, up to a maximum tablet size."
+
+    Two further rules from §3.4.2: tablets from different time periods
+    (4-hour / day / week, as classified {e at merge time}) are never
+    merged together, and a merge whose inputs rolled over from a smaller
+    period into a larger one is delayed by a pseudorandom fraction of the
+    larger period to spread the rollover merge load across tables.
+
+    The appendix proves (and [test/test_merge_policy.ml] property-checks)
+    that repeating this to a fixpoint leaves O(log T) tablets and rewrites
+    any one row O(log T) times. *)
+
+(** What the policy needs to know about each on-disk tablet. *)
+type input = {
+  id : int;
+  size : int;  (** bytes *)
+  min_ts : int64;
+  max_ts : int64;
+  eligible_at : int64;  (** no merging before this time (write + rollover delays) *)
+}
+
+(** A run of adjacent tablets to merge, in timespan order. *)
+type plan = { ids : int list }
+
+(** [plan ~now ~max_tablet_size inputs] — [inputs] in any order — is the
+    run the paper's policy merges next, or [None] at a fixpoint.
+    Candidates are grouped by [Period.bin ~now min_ts] — the concrete
+    4-hour span, day, or week the tablet's data falls in as of [now]; a
+    group is a maximal run of {e consecutive} tablets of one period all
+    eligible at [now]. Within each group (oldest first) the first adjacent pair with
+    [size t_i <= 2 * size t_{i+1}] seeds the run, extended right while the
+    total stays within [max_tablet_size]. *)
+val plan : now:int64 -> max_tablet_size:int -> input list -> plan option
+
+(** The bare size-sequence policy of the appendix (no periods, no
+    eligibility): given sizes oldest-first, returns the [(start, len)] of
+    the run to merge. Exposed for the logarithmic-bound property tests. *)
+val plan_sizes : max_tablet_size:int -> int array -> (int * int) option

@@ -1,0 +1,41 @@
+open Lt_util
+
+type class_ = Four_hour | Day | Week
+
+let class_length = function
+  | Four_hour -> Int64.mul 4L Clock.hour
+  | Day -> Clock.day
+  | Week -> Clock.week
+
+let class_name = function
+  | Four_hour -> "4h"
+  | Day -> "day"
+  | Week -> "week"
+
+type t = { start : int64; cls : class_ }
+
+let length t = class_length t.cls
+
+let stop t = Int64.add t.start (length t)
+
+let align v ~unit_len =
+  if v >= 0L then Int64.sub v (Int64.rem v unit_len)
+  else begin
+    (* Round toward negative infinity for pre-epoch timestamps. *)
+    let r = Int64.rem v unit_len in
+    if r = 0L then v else Int64.sub v (Int64.add r unit_len)
+  end
+
+let bin ~now ts =
+  let day_start = align now ~unit_len:Clock.day in
+  let week_start = align now ~unit_len:Clock.week in
+  if ts >= day_start then
+    { start = align ts ~unit_len:(class_length Four_hour); cls = Four_hour }
+  else if ts >= week_start then
+    { start = align ts ~unit_len:Clock.day; cls = Day }
+  else { start = align ts ~unit_len:Clock.week; cls = Week }
+
+let classify ~now ts = (bin ~now ts).cls
+
+let pp ppf t =
+  Format.fprintf ppf "%s@%Ld" (class_name t.cls) t.start

@@ -1,0 +1,43 @@
+(** Application-driven time periods (§3.4.2).
+
+    "LittleTable groups time into three ranges, each measured in even
+    intervals from the Unix epoch: the six 4-hour periods of the most
+    recent day, the seven days of the most recent week, and all the weeks
+    previous to that." Rows are binned into filling tablets by these
+    periods, and the merge policy never combines tablets from different
+    periods, so tablet timespans stay aligned with the anthropocentric
+    ranges queries ask for. *)
+
+type class_ = Four_hour | Day | Week
+
+(** Length of a period of the given class, in microseconds. *)
+val class_length : class_ -> int64
+
+val class_name : class_ -> string
+
+(** A concrete period: a half-open interval [\[start, start + length)]
+    aligned to its class. *)
+type t = { start : int64; cls : class_ }
+
+val length : t -> int64
+
+(** Exclusive upper bound of the period. *)
+val stop : t -> int64
+
+(** [bin ~now ts] is the period into which a row with timestamp [ts]
+    should be binned when the current time is [now]:
+    the 4-hour period of [ts] when [ts] falls in the current (epoch-
+    aligned) day or the future, the day of [ts] when it falls in the
+    current week, and the week of [ts] otherwise. *)
+val bin : now:int64 -> int64 -> t
+
+(** [classify ~now ts] is just the class of [bin ~now ts] — used by the
+    merge policy to group on-disk tablets by the period their data falls
+    into {e now} (a 4-hour tablet ages into day and then week groups as
+    time advances, making it mergeable with its new neighbours). *)
+val classify : now:int64 -> int64 -> class_
+
+(** [align v ~unit] rounds [v] down to a multiple of [unit]. *)
+val align : int64 -> unit_len:int64 -> int64
+
+val pp : Format.formatter -> t -> unit

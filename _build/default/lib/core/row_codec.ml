@@ -1,0 +1,33 @@
+open Lt_util
+
+let encode_value schema row =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun i v -> if not (Schema.is_pkey schema i) then Value.encode buf v)
+    row;
+  Buffer.contents buf
+
+let decode schema ~key ~value =
+  let cols = Schema.columns schema in
+  let row = Array.make (Array.length cols) (Value.Int32 0l) in
+  let kvs = Key_codec.decode_key schema key in
+  Array.iteri (fun ki col -> row.(col) <- kvs.(ki)) (Schema.pkey schema);
+  let cur = Binio.cursor value in
+  Array.iteri
+    (fun i col ->
+      if not (Schema.is_pkey schema i) then
+        row.(i) <- Value.decode col.Schema.ctype cur)
+    cols;
+  Binio.expect_end cur;
+  row
+
+let decode_translated ~from ~into ~key ~value =
+  if Schema.version from = Schema.version into then decode into ~key ~value
+  else begin
+    let row = decode from ~key ~value in
+    Schema.translate_row ~from ~into row
+  end
+
+let stored_size schema row =
+  String.length (Key_codec.encode_key schema row)
+  + String.length (encode_value schema row)

@@ -1,0 +1,23 @@
+(** Row serialization for storage.
+
+    A stored row is split into its encoded primary key (see {!Key_codec})
+    and a compact value part holding the non-key columns in schema order;
+    nothing is stored twice. Decoding recovers the full row in schema
+    column order, translating forward when the tablet was written under an
+    older schema version. *)
+
+(** Non-key columns of a validated row, in schema order. *)
+val encode_value : Schema.t -> Value.t array -> string
+
+(** [decode schema ~key ~value] rebuilds the full row. *)
+val decode : Schema.t -> key:string -> value:string -> Value.t array
+
+(** [decode_translated ~from ~into ~key ~value] decodes a row written
+    under schema [from] and translates it to [into] (§3.5: cells are
+    widened or filled with defaults; on-disk tablets are never
+    rewritten). *)
+val decode_translated :
+  from:Schema.t -> into:Schema.t -> key:string -> value:string -> Value.t array
+
+(** Approximate stored size of a row in bytes (key + value encodings). *)
+val stored_size : Schema.t -> Value.t array -> int

@@ -1,0 +1,97 @@
+type t = {
+  mutable rows_inserted : int;
+  mutable insert_batches : int;
+  mutable rows_returned : int;
+  mutable rows_scanned : int;
+  mutable queries : int;
+  mutable flushes : int;
+  mutable flushed_bytes : int;
+  mutable merges : int;
+  mutable merged_bytes_in : int;
+  mutable merged_bytes_out : int;
+  mutable tablets_expired : int;
+}
+
+type snapshot = {
+  rows_inserted : int;
+  insert_batches : int;
+  rows_returned : int;
+  rows_scanned : int;
+  queries : int;
+  flushes : int;
+  flushed_bytes : int;
+  merges : int;
+  merged_bytes_in : int;
+  merged_bytes_out : int;
+  tablets_expired : int;
+  bytes_written : int;
+}
+
+let create () =
+  {
+    rows_inserted = 0;
+    insert_batches = 0;
+    rows_returned = 0;
+    rows_scanned = 0;
+    queries = 0;
+    flushes = 0;
+    flushed_bytes = 0;
+    merges = 0;
+    merged_bytes_in = 0;
+    merged_bytes_out = 0;
+    tablets_expired = 0;
+  }
+
+let read (t : t) =
+  {
+    rows_inserted = t.rows_inserted;
+    insert_batches = t.insert_batches;
+    rows_returned = t.rows_returned;
+    rows_scanned = t.rows_scanned;
+    queries = t.queries;
+    flushes = t.flushes;
+    flushed_bytes = t.flushed_bytes;
+    merges = t.merges;
+    merged_bytes_in = t.merged_bytes_in;
+    merged_bytes_out = t.merged_bytes_out;
+    tablets_expired = t.tablets_expired;
+    bytes_written = t.flushed_bytes + t.merged_bytes_out;
+  }
+
+let scan_ratio s =
+  if s.rows_returned = 0 then 1.0
+  else float_of_int s.rows_scanned /. float_of_int s.rows_returned
+
+let write_amplification s =
+  if s.flushed_bytes = 0 then 1.0
+  else float_of_int s.bytes_written /. float_of_int s.flushed_bytes
+
+let note_insert (t : t) ~rows =
+  t.rows_inserted <- t.rows_inserted + rows;
+  t.insert_batches <- t.insert_batches + 1
+
+let note_query (t : t) ~scanned ~returned =
+  t.queries <- t.queries + 1;
+  t.rows_scanned <- t.rows_scanned + scanned;
+  t.rows_returned <- t.rows_returned + returned
+
+let note_flush (t : t) ~bytes =
+  t.flushes <- t.flushes + 1;
+  t.flushed_bytes <- t.flushed_bytes + bytes
+
+let note_merge (t : t) ~bytes_in ~bytes_out =
+  t.merges <- t.merges + 1;
+  t.merged_bytes_in <- t.merged_bytes_in + bytes_in;
+  t.merged_bytes_out <- t.merged_bytes_out + bytes_out
+
+let note_expired (t : t) ~tablets =
+  t.tablets_expired <- t.tablets_expired + tablets
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>inserted %d rows in %d batches; %d queries returned %d rows \
+     (scanned %d, ratio %.2f); %d flushes (%d B), %d merges (%d B in, %d B \
+     out), write amp %.2f; %d tablets expired@]"
+    s.rows_inserted s.insert_batches s.queries s.rows_returned s.rows_scanned
+    (scan_ratio s) s.flushes s.flushed_bytes s.merges s.merged_bytes_in
+    s.merged_bytes_out (write_amplification s) s.tablets_expired

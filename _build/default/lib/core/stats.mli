@@ -1,0 +1,42 @@
+(** Per-table operation counters.
+
+    These back the production-metrics figures: rows scanned vs rows
+    returned (Figure 9, §5.2.4), insert/query rates (§5.2.3), flush and
+    merge activity, and write amplification (§5.1.3). Counters are
+    updated under the owning table's locks; reads are monotonic
+    snapshots. *)
+
+type t
+
+val create : unit -> t
+
+type snapshot = {
+  rows_inserted : int;
+  insert_batches : int;
+  rows_returned : int;
+  rows_scanned : int;
+  queries : int;
+  flushes : int;
+  flushed_bytes : int;
+  merges : int;
+  merged_bytes_in : int;
+  merged_bytes_out : int;
+  tablets_expired : int;
+  bytes_written : int;  (** flushes + merge output *)
+}
+
+val read : t -> snapshot
+
+(** Rows scanned per row returned; 1.0 when nothing returned yet. *)
+val scan_ratio : snapshot -> float
+
+(** Bytes written to disk per byte of first-time flush; >= 1. *)
+val write_amplification : snapshot -> float
+
+val note_insert : t -> rows:int -> unit
+val note_query : t -> scanned:int -> returned:int -> unit
+val note_flush : t -> bytes:int -> unit
+val note_merge : t -> bytes_in:int -> bytes_out:int -> unit
+val note_expired : t -> tablets:int -> unit
+
+val pp : Format.formatter -> snapshot -> unit

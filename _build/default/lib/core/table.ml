@@ -1,0 +1,1181 @@
+open Lt_util
+module Vfs = Lt_vfs.Vfs
+
+exception Duplicate_key of string
+
+type disk_tablet = {
+  mutable meta : Descriptor.tablet_meta;
+  mutable reader : Tablet.reader option;
+  mutable refs : int;
+  mutable doomed : bool;
+  mutable last_cls : Period.class_;
+  mutable eligible_at : int64;
+}
+
+type t = {
+  vfs : Vfs.t;
+  clock : Clock.t;
+  config : Config.t;
+  dir : string;
+  tname : string;
+  mutable schema : Schema.t;
+  mutable ttl : int64 option;
+  mutable next_id : int;
+  mutable filling : Memtable.t list;  (** one per active period bin *)
+  mutable frozen : Memtable.t list;  (** oldest frozen first *)
+  mutable disk : disk_tablet list;  (** timespan order *)
+  graph : Flush_graph.t;
+  mutable last_insert_tablet : int option;
+  mutable max_ts_seen : int64 option;
+  state : Mutex.t;  (** guards all mutable fields above *)
+  writer_lock : Mutex.t;  (** serializes inserts, flushes, schema changes *)
+  maint_lock : Mutex.t;  (** serializes merges and expiry *)
+  stats : Stats.t;
+  rng : Xorshift.t;
+  mutable closed : bool;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let now t = Clock.now t.clock
+
+let name t = t.tname
+
+let dir t = t.dir
+
+let schema t = locked t.state (fun () -> t.schema)
+
+let ttl t = locked t.state (fun () -> t.ttl)
+
+let stats t = Stats.read t.stats
+
+let tablet_path t file = Filename.concat t.dir file
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let seed_of_name name =
+  (* Deterministic per-table randomness for merge-delay spreading. *)
+  let h = ref 1469598103934665603L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 1099511628211L)
+    name;
+  !h
+
+let make vfs ~clock ~config ~dir ~name ~desc =
+  let open Descriptor in
+  let n = Clock.now clock in
+  let disk =
+    List.map
+      (fun meta ->
+        {
+          meta;
+          reader = None;
+          refs = 0;
+          doomed = false;
+          last_cls = Period.classify ~now:n meta.min_ts;
+          eligible_at = Int64.add n config.Config.merge_delay;
+        })
+      desc.tablets
+  in
+  let max_ts_seen =
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | None -> Some m.max_ts
+        | Some v -> Some (max v m.max_ts))
+      None desc.tablets
+  in
+  {
+    vfs;
+    clock;
+    config;
+    dir;
+    tname = name;
+    schema = desc.schema;
+    ttl = desc.ttl;
+    next_id = desc.next_id;
+    filling = [];
+    frozen = [];
+    disk;
+    graph = Flush_graph.create ();
+    last_insert_tablet = None;
+    max_ts_seen;
+    state = Mutex.create ();
+    writer_lock = Mutex.create ();
+    maint_lock = Mutex.create ();
+    stats = Stats.create ();
+    rng = Xorshift.create (seed_of_name name);
+    closed = false;
+  }
+
+let create vfs ~clock ~config ~dir ~name schema ~ttl =
+  Vfs.mkdir_p vfs dir;
+  if Descriptor.exists vfs ~dir then
+    invalid_arg (Printf.sprintf "Table.create: %s already holds a table" dir);
+  let desc = Descriptor.{ schema; ttl; next_id = 1; tablets = [] } in
+  Descriptor.save vfs ~dir desc;
+  make vfs ~clock ~config ~dir ~name ~desc
+
+let open_ vfs ~clock ~config ~dir ~name =
+  let desc = Descriptor.load vfs ~dir in
+  (* Crash hygiene: a crash or failed flush can leave tablet files that
+     never made it into a descriptor (and interrupted descriptor
+     temporaries). Anything the descriptor does not reference is dead. *)
+  let referenced =
+    Descriptor.file_name :: List.map (fun m -> m.Descriptor.file) desc.Descriptor.tablets
+  in
+  List.iter
+    (fun entry ->
+      if not (List.mem entry referenced) then
+        try Vfs.delete vfs (Filename.concat dir entry) with Vfs.Io_error _ -> ())
+    (try Vfs.readdir vfs dir with Vfs.Io_error _ -> []);
+  make vfs ~clock ~config ~dir ~name ~desc
+
+(* Must be called with [state] held. *)
+let save_descriptor_locked t =
+  let tablets = List.map (fun dt -> dt.meta) t.disk in
+  let desc =
+    Descriptor.{ schema = t.schema; ttl = t.ttl; next_id = t.next_id; tablets }
+  in
+  Descriptor.save t.vfs ~dir:t.dir desc
+
+(* Must be called with [state] held. *)
+let get_reader_locked t dt =
+  match dt.reader with
+  | Some r -> r
+  | None ->
+      let r =
+        Tablet.open_reader t.vfs
+          ~path:(tablet_path t dt.meta.Descriptor.file)
+          ~into:t.schema
+      in
+      dt.reader <- Some r;
+      r
+
+let destroy_tablet t dt =
+  (match dt.reader with Some r -> Tablet.close r | None -> ());
+  dt.reader <- None;
+  let path = tablet_path t dt.meta.Descriptor.file in
+  if Vfs.exists t.vfs path then Vfs.delete t.vfs path
+
+(* Must be called with [state] held. *)
+let release_locked t dts =
+  List.iter
+    (fun dt ->
+      dt.refs <- dt.refs - 1;
+      if dt.doomed && dt.refs = 0 then destroy_tablet t dt)
+    dts
+
+let release t dts = locked t.state (fun () -> release_locked t dts)
+
+let close t =
+  locked t.state (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        List.iter
+          (fun dt -> match dt.reader with
+            | Some r -> Tablet.close r; dt.reader <- None
+            | None -> ())
+          t.disk
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* TTL and schema changes                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ttl_cutoff_locked t =
+  match t.ttl with
+  | None -> None
+  | Some ttl -> Some (Int64.sub (now t) ttl)
+
+let set_ttl t ttl =
+  locked t.writer_lock (fun () ->
+      locked t.state (fun () ->
+          t.ttl <- ttl;
+          save_descriptor_locked t))
+
+let rebuild_memtable t ~from mt =
+  let fresh =
+    Memtable.create ~id:(Memtable.id mt) ~period:(Memtable.period mt)
+      ~created_at:(Memtable.created_at mt)
+  in
+  let it = Avl.iter_asc (Memtable.snapshot mt) in
+  let rec go () =
+    match Avl.next it with
+    | None -> ()
+    | Some (key, row) ->
+        let row = Schema.translate_row ~from ~into:t.schema row in
+        (match Memtable.insert fresh ~key ~ts:(Key_codec.ts_of_key key) row with
+        | `Ok -> Memtable.add_bytes fresh (Row_codec.stored_size t.schema row)
+        | `Duplicate -> assert false);
+        go ()
+  in
+  go ();
+  fresh
+
+let change_schema t f =
+  locked t.writer_lock (fun () ->
+      locked t.state (fun () ->
+          let old = t.schema in
+          t.schema <- f old;
+          t.filling <- List.map (rebuild_memtable t ~from:old) t.filling;
+          t.frozen <- List.map (rebuild_memtable t ~from:old) t.frozen;
+          List.iter
+            (fun dt ->
+              match dt.reader with
+              | Some r -> Tablet.set_target_schema r t.schema
+              | None -> ())
+            t.disk;
+          save_descriptor_locked t))
+
+let add_column t col = change_schema t (fun s -> Schema.add_column s col)
+
+let widen_column t cname = change_schema t (fun s -> Schema.widen_column s cname)
+
+(* ------------------------------------------------------------------ *)
+(* Flushing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let freeze_locked t mt =
+  t.filling <- List.filter (fun m -> Memtable.id m <> Memtable.id mt) t.filling;
+  if not (List.exists (fun m -> Memtable.id m = Memtable.id mt) t.frozen) then
+    t.frozen <- t.frozen @ [ mt ]
+
+(* Write one memtable out as a tablet file; no descriptor update yet.
+   Runs without the state lock: frozen memtables are immutable. *)
+let write_memtable t mt =
+  let schema = locked t.state (fun () -> t.schema) in
+  let id = Memtable.id mt in
+  let file = Descriptor.tablet_file id in
+  let writer =
+    Tablet.writer t.vfs ~path:(tablet_path t file) ~schema
+      ~block_size:t.config.Config.block_size
+      ~bloom_bits_per_key:t.config.Config.bloom_bits_per_key
+      ~expected_rows:(Memtable.row_count mt) ()
+  in
+  let it = Avl.iter_asc (Memtable.snapshot mt) in
+  let rec go () =
+    match Avl.next it with
+    | None -> ()
+    | Some (key, row) ->
+        let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
+        Tablet.add writer ~key ~key_prefixes:prefixes
+          ~ts:(Key_codec.ts_of_key key)
+          ~value:(Row_codec.encode_value schema row);
+        go ()
+  in
+  go ();
+  let summary = Tablet.finish writer in
+  Descriptor.
+    {
+      id;
+      file;
+      min_ts = summary.Tablet.min_ts;
+      max_ts = summary.Tablet.max_ts;
+      min_key = summary.Tablet.min_key;
+      max_key = summary.Tablet.max_key;
+      row_count = summary.Tablet.row_count;
+      size = summary.Tablet.size;
+    }
+
+(* Flush [mt] and its dependency closure as one atomic descriptor
+   update (§3.4.3). Caller holds [writer_lock]. *)
+let flush_closure t mt =
+  let members =
+    locked t.state (fun () ->
+        let ids = Flush_graph.closure t.graph (Memtable.id mt) in
+        let in_ids m = List.mem (Memtable.id m) ids in
+        let from_filling = List.filter in_ids t.filling in
+        (* Anything still filling in the closure freezes now. *)
+        List.iter (freeze_locked t) from_filling;
+        List.filter in_ids t.frozen)
+  in
+  let members =
+    if List.exists (fun m -> Memtable.id m = Memtable.id mt) members then members
+    else mt :: members
+  in
+  let members, empties =
+    List.partition (fun m -> Memtable.row_count m > 0) members
+  in
+  (* Empty memtables (possible after a bulk delete) have nothing to
+     write; drop them from the queues or the flush loop would pick them
+     forever. *)
+  if empties <> [] then
+    locked t.state (fun () ->
+        let ids = List.map Memtable.id empties in
+        t.frozen <- List.filter (fun m -> not (List.mem (Memtable.id m) ids)) t.frozen;
+        t.filling <- List.filter (fun m -> not (List.mem (Memtable.id m) ids)) t.filling;
+        Flush_graph.remove t.graph ids;
+        match t.last_insert_tablet with
+        | Some id when List.mem id ids -> t.last_insert_tablet <- None
+        | _ -> ());
+  let metas = List.map (fun m -> (m, write_memtable t m)) members in
+  locked t.state (fun () ->
+      let n = now t in
+      List.iter
+        (fun (m, meta) ->
+          Stats.note_flush t.stats ~bytes:meta.Descriptor.size;
+          t.disk <-
+            {
+              meta;
+              reader = None;
+              refs = 0;
+              doomed = false;
+              last_cls = Period.classify ~now:n meta.Descriptor.min_ts;
+              eligible_at = Int64.add n t.config.Config.merge_delay;
+            }
+            :: t.disk;
+          let id = Memtable.id m in
+          t.frozen <- List.filter (fun x -> Memtable.id x <> id) t.frozen;
+          if t.last_insert_tablet = Some id then t.last_insert_tablet <- None)
+        metas;
+      Flush_graph.remove t.graph (List.map (fun (m, _) -> Memtable.id m) metas);
+      t.disk <-
+        List.sort
+          (fun a b ->
+            match Int64.compare a.meta.Descriptor.min_ts b.meta.Descriptor.min_ts with
+            | 0 -> Int.compare a.meta.Descriptor.id b.meta.Descriptor.id
+            | c -> c)
+          t.disk;
+      save_descriptor_locked t)
+
+(* Caller holds [writer_lock]. *)
+let flush_frozen_backlog t ~limit =
+  let rec go () =
+    let next =
+      locked t.state (fun () ->
+          if List.length t.frozen >= limit then
+            match t.frozen with [] -> None | m :: _ -> Some m
+          else None)
+    in
+    match next with
+    | None -> ()
+    | Some m ->
+        flush_closure t m;
+        go ()
+  in
+  go ()
+
+let flush_all t =
+  locked t.writer_lock (fun () ->
+      locked t.state (fun () -> List.iter (freeze_locked t) t.filling);
+      flush_frozen_backlog t ~limit:1)
+
+let flush_before t ~ts =
+  locked t.writer_lock (fun () ->
+      locked t.state (fun () ->
+          List.iter
+            (fun m ->
+              match Memtable.ts_range m with
+              | Some (min_ts, _) when min_ts <= ts -> freeze_locked t m
+              | _ -> ())
+            t.filling);
+      let rec go () =
+        let next =
+          locked t.state (fun () ->
+              List.find_opt
+                (fun m ->
+                  match Memtable.ts_range m with
+                  | Some (min_ts, _) -> min_ts <= ts
+                  | None -> false)
+                t.frozen)
+        in
+        match next with
+        | None -> ()
+        | Some m ->
+            flush_closure t m;
+            go ()
+      in
+      go ())
+
+(* ------------------------------------------------------------------ *)
+(* Inserts                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_key schema key =
+  match Key_codec.decode_key schema key with
+  | vs ->
+      String.concat ", " (Array.to_list (Array.map Value.to_string vs))
+  | exception _ -> "<undecodable>"
+
+(* Uniqueness check (§3.4.4). Fast paths avoid disk: a timestamp newer
+   than everything seen, then per-candidate max-key and Bloom checks;
+   only surviving candidates cost a point read. Caller holds
+   [writer_lock], so no new rows can appear concurrently. *)
+let check_unique t ~key ~ts =
+  let candidates =
+    locked t.state (fun () ->
+        match t.max_ts_seen with
+        | Some mts when ts > mts -> `Unique
+        | _ ->
+            let in_memtable m = Memtable.mem m key in
+            if List.exists in_memtable t.filling
+               || List.exists in_memtable t.frozen
+            then `Duplicate
+            else begin
+              let cands =
+                List.filter
+                  (fun dt ->
+                    let m = dt.meta in
+                    ts >= m.Descriptor.min_ts && ts <= m.Descriptor.max_ts
+                    && String.compare key m.Descriptor.min_key >= 0
+                    && String.compare key m.Descriptor.max_key <= 0)
+                  t.disk
+              in
+              List.iter (fun dt -> dt.refs <- dt.refs + 1) cands;
+              `Check cands
+            end)
+  in
+  match candidates with
+  | `Unique -> ()
+  | `Duplicate -> raise (Duplicate_key (pp_key t.schema key))
+  | `Check cands ->
+      let dup =
+        Fun.protect
+          ~finally:(fun () -> release t cands)
+          (fun () ->
+            List.exists
+              (fun dt ->
+                let r = locked t.state (fun () -> get_reader_locked t dt) in
+                Tablet.mem r key)
+              cands)
+      in
+      if dup then raise (Duplicate_key (pp_key t.schema key))
+
+let insert_one t row =
+  Schema.validate_row t.schema row;
+  let ts = Schema.row_ts t.schema row in
+  let key = Key_codec.encode_key t.schema row in
+  if t.config.Config.enforce_unique then check_unique t ~key ~ts;
+  locked t.state (fun () ->
+      let n = now t in
+      let bin = Period.bin ~now:n ts in
+      let mt =
+        match
+          List.find_opt (fun m -> Memtable.period m = bin) t.filling
+        with
+        | Some m -> m
+        | None ->
+            let id = t.next_id in
+            t.next_id <- t.next_id + 1;
+            let m = Memtable.create ~id ~period:bin ~created_at:n in
+            t.filling <- m :: t.filling;
+            m
+      in
+      (match t.last_insert_tablet with
+      | Some prev when prev <> Memtable.id mt ->
+          Flush_graph.add_edge t.graph ~before:prev ~after:(Memtable.id mt)
+      | _ -> ());
+      t.last_insert_tablet <- Some (Memtable.id mt);
+      (match Memtable.insert mt ~key ~ts row with
+      | `Ok -> Memtable.add_bytes mt (Row_codec.stored_size t.schema row)
+      | `Duplicate -> raise (Duplicate_key (pp_key t.schema key)));
+      (match t.max_ts_seen with
+      | Some v when v >= ts -> ()
+      | _ -> t.max_ts_seen <- Some ts);
+      if Memtable.byte_size mt >= t.config.Config.flush_size then
+        freeze_locked t mt)
+
+let insert t rows =
+  locked t.writer_lock (fun () ->
+      List.iter (insert_one t) rows;
+      Stats.note_insert t.stats ~rows:(List.length rows);
+      flush_frozen_backlog t ~limit:t.config.Config.flush_backlog)
+
+let insert_row t row = insert t [ row ]
+
+let max_ts t = locked t.state (fun () -> t.max_ts_seen)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type scan = {
+  sources : (int * Cursor.source) list;
+  referenced : disk_tablet list;
+  eff_ts_min : int64 option;
+}
+
+(* Select overlapping tablets and snapshot memtables. Takes refs on the
+   disk tablets; the caller must [release] them. *)
+let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
+  locked t.state (fun () ->
+      let cutoff = ttl_cutoff_locked t in
+      let eff_ts_min =
+        match (ts_min, cutoff) with
+        | None, c -> c
+        | (Some _ as m), None -> m
+        | Some m, Some c -> Some (max m c)
+      in
+      let ts_overlaps ~lo ~hi =
+        (match eff_ts_min with None -> true | Some b -> hi >= b)
+        && match ts_max with None -> true | Some b -> lo <= b
+      in
+      let key_overlaps ~min_key ~max_key =
+        String.compare compiled.Query.lo max_key <= 0
+        &&
+        match compiled.Query.hi with
+        | None -> true
+        | Some h -> String.compare h min_key > 0
+      in
+      let mem_sources =
+        List.filter_map
+          (fun m ->
+            match Memtable.ts_range m with
+            | Some (lo, hi) when ts_overlaps ~lo ~hi ->
+                let snap = Memtable.snapshot m in
+                let lo = compiled.Query.lo and hi = compiled.Query.hi in
+                let it =
+                  if asc then Avl.iter_asc ~lo ?hi snap
+                  else Avl.iter_desc ~lo ?hi snap
+                in
+                Some (Memtable.id m, fun () -> Avl.next it)
+            | _ -> None)
+          (t.filling @ t.frozen)
+      in
+      let selected =
+        List.filter
+          (fun dt ->
+            let m = dt.meta in
+            ts_overlaps ~lo:m.Descriptor.min_ts ~hi:m.Descriptor.max_ts
+            && key_overlaps ~min_key:m.Descriptor.min_key
+                 ~max_key:m.Descriptor.max_key)
+          t.disk
+      in
+      List.iter (fun dt -> dt.refs <- dt.refs + 1) selected;
+      let disk_sources =
+        List.map
+          (fun dt ->
+            let r = get_reader_locked t dt in
+            ( dt.meta.Descriptor.id,
+              Tablet.iter r ~asc ~lo:compiled.Query.lo ?hi:compiled.Query.hi ()
+            ))
+          selected
+      in
+      { sources = mem_sources @ disk_sources; referenced = selected; eff_ts_min })
+
+let empty_source () = None
+
+let query_raw t (q : Query.t) =
+  match Query.compile t.schema q with
+  | None -> (empty_source, (fun () -> ()), ref 0)
+  | Some compiled ->
+      let asc = q.Query.direction = Query.Asc in
+      let scan =
+        open_scan t ~compiled ~ts_min:q.Query.ts_min ~ts_max:q.Query.ts_max ~asc
+      in
+      let scanned = ref 0 in
+      let merged = Cursor.merge ~asc scan.sources in
+      let filtered =
+        Cursor.filter_ts ~scanned ?ts_min:scan.eff_ts_min ?ts_max:q.Query.ts_max
+          merged
+      in
+      let released = ref false in
+      let release_once () =
+        if not !released then begin
+          released := true;
+          release t scan.referenced
+        end
+      in
+      (filtered, release_once, scanned)
+
+let query_iter t q =
+  let src, release_once, scanned = query_raw t q in
+  let src =
+    match q.Query.limit with None -> src | Some n -> Cursor.take n src
+  in
+  let returned = ref 0 in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else begin
+      match src () with
+      | Some kv ->
+          incr returned;
+          Some kv
+      | None ->
+          finished := true;
+          release_once ();
+          Stats.note_query t.stats ~scanned:!scanned ~returned:!returned;
+          None
+    end
+
+type result = {
+  rows : Value.t array list;
+  more_available : bool;
+  scanned : int;
+}
+
+let query t (q : Query.t) =
+  let src, release_once, scanned = query_raw t q in
+  let server_cap = t.config.Config.server_row_limit in
+  let cap =
+    match q.Query.limit with
+    | None -> server_cap
+    | Some l -> min l server_cap
+  in
+  let rec collect acc n =
+    if n = 0 then (List.rev acc, src () <> None)
+    else begin
+      match src () with
+      | None -> (List.rev acc, false)
+      | Some (_, row) -> collect (row :: acc) (n - 1)
+    end
+  in
+  let rows, more = collect [] cap in
+  release_once ();
+  let scanned = !scanned in
+  Stats.note_query t.stats ~scanned ~returned:(List.length rows);
+  (* more_available signals only the server's own cap (§3.5): when the
+     client asked for fewer rows than the server cap, hitting the client
+     limit is not "more available" in the protocol sense. *)
+  let more_available =
+    more && (match q.Query.limit with None -> true | Some l -> l > server_cap)
+  in
+  { rows; more_available; scanned }
+
+(* ------------------------------------------------------------------ *)
+(* Latest row for a key prefix (§3.4.5)                                *)
+(* ------------------------------------------------------------------ *)
+
+type span_item =
+  | In_mem of Memtable.t * int64 * int64
+  | On_disk of disk_tablet
+
+let item_span = function
+  | In_mem (_, lo, hi) -> (lo, hi)
+  | On_disk dt -> (dt.meta.Descriptor.min_ts, dt.meta.Descriptor.max_ts)
+
+let latest t prefix_values =
+  let prefix = Key_codec.encode_prefix t.schema prefix_values in
+  let hi = Key_codec.prefix_succ prefix in
+  let full_prefix =
+    List.length prefix_values = Array.length (Schema.pkey t.schema) - 1
+  in
+  let items, cutoff =
+    locked t.state (fun () ->
+        let mem_items =
+          List.filter_map
+            (fun m ->
+              match Memtable.ts_range m with
+              | Some (lo, hi) -> Some (In_mem (m, lo, hi))
+              | None -> None)
+            (t.filling @ t.frozen)
+        in
+        let disk_items = List.map (fun dt -> On_disk dt) t.disk in
+        let items =
+          List.sort
+            (fun a b ->
+              let la, _ = item_span a and lb, _ = item_span b in
+              Int64.compare la lb)
+            (mem_items @ disk_items)
+        in
+        List.iter
+          (function On_disk dt -> dt.refs <- dt.refs + 1 | In_mem _ -> ())
+          items;
+        (items, ttl_cutoff_locked t))
+  in
+  let refs =
+    List.filter_map (function On_disk dt -> Some dt | In_mem _ -> None) items
+  in
+  Fun.protect
+    ~finally:(fun () -> release t refs)
+    (fun () ->
+      (* Group items whose timespans overlap; within a group timespans
+         cannot be ordered, so the group is searched as one unit. *)
+      let groups =
+        List.fold_left
+          (fun groups item ->
+            let lo, hi = item_span item in
+            match groups with
+            | (ghi, members) :: rest when lo <= ghi ->
+                (max ghi hi, item :: members) :: rest
+            | _ -> (hi, [ item ]) :: groups)
+          [] items
+      in
+      (* [groups] is now newest-first. *)
+      let scanned = ref 0 in
+      let search_group members =
+        let sources =
+          List.filter_map
+            (fun item ->
+              match item with
+              | In_mem (m, _, _) ->
+                  let it = Avl.iter_desc ~lo:prefix ?hi (Memtable.snapshot m) in
+                  Some (Memtable.id m, fun () -> Avl.next it)
+              | On_disk dt ->
+                  if Tablet.may_contain_prefix
+                       (locked t.state (fun () -> get_reader_locked t dt))
+                       prefix
+                  then
+                    let r = locked t.state (fun () -> get_reader_locked t dt) in
+                    Some
+                      (dt.meta.Descriptor.id, Tablet.iter r ~asc:false ~lo:prefix ?hi ())
+                  else None)
+            members
+        in
+        if sources = [] then None
+        else begin
+          let src =
+            Cursor.filter_ts ~scanned ?ts_min:cutoff
+              (Cursor.merge ~asc:false sources)
+          in
+          if full_prefix then
+            (* Keys sharing all non-ts columns differ only in ts, and ts
+               is the last key column, so descending key order is
+               descending ts order: the first hit is the latest. *)
+            Option.map snd (src ())
+          else begin
+            let best = ref None in
+            let rec go () =
+              match src () with
+              | None -> ()
+              | Some (key, row) ->
+                  let ts = Key_codec.ts_of_key key in
+                  (match !best with
+                  | Some (bts, _) when bts >= ts -> ()
+                  | _ -> best := Some (ts, row));
+                  go ()
+            in
+            go ();
+            Option.map snd !best
+          end
+        end
+      in
+      let rec try_groups = function
+        | [] -> None
+        | (_, members) :: rest -> (
+            match search_group members with
+            | Some row -> Some row
+            | None -> try_groups rest)
+      in
+      let result = try_groups groups in
+      Stats.note_query t.stats ~scanned:!scanned
+        ~returned:(if result = None then 0 else 1);
+      result)
+
+(* ------------------------------------------------------------------ *)
+(* Merging (§3.4.1, §3.4.2)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance rollover bookkeeping and pick a merge candidate. Must be
+   called with [state] held. *)
+let merge_plan_locked t =
+  let n = now t in
+  List.iter
+    (fun dt ->
+      let cls = Period.classify ~now:n dt.meta.Descriptor.min_ts in
+      if cls <> dt.last_cls then begin
+        dt.last_cls <- cls;
+        if t.config.Config.rollover_spread > 0.0 then begin
+          let spread =
+            Xorshift.float t.rng *. t.config.Config.rollover_spread
+            *. Int64.to_float (Period.class_length cls)
+          in
+          let until = Int64.add n (Int64.of_float spread) in
+          if until > dt.eligible_at then dt.eligible_at <- until
+        end
+      end)
+    t.disk;
+  let inputs =
+    List.map
+      (fun dt ->
+        Merge_policy.
+          {
+            id = dt.meta.Descriptor.id;
+            size = dt.meta.Descriptor.size;
+            min_ts = dt.meta.Descriptor.min_ts;
+            max_ts = dt.meta.Descriptor.max_ts;
+            eligible_at = dt.eligible_at;
+          })
+      t.disk
+  in
+  Merge_policy.plan ~now:n ~max_tablet_size:t.config.Config.max_tablet_size
+    inputs
+
+let merge_step_unlocked t =
+  let plan =
+    locked t.state (fun () ->
+        match merge_plan_locked t with
+        | None -> None
+        | Some plan ->
+            let sources =
+              List.filter_map
+                (fun id ->
+                  List.find_opt (fun dt -> dt.meta.Descriptor.id = id) t.disk)
+                plan.Merge_policy.ids
+            in
+            List.iter (fun dt -> dt.refs <- dt.refs + 1) sources;
+            let readers = List.map (get_reader_locked t) sources in
+            let new_id = t.next_id in
+            t.next_id <- t.next_id + 1;
+            Some (sources, readers, new_id, ttl_cutoff_locked t))
+  in
+  match plan with
+  | None -> false
+  | Some (sources, readers, new_id, cutoff) ->
+      let ok = ref false in
+      Fun.protect
+        ~finally:(fun () -> release t sources)
+        (fun () ->
+          let schema = locked t.state (fun () -> t.schema) in
+          let iters =
+            List.map2
+              (fun dt r -> (dt.meta.Descriptor.id, Tablet.iter r ~asc:true ()))
+              sources readers
+          in
+          let scanned = ref 0 in
+          let src =
+            Cursor.filter_ts ~scanned ?ts_min:cutoff
+              (Cursor.merge ~asc:true iters)
+          in
+          let file = Descriptor.tablet_file new_id in
+          let expected_rows =
+            List.fold_left
+              (fun acc dt -> acc + dt.meta.Descriptor.row_count)
+              0 sources
+          in
+          let writer =
+            Tablet.writer t.vfs ~path:(tablet_path t file) ~schema
+              ~block_size:t.config.Config.block_size
+              ~bloom_bits_per_key:t.config.Config.bloom_bits_per_key
+              ~expected_rows ()
+          in
+          let rows = ref 0 in
+          let rec copy () =
+            match src () with
+            | None -> ()
+            | Some (key, row) ->
+                incr rows;
+                let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
+                Tablet.add writer ~key ~key_prefixes:prefixes
+                  ~ts:(Key_codec.ts_of_key key)
+                  ~value:(Row_codec.encode_value schema row);
+                copy ()
+          in
+          copy ();
+          let new_meta =
+            if !rows = 0 then begin
+              (* Everything in the inputs had expired. *)
+              Tablet.abandon writer;
+              None
+            end
+            else begin
+              let s = Tablet.finish writer in
+              Some
+                Descriptor.
+                  {
+                    id = new_id;
+                    file;
+                    min_ts = s.Tablet.min_ts;
+                    max_ts = s.Tablet.max_ts;
+                    min_key = s.Tablet.min_key;
+                    max_key = s.Tablet.max_key;
+                    row_count = s.Tablet.row_count;
+                    size = s.Tablet.size;
+                  }
+            end
+          in
+          locked t.state (fun () ->
+              let n = now t in
+              let source_ids =
+                List.map (fun dt -> dt.meta.Descriptor.id) sources
+              in
+              t.disk <-
+                List.filter
+                  (fun dt -> not (List.mem dt.meta.Descriptor.id source_ids))
+                  t.disk;
+              List.iter (fun dt -> dt.doomed <- true) sources;
+              (match new_meta with
+              | None -> ()
+              | Some meta ->
+                  t.disk <-
+                    List.sort
+                      (fun a b ->
+                        match
+                          Int64.compare a.meta.Descriptor.min_ts
+                            b.meta.Descriptor.min_ts
+                        with
+                        | 0 -> Int.compare a.meta.Descriptor.id b.meta.Descriptor.id
+                        | c -> c)
+                      ({
+                         meta;
+                         reader = None;
+                         refs = 0;
+                         doomed = false;
+                         last_cls = Period.classify ~now:n meta.Descriptor.min_ts;
+                         eligible_at = Int64.add n t.config.Config.merge_delay;
+                       }
+                      :: t.disk));
+              let bytes_in =
+                List.fold_left
+                  (fun acc dt -> acc + dt.meta.Descriptor.size)
+                  0 sources
+              in
+              let bytes_out =
+                match new_meta with None -> 0 | Some m -> m.Descriptor.size
+              in
+              Stats.note_merge t.stats ~bytes_in ~bytes_out;
+              save_descriptor_locked t);
+          ok := true);
+      !ok
+
+let merge_step t = locked t.maint_lock (fun () -> merge_step_unlocked t)
+
+(* ------------------------------------------------------------------ *)
+(* Expiry (§3.3)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let expire_unlocked t =
+  locked t.state (fun () ->
+      match ttl_cutoff_locked t with
+      | None -> 0
+      | Some cutoff ->
+          let expired, live =
+            List.partition
+              (fun dt -> dt.meta.Descriptor.max_ts < cutoff)
+              t.disk
+          in
+          if expired = [] then 0
+          else begin
+            t.disk <- live;
+            save_descriptor_locked t;
+            List.iter
+              (fun dt ->
+                dt.doomed <- true;
+                if dt.refs = 0 then destroy_tablet t dt)
+              expired;
+            let n = List.length expired in
+            Stats.note_expired t.stats ~tablets:n;
+            n
+          end)
+
+let expire t = locked t.maint_lock (fun () -> expire_unlocked t)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk delete (§7's planned privacy-compliance feature)               *)
+(* ------------------------------------------------------------------ *)
+
+let delete_prefix t prefix_values =
+  let lo = Key_codec.encode_prefix t.schema prefix_values in
+  let hi_opt = Key_codec.prefix_succ lo in
+  let in_range key =
+    String.compare key lo >= 0
+    && match hi_opt with None -> true | Some hi -> String.compare key hi < 0
+  in
+  locked t.writer_lock (fun () ->
+      locked t.maint_lock (fun () ->
+          let deleted = ref 0 in
+          (* Memtables: rebuild without the range. *)
+          locked t.state (fun () ->
+              let filter_mt mt =
+                let fresh =
+                  Memtable.create ~id:(Memtable.id mt)
+                    ~period:(Memtable.period mt)
+                    ~created_at:(Memtable.created_at mt)
+                in
+                let it = Avl.iter_asc (Memtable.snapshot mt) in
+                let rec go () =
+                  match Avl.next it with
+                  | None -> ()
+                  | Some (key, row) ->
+                      if in_range key then incr deleted
+                      else begin
+                        (match
+                           Memtable.insert fresh ~key
+                             ~ts:(Key_codec.ts_of_key key) row
+                         with
+                        | `Ok ->
+                            Memtable.add_bytes fresh
+                              (Row_codec.stored_size t.schema row)
+                        | `Duplicate -> assert false);
+                      end;
+                      go ()
+                in
+                go ();
+                fresh
+              in
+              let drop_empty mts =
+                List.filter_map
+                  (fun mt ->
+                    let fresh = filter_mt mt in
+                    if Memtable.row_count fresh = 0 then None else Some fresh)
+                  mts
+              in
+              t.filling <- drop_empty t.filling;
+              t.frozen <- drop_empty t.frozen;
+              let live_ids =
+                List.map Memtable.id (t.filling @ t.frozen)
+              in
+              (match t.last_insert_tablet with
+              | Some id when not (List.mem id live_ids) ->
+                  t.last_insert_tablet <- None
+              | _ -> ()));
+          (* Disk tablets overlapping the range. *)
+          let victims =
+            locked t.state (fun () ->
+                let vs =
+                  List.filter
+                    (fun dt ->
+                      let m = dt.meta in
+                      String.compare m.Descriptor.max_key lo >= 0
+                      && (match hi_opt with
+                         | None -> true
+                         | Some hi -> String.compare m.Descriptor.min_key hi < 0))
+                    t.disk
+                in
+                List.iter (fun dt -> dt.refs <- dt.refs + 1) vs;
+                vs)
+          in
+          let replacements =
+            List.map
+              (fun dt ->
+                let m = dt.meta in
+                let fully_inside =
+                  String.compare m.Descriptor.min_key lo >= 0
+                  && (match hi_opt with
+                     | None -> true
+                     | Some hi -> String.compare m.Descriptor.max_key hi < 0)
+                in
+                if fully_inside then begin
+                  deleted := !deleted + m.Descriptor.row_count;
+                  (dt, None)
+                end
+                else begin
+                  (* Straddling tablet: rewrite it without the range. *)
+                  let reader, schema, new_id =
+                    locked t.state (fun () ->
+                        let r = get_reader_locked t dt in
+                        let id = t.next_id in
+                        t.next_id <- t.next_id + 1;
+                        (r, t.schema, id))
+                  in
+                  let file = Descriptor.tablet_file new_id in
+                  let writer =
+                    Tablet.writer t.vfs ~path:(tablet_path t file) ~schema
+                      ~block_size:t.config.Config.block_size
+                      ~bloom_bits_per_key:t.config.Config.bloom_bits_per_key
+                      ~expected_rows:m.Descriptor.row_count ()
+                  in
+                  let it = Tablet.iter reader ~asc:true () in
+                  let kept = ref 0 in
+                  let rec copy () =
+                    match it () with
+                    | None -> ()
+                    | Some (key, row) ->
+                        if in_range key then incr deleted
+                        else begin
+                          incr kept;
+                          let _, prefixes =
+                            Key_codec.encode_key_with_prefixes schema row
+                          in
+                          Tablet.add writer ~key ~key_prefixes:prefixes
+                            ~ts:(Key_codec.ts_of_key key)
+                            ~value:(Row_codec.encode_value schema row)
+                        end;
+                        copy ()
+                  in
+                  copy ();
+                  if !kept = 0 then begin
+                    Tablet.abandon writer;
+                    (dt, None)
+                  end
+                  else begin
+                    let s = Tablet.finish writer in
+                    ( dt,
+                      Some
+                        Descriptor.
+                          {
+                            id = new_id;
+                            file;
+                            min_ts = s.Tablet.min_ts;
+                            max_ts = s.Tablet.max_ts;
+                            min_key = s.Tablet.min_key;
+                            max_key = s.Tablet.max_key;
+                            row_count = s.Tablet.row_count;
+                            size = s.Tablet.size;
+                          } )
+                  end
+                end)
+              victims
+          in
+          (* Single atomic commit. *)
+          locked t.state (fun () ->
+              let n = now t in
+              let victim_ids =
+                List.map (fun (dt, _) -> dt.meta.Descriptor.id) replacements
+              in
+              t.disk <-
+                List.filter
+                  (fun dt -> not (List.mem dt.meta.Descriptor.id victim_ids))
+                  t.disk;
+              List.iter (fun (dt, _) -> dt.doomed <- true) replacements;
+              List.iter
+                (fun (_, repl) ->
+                  match repl with
+                  | None -> ()
+                  | Some meta ->
+                      t.disk <-
+                        {
+                          meta;
+                          reader = None;
+                          refs = 0;
+                          doomed = false;
+                          last_cls = Period.classify ~now:n meta.Descriptor.min_ts;
+                          eligible_at = Int64.add n t.config.Config.merge_delay;
+                        }
+                        :: t.disk)
+                replacements;
+              t.disk <-
+                List.sort
+                  (fun a b ->
+                    match
+                      Int64.compare a.meta.Descriptor.min_ts b.meta.Descriptor.min_ts
+                    with
+                    | 0 -> Int.compare a.meta.Descriptor.id b.meta.Descriptor.id
+                    | c -> c)
+                  t.disk;
+              save_descriptor_locked t;
+              release_locked t (List.map fst replacements));
+          !deleted))
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let maintenance t =
+  locked t.writer_lock (fun () ->
+      let n = now t in
+      locked t.state (fun () ->
+          List.iter
+            (fun m ->
+              if Int64.sub n (Memtable.created_at m) >= t.config.Config.flush_age
+              then freeze_locked t m)
+            t.filling);
+      flush_frozen_backlog t ~limit:1);
+  locked t.maint_lock (fun () ->
+      while merge_step_unlocked t do
+        ()
+      done;
+      ignore (expire_unlocked t))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tablet_count t = locked t.state (fun () -> List.length t.disk)
+
+let memtable_count t =
+  locked t.state (fun () -> List.length t.filling + List.length t.frozen)
+
+let tablets t = locked t.state (fun () -> List.map (fun dt -> dt.meta) t.disk)
+
+let disk_size t =
+  locked t.state (fun () ->
+      List.fold_left (fun acc dt -> acc + dt.meta.Descriptor.size) 0 t.disk)

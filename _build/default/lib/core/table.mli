@@ -1,0 +1,138 @@
+(** A LittleTable table: a union of in-memory and on-disk tablets (§3.2).
+
+    The table owns one directory holding its {!Descriptor} file and its
+    tablet files. Rows are binned into filling memtables by time period
+    (§3.4.2/§3.4.3); frozen memtables flush — together with their
+    flush-dependency closure, atomically — into on-disk tablets; a
+    background maintenance step merges tablets (§3.4.1) and reclaims
+    those whose rows have all passed the table's TTL.
+
+    Concurrency: inserts and schema changes serialize on a per-table
+    writer lock (the paper's applications are single-writer per table
+    anyway, §2.3.4); queries snapshot the persistent memtables and the
+    tablet list under a brief state lock and then scan without blocking
+    inserts. On-disk tablets are reference-counted so a merge or expiry
+    never deletes a file out from under a running scan. *)
+
+type t
+
+exception Duplicate_key of string
+(** Raised on a primary-key violation; the payload renders the key. *)
+
+(** {1 Lifecycle} *)
+
+(** [create vfs ~clock ~config ~dir ~name schema ~ttl] makes a fresh
+    table (its directory must not already hold one) and writes the
+    initial descriptor. [ttl] is in microseconds, [None] = retain
+    forever. *)
+val create :
+  Lt_vfs.Vfs.t ->
+  clock:Lt_util.Clock.t ->
+  config:Config.t ->
+  dir:string ->
+  name:string ->
+  Schema.t ->
+  ttl:int64 option ->
+  t
+
+(** Open an existing table from its descriptor. Unflushed data from a
+    previous process is gone, per the durability contract. *)
+val open_ :
+  Lt_vfs.Vfs.t ->
+  clock:Lt_util.Clock.t ->
+  config:Config.t ->
+  dir:string ->
+  name:string ->
+  t
+
+(** Flush nothing, close readers. The caller should normally
+    [flush_all] first; anything unflushed is lost, which is exactly the
+    crash behaviour. *)
+val close : t -> unit
+
+val name : t -> string
+val dir : t -> string
+val schema : t -> Schema.t
+val ttl : t -> int64 option
+val set_ttl : t -> int64 option -> unit
+
+(** {1 Schema evolution} (§3.5) *)
+
+val add_column : t -> Schema.column -> unit
+val widen_column : t -> string -> unit
+
+(** {1 Inserts} *)
+
+(** Insert a batch. Every row must match the schema; a row's timestamp
+    may lie in the past or future (§3.1). Raises {!Duplicate_key} on a
+    uniqueness violation (rows earlier in the batch stay inserted). *)
+val insert : t -> Value.t array list -> unit
+
+val insert_row : t -> Value.t array -> unit
+
+(** {1 Queries} *)
+
+type result = {
+  rows : Value.t array list;
+  more_available : bool;
+      (** the server's own row limit was hit before the client's (§3.5);
+          resubmit with the key bound advanced past the last row *)
+  scanned : int;  (** rows examined, for the §5.2.4 efficiency metric *)
+}
+
+val query : t -> Query.t -> result
+
+(** Streaming scan (no server row cap). The source holds references on
+    the tablets it reads; they release when it is drained. *)
+val query_iter : t -> Query.t -> Cursor.source
+
+(** [latest t prefix] finds the newest row whose key starts with
+    [prefix], working backwards through groups of tablets with
+    overlapping timespans and consulting Bloom filters (§3.4.5). *)
+val latest : t -> Value.t list -> Value.t array option
+
+(** Largest row timestamp ever inserted ([None] if the table has always
+    been empty). *)
+val max_ts : t -> int64 option
+
+(** {1 Maintenance} *)
+
+(** Freeze and flush every memtable (with dependency closures). *)
+val flush_all : t -> unit
+
+(** The §4.1.2 proposed extension: flush every memtable holding any row
+    with timestamp [<= ts], so aggregators can know their source data is
+    durable. *)
+val flush_before : t -> ts:int64 -> unit
+
+(** One merge per the policy; [true] if a merge happened. *)
+val merge_step : t -> bool
+
+(** Reclaim tablets whose rows have all expired; returns how many. *)
+val expire : t -> int
+
+(** [delete_prefix t prefix] bulk-deletes every row whose key starts
+    with [prefix] — the feature §7 describes Meraki building "to
+    simplify compliance with regional privacy laws" (e.g. purge one
+    customer). Tablets fully inside the range are unlinked; straddling
+    tablets are rewritten without the range; memtables are filtered.
+    Atomic via one descriptor update. Returns rows deleted.
+    @raise Schema.Invalid on a prefix/type mismatch. *)
+val delete_prefix : t -> Value.t list -> int
+
+(** Age-based freezes + pending flushes + merges to fixpoint + expiry —
+    what the background maintenance thread runs each tick. *)
+val maintenance : t -> unit
+
+(** {1 Introspection} *)
+
+val tablet_count : t -> int
+val memtable_count : t -> int
+
+(** Per-tablet metadata, in timespan order. *)
+val tablets : t -> Descriptor.tablet_meta list
+
+val stats : t -> Stats.snapshot
+
+(** Total bytes of on-disk tablets. *)
+val disk_size : t -> int

@@ -1,0 +1,464 @@
+open Lt_util
+module Vfs = Lt_vfs.Vfs
+
+let magic = 0x4C54424C54312E30L (* "LTBLT1.0" *)
+
+let trailer_len = 24
+
+(* ------------------------------------------------------------------ *)
+(* Frames: the compression + checksum wrapper around blocks and footer *)
+(* ------------------------------------------------------------------ *)
+
+let frame_header_len = 13 (* u8 codec + u32 comp_len + u32 raw_len + i32 crc *)
+
+let encode_frame raw =
+  let compressed = Lt_lz.Lz.compress raw in
+  let codec, payload =
+    if String.length compressed < String.length raw then (1, compressed)
+    else (0, raw)
+  in
+  let buf = Buffer.create (frame_header_len + String.length payload) in
+  Binio.put_u8 buf codec;
+  Binio.put_u32 buf (String.length payload);
+  Binio.put_u32 buf (String.length raw);
+  Binio.put_i32 buf (Crc32c.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_frame frame =
+  let cur = Binio.cursor frame in
+  let codec = Binio.get_u8 cur in
+  let comp_len = Binio.get_u32 cur in
+  let raw_len = Binio.get_u32 cur in
+  let crc = Binio.get_i32 cur in
+  let payload = Binio.get_bytes cur comp_len in
+  Binio.expect_end cur;
+  if Crc32c.string payload <> crc then
+    raise (Binio.Corrupt "tablet frame: checksum mismatch");
+  match codec with
+  | 0 ->
+      if String.length payload <> raw_len then
+        raise (Binio.Corrupt "tablet frame: raw length mismatch");
+      payload
+  | 1 -> (
+      try Lt_lz.Lz.decompress ~raw_len payload
+      with Lt_lz.Lz.Corrupt msg -> raise (Binio.Corrupt ("tablet frame: " ^ msg)))
+  | n -> raise (Binio.Corrupt (Printf.sprintf "tablet frame: unknown codec %d" n))
+
+(* ------------------------------------------------------------------ *)
+(* Footer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type index_entry = {
+  file_off : int;
+  frame_len : int;
+  rows : int;
+  last_key : string;
+}
+
+type summary = {
+  row_count : int;
+  size : int;
+  min_ts : int64;
+  max_ts : int64;
+  min_key : string;
+  max_key : string;
+}
+
+type footer = {
+  schema : Schema.t;
+  f_row_count : int;
+  f_min_ts : int64;
+  f_max_ts : int64;
+  f_min_key : string;
+  f_max_key : string;
+  index : index_entry array;
+  bloom : Lt_bloom.Bloom.t option;
+}
+
+let encode_footer f =
+  let buf = Buffer.create 4096 in
+  Schema.encode buf f.schema;
+  Binio.put_varint buf f.f_row_count;
+  Binio.put_i64 buf f.f_min_ts;
+  Binio.put_i64 buf f.f_max_ts;
+  Binio.put_string buf f.f_min_key;
+  Binio.put_string buf f.f_max_key;
+  Binio.put_varint buf (Array.length f.index);
+  Array.iter
+    (fun e ->
+      Binio.put_varint buf e.file_off;
+      Binio.put_varint buf e.frame_len;
+      Binio.put_varint buf e.rows;
+      Binio.put_string buf e.last_key)
+    f.index;
+  (match f.bloom with
+  | None -> Binio.put_u8 buf 0
+  | Some bloom ->
+      Binio.put_u8 buf 1;
+      Lt_bloom.Bloom.encode buf bloom);
+  Buffer.contents buf
+
+let decode_footer raw =
+  let cur = Binio.cursor raw in
+  let schema = Schema.decode cur in
+  let f_row_count = Binio.get_varint cur in
+  let f_min_ts = Binio.get_i64 cur in
+  let f_max_ts = Binio.get_i64 cur in
+  let f_min_key = Binio.get_string cur in
+  let f_max_key = Binio.get_string cur in
+  let nblocks = Binio.get_varint cur in
+  let index =
+    Array.init nblocks (fun _ ->
+        let file_off = Binio.get_varint cur in
+        let frame_len = Binio.get_varint cur in
+        let rows = Binio.get_varint cur in
+        let last_key = Binio.get_string cur in
+        { file_off; frame_len; rows; last_key })
+  in
+  let bloom =
+    match Binio.get_u8 cur with
+    | 0 -> None
+    | 1 -> Some (Lt_bloom.Bloom.decode cur)
+    | _ -> raise (Binio.Corrupt "tablet footer: bad bloom tag")
+  in
+  Binio.expect_end cur;
+  { schema; f_row_count; f_min_ts; f_max_ts; f_min_key; f_max_key; index; bloom }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  vfs : Vfs.t;
+  path : string;
+  w_schema : Schema.t;
+  block_size : int;
+  file : Vfs.file;
+  builder : Block.builder;
+  mutable w_off : int;
+  mutable w_index : index_entry list;  (** reversed *)
+  mutable w_rows : int;
+  mutable w_min_ts : int64;
+  mutable w_max_ts : int64;
+  mutable w_min_key : string option;
+  mutable w_max_key : string;
+  mutable bloom_keys : int;  (** number of bloom insertions so far *)
+  mutable bloom_pending : string list;  (** keys awaiting filter sizing *)
+  bloom_bits_per_key : int;
+  mutable bloom : Lt_bloom.Bloom.t option;
+}
+
+let writer vfs ~path ~schema ~block_size ~bloom_bits_per_key ?expected_rows () =
+  if block_size < 1024 then invalid_arg "Tablet.writer: block size too small";
+  let file = Vfs.create vfs path in
+  let bloom =
+    match expected_rows with
+    | Some rows when bloom_bits_per_key > 0 ->
+        (* One insertion per key plus one per proper key prefix. *)
+        let per_row = Array.length (Schema.pkey schema) in
+        Some
+          (Lt_bloom.Bloom.create ~bits_per_key:bloom_bits_per_key
+             ~expected_keys:(max 1 (rows * per_row)) ())
+    | _ -> None
+  in
+  {
+    vfs;
+    path;
+    w_schema = schema;
+    block_size;
+    file;
+    builder = Block.builder ();
+    w_off = 0;
+    w_index = [];
+    w_rows = 0;
+    w_min_ts = Int64.max_int;
+    w_max_ts = Int64.min_int;
+    w_min_key = None;
+    w_max_key = "";
+    bloom_keys = 0;
+    bloom_pending = [];
+    bloom_bits_per_key;
+    bloom;
+  }
+
+let flush_block w =
+  match Block.last_key w.builder with
+  | None -> ()
+  | Some last_key ->
+      let rows = Block.entry_count w.builder in
+      let raw = Block.finish w.builder in
+      let frame = encode_frame raw in
+      Vfs.append w.vfs w.file frame;
+      w.w_index <-
+        { file_off = w.w_off; frame_len = String.length frame; rows; last_key }
+        :: w.w_index;
+      w.w_off <- w.w_off + String.length frame
+
+(* The filter must be sized before the first insertion, but the final key
+   count is unknown while streaming. We buffer the first few thousand
+   bloom keys; once the stream exceeds that, we size the filter
+   generously from the rows-per-block ratio and drain the buffer. *)
+let bloom_buffer_limit = 8192
+
+let bloom_add w key =
+  if w.bloom_bits_per_key > 0 then begin
+    match w.bloom with
+    | Some bloom ->
+        Lt_bloom.Bloom.add bloom key;
+        w.bloom_keys <- w.bloom_keys + 1
+    | None ->
+        w.bloom_pending <- key :: w.bloom_pending;
+        w.bloom_keys <- w.bloom_keys + 1;
+        if w.bloom_keys >= bloom_buffer_limit then begin
+          (* Estimate the total: assume the tablet could be ~4096 blocks
+             of the density seen so far (cap at 64 M keys). *)
+          let blocks_so_far = max 1 (List.length w.w_index + 1) in
+          let per_block = w.bloom_keys / blocks_so_far in
+          let estimate = min 67_108_864 (max w.bloom_keys (per_block * 4096)) in
+          let bloom =
+            Lt_bloom.Bloom.create ~bits_per_key:w.bloom_bits_per_key
+              ~expected_keys:estimate ()
+          in
+          List.iter (Lt_bloom.Bloom.add bloom) w.bloom_pending;
+          w.bloom_pending <- [];
+          w.bloom <- Some bloom
+        end
+  end
+
+let add w ~key ~key_prefixes ~ts ~value =
+  (match w.w_min_key with None -> w.w_min_key <- Some key | Some _ -> ());
+  w.w_max_key <- key;
+  w.w_rows <- w.w_rows + 1;
+  if ts < w.w_min_ts then w.w_min_ts <- ts;
+  if ts > w.w_max_ts then w.w_max_ts <- ts;
+  bloom_add w key;
+  if w.bloom_bits_per_key > 0 then List.iter (bloom_add w) key_prefixes;
+  Block.add w.builder ~key ~value;
+  if Block.raw_size w.builder >= w.block_size then flush_block w
+
+let finish w =
+  if w.w_rows = 0 then invalid_arg "Tablet.finish: empty tablet";
+  flush_block w;
+  let bloom =
+    match (w.bloom, w.bloom_pending) with
+    | (Some _ as b), _ -> b
+    | None, [] -> None
+    | None, pending ->
+        let bloom =
+          Lt_bloom.Bloom.create ~bits_per_key:w.bloom_bits_per_key
+            ~expected_keys:(List.length pending) ()
+        in
+        List.iter (Lt_bloom.Bloom.add bloom) pending;
+        Some bloom
+  in
+  let footer =
+    {
+      schema = w.w_schema;
+      f_row_count = w.w_rows;
+      f_min_ts = w.w_min_ts;
+      f_max_ts = w.w_max_ts;
+      f_min_key = Option.get w.w_min_key;
+      f_max_key = w.w_max_key;
+      index = Array.of_list (List.rev w.w_index);
+      bloom;
+    }
+  in
+  let footer_frame = encode_frame (encode_footer footer) in
+  Vfs.append w.vfs w.file footer_frame;
+  let trailer = Buffer.create trailer_len in
+  Binio.put_i64 trailer (Int64.of_int w.w_off);
+  Binio.put_i64 trailer (Int64.of_int (String.length footer_frame));
+  Binio.put_i64 trailer magic;
+  Vfs.append w.vfs w.file (Buffer.contents trailer);
+  Vfs.fsync w.vfs w.file;
+  let size = Vfs.file_size w.vfs w.file in
+  Vfs.close w.vfs w.file;
+  {
+    row_count = w.w_rows;
+    size;
+    min_ts = w.w_min_ts;
+    max_ts = w.w_max_ts;
+    min_key = Option.get w.w_min_key;
+    max_key = w.w_max_key;
+  }
+
+let abandon w =
+  (try Vfs.close w.vfs w.file with Vfs.Io_error _ -> ());
+  try Vfs.delete w.vfs w.path with Vfs.Io_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type reader = {
+  r_vfs : Vfs.t;
+  r_path : string;
+  r_file : Vfs.file;
+  r_size : int;
+  footer : footer;
+  mutable target : Schema.t;
+}
+
+let open_reader vfs ~path ~into =
+  let file = Vfs.open_read vfs path in
+  match
+    let size = Vfs.file_size vfs file in
+    if size < trailer_len then raise (Binio.Corrupt "tablet: file too short");
+    let trailer = Vfs.pread vfs file ~off:(size - trailer_len) ~len:trailer_len in
+    let cur = Binio.cursor trailer in
+    let footer_off = Int64.to_int (Binio.get_i64 cur) in
+    let footer_len = Int64.to_int (Binio.get_i64 cur) in
+    if Binio.get_i64 cur <> magic then
+      raise (Binio.Corrupt "tablet: bad magic");
+    if footer_off < 0 || footer_len <= 0 || footer_off + footer_len > size then
+      raise (Binio.Corrupt "tablet: bad trailer geometry");
+    let footer_frame = Vfs.pread vfs file ~off:footer_off ~len:footer_len in
+    let footer = decode_footer (decode_frame footer_frame) in
+    { r_vfs = vfs; r_path = path; r_file = file; r_size = size; footer; target = into }
+  with
+  | r -> r
+  | exception e ->
+      (try Vfs.close vfs file with Vfs.Io_error _ -> ());
+      raise e
+
+let close r = try Vfs.close r.r_vfs r.r_file with Vfs.Io_error _ -> ()
+
+let summary r =
+  {
+    row_count = r.footer.f_row_count;
+    size = r.r_size;
+    min_ts = r.footer.f_min_ts;
+    max_ts = r.footer.f_max_ts;
+    min_key = r.footer.f_min_key;
+    max_key = r.footer.f_max_key;
+  }
+
+let stored_schema r = r.footer.schema
+
+let set_target_schema r s = r.target <- s
+
+let may_contain_prefix r prefix =
+  match r.footer.bloom with
+  | None -> true
+  | Some bloom -> Lt_bloom.Bloom.mem bloom prefix
+
+let block_count r = Array.length r.footer.index
+
+let load_block r i =
+  let e = r.footer.index.(i) in
+  let frame = Vfs.pread r.r_vfs r.r_file ~off:e.file_off ~len:e.frame_len in
+  Block.decode (decode_frame frame)
+
+(* First block that could contain a key >= k: binary search on last keys. *)
+let search_block r k =
+  let index = r.footer.index in
+  let lo = ref 0 and hi = ref (Array.length index) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare index.(mid).last_key k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem r key =
+  may_contain_prefix r key
+  && String.compare key r.footer.f_min_key >= 0
+  && String.compare key r.footer.f_max_key <= 0
+  &&
+  let bi = search_block r key in
+  bi < block_count r
+  &&
+  let block = load_block r bi in
+  let i = Block.search_geq block key in
+  i < Block.count block && (Block.entry block i).Block.key = key
+
+let translate r ~key ~value =
+  Row_codec.decode_translated ~from:r.footer.schema ~into:r.target ~key ~value
+
+let iter r ~asc ?lo ?hi () =
+  let nblocks = block_count r in
+  let in_lo k = match lo with None -> true | Some b -> String.compare k b >= 0 in
+  let in_hi k = match hi with None -> true | Some b -> String.compare k b < 0 in
+  if asc then begin
+    let bi = ref (match lo with None -> 0 | Some k -> search_block r k) in
+    let block = ref None in
+    let pos = ref 0 in
+    let rec next () =
+      match !block with
+      | None ->
+          if !bi >= nblocks then None
+          else begin
+            let b = load_block r !bi in
+            block := Some b;
+            pos := (match lo with None -> 0 | Some k -> Block.search_geq b k);
+            next ()
+          end
+      | Some b ->
+          if !pos >= Block.count b then begin
+            block := None;
+            incr bi;
+            next ()
+          end
+          else begin
+            let e = Block.entry b !pos in
+            incr pos;
+            if not (in_hi e.Block.key) then begin
+              (* Sorted: nothing further can qualify. *)
+              bi := nblocks;
+              block := None;
+              None
+            end
+            else Some (e.Block.key, translate r ~key:e.Block.key ~value:e.Block.value)
+          end
+    in
+    next
+  end
+  else begin
+    let bi =
+      ref
+        (match hi with
+        | None -> nblocks - 1
+        | Some k -> min (search_block r k) (nblocks - 1))
+    in
+    let block = ref None in
+    let pos = ref (-1) in
+    let rec next () =
+      if !bi < 0 then None
+      else begin
+        match !block with
+        | None ->
+            let b = load_block r !bi in
+            block := Some b;
+            (* Last index with key < hi. *)
+            pos :=
+              (match hi with
+              | None -> Block.count b - 1
+              | Some k -> Block.search_geq b k - 1);
+            next ()
+        | Some b ->
+            if !pos < 0 then begin
+              block := None;
+              decr bi;
+              (* Earlier blocks are entirely below hi. *)
+              if !bi >= 0 then begin
+                let b' = load_block r !bi in
+                block := Some b';
+                pos := Block.count b' - 1
+              end;
+              next ()
+            end
+            else begin
+              let e = Block.entry b !pos in
+              decr pos;
+              if not (in_lo e.Block.key) then begin
+                bi := -1;
+                block := None;
+                None
+              end
+              else
+                Some (e.Block.key, translate r ~key:e.Block.key ~value:e.Block.value)
+            end
+      end
+    in
+    next
+  end

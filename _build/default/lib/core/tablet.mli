@@ -1,0 +1,106 @@
+(** On-disk tablets.
+
+    File layout (§3.2, §3.5):
+
+    {v
+      block frame *           rows sorted by key, ~64 kB raw per block
+      footer frame            schema, stats, per-block index, Bloom filter
+      trailer (24 bytes)      footer offset, footer frame length, magic
+    v}
+
+    Each frame is independently compressed (LZ or stored raw when
+    incompressible) and protected by a CRC-32C. The index records the
+    last key of each block — "on average, these indexes are only 0.5% of
+    their tablets' sizes, so LittleTable caches them almost indefinitely
+    in main memory"; here the whole footer is held by the open
+    {!reader}.
+
+    The footer also carries the Bloom filter of §3.4.5 (built over full
+    keys and every column-boundary prefix) when enabled.
+
+    Reading a cold tablet costs the paper's three repositionings —
+    open (inode), trailer, footer — and one more per block; the disk
+    model observes exactly that pattern. *)
+
+type summary = {
+  row_count : int;
+  size : int;  (** file size in bytes *)
+  min_ts : int64;
+  max_ts : int64;
+  min_key : string;
+  max_key : string;
+}
+
+(** {1 Writing} *)
+
+type writer
+
+(** [writer vfs ~path ~schema ~block_size ~bloom_bits_per_key] starts a
+    tablet file. [bloom_bits_per_key = 0] disables the filter.
+    [expected_rows], when the caller knows it (a flush knows its memtable
+    count; a merge knows the sum of its inputs), sizes the Bloom filter
+    exactly; otherwise the writer estimates from the stream. *)
+val writer :
+  Lt_vfs.Vfs.t ->
+  path:string ->
+  schema:Schema.t ->
+  block_size:int ->
+  bloom_bits_per_key:int ->
+  ?expected_rows:int ->
+  unit ->
+  writer
+
+(** Add a row; keys must arrive in strictly ascending order.
+    [key_prefixes] are the column-boundary prefixes for the Bloom filter
+    (ignored when the filter is off). *)
+val add :
+  writer -> key:string -> key_prefixes:string list -> ts:int64 -> value:string -> unit
+
+(** Flush remaining rows, write footer and trailer, [fsync], close.
+    @raise Invalid_argument if no rows were added — empty tablets are
+    never written. *)
+val finish : writer -> summary
+
+(** Abort and delete the partial file. *)
+val abandon : writer -> unit
+
+(** {1 Reading} *)
+
+type reader
+
+(** Open a tablet and load its footer. [into] is the schema rows are
+    translated to on read. *)
+val open_reader : Lt_vfs.Vfs.t -> path:string -> into:Schema.t -> reader
+
+val close : reader -> unit
+
+val summary : reader -> summary
+
+(** Schema the tablet was written with. *)
+val stored_schema : reader -> Schema.t
+
+(** Replace the translation target (after a schema evolution). *)
+val set_target_schema : reader -> Schema.t -> unit
+
+(** [false] only when no stored key has [prefix] as a byte prefix at a
+    column boundary (or equals it); always [true] when the tablet has no
+    Bloom filter. *)
+val may_contain_prefix : reader -> string -> bool
+
+(** Exact-key membership, going to disk only when the Bloom filter (if
+    any) passes. *)
+val mem : reader -> string -> bool
+
+(** [iter r ~asc ?lo ?hi ()] streams rows with encoded keys in
+    [\[lo, hi)], ascending or descending; rows are translated to the
+    target schema. The returned thunk is single-consumer. *)
+val iter :
+  reader ->
+  asc:bool ->
+  ?lo:string ->
+  ?hi:string ->
+  unit ->
+  unit ->
+  (string * Value.t array) option
+
+val block_count : reader -> int

@@ -1,0 +1,1 @@
+lib/hll/hll.ml: Binio Buffer Bytes Char Int64 Lt_util String

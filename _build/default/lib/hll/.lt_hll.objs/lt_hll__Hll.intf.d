@@ -1,0 +1,1 @@
+lib/hll/hll.mli:

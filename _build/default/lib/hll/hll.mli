@@ -1,0 +1,38 @@
+(** HyperLogLog cardinality sketches.
+
+    Several Dashboard features "track clients using HyperLogLog, a
+    fixed-size, probabilistic representation of a set that permits unions
+    and provides cardinality estimates with bounded relative error"
+    (§4.1.2). Aggregators store these sketches as blob values in
+    LittleTable; this module is that substrate.
+
+    Flajolet–Fusy–Gandouet–Meunier estimator with the standard small-range
+    (linear counting) and large-range corrections. Relative standard error
+    is about [1.04 / sqrt (2^precision)]. *)
+
+type t
+
+(** [create ~precision ()] with [4 <= precision <= 16]; [2^precision]
+    one-byte registers. Default precision 12 (4096 B, ~1.6 % error). *)
+val create : ?precision:int -> unit -> t
+
+val copy : t -> t
+
+(** Add an element, identified by its string representation. *)
+val add : t -> string -> unit
+
+(** Estimated number of distinct elements added. *)
+val estimate : t -> float
+
+(** In-place union: afterwards [a] summarizes both sets. The two sketches
+    must share a precision. @raise Invalid_argument otherwise. *)
+val merge_into : t -> t -> unit
+
+val precision : t -> int
+
+(** {1 Serialization} (sketches are stored as LittleTable blob values) *)
+
+val serialize : t -> string
+
+val deserialize : string -> t
+(** @raise Lt_util.Binio.Corrupt on malformed input. *)

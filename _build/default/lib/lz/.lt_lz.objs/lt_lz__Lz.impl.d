@@ -1,0 +1,1 @@
+lib/lz/lz.ml: Array Buffer Bytes Char Format String

@@ -1,0 +1,1 @@
+lib/lz/lz.mli:

@@ -1,0 +1,1 @@
+lib/net/client.ml: Array Fun Hashtbl List Littletable Lt_sql Lt_util Mutex Option Printf Protocol Query Schema Unix Value

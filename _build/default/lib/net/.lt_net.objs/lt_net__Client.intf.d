@@ -1,0 +1,1 @@
+lib/net/client.mli: Littletable Lt_sql Query Schema Stats Value

@@ -1,0 +1,1 @@
+lib/net/protocol.ml: Array Binio Buffer Bytes Format List Littletable Lt_util Query Schema Stats String Unix Value

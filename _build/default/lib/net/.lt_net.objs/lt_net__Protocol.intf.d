@@ -1,0 +1,1 @@
+lib/net/protocol.mli: Buffer Littletable Lt_util Query Schema Stats Unix Value

@@ -1,0 +1,1 @@
+lib/net/server.ml: Condition Db List Littletable Logs Lt_util Lt_vfs Mutex Printexc Printf Protocol Schema Table Thread Unix

@@ -1,0 +1,1 @@
+lib/net/server.mli: Littletable

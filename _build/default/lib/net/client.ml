@@ -1,0 +1,256 @@
+open Littletable
+
+exception Remote_error of string
+
+exception Disconnected
+
+type t = {
+  host : string;
+  port : int;
+  mutable fd : Unix.file_descr option;
+  schemas : (string, Schema.t * int64 option) Hashtbl.t;
+  mutex : Mutex.t;  (** one outstanding request per connection *)
+}
+
+let connect_fd host port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise (Remote_error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))));
+  fd
+
+let drop_connection t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None
+
+let roundtrip t req =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match t.fd with
+      | None -> raise Disconnected
+      | Some fd -> (
+          match
+            Protocol.send_request fd req;
+            Protocol.recv_response fd
+          with
+          | resp -> resp
+          | exception (End_of_file | Unix.Unix_error _) ->
+              drop_connection t;
+              raise Disconnected))
+
+let expect_ok = function
+  | Protocol.Ok -> ()
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "unexpected response")
+
+let hello t =
+  match roundtrip t (Protocol.Hello Protocol.version) with
+  | Protocol.Hello_ok _ -> ()
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad hello response")
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let t =
+    {
+      host;
+      port;
+      fd = Some (connect_fd host port);
+      schemas = Hashtbl.create 8;
+      mutex = Mutex.create ();
+    }
+  in
+  hello t;
+  t
+
+let close t =
+  Mutex.lock t.mutex;
+  drop_connection t;
+  Mutex.unlock t.mutex
+
+let reconnect t =
+  Mutex.lock t.mutex;
+  drop_connection t;
+  t.fd <- Some (connect_fd t.host t.port);
+  Hashtbl.reset t.schemas;
+  Mutex.unlock t.mutex;
+  hello t
+
+let ping t =
+  match roundtrip t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad ping response")
+
+let list_tables t =
+  match roundtrip t Protocol.List_tables with
+  | Protocol.Tables names -> names
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad tables response")
+
+let table_info t name =
+  match Hashtbl.find_opt t.schemas name with
+  | Some info -> info
+  | None -> (
+      match roundtrip t (Protocol.Get_table name) with
+      | Protocol.Table_info { schema; ttl } ->
+          Hashtbl.replace t.schemas name (schema, ttl);
+          (schema, ttl)
+      | Protocol.Error msg -> raise (Remote_error msg)
+      | _ -> raise (Remote_error "bad table info response"))
+
+let create_table t name schema ~ttl =
+  expect_ok (roundtrip t (Protocol.Create_table { table = name; schema; ttl }))
+
+let drop_table t name =
+  Hashtbl.remove t.schemas name;
+  expect_ok (roundtrip t (Protocol.Drop_table name))
+
+let insert t table rows =
+  match roundtrip t (Protocol.Insert { table; rows }) with
+  | Protocol.Insert_ok _ -> ()
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad insert response")
+
+type page = { rows : Value.t array list; more_available : bool; scanned : int }
+
+let query_page t table query =
+  match roundtrip t (Protocol.Query { table; query }) with
+  | Protocol.Row_batch { rows; more_available; scanned } ->
+      { rows; more_available; scanned }
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad query response")
+
+(* Advance the query past [last_row]: the new lower (ascending) or upper
+   (descending) bound excludes the full primary key of the last row
+   received — the adaptor's resubmission step (§3.5). *)
+let advance_past schema (q : Query.t) last_row =
+  let key_values =
+    Array.to_list (Array.map (fun i -> last_row.(i)) (Schema.pkey schema))
+  in
+  match q.Query.direction with
+  | Query.Asc -> { q with Query.key_low = Query.Excl key_values }
+  | Query.Desc -> { q with Query.key_high = Query.Excl key_values }
+
+let query_iter t table query =
+  let schema, _ = table_info t table in
+  let remaining = ref query.Query.limit in
+  let current = ref query in
+  let batch = ref [] in
+  let more = ref true in
+  let rec next () =
+    match !batch with
+    | row :: rest ->
+        batch := rest;
+        (match !remaining with
+        | Some 0 -> None
+        | Some n ->
+            remaining := Some (n - 1);
+            Some row
+        | None -> Some row)
+    | [] ->
+        if not !more then None
+        else begin
+          (match !remaining with
+          | Some 0 ->
+              more := false
+          | _ ->
+              let page = query_page t table !current in
+              batch := page.rows;
+              more := page.more_available;
+              (match List.rev page.rows with
+              | last :: _ -> current := advance_past schema !current last
+              | [] -> more := false));
+          if !batch = [] && not !more then None else next ()
+        end
+  in
+  next
+
+let query_all t table query =
+  let it = query_iter t table query in
+  let rec go acc =
+    match it () with None -> List.rev acc | Some row -> go (row :: acc)
+  in
+  go []
+
+let latest t table prefix =
+  match roundtrip t (Protocol.Latest { table; prefix }) with
+  | Protocol.Latest_row row -> row
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad latest response")
+
+let flush_before t table ~ts =
+  expect_ok (roundtrip t (Protocol.Flush_before { table; ts }))
+
+let delete_prefix t table prefix =
+  match roundtrip t (Protocol.Delete_prefix { table; prefix }) with
+  | Protocol.Deleted n -> n
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad delete response")
+
+let invalidate_schema t table = Hashtbl.remove t.schemas table
+
+let add_column t table column =
+  invalidate_schema t table;
+  expect_ok (roundtrip t (Protocol.Add_column { table; column }))
+
+let widen_column t table ~column =
+  invalidate_schema t table;
+  expect_ok (roundtrip t (Protocol.Widen_column { table; column }))
+
+let set_ttl t table ~ttl =
+  invalidate_schema t table;
+  expect_ok (roundtrip t (Protocol.Set_ttl { table; ttl }))
+
+let stats t table =
+  match roundtrip t (Protocol.Get_stats table) with
+  | Protocol.Stats_resp s -> s
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad stats response")
+
+let sql_backend t =
+  {
+    Lt_sql.Executor.b_schema =
+      (fun name ->
+        match table_info t name with
+        | schema, _ -> Some schema
+        | exception Remote_error _ -> None);
+    b_query =
+      (fun name q ->
+        let it = query_iter t name q in
+        fun () -> Option.map (fun row -> ("", row)) (it ()));
+    b_insert = (fun name rows ->
+        try insert t name rows
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_create = (fun name schema ~ttl ->
+        try create_table t name schema ~ttl
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_drop = (fun name ->
+        try drop_table t name
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_tables = (fun () -> list_tables t);
+    b_now = (fun () -> Lt_util.Clock.now Lt_util.Clock.system);
+    b_delete_prefix =
+      (fun name prefix ->
+        try delete_prefix t name prefix
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_add_column =
+      (fun name col ->
+        try add_column t name col
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_widen_column =
+      (fun name cname ->
+        try widen_column t name ~column:cname
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+    b_set_ttl =
+      (fun name ttl ->
+        try set_ttl t name ~ttl
+        with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));
+  }
+
+let sql t input = Lt_sql.Executor.execute (sql_backend t) input

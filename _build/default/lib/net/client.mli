@@ -1,0 +1,88 @@
+(** Client adaptor for the LittleTable server.
+
+    The equivalent of the paper's SQLite virtual-table adaptor (§3.1):
+    it keeps one persistent TCP connection (whose loss is how clients
+    detect a server crash, §3.1), caches table schemas, turns big scans
+    into a sequence of capped queries driven by the server's
+    [more_available] flag (§3.5), and exposes an {!Lt_sql.Executor}
+    backend so applications can speak SQL over the wire.
+
+    All calls are synchronous and raise {!Remote_error} when the server
+    reports an error and {!Disconnected} when the connection drops —
+    after which the application re-runs its recovery logic (§4.1) and
+    {!reconnect}s. *)
+
+open Littletable
+
+exception Remote_error of string
+
+exception Disconnected
+
+type t
+
+(** Connect and exchange hellos. *)
+val connect : ?host:string -> port:int -> unit -> t
+
+val close : t -> unit
+
+(** Re-establish the TCP connection after {!Disconnected}. *)
+val reconnect : t -> unit
+
+val ping : t -> unit
+
+(** {1 Tables} *)
+
+val list_tables : t -> string list
+
+(** Schema and TTL, cached after the first fetch (the paper's adaptor
+    loads the schema at initialization, §3.1). *)
+val table_info : t -> string -> Schema.t * int64 option
+
+val create_table : t -> string -> Schema.t -> ttl:int64 option -> unit
+
+val drop_table : t -> string -> unit
+
+(** {1 Data} *)
+
+val insert : t -> string -> Value.t array list -> unit
+
+type page = { rows : Value.t array list; more_available : bool; scanned : int }
+
+(** One server round trip; at most the server's row cap. *)
+val query_page : t -> string -> Query.t -> page
+
+(** Whole result set: pages through [more_available] by advancing the
+    key bound past the last row received, exactly like the paper's
+    adaptor (§3.5). Respects the query's own limit. *)
+val query_all : t -> string -> Query.t -> Value.t array list
+
+(** Streaming variant of {!query_all}; fetches pages lazily. *)
+val query_iter : t -> string -> Query.t -> (unit -> Value.t array option)
+
+val latest : t -> string -> Value.t list -> Value.t array option
+
+(** The §4.1.2 flush command: returns once every row with a timestamp
+    [<= ts] is durable. *)
+val flush_before : t -> string -> ts:int64 -> unit
+
+(** The §7 bulk delete: remove every row whose key starts with the
+    prefix; returns rows deleted. *)
+val delete_prefix : t -> string -> Value.t list -> int
+
+(** {1 Schema evolution} (§3.5) *)
+
+val add_column : t -> string -> Schema.column -> unit
+
+val widen_column : t -> string -> column:string -> unit
+
+val set_ttl : t -> string -> ttl:int64 option -> unit
+
+val stats : t -> string -> Stats.snapshot
+
+(** {1 SQL} *)
+
+(** An {!Lt_sql.Executor} backend speaking this connection. *)
+val sql_backend : t -> Lt_sql.Executor.backend
+
+(** Convenience: parse and execute one statement remotely. *)
+val sql : t -> string -> Lt_sql.Executor.result

@@ -1,0 +1,408 @@
+open Littletable
+open Lt_util
+
+exception Protocol_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
+
+let version = 1
+
+let max_frame = 64 * 1024 * 1024
+
+type request =
+  | Hello of int
+  | List_tables
+  | Get_table of string
+  | Create_table of { table : string; schema : Schema.t; ttl : int64 option }
+  | Drop_table of string
+  | Insert of { table : string; rows : Value.t array list }
+  | Query of { table : string; query : Query.t }
+  | Latest of { table : string; prefix : Value.t list }
+  | Flush_before of { table : string; ts : int64 }
+  | Get_stats of string
+  | Ping
+  | Delete_prefix of { table : string; prefix : Value.t list }
+  | Add_column of { table : string; column : Schema.column }
+  | Widen_column of { table : string; column : string }
+  | Set_ttl of { table : string; ttl : int64 option }
+
+type response =
+  | Hello_ok of int
+  | Tables of string list
+  | Table_info of { schema : Schema.t; ttl : int64 option }
+  | Ok
+  | Insert_ok of int
+  | Row_batch of { rows : Value.t array list; more_available : bool; scanned : int }
+  | Latest_row of Value.t array option
+  | Stats_resp of Stats.snapshot
+  | Error of string
+  | Pong
+  | Deleted of int
+
+(* ---- Tagged values ---------------------------------------------------- *)
+
+let value_tag = function
+  | Value.Int32 _ -> 0
+  | Value.Int64 _ -> 1
+  | Value.Double _ -> 2
+  | Value.Timestamp _ -> 3
+  | Value.String _ -> 4
+  | Value.Blob _ -> 5
+
+let put_value b v =
+  Binio.put_u8 b (value_tag v);
+  Value.encode b v
+
+let get_value cur =
+  let tag = Binio.get_u8 cur in
+  let ctype =
+    match tag with
+    | 0 -> Value.T_int32
+    | 1 -> Value.T_int64
+    | 2 -> Value.T_double
+    | 3 -> Value.T_timestamp
+    | 4 -> Value.T_string
+    | 5 -> Value.T_blob
+    | n -> error "bad value tag %d" n
+  in
+  Value.decode ctype cur
+
+let put_row b row =
+  Binio.put_varint b (Array.length row);
+  Array.iter (put_value b) row
+
+let get_row cur =
+  let n = Binio.get_varint cur in
+  if n > 65536 then error "implausible row arity %d" n;
+  Array.init n (fun _ -> get_value cur)
+
+let put_rows b rows =
+  Binio.put_varint b (List.length rows);
+  List.iter (put_row b) rows
+
+let get_rows cur =
+  let n = Binio.get_varint cur in
+  List.init n (fun _ -> get_row cur)
+
+let put_opt_i64 b = function
+  | None -> Binio.put_u8 b 0
+  | Some v ->
+      Binio.put_u8 b 1;
+      Binio.put_i64 b v
+
+let get_opt_i64 cur =
+  match Binio.get_u8 cur with
+  | 0 -> None
+  | 1 -> Some (Binio.get_i64 cur)
+  | n -> error "bad option tag %d" n
+
+(* ---- Query ------------------------------------------------------------- *)
+
+let put_key_bound b = function
+  | Query.Unbounded -> Binio.put_u8 b 0
+  | Query.Incl vs ->
+      Binio.put_u8 b 1;
+      Binio.put_varint b (List.length vs);
+      List.iter (put_value b) vs
+  | Query.Excl vs ->
+      Binio.put_u8 b 2;
+      Binio.put_varint b (List.length vs);
+      List.iter (put_value b) vs
+
+let get_key_bound cur =
+  match Binio.get_u8 cur with
+  | 0 -> Query.Unbounded
+  | 1 ->
+      let n = Binio.get_varint cur in
+      Query.Incl (List.init n (fun _ -> get_value cur))
+  | 2 ->
+      let n = Binio.get_varint cur in
+      Query.Excl (List.init n (fun _ -> get_value cur))
+  | n -> error "bad key bound tag %d" n
+
+let put_query b (q : Query.t) =
+  put_key_bound b q.Query.key_low;
+  put_key_bound b q.Query.key_high;
+  put_opt_i64 b q.Query.ts_min;
+  put_opt_i64 b q.Query.ts_max;
+  Binio.put_u8 b (match q.Query.direction with Query.Asc -> 0 | Query.Desc -> 1);
+  (match q.Query.limit with
+  | None -> Binio.put_u8 b 0
+  | Some n ->
+      Binio.put_u8 b 1;
+      Binio.put_varint b n)
+
+let get_query cur =
+  let key_low = get_key_bound cur in
+  let key_high = get_key_bound cur in
+  let ts_min = get_opt_i64 cur in
+  let ts_max = get_opt_i64 cur in
+  let direction =
+    match Binio.get_u8 cur with
+    | 0 -> Query.Asc
+    | 1 -> Query.Desc
+    | n -> error "bad direction %d" n
+  in
+  let limit =
+    match Binio.get_u8 cur with
+    | 0 -> None
+    | 1 -> Some (Binio.get_varint cur)
+    | n -> error "bad limit tag %d" n
+  in
+  { Query.key_low; key_high; ts_min; ts_max; direction; limit }
+
+(* ---- Requests ----------------------------------------------------------- *)
+
+let write_request b = function
+  | Hello v ->
+      Binio.put_u8 b 0;
+      Binio.put_varint b v
+  | List_tables -> Binio.put_u8 b 1
+  | Get_table t ->
+      Binio.put_u8 b 2;
+      Binio.put_string b t
+  | Create_table { table; schema; ttl } ->
+      Binio.put_u8 b 3;
+      Binio.put_string b table;
+      Schema.encode b schema;
+      put_opt_i64 b ttl
+  | Drop_table t ->
+      Binio.put_u8 b 4;
+      Binio.put_string b t
+  | Insert { table; rows } ->
+      Binio.put_u8 b 5;
+      Binio.put_string b table;
+      put_rows b rows
+  | Query { table; query } ->
+      Binio.put_u8 b 6;
+      Binio.put_string b table;
+      put_query b query
+  | Latest { table; prefix } ->
+      Binio.put_u8 b 7;
+      Binio.put_string b table;
+      Binio.put_varint b (List.length prefix);
+      List.iter (put_value b) prefix
+  | Flush_before { table; ts } ->
+      Binio.put_u8 b 8;
+      Binio.put_string b table;
+      Binio.put_i64 b ts
+  | Get_stats t ->
+      Binio.put_u8 b 9;
+      Binio.put_string b t
+  | Ping -> Binio.put_u8 b 10
+  | Delete_prefix { table; prefix } ->
+      Binio.put_u8 b 11;
+      Binio.put_string b table;
+      Binio.put_varint b (List.length prefix);
+      List.iter (put_value b) prefix
+  | Add_column { table; column } ->
+      Binio.put_u8 b 12;
+      Binio.put_string b table;
+      Schema.encode_column b column
+  | Widen_column { table; column } ->
+      Binio.put_u8 b 13;
+      Binio.put_string b table;
+      Binio.put_string b column
+  | Set_ttl { table; ttl } ->
+      Binio.put_u8 b 14;
+      Binio.put_string b table;
+      put_opt_i64 b ttl
+
+let read_request cur =
+  match Binio.get_u8 cur with
+  | 0 -> Hello (Binio.get_varint cur)
+  | 1 -> List_tables
+  | 2 -> Get_table (Binio.get_string cur)
+  | 3 ->
+      let table = Binio.get_string cur in
+      let schema = Schema.decode cur in
+      let ttl = get_opt_i64 cur in
+      Create_table { table; schema; ttl }
+  | 4 -> Drop_table (Binio.get_string cur)
+  | 5 ->
+      let table = Binio.get_string cur in
+      let rows = get_rows cur in
+      Insert { table; rows }
+  | 6 ->
+      let table = Binio.get_string cur in
+      let query = get_query cur in
+      Query { table; query }
+  | 7 ->
+      let table = Binio.get_string cur in
+      let n = Binio.get_varint cur in
+      Latest { table; prefix = List.init n (fun _ -> get_value cur) }
+  | 8 ->
+      let table = Binio.get_string cur in
+      let ts = Binio.get_i64 cur in
+      Flush_before { table; ts }
+  | 9 -> Get_stats (Binio.get_string cur)
+  | 10 -> Ping
+  | 11 ->
+      let table = Binio.get_string cur in
+      let n = Binio.get_varint cur in
+      Delete_prefix { table; prefix = List.init n (fun _ -> get_value cur) }
+  | 12 ->
+      let table = Binio.get_string cur in
+      let column = Schema.decode_column cur in
+      Add_column { table; column }
+  | 13 ->
+      let table = Binio.get_string cur in
+      let column = Binio.get_string cur in
+      Widen_column { table; column }
+  | 14 ->
+      let table = Binio.get_string cur in
+      let ttl = get_opt_i64 cur in
+      Set_ttl { table; ttl }
+  | n -> error "bad request tag %d" n
+
+(* ---- Responses ------------------------------------------------------------ *)
+
+let put_stats b (s : Stats.snapshot) =
+  List.iter (Binio.put_varint b)
+    [
+      s.Stats.rows_inserted; s.Stats.insert_batches; s.Stats.rows_returned;
+      s.Stats.rows_scanned; s.Stats.queries; s.Stats.flushes;
+      s.Stats.flushed_bytes; s.Stats.merges; s.Stats.merged_bytes_in;
+      s.Stats.merged_bytes_out; s.Stats.tablets_expired; s.Stats.bytes_written;
+    ]
+
+let get_stats cur =
+  let v () = Binio.get_varint cur in
+  let rows_inserted = v () in
+  let insert_batches = v () in
+  let rows_returned = v () in
+  let rows_scanned = v () in
+  let queries = v () in
+  let flushes = v () in
+  let flushed_bytes = v () in
+  let merges = v () in
+  let merged_bytes_in = v () in
+  let merged_bytes_out = v () in
+  let tablets_expired = v () in
+  let bytes_written = v () in
+  {
+    Stats.rows_inserted; insert_batches; rows_returned; rows_scanned; queries;
+    flushes; flushed_bytes; merges; merged_bytes_in; merged_bytes_out;
+    tablets_expired; bytes_written;
+  }
+
+let write_response b = function
+  | Hello_ok v ->
+      Binio.put_u8 b 0;
+      Binio.put_varint b v
+  | Tables names ->
+      Binio.put_u8 b 1;
+      Binio.put_varint b (List.length names);
+      List.iter (Binio.put_string b) names
+  | Table_info { schema; ttl } ->
+      Binio.put_u8 b 2;
+      Schema.encode b schema;
+      put_opt_i64 b ttl
+  | Ok -> Binio.put_u8 b 3
+  | Insert_ok n ->
+      Binio.put_u8 b 4;
+      Binio.put_varint b n
+  | Row_batch { rows; more_available; scanned } ->
+      Binio.put_u8 b 5;
+      put_rows b rows;
+      Binio.put_u8 b (if more_available then 1 else 0);
+      Binio.put_varint b scanned
+  | Latest_row None ->
+      Binio.put_u8 b 6;
+      Binio.put_u8 b 0
+  | Latest_row (Some row) ->
+      Binio.put_u8 b 6;
+      Binio.put_u8 b 1;
+      put_row b row
+  | Stats_resp s ->
+      Binio.put_u8 b 7;
+      put_stats b s
+  | Error msg ->
+      Binio.put_u8 b 8;
+      Binio.put_string b msg
+  | Pong -> Binio.put_u8 b 9
+  | Deleted n ->
+      Binio.put_u8 b 10;
+      Binio.put_varint b n
+
+let read_response cur =
+  match Binio.get_u8 cur with
+  | 0 -> Hello_ok (Binio.get_varint cur)
+  | 1 ->
+      let n = Binio.get_varint cur in
+      Tables (List.init n (fun _ -> Binio.get_string cur))
+  | 2 ->
+      let schema = Schema.decode cur in
+      let ttl = get_opt_i64 cur in
+      Table_info { schema; ttl }
+  | 3 -> Ok
+  | 4 -> Insert_ok (Binio.get_varint cur)
+  | 5 ->
+      let rows = get_rows cur in
+      let more_available = Binio.get_u8 cur = 1 in
+      let scanned = Binio.get_varint cur in
+      Row_batch { rows; more_available; scanned }
+  | 6 -> (
+      match Binio.get_u8 cur with
+      | 0 -> Latest_row None
+      | 1 -> Latest_row (Some (get_row cur))
+      | n -> error "bad latest tag %d" n)
+  | 7 -> Stats_resp (get_stats cur)
+  | 8 -> Error (Binio.get_string cur)
+  | 9 -> Pong
+  | 10 -> Deleted (Binio.get_varint cur)
+  | n -> error "bad response tag %d" n
+
+(* ---- Socket framing ------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    off := !off + n
+  done
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let got = Unix.read fd b !off (n - !off) in
+    if got = 0 then raise End_of_file;
+    off := !off + got
+  done;
+  Bytes.unsafe_to_string b
+
+let send_frame fd payload =
+  let hdr = Buffer.create 4 in
+  Binio.put_u32 hdr (String.length payload);
+  write_all fd (Buffer.contents hdr ^ payload)
+
+let recv_frame fd =
+  let hdr = read_exact fd 4 in
+  let len = Binio.get_u32 (Binio.cursor hdr) in
+  if len > max_frame then error "frame of %d bytes exceeds limit" len;
+  read_exact fd len
+
+let send_request fd req =
+  let b = Buffer.create 256 in
+  write_request b req;
+  send_frame fd (Buffer.contents b)
+
+let recv_request fd =
+  let cur = Binio.cursor (recv_frame fd) in
+  let req = read_request cur in
+  Binio.expect_end cur;
+  req
+
+let send_response fd resp =
+  let b = Buffer.create 256 in
+  write_response b resp;
+  send_frame fd (Buffer.contents b)
+
+let recv_response fd =
+  let cur = Binio.cursor (recv_frame fd) in
+  let resp = read_response cur in
+  Binio.expect_end cur;
+  resp

@@ -1,0 +1,71 @@
+(** Wire protocol between the LittleTable server and its client adaptor.
+
+    "Internally, the adaptor communicates with the server over TCP to get
+    a list of available tables, determine the schema and sort order of
+    each table, and perform inserts or queries" (§3.1). Our protocol is a
+    synchronous request/response exchange of length-framed binary
+    messages: a [u32] little-endian frame length followed by a one-byte
+    tag and a {!Lt_util.Binio}-encoded body.
+
+    Values travel with a type tag so row encoding is schema-independent.
+    A query produces one [Row_batch] capped at the server's row limit,
+    with the §3.5 [more_available] flag telling the adaptor to advance
+    its key bound and resubmit. *)
+
+open Littletable
+
+exception Protocol_error of string
+
+type request =
+  | Hello of int  (** protocol version *)
+  | List_tables
+  | Get_table of string  (** schema + ttl *)
+  | Create_table of { table : string; schema : Schema.t; ttl : int64 option }
+  | Drop_table of string
+  | Insert of { table : string; rows : Value.t array list }
+  | Query of { table : string; query : Query.t }
+  | Latest of { table : string; prefix : Value.t list }
+  | Flush_before of { table : string; ts : int64 }
+      (** the §4.1.2 proposed flush command *)
+  | Get_stats of string
+  | Ping
+  | Delete_prefix of { table : string; prefix : Value.t list }
+      (** the §7 bulk-delete feature *)
+  | Add_column of { table : string; column : Schema.column }
+  | Widen_column of { table : string; column : string }
+  | Set_ttl of { table : string; ttl : int64 option }
+
+type response =
+  | Hello_ok of int
+  | Tables of string list
+  | Table_info of { schema : Schema.t; ttl : int64 option }
+  | Ok
+  | Insert_ok of int
+  | Row_batch of { rows : Value.t array list; more_available : bool; scanned : int }
+  | Latest_row of Value.t array option
+  | Stats_resp of Stats.snapshot
+  | Error of string
+  | Pong
+  | Deleted of int
+
+val version : int
+
+(** {1 Framing} *)
+
+val write_request : Buffer.t -> request -> unit
+val read_request : Lt_util.Binio.cursor -> request
+val write_response : Buffer.t -> response -> unit
+val read_response : Lt_util.Binio.cursor -> response
+
+(** {1 Socket helpers} (blocking, thread-safe per direction) *)
+
+val send_frame : Unix.file_descr -> string -> unit
+
+(** @raise End_of_file on a closed peer,
+    {!Protocol_error} on oversized or malformed frames. *)
+val recv_frame : Unix.file_descr -> string
+
+val send_request : Unix.file_descr -> request -> unit
+val recv_request : Unix.file_descr -> request
+val send_response : Unix.file_descr -> response -> unit
+val recv_response : Unix.file_descr -> response

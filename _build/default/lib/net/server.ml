@@ -1,0 +1,220 @@
+open Littletable
+
+let log = Logs.Src.create "lt.server" ~doc:"LittleTable server"
+
+module Log = (val Logs.src_log log)
+
+type t = {
+  db : Db.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable running : bool;
+  mutable threads : (Thread.t * Unix.file_descr) list;
+  accept_thread : Thread.t option ref;
+  maint_thread : Thread.t option ref;
+  mutex : Mutex.t;
+  stopped : Condition.t;
+}
+
+let port t = t.bound_port
+
+let handle_request db req =
+  let open Protocol in
+  match req with
+  | Hello v ->
+      if v <> Protocol.version then
+        Error (Printf.sprintf "unsupported protocol version %d" v)
+      else Hello_ok Protocol.version
+  | Ping -> Pong
+  | List_tables -> Tables (Db.table_names db)
+  | Get_table name -> (
+      match Db.find_table db name with
+      | Some tbl -> Table_info { schema = Table.schema tbl; ttl = Table.ttl tbl }
+      | None -> Error (Printf.sprintf "no such table %S" name))
+  | Create_table { table; schema; ttl } -> (
+      match Db.create_table db table schema ~ttl with
+      | (_ : Table.t) -> Ok
+      | exception Invalid_argument msg -> Error msg)
+  | Drop_table name -> (
+      match Db.drop_table db name with
+      | () -> Ok
+      | exception Not_found -> Error (Printf.sprintf "no such table %S" name))
+  | Insert { table; rows } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> (
+          match Table.insert tbl rows with
+          | () -> Insert_ok (List.length rows)
+          | exception Table.Duplicate_key k ->
+              Error (Printf.sprintf "duplicate key (%s)" k)
+          | exception Schema.Invalid msg -> Error msg))
+  | Query { table; query } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl ->
+          let r = Table.query tbl query in
+          Row_batch
+            {
+              rows = r.Table.rows;
+              more_available = r.Table.more_available;
+              scanned = r.Table.scanned;
+            })
+  | Latest { table; prefix } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> (
+          match Table.latest tbl prefix with
+          | row -> Latest_row row
+          | exception Schema.Invalid msg -> Error msg))
+  | Flush_before { table; ts } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl ->
+          Table.flush_before tbl ~ts;
+          Ok)
+  | Get_stats table -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> Stats_resp (Table.stats tbl))
+  | Delete_prefix { table; prefix } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> (
+          match Table.delete_prefix tbl prefix with
+          | n -> Deleted n
+          | exception Schema.Invalid msg -> Error msg))
+  | Add_column { table; column } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> (
+          match Table.add_column tbl column with
+          | () -> Ok
+          | exception Schema.Invalid msg -> Error msg))
+  | Widen_column { table; column } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl -> (
+          match Table.widen_column tbl column with
+          | () -> Ok
+          | exception Schema.Invalid msg -> Error msg))
+  | Set_ttl { table; ttl } -> (
+      match Db.find_table db table with
+      | None -> Error (Printf.sprintf "no such table %S" table)
+      | Some tbl ->
+          Table.set_ttl tbl ttl;
+          Ok)
+
+let client_loop t fd =
+  let finished = ref false in
+  while t.running && not !finished do
+    match Protocol.recv_request fd with
+    | req ->
+        let resp =
+          try handle_request t.db req with
+          | Protocol.Protocol_error msg | Lt_util.Binio.Corrupt msg ->
+              Protocol.Error msg
+          | Lt_vfs.Vfs.Io_error msg -> Protocol.Error ("io error: " ^ msg)
+          | Invalid_argument msg -> Protocol.Error msg
+        in
+        (try Protocol.send_response fd resp
+         with Unix.Unix_error _ -> finished := true)
+    | exception (End_of_file | Unix.Unix_error _) -> finished := true
+    | exception Protocol.Protocol_error msg ->
+        Log.warn (fun m -> m "malformed frame: %s" msg);
+        finished := true
+  done;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  (* Poll with a timeout rather than blocking in accept: a thread stuck
+     in accept(2) is not reliably woken when another thread closes the
+     listening socket, so [stop] could hang on the join. *)
+  while t.running do
+    match Unix.select [ t.listen_fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            Mutex.lock t.mutex;
+            t.threads <- (Thread.create (client_loop t) fd, fd) :: t.threads;
+            Mutex.unlock t.mutex
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let maintenance_loop t period =
+  while t.running do
+    (* Sleep in small slices so [stop] is prompt. *)
+    let slept = ref 0.0 in
+    while t.running && !slept < period do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done;
+    if t.running then
+      try Db.maintenance t.db
+      with exn ->
+        Log.err (fun m -> m "maintenance failed: %s" (Printexc.to_string exn))
+  done
+
+let start ?(maintenance_period_s = 1.0) ~db ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    {
+      db;
+      listen_fd = fd;
+      bound_port;
+      running = true;
+      threads = [];
+      accept_thread = ref None;
+      maint_thread = ref None;
+      mutex = Mutex.create ();
+      stopped = Condition.create ();
+    }
+  in
+  t.accept_thread := Some (Thread.create accept_loop t);
+  if maintenance_period_s > 0.0 then
+    t.maint_thread := Some (Thread.create (fun () -> maintenance_loop t maintenance_period_s) ());
+  Log.info (fun m -> m "listening on 127.0.0.1:%d" bound_port);
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match !(t.accept_thread) with Some th -> Thread.join th | None -> ());
+    (match !(t.maint_thread) with Some th -> Thread.join th | None -> ());
+    let threads =
+      Mutex.lock t.mutex;
+      let ths = t.threads in
+      t.threads <- [];
+      Mutex.unlock t.mutex;
+      ths
+    in
+    (* Unblock handlers waiting in recv, then join them. *)
+    List.iter
+      (fun (_, fd) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      threads;
+    List.iter (fun (th, _) -> Thread.join th) threads;
+    Db.flush_all t.db;
+    Mutex.lock t.mutex;
+    Condition.broadcast t.stopped;
+    Mutex.unlock t.mutex
+  end
+
+let wait t =
+  Mutex.lock t.mutex;
+  while t.running do
+    Condition.wait t.stopped t.mutex
+  done;
+  Mutex.unlock t.mutex

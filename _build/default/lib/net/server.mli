@@ -1,0 +1,30 @@
+(** The LittleTable server process.
+
+    "LittleTable is a relational database, run as an independent server
+    process" (§3.1). This module serves the {!Protocol} over TCP: one
+    thread per client connection against a shared {!Littletable.Db.t},
+    plus a background maintenance thread that flushes aged memtables,
+    merges tablets, and reclaims expired ones.
+
+    Query responses are capped at the engine's server row limit and
+    carry the [more_available] flag (§3.5); the client adaptor pages
+    through by advancing its key bound. *)
+
+type t
+
+(** [start ?maintenance_period_s ~db ~port ()] binds [127.0.0.1:port]
+    ([port = 0] picks an ephemeral port) and starts accepting.
+    [maintenance_period_s <= 0.] disables the maintenance thread (useful
+    under a manual clock). *)
+val start :
+  ?maintenance_period_s:float -> db:Littletable.Db.t -> port:int -> unit -> t
+
+(** The port actually bound. *)
+val port : t -> int
+
+(** Stop accepting, close client connections, join threads, and flush
+    all tables. *)
+val stop : t -> unit
+
+(** Serve until [stop] is called from another thread (blocks). *)
+val wait : t -> unit

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Cursor Db Format Fun Hashtbl Int32 Int64 List Littletable Lt_util Option Parser Planner Printf Query Schema String Table Value

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Cursor Db Format Littletable Query Schema Value

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer Char Format Int64 List String

@@ -1,0 +1,1 @@
+lib/sql/planner.ml: Array Ast Format Int32 Int64 List Littletable Option Printf Query Schema Value

@@ -1,0 +1,1 @@
+lib/sql/planner.mli: Ast Littletable Query Schema Value

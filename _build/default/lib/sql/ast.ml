@@ -1,0 +1,136 @@
+open Littletable
+
+type lit =
+  | L_int of int64
+  | L_float of float
+  | L_string of string
+  | L_blob of string
+  | L_now
+
+type agg = Sum | Count | Avg | Min | Max
+
+type expr = Col of string | Lit of lit | Agg of agg * string option
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond = { col : string; op : cmp_op; lit : lit }
+
+type order = Order_asc | Order_desc
+
+type select = {
+  projections : (expr * string option) list;
+  star : bool;
+  table : string;
+  where : cond list;
+  group_by : string list;
+  order : order option;
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Value.ctype;
+  col_default : lit option;
+}
+
+type create = {
+  create_table : string;
+  columns : column_def list;
+  pkey : string list;
+  ttl : int64 option;
+}
+
+type alter_action =
+  | Add_column of column_def
+  | Widen_column of string
+  | Set_ttl of int64 option  (** microseconds; [None] = CLEAR TTL *)
+
+type insert = {
+  insert_table : string;
+  insert_columns : string list option;
+  values : lit list list;
+}
+
+type stmt =
+  | Select of select
+  | Insert of insert
+  | Create of create
+  | Drop of { drop_table : string; if_exists : bool }
+  | Delete of { delete_table : string; delete_where : cond list }
+      (** bulk delete by leading-key equalities (engine prefix delete) *)
+  | Alter of { alter_table : string; action : alter_action }
+  | Show_tables
+  | Describe of string
+
+let pp_lit ppf = function
+  | L_int i -> Format.fprintf ppf "%Ld" i
+  | L_float f -> Format.fprintf ppf "%g" f
+  | L_string s -> Format.fprintf ppf "'%s'" s
+  | L_blob s -> Format.fprintf ppf "x'%s'"
+      (String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+                           (List.init (String.length s) (String.get s))))
+  | L_now -> Format.fprintf ppf "NOW"
+
+let agg_name = function
+  | Sum -> "SUM"
+  | Count -> "COUNT"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let op_name = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_expr ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Lit l -> pp_lit ppf l
+  | Agg (a, Some c) -> Format.fprintf ppf "%s(%s)" (agg_name a) c
+  | Agg (a, None) -> Format.fprintf ppf "%s(*)" (agg_name a)
+
+let pp_stmt ppf = function
+  | Select s ->
+      Format.fprintf ppf "SELECT %s FROM %s"
+        (if s.star then "*"
+         else
+           String.concat ", "
+             (List.map (fun (e, _) -> Format.asprintf "%a" pp_expr e) s.projections))
+        s.table;
+      if s.where <> [] then
+        Format.fprintf ppf " WHERE %s"
+          (String.concat " AND "
+             (List.map
+                (fun c ->
+                  Format.asprintf "%s %s %a" c.col (op_name c.op) pp_lit c.lit)
+                s.where));
+      if s.group_by <> [] then
+        Format.fprintf ppf " GROUP BY %s" (String.concat ", " s.group_by);
+      (match s.order with
+      | Some Order_asc -> Format.fprintf ppf " ORDER BY KEY ASC"
+      | Some Order_desc -> Format.fprintf ppf " ORDER BY KEY DESC"
+      | None -> ());
+      (match s.limit with
+      | Some n -> Format.fprintf ppf " LIMIT %d" n
+      | None -> ())
+  | Insert i ->
+      Format.fprintf ppf "INSERT INTO %s (%d rows)" i.insert_table
+        (List.length i.values)
+  | Create c -> Format.fprintf ppf "CREATE TABLE %s" c.create_table
+  | Drop { drop_table; if_exists = _ } ->
+      Format.fprintf ppf "DROP TABLE %s" drop_table
+  | Delete { delete_table; delete_where } ->
+      Format.fprintf ppf "DELETE FROM %s (%d conditions)" delete_table
+        (List.length delete_where)
+  | Alter { alter_table; action } ->
+      Format.fprintf ppf "ALTER TABLE %s %s" alter_table
+        (match action with
+        | Add_column d -> Printf.sprintf "ADD COLUMN %s" d.col_name
+        | Widen_column c -> Printf.sprintf "WIDEN COLUMN %s" c
+        | Set_ttl (Some _) -> "SET TTL"
+        | Set_ttl None -> "CLEAR TTL")
+  | Show_tables -> Format.fprintf ppf "SHOW TABLES"
+  | Describe t -> Format.fprintf ppf "DESCRIBE %s" t

@@ -1,0 +1,81 @@
+(** Abstract syntax of the LittleTable SQL dialect.
+
+    The paper's clients speak SQL through an SQLite virtual-table adaptor
+    (§3.1); our from-scratch dialect covers what the paper's applications
+    use: typed CREATE TABLE with a primary key and TTL, batched INSERT,
+    and SELECT with column/aggregate projections, an AND-conjunction
+    WHERE (from which the planner extracts the two-dimensional bounding
+    box), GROUP BY, ORDER BY primary key, and LIMIT. *)
+
+open Littletable
+
+(** Literals are typeless at parse time; the planner coerces them to the
+    column type they meet. *)
+type lit =
+  | L_int of int64
+  | L_float of float
+  | L_string of string
+  | L_blob of string
+  | L_now  (** the NOW keyword, a timestamp filled at execution time *)
+
+type agg = Sum | Count | Avg | Min | Max
+
+type expr =
+  | Col of string
+  | Lit of lit
+  | Agg of agg * string option  (** [Agg (Count, None)] is [COUNT( * )] *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+(** One conjunct of the WHERE clause: [column op literal]. *)
+type cond = { col : string; op : cmp_op; lit : lit }
+
+type order = Order_asc | Order_desc
+
+type select = {
+  projections : (expr * string option) list;  (** with optional AS alias *)
+  star : bool;
+  table : string;
+  where : cond list;  (** conjunction *)
+  group_by : string list;
+  order : order option;  (** ORDER BY KEY [ASC|DESC] *)
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Value.ctype;
+  col_default : lit option;
+}
+
+type create = {
+  create_table : string;
+  columns : column_def list;
+  pkey : string list;
+  ttl : int64 option;  (** microseconds *)
+}
+
+type alter_action =
+  | Add_column of column_def
+  | Widen_column of string
+  | Set_ttl of int64 option  (** microseconds; [None] = CLEAR TTL *)
+
+type insert = {
+  insert_table : string;
+  insert_columns : string list option;  (** None = all, in schema order *)
+  values : lit list list;
+}
+
+type stmt =
+  | Select of select
+  | Insert of insert
+  | Create of create
+  | Drop of { drop_table : string; if_exists : bool }
+  | Delete of { delete_table : string; delete_where : cond list }
+      (** bulk delete by leading-key equalities (engine prefix delete) *)
+  | Alter of { alter_table : string; action : alter_action }
+  | Show_tables
+  | Describe of string
+
+val pp_lit : Format.formatter -> lit -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,179 @@
+exception Syntax_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Syntax_error s)) fmt
+
+type token =
+  | T_ident of string
+  | T_int of int64
+  | T_float of float
+  | T_string of string
+  | T_blob of string
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_star
+  | T_semi
+  | T_eq
+  | T_ne
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_eof
+
+let pp_token ppf = function
+  | T_ident s -> Format.fprintf ppf "%s" s
+  | T_int i -> Format.fprintf ppf "%Ld" i
+  | T_float f -> Format.fprintf ppf "%g" f
+  | T_string s -> Format.fprintf ppf "'%s'" s
+  | T_blob _ -> Format.fprintf ppf "x'...'"
+  | T_lparen -> Format.fprintf ppf "("
+  | T_rparen -> Format.fprintf ppf ")"
+  | T_comma -> Format.fprintf ppf ","
+  | T_star -> Format.fprintf ppf "*"
+  | T_semi -> Format.fprintf ppf ";"
+  | T_eq -> Format.fprintf ppf "="
+  | T_ne -> Format.fprintf ppf "!="
+  | T_lt -> Format.fprintf ppf "<"
+  | T_le -> Format.fprintf ppf "<="
+  | T_gt -> Format.fprintf ppf ">"
+  | T_ge -> Format.fprintf ppf ">="
+  | T_eof -> Format.fprintf ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error "bad hex digit %C" c
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* Line comment. *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.lowercase_ascii (String.sub input start (!i - start)) in
+      (* Blob literal: x'...' *)
+      if word = "x" && !i < n && input.[!i] = '\'' then begin
+        incr i;
+        let b = Buffer.create 16 in
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then error "unterminated blob literal";
+          if input.[!i] = '\'' then begin
+            incr i;
+            fin := true
+          end
+          else begin
+            if !i + 1 >= n then error "odd-length blob literal";
+            Buffer.add_char b
+              (Char.chr ((hex_val input.[!i] * 16) + hex_val input.[!i + 1]));
+            i := !i + 2
+          end
+        done;
+        emit (T_blob (Buffer.contents b))
+      end
+      else emit (T_ident word)
+    end
+    else if is_digit c || (c = '-' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      let is_float = ref false in
+      if !i < n && input.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub input start (!i - start) in
+      if !is_float then emit (T_float (float_of_string text))
+      else begin
+        match Int64.of_string_opt text with
+        | Some v -> emit (T_int v)
+        | None -> error "integer literal out of range: %s" text
+      end
+    end
+    else if c = '\'' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then error "unterminated string literal";
+        if input.[!i] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char b '\'';
+            i := !i + 2
+          end
+          else begin
+            incr i;
+            fin := true
+          end
+        else begin
+          Buffer.add_char b input.[!i];
+          incr i
+        end
+      done;
+      emit (T_string (Buffer.contents b))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "!=" | "<>" ->
+          emit T_ne;
+          i := !i + 2
+      | "<=" ->
+          emit T_le;
+          i := !i + 2
+      | ">=" ->
+          emit T_ge;
+          i := !i + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit T_lparen
+          | ')' -> emit T_rparen
+          | ',' -> emit T_comma
+          | '*' -> emit T_star
+          | ';' -> emit T_semi
+          | '=' -> emit T_eq
+          | '<' -> emit T_lt
+          | '>' -> emit T_gt
+          | c -> error "unexpected character %C" c);
+          incr i)
+    end
+  done;
+  emit T_eof;
+  List.rev !tokens

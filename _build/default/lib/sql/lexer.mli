@@ -1,0 +1,30 @@
+(** SQL lexer.
+
+    Keywords and identifiers are case-insensitive (identifiers are
+    lowered); string literals use single quotes with [''] escaping; blob
+    literals are [x'68656c6c6f']; line comments start with [--]. *)
+
+exception Syntax_error of string
+
+type token =
+  | T_ident of string  (** lowercased *)
+  | T_int of int64
+  | T_float of float
+  | T_string of string
+  | T_blob of string
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_star
+  | T_semi
+  | T_eq
+  | T_ne
+  | T_lt
+  | T_le
+  | T_gt
+  | T_ge
+  | T_eof
+
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

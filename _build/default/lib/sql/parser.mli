@@ -1,0 +1,40 @@
+(** Recursive-descent parser for the LittleTable SQL dialect.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    stmt    := select | insert | create | drop | delete | alter
+             | SHOW TABLES | DESCRIBE ident
+    delete  := DELETE FROM ident [WHERE cond (AND cond)*]
+               (conditions must be equalities on a leading run of
+                primary-key columns; maps to the engine prefix delete)
+    alter   := ALTER TABLE ident
+               ( ADD COLUMN ident type [DEFAULT literal]
+               | WIDEN COLUMN ident
+               | SET TTL int unit
+               | CLEAR TTL )
+    select  := SELECT proj (',' proj)* FROM ident
+               [WHERE cond (AND cond)*]
+               [GROUP BY ident (',' ident)*]
+               [ORDER BY KEY [ASC|DESC]]
+               [LIMIT int]
+    proj    := '*' | expr [AS ident]
+    expr    := ident | literal | agg '(' (ident|'*') ')'
+    agg     := SUM | COUNT | AVG | MIN | MAX
+    cond    := ident op literal      op := = != <> < <= > >=
+    insert  := INSERT INTO ident ['(' ident,* ')']
+               VALUES tuple (',' tuple)*
+    create  := CREATE TABLE [IF NOT EXISTS] ident
+               '(' coldef,* ',' PRIMARY KEY '(' ident,* ')' ')'
+               [TTL int unit]        unit := SECONDS|MINUTES|HOURS|DAYS|WEEKS
+    coldef  := ident type [DEFAULT literal]
+    type    := INT32|INT64|DOUBLE|TIMESTAMP|STRING|TEXT|BLOB
+    drop    := DROP TABLE [IF EXISTS] ident
+    literal := int | float | 'string' | x'hex' | NOW
+    v} *)
+
+exception Syntax_error of string
+(** Re-exported from {!Lexer}. *)
+
+(** Parse a single statement (a trailing [';'] is allowed). *)
+val parse : string -> Ast.stmt

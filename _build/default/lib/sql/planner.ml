@@ -1,0 +1,192 @@
+open Littletable
+
+exception Plan_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+
+let coerce ~now ctype lit =
+  match (ctype, lit) with
+  | Value.T_int32, Ast.L_int v ->
+      if v < Int64.of_int32 Int32.min_int || v > Int64.of_int32 Int32.max_int
+      then error "%Ld out of int32 range" v
+      else Value.Int32 (Int64.to_int32 v)
+  | Value.T_int64, Ast.L_int v -> Value.Int64 v
+  | Value.T_timestamp, Ast.L_int v -> Value.Timestamp v
+  | Value.T_timestamp, Ast.L_now -> Value.Timestamp now
+  | Value.T_double, Ast.L_int v -> Value.Double (Int64.to_float v)
+  | Value.T_double, Ast.L_float v -> Value.Double v
+  | Value.T_string, Ast.L_string s -> Value.String s
+  | Value.T_blob, Ast.L_blob b -> Value.Blob b
+  | Value.T_blob, Ast.L_string s -> Value.Blob s
+  | _ ->
+      error "literal %s cannot be used as %s"
+        (Format.asprintf "%a" Ast.pp_lit lit)
+        (Value.type_name ctype)
+
+type residual = { r_col : int; r_op : Ast.cmp_op; r_value : Value.t }
+
+type output = Out_col of int | Out_agg of Ast.agg * int option
+
+type plan = {
+  query : Query.t;
+  residuals : residual list;
+  group_cols : int list;
+  outputs : (output * string) list;
+  aggregated : bool;
+  post_limit : int option;
+}
+
+let column_index schema name =
+  match Schema.find_column schema name with
+  | Some i -> i
+  | None -> error "unknown column %S" name
+
+let agg_name = function
+  | Ast.Sum -> "sum"
+  | Ast.Count -> "count"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let plan_select schema ~now (s : Ast.select) =
+  let cols = Schema.columns schema in
+  let ts_name = cols.(Schema.ts_index schema).Schema.name in
+  (* Coerce every condition once. *)
+  let conds =
+    List.map
+      (fun (c : Ast.cond) ->
+        let idx = column_index schema c.Ast.col in
+        let v = coerce ~now cols.(idx).Schema.ctype c.Ast.lit in
+        (c.Ast.col, idx, c.Ast.op, v))
+      s.Ast.where
+  in
+  (* Timestamp bounds. *)
+  let ts_min = ref None and ts_max = ref None and residual = ref [] in
+  let tighten_min v =
+    ts_min := Some (match !ts_min with None -> v | Some m -> max m v)
+  in
+  let tighten_max v =
+    ts_max := Some (match !ts_max with None -> v | Some m -> min m v)
+  in
+  let non_ts_conds =
+    List.filter
+      (fun (name, _, op, v) ->
+        if name = ts_name then begin
+          let tv = match v with Value.Timestamp t -> t | _ -> assert false in
+          (match op with
+          | Ast.Eq ->
+              tighten_min tv;
+              tighten_max tv
+          | Ast.Ge -> tighten_min tv
+          | Ast.Gt -> tighten_min (Int64.add tv 1L)
+          | Ast.Le -> tighten_max tv
+          | Ast.Lt -> tighten_max (Int64.sub tv 1L)
+          | Ast.Ne -> residual := (name, Schema.ts_index schema, op, v) :: !residual);
+          false
+        end
+        else true)
+      conds
+  in
+  (* Key prefix: a maximal run of leading non-ts key columns with
+     equality constraints. *)
+  let pkey = Schema.pkey schema in
+  let remaining = ref non_ts_conds in
+  let prefix = ref [] in
+  (try
+     Array.iter
+       (fun key_col ->
+         if key_col = Schema.ts_index schema then raise Exit;
+         let eqs, rest =
+           List.partition
+             (fun (_, idx, op, _) -> idx = key_col && op = Ast.Eq)
+             !remaining
+         in
+         match eqs with
+         | [] -> raise Exit
+         | (_, _, _, v) :: more ->
+             (* Extra equalities on the same column stay as residuals
+                (contradictions then filter everything out). *)
+             prefix := v :: !prefix;
+             remaining := more @ rest)
+       pkey
+   with Exit -> ());
+  let prefix = List.rev !prefix in
+  let residuals =
+    List.map
+      (fun (_, idx, op, v) -> { r_col = idx; r_op = op; r_value = v })
+      (!remaining @ !residual)
+  in
+  (* Projections. *)
+  let group_cols = List.map (column_index schema) s.Ast.group_by in
+  let has_agg =
+    List.exists (fun (e, _) -> match e with Ast.Agg _ -> true | _ -> false)
+      s.Ast.projections
+  in
+  let aggregated = has_agg || group_cols <> [] in
+  let outputs =
+    if s.Ast.star then
+      if aggregated then error "* cannot be combined with aggregation"
+      else
+        Array.to_list
+          (Array.mapi (fun i c -> (Out_col i, c.Schema.name)) cols)
+    else
+      List.map
+        (fun (e, alias) ->
+          match e with
+          | Ast.Col name ->
+              let idx = column_index schema name in
+              if aggregated && not (List.mem idx group_cols) then
+                error "column %S must appear in GROUP BY" name;
+              (Out_col idx, Option.value alias ~default:name)
+          | Ast.Agg (a, arg) ->
+              let idx = Option.map (column_index schema) arg in
+              (match (a, idx) with
+              | Ast.Count, _ -> ()
+              | (Ast.Sum | Ast.Avg), Some i -> (
+                  match cols.(i).Schema.ctype with
+                  | Value.T_int32 | Value.T_int64 | Value.T_double -> ()
+                  | t ->
+                      error "%s over non-numeric column of type %s" (agg_name a)
+                        (Value.type_name t))
+              | (Ast.Sum | Ast.Avg), None ->
+                  error "%s requires a column argument" (agg_name a)
+              | (Ast.Min | Ast.Max), None ->
+                  error "%s requires a column argument" (agg_name a)
+              | (Ast.Min | Ast.Max), Some _ -> ());
+              let default_name =
+                match arg with
+                | Some c -> Printf.sprintf "%s(%s)" (agg_name a) c
+                | None -> Printf.sprintf "%s(*)" (agg_name a)
+              in
+              (Out_agg (a, idx), Option.value alias ~default:default_name)
+          | Ast.Lit _ -> error "bare literals are not supported in SELECT")
+        s.Ast.projections
+  in
+  if aggregated && s.Ast.order <> None then
+    error "ORDER BY cannot be combined with aggregation";
+  let direction =
+    match s.Ast.order with
+    | Some Ast.Order_desc -> Query.Desc
+    | Some Ast.Order_asc | None -> Query.Asc
+  in
+  (* The limit is pushed into the scan only when nothing downstream can
+     drop or combine rows. *)
+  let pushable = residuals = [] && not aggregated in
+  let query =
+    {
+      Query.key_low = (if prefix = [] then Query.Unbounded else Query.Incl prefix);
+      Query.key_high = (if prefix = [] then Query.Unbounded else Query.Incl prefix);
+      Query.ts_min = !ts_min;
+      Query.ts_max = !ts_max;
+      Query.direction = direction;
+      Query.limit = (if pushable then s.Ast.limit else None);
+    }
+  in
+  {
+    query;
+    residuals;
+    group_cols;
+    outputs;
+    aggregated;
+    post_limit = (if pushable then None else s.Ast.limit);
+  }

@@ -1,0 +1,42 @@
+(** Query planner: SQL → the engine's two-dimensional bounding box.
+
+    This performs the translation the paper's SQLite adaptor performs
+    (§3.1/§3.2): equality constraints on a {e leading} run of primary-key
+    columns become the key-prefix bound; comparisons on the timestamp
+    column become the timespan bound; everything else stays as a residual
+    filter evaluated per row. Because the server returns rows sorted by
+    primary key, aggregation and GROUP BY run over the stream without
+    re-sorting. *)
+
+open Littletable
+
+exception Plan_error of string
+
+(** [coerce ~now ctype lit] converts a parse-time literal to a typed
+    value ([L_now] becomes [Timestamp now]).
+    @raise Plan_error when the literal cannot inhabit [ctype]. *)
+val coerce : now:int64 -> Value.ctype -> Ast.lit -> Value.t
+
+type residual = {
+  r_col : int;  (** column index *)
+  r_op : Ast.cmp_op;
+  r_value : Value.t;
+}
+
+(** How one output column is computed. *)
+type output =
+  | Out_col of int  (** plain column, by index *)
+  | Out_agg of Ast.agg * int option  (** aggregate over a column or * *)
+
+type plan = {
+  query : Query.t;  (** pushed-down bounding box, direction, limit *)
+  residuals : residual list;  (** conjuncts evaluated per row *)
+  group_cols : int list;  (** GROUP BY column indices *)
+  outputs : (output * string) list;  (** with display names *)
+  aggregated : bool;
+  post_limit : int option;  (** applied after filtering/aggregation *)
+}
+
+(** @raise Plan_error on unknown columns, type mismatches, non-grouped
+    plain columns in an aggregate query, or ORDER BY with GROUP BY. *)
+val plan_select : Schema.t -> now:int64 -> Ast.select -> plan

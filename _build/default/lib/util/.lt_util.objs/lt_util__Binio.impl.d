@@ -1,0 +1,1 @@
+lib/util/binio.ml: Buffer Char Format Int32 Int64 String

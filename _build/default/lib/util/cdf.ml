@@ -1,0 +1,64 @@
+type t = { sorted : float array }
+
+let of_samples xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  { sorted = arr }
+
+let count t = Array.length t.sorted
+
+let check_nonempty t =
+  if Array.length t.sorted = 0 then invalid_arg "Cdf: empty"
+
+let quantile t q =
+  check_nonempty t;
+  if q < 0.0 || q > 1.0 then invalid_arg "Cdf.quantile: out of range";
+  let n = Array.length t.sorted in
+  if n = 1 then t.sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    t.sorted.(lo) +. (frac *. (t.sorted.(hi) -. t.sorted.(lo)))
+  end
+
+let min t =
+  check_nonempty t;
+  t.sorted.(0)
+
+let max t =
+  check_nonempty t;
+  t.sorted.(Array.length t.sorted - 1)
+
+let mean t =
+  check_nonempty t;
+  Array.fold_left ( +. ) 0.0 t.sorted /. float_of_int (Array.length t.sorted)
+
+let fraction_below t x =
+  let n = Array.length t.sorted in
+  if n = 0 then 0.0
+  else begin
+    (* Binary search for the number of samples <= x. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.sorted.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    float_of_int !lo /. float_of_int n
+  end
+
+let series t ~points =
+  check_nonempty t;
+  let points = Stdlib.max 2 points in
+  List.init points (fun i ->
+      let q = float_of_int i /. float_of_int (points - 1) in
+      (quantile t q, q))
+
+let pp_series ~label ~unit ppf t =
+  Format.fprintf ppf "@[<v># CDF: %s@," label;
+  Format.fprintf ppf "# %-16s cumulative_fraction@," unit;
+  List.iter
+    (fun (v, q) -> Format.fprintf ppf "%-18.6g %.3f@," v q)
+    (series t ~points:21);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Empirical cumulative distribution functions, used by the production-
+    metrics benchmarks (Figures 7–10) to report the same CDF series the
+    paper plots. *)
+
+type t
+
+(** Build from raw samples. *)
+val of_samples : float list -> t
+
+val count : t -> int
+
+(** [quantile t q] with [0 <= q <= 1]; linear interpolation between order
+    statistics. @raise Invalid_argument on an empty CDF or q out of range. *)
+val quantile : t -> float -> float
+
+val min : t -> float
+val max : t -> float
+val mean : t -> float
+
+(** [fraction_below t x] is the empirical P(X <= x). *)
+val fraction_below : t -> float -> float
+
+(** [series t ~points] samples the CDF at [points] evenly spaced quantiles,
+    returning (value, cumulative fraction) pairs suitable for printing a
+    plot series. *)
+val series : t -> points:int -> (float * float) list
+
+(** Render [series] rows as aligned text, one "value fraction" row per
+    line, with a label header. *)
+val pp_series : label:string -> unit:string -> Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type micros = int64
+
+type t = System | Manual of micros ref
+
+let system = System
+
+let manual ?(start = 0L) () = Manual (ref start)
+
+let of_float_s s = Int64.of_float (s *. 1e6)
+
+let to_float_s m = Int64.to_float m /. 1e6
+
+let now = function
+  | System -> of_float_s (Unix.gettimeofday ())
+  | Manual r -> !r
+
+let advance t d =
+  match t with
+  | System -> invalid_arg "Clock.advance: system clock"
+  | Manual r ->
+      if d < 0L then invalid_arg "Clock.advance: negative";
+      r := Int64.add !r d
+
+let set t v =
+  match t with
+  | System -> invalid_arg "Clock.set: system clock"
+  | Manual r ->
+      if v < !r then invalid_arg "Clock.set: time must be monotone";
+      r := v
+
+let usec n = Int64.of_int n
+
+let msec n = Int64.of_int (n * 1000)
+
+let sec n = Int64.of_int (n * 1_000_000)
+
+let minute = sec 60
+
+let hour = sec 3600
+
+let day = sec 86400
+
+let week = Int64.mul 7L day

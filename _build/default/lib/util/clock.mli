@@ -1,0 +1,38 @@
+(** Time source abstraction.
+
+    All engine timestamps are [int64] microseconds since the Unix epoch.
+    Components take a {!t} rather than calling [Unix.gettimeofday] directly
+    so that tests, the device simulator, and the disk-model benchmarks can
+    drive time deterministically. *)
+
+type micros = int64
+
+type t
+
+(** Wall-clock time from [Unix.gettimeofday]. *)
+val system : t
+
+(** A manually advanced clock, for tests and simulations. *)
+val manual : ?start:micros -> unit -> t
+
+val now : t -> micros
+
+(** [advance t d] moves a manual clock forward by [d] microseconds.
+    @raise Invalid_argument on the system clock or negative [d]. *)
+val advance : t -> micros -> unit
+
+(** [set t v] jumps a manual clock to [v] (monotone: [v >= now t]). *)
+val set : t -> micros -> unit
+
+(** {1 Unit helpers} *)
+
+val usec : int -> micros
+val msec : int -> micros
+val sec : int -> micros
+val minute : micros
+val hour : micros
+val day : micros
+val week : micros
+
+val of_float_s : float -> micros
+val to_float_s : micros -> float

@@ -1,0 +1,38 @@
+type t = int32
+
+(* Reflected CRC-32C, polynomial 0x1EDC6F41 (reversed: 0x82F63B78).
+   The hot loop works on native ints: OCaml's int32 is boxed, and a
+   per-byte boxed operation would dominate the flush path. *)
+let poly = 0x82F63B78
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           let lsb = !c land 1 in
+           c := !c lsr 1;
+           if lsb <> 0 then c := !c lxor poly
+         done;
+         !c))
+
+let empty = 0l
+
+let mask32 = 0xFFFFFFFF
+
+let update crc s off len =
+  let table = Lazy.force table in
+  let c = ref (Int32.to_int (Int32.lognot crc) land mask32) in
+  for i = off to off + len - 1 do
+    let idx = (!c lxor Char.code (String.unsafe_get s i)) land 0xff in
+    c := (!c lsr 8) lxor Array.unsafe_get table idx
+  done;
+  Int32.lognot (Int32.of_int !c)
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32c.string: bad substring";
+  update empty s off len
+
+let bytes ?off ?len b = string ?off ?len (Bytes.unsafe_to_string b)

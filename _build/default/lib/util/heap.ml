@@ -1,0 +1,62 @@
+type 'a t = { cmp : 'a -> 'a -> int; mutable arr : 'a array; mutable len : int }
+
+let create ~cmp = { cmp; arr = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t v =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = max 8 (cap * 2) in
+    let narr = Array.make ncap v in
+    Array.blit t.arr 0 narr 0 t.len;
+    t.arr <- narr
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.arr.(i) t.arr.(parent) < 0 then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp t.arr.(l) t.arr.(!smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp t.arr.(r) t.arr.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t v =
+  grow t v;
+  t.arr.(t.len) <- v;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek t = if t.len = 0 then None else Some t.arr.(0)
+
+let pop t =
+  if t.len = 0 then raise Not_found;
+  let top = t.arr.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.arr.(0) <- t.arr.(t.len);
+    sift_down t 0
+  end;
+  top
+
+let replace_min t v =
+  if t.len = 0 then raise Not_found;
+  t.arr.(0) <- v;
+  sift_down t 0

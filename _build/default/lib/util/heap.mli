@@ -1,0 +1,22 @@
+(** A mutable binary min-heap, used for the k-way merge of tablet cursors. *)
+
+type 'a t
+
+(** [create ~cmp] makes an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+(** Smallest element, or [None] when empty. Does not remove. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element. @raise Not_found when empty. *)
+val pop : 'a t -> 'a
+
+(** [replace_min t v] is [pop] followed by [add v] but with a single
+    sift — the hot operation of a merge cursor. @raise Not_found when empty. *)
+val replace_min : 'a t -> 'a -> unit

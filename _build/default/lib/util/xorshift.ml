@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let copy t = { state = t.state }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.unsafe_set b (!i + j) (Char.unsafe_chr (Int64.to_int !v land 0xff));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done;
+  Bytes.unsafe_to_string b
+
+let exponential t ~mean =
+  let u = 1.0 -. float t in
+  -. mean *. log u
+
+(* Box-Muller. *)
+let normal t =
+  let u1 = 1.0 -. float t and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let log_normal t ~mu ~sigma = exp (mu +. (sigma *. normal t))

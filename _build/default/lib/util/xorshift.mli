@@ -1,0 +1,34 @@
+(** Deterministic xorshift64* pseudorandom number generator.
+
+    The paper's microbenchmarks generate input data "using a xorshift
+    pseudorandom number generator" (§5.1.1) specifically so that the data is
+    incompressible; we use the same family for benchmark inputs, simulated
+    devices, and randomized tests. *)
+
+type t
+
+(** [create seed] makes a generator; [seed] must be non-zero (0 is mapped to
+    a fixed non-zero constant). *)
+val create : int64 -> t
+
+val copy : t -> t
+
+(** Raw next value, uniform over all 64-bit patterns. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]; [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [bytes t n] is [n] incompressible random bytes. *)
+val bytes : t -> int -> string
+
+(** Exponentially distributed float with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Log-normal sample given the mean and sigma of the underlying normal. *)
+val log_normal : t -> mu:float -> sigma:float -> float

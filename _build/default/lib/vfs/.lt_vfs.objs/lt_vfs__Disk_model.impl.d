@@ -1,0 +1,1 @@
+lib/vfs/disk_model.ml: Fun Hashtbl Mutex Option Queue

@@ -1,0 +1,1 @@
+lib/vfs/disk_model.mli:

@@ -1,0 +1,1 @@
+lib/vfs/sync.ml: Filename Fun List String Vfs

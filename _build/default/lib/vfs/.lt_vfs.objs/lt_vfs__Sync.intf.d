@@ -1,0 +1,1 @@
+lib/vfs/sync.mli: Vfs

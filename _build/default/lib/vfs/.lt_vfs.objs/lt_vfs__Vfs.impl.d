@@ -1,0 +1,1 @@
+lib/vfs/vfs.ml: Array Bytes Disk_model Filename Format Fun Hashtbl List Mutex String Sys Unix

@@ -1,0 +1,73 @@
+(** Analytic spinning-disk cost model.
+
+    The paper's evaluation ran on a 7,200 RPM drive with roughly 8 ms
+    combined seek and rotational latency and 120 MB/s sequential
+    throughput (§5.1.1). We do not have that hardware, so the benchmarks
+    run the engine against a real (or in-memory) filesystem while this
+    model replays the exact I/O pattern the engine issues and charges it
+    disk time: a seek whenever the head must move, transfer time at the
+    sequential rate otherwise, with configurable filesystem readahead and
+    a drive cache that serves re-reads and read-ahead hits for free.
+
+    Files are laid out contiguously in a virtual LBA space in creation
+    order — matching the paper's observation that ext4 stores tablets of
+    1 GB or less in a single extent (§3.5). Opening a file charges one
+    seek (the inode read), which together with the trailer and footer
+    reads yields the three-seek footer cost the paper derives.
+
+    The model reproduces the paper's published shapes: Figure 5's
+    throughput collapse as a scan interleaves reads across many tablets,
+    and Figure 6's ~4-seek versus ~1-seek first-row latency slopes. *)
+
+type config = {
+  seek_us : float;  (** combined seek + rotational latency, default 8000 *)
+  seq_bytes_per_us : float;  (** sequential rate, default 120 MB/s *)
+  readahead : int;  (** filesystem readahead, default 128 KiB *)
+  cache_bytes : int;  (** drive cache, default 64 MiB *)
+}
+
+val default_config : config
+
+(** [config ()] is {!default_config} with optional overrides. *)
+val config :
+  ?seek_us:float ->
+  ?seq_bytes_per_us:float ->
+  ?readahead:int ->
+  ?cache_bytes:int ->
+  unit ->
+  config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Results} *)
+
+val elapsed_s : t -> float
+(** Modeled disk-busy time since creation or the last {!reset}. *)
+
+val seeks : t -> int
+
+val bytes_read : t -> int
+(** Bytes physically transferred from the platter (includes readahead). *)
+
+val bytes_written : t -> int
+
+(** Zero the elapsed time and counters; keep layout and cache. *)
+val reset : t -> unit
+
+(** Drop the drive cache (the benchmarks' "clear all caches" step). *)
+val clear_cache : t -> unit
+
+(** Replace the readahead setting (Figure 5 compares 128 kB and 1 MB). *)
+val set_readahead : t -> int -> unit
+
+(** {1 Event notifications} (called by [Vfs.with_model]) *)
+
+val note_open : t -> string -> unit
+val note_create : t -> string -> unit
+val note_read : t -> string -> off:int -> len:int -> unit
+val note_write : t -> string -> off:int -> len:int -> unit
+val note_fsync : t -> string -> unit
+val note_rename : t -> string -> string -> unit
+val note_delete : t -> string -> unit

@@ -1,0 +1,89 @@
+type stats = { copied : int; deleted : int; bytes : int }
+
+let add a b =
+  { copied = a.copied + b.copied; deleted = a.deleted + b.deleted; bytes = a.bytes + b.bytes }
+
+let empty_stats = { copied = 0; deleted = 0; bytes = 0 }
+
+(* Recursively list the relative paths of files under [dir]. A name is a
+   directory exactly when listing it yields entries; empty directories
+   are invisible, which is fine for a LittleTable tree. *)
+let rec walk vfs dir =
+  let entries = try Vfs.readdir vfs dir with Vfs.Io_error _ -> [] in
+  List.concat_map
+    (fun name ->
+      let path = Filename.concat dir name in
+      let children = walk vfs path in
+      if children = [] && Vfs.exists vfs path then [ path ]
+      else children)
+    entries
+
+let relative ~root path =
+  let prefix = root ^ "/" in
+  if String.length path > String.length prefix
+     && String.sub path 0 (String.length prefix) = prefix
+  then String.sub path (String.length prefix) (String.length path - String.length prefix)
+  else path
+
+let file_size_of vfs path =
+  let f = Vfs.open_read vfs path in
+  Fun.protect ~finally:(fun () -> Vfs.close vfs f) (fun () -> Vfs.file_size vfs f)
+
+let differs ~src ~src_path ~dst ~dst_path =
+  if not (Vfs.exists dst dst_path) then true
+  else begin
+    let ssize = file_size_of src src_path in
+    let dsize = file_size_of dst dst_path in
+    (* Size first; equal sizes fall back to contents (tablets are
+       immutable so this triggers rarely — mostly for descriptors). *)
+    ssize <> dsize || Vfs.read_all src src_path <> Vfs.read_all dst dst_path
+  end
+
+let copy_file ~src ~src_path ~dst ~dst_path =
+  let data = Vfs.read_all src src_path in
+  Vfs.mkdir_p dst (Filename.dirname dst_path);
+  let f = Vfs.create dst dst_path in
+  Vfs.append dst f data;
+  Vfs.fsync dst f;
+  Vfs.close dst f;
+  String.length data
+
+(* Descriptors last: a spare must never see a descriptor that references
+   a tablet it does not yet have. *)
+let copy_order rel_paths =
+  let is_descriptor p = Filename.basename p = "DESCRIPTOR" in
+  let tablets, descriptors = List.partition (fun p -> not (is_descriptor p)) rel_paths in
+  tablets @ descriptors
+
+let pass ~src ~src_dir ~dst ~dst_dir () =
+  let src_files = List.map (relative ~root:src_dir) (walk src src_dir) in
+  let dst_files = List.map (relative ~root:dst_dir) (walk dst dst_dir) in
+  let stats = ref empty_stats in
+  List.iter
+    (fun rel ->
+      let src_path = Filename.concat src_dir rel in
+      let dst_path = Filename.concat dst_dir rel in
+      if differs ~src ~src_path ~dst ~dst_path then begin
+        let bytes = copy_file ~src ~src_path ~dst ~dst_path in
+        stats := add !stats { copied = 1; deleted = 0; bytes }
+      end)
+    (copy_order src_files);
+  (* Prune files deleted at the source (merged-away tablets). *)
+  List.iter
+    (fun rel ->
+      if not (List.mem rel src_files) then begin
+        (try Vfs.delete dst (Filename.concat dst_dir rel) with Vfs.Io_error _ -> ());
+        stats := add !stats { copied = 0; deleted = 1; bytes = 0 }
+      end)
+    dst_files;
+  !stats
+
+let until_stable ?(max_passes = 10) ~src ~src_dir ~dst ~dst_dir () =
+  let rec go total passes =
+    let s = pass ~src ~src_dir ~dst ~dst_dir () in
+    let total = add total s in
+    if s.copied = 0 && s.deleted = 0 then (total, true)
+    else if passes + 1 >= max_passes then (total, false)
+    else go total (passes + 1)
+  in
+  go empty_stats 0

@@ -1,0 +1,40 @@
+(** Differential directory synchronization — the continuous-archival
+    mechanism of §3.5:
+
+    "To implement continuous archival of LittleTable data, every 10
+    minutes Dashboard runs rsync from shard to spare repeatedly until a
+    sync completes without copying any files, indicating that shard and
+    spare have identical contents. This approach works because an rsync
+    that copies no files is quick relative to the rate of new tablets
+    being written to disk."
+
+    {!pass} is one rsync: it copies every file that is missing or
+    differs (by size, then content) from source to destination and
+    deletes destination files absent from the source, returning how many
+    files changed. {!until_stable} repeats passes until one copies
+    nothing. Within a pass, tablet files are copied before descriptors,
+    so a descriptor never lands on the spare ahead of a tablet it
+    references; the repeat-until-stable loop then handles files that
+    changed mid-pass, exactly as in the paper.
+
+    Works across any two {!Vfs.t} implementations (e.g. a live in-memory
+    shard to a second in-memory "spare", or a real directory tree). *)
+
+type stats = { copied : int; deleted : int; bytes : int }
+
+(** [pass ~src ~src_dir ~dst ~dst_dir ()] performs one differential sync
+    of the directory tree rooted at [src_dir]. *)
+val pass :
+  src:Vfs.t -> src_dir:string -> dst:Vfs.t -> dst_dir:string -> unit -> stats
+
+(** Repeat {!pass} until a pass copies and deletes nothing (or
+    [max_passes], default 10, is hit); returns the cumulative stats and
+    whether stability was reached. *)
+val until_stable :
+  ?max_passes:int ->
+  src:Vfs.t ->
+  src_dir:string ->
+  dst:Vfs.t ->
+  dst_dir:string ->
+  unit ->
+  stats * bool

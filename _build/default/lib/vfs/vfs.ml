@@ -1,0 +1,340 @@
+exception Io_error of string
+
+let io_error fmt = Format.kasprintf (fun s -> raise (Io_error s)) fmt
+
+type file = {
+  f_path : string;
+  f_pread : off:int -> len:int -> string;
+  f_append : string -> unit;
+  f_size : unit -> int;
+  f_fsync : unit -> unit;
+  f_close : unit -> unit;
+}
+
+type t = {
+  v_open_read : string -> file;
+  v_create : string -> file;
+  v_rename : src:string -> dst:string -> unit;
+  v_delete : string -> unit;
+  v_exists : string -> bool;
+  v_readdir : string -> string list;
+  v_mkdir_p : string -> unit;
+  v_crash : unit -> unit;
+}
+
+let open_read t path = t.v_open_read path
+
+let create t path = t.v_create path
+
+let pread _t f ~off ~len = f.f_pread ~off ~len
+
+let append _t f data = f.f_append data
+
+let file_size _t f = f.f_size ()
+
+let fsync _t f = f.f_fsync ()
+
+let close _t f = f.f_close ()
+
+let rename t ~src ~dst = t.v_rename ~src ~dst
+
+let delete t path = t.v_delete path
+
+let exists t path = t.v_exists path
+
+let readdir t path = t.v_readdir path
+
+let mkdir_p t path = t.v_mkdir_p path
+
+let crash t = t.v_crash ()
+
+let read_all t path =
+  let f = open_read t path in
+  Fun.protect
+    ~finally:(fun () -> close t f)
+    (fun () -> pread t f ~off:0 ~len:(file_size t f))
+
+(* ------------------------------------------------------------------ *)
+(* Real filesystem                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_unix op path f =
+  try f () with
+  | Unix.Unix_error (e, _, _) ->
+      io_error "%s %s: %s" op path (Unix.error_message e)
+  | Sys_error msg -> io_error "%s %s: %s" op path msg
+
+let real () =
+  let make_file path fd =
+    (* pread via lseek + read must not interleave across threads. *)
+    let mutex = Mutex.create () in
+    let locked f =
+      Mutex.lock mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+    in
+    {
+      f_path = path;
+      f_pread =
+        (fun ~off ~len ->
+          wrap_unix "pread" path (fun () ->
+              locked (fun () ->
+                  ignore (Unix.lseek fd off Unix.SEEK_SET);
+                  let buf = Bytes.create len in
+                  let got = ref 0 in
+                  while !got < len do
+                    let n = Unix.read fd buf !got (len - !got) in
+                    if n = 0 then io_error "pread %s: short read" path;
+                    got := !got + n
+                  done;
+                  Bytes.unsafe_to_string buf)));
+      f_append =
+        (fun data ->
+          wrap_unix "append" path (fun () ->
+              locked (fun () ->
+                  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+                  let b = Bytes.unsafe_of_string data in
+                  let off = ref 0 in
+                  let len = Bytes.length b in
+                  while !off < len do
+                    let n = Unix.write fd b !off (len - !off) in
+                    off := !off + n
+                  done)));
+      f_size =
+        (fun () -> wrap_unix "size" path (fun () -> (Unix.fstat fd).st_size));
+      f_fsync = (fun () -> wrap_unix "fsync" path (fun () -> Unix.fsync fd));
+      f_close = (fun () -> wrap_unix "close" path (fun () -> Unix.close fd));
+    }
+  in
+  let rec mkdir_p path =
+    if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+      mkdir_p (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  {
+    v_open_read =
+      (fun path ->
+        wrap_unix "open" path (fun () ->
+            make_file path (Unix.openfile path [ Unix.O_RDONLY ] 0)));
+    v_create =
+      (fun path ->
+        wrap_unix "create" path (fun () ->
+            make_file path
+              (Unix.openfile path
+                 [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ]
+                 0o644)));
+    v_rename =
+      (fun ~src ~dst ->
+        wrap_unix "rename" src (fun () -> Unix.rename src dst));
+    v_delete = (fun path -> wrap_unix "delete" path (fun () -> Unix.unlink path));
+    v_exists = (fun path -> Sys.file_exists path);
+    v_readdir =
+      (fun path ->
+        wrap_unix "readdir" path (fun () ->
+            let entries = Sys.readdir path in
+            Array.sort compare entries;
+            Array.to_list entries));
+    v_mkdir_p = (fun path -> wrap_unix "mkdir" path (fun () -> mkdir_p path));
+    v_crash = (fun () -> invalid_arg "Vfs.crash: real filesystem");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* In-memory filesystem                                                *)
+(* ------------------------------------------------------------------ *)
+
+type mem_file = {
+  mutable data : Bytes.t;
+  mutable len : int;
+  mutable durable_len : int;  (** bytes that survive a crash *)
+}
+
+let memory () =
+  let files : (string, mem_file) Hashtbl.t = Hashtbl.create 64 in
+  let dirs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let mutex = Mutex.create () in
+  let locked f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+  in
+  let find op path =
+    match Hashtbl.find_opt files path with
+    | Some f -> f
+    | None -> io_error "%s %s: no such file" op path
+  in
+  let make_file path mf =
+    {
+      f_path = path;
+      f_pread =
+        (fun ~off ~len ->
+          locked (fun () ->
+              if off < 0 || len < 0 || off + len > mf.len then
+                io_error "pread %s: range [%d,+%d) outside file of %d bytes"
+                  path off len mf.len;
+              Bytes.sub_string mf.data off len));
+      f_append =
+        (fun s ->
+          locked (fun () ->
+              let n = String.length s in
+              if mf.len + n > Bytes.length mf.data then begin
+                let ncap = max (mf.len + n) (max 256 (2 * Bytes.length mf.data)) in
+                let ndata = Bytes.create ncap in
+                Bytes.blit mf.data 0 ndata 0 mf.len;
+                mf.data <- ndata
+              end;
+              Bytes.blit_string s 0 mf.data mf.len n;
+              mf.len <- mf.len + n));
+      f_size = (fun () -> locked (fun () -> mf.len));
+      f_fsync = (fun () -> locked (fun () -> mf.durable_len <- mf.len));
+      f_close = (fun () -> ());
+    }
+  in
+  {
+    v_open_read =
+      (fun path -> locked (fun () -> make_file path (find "open" path)));
+    v_create =
+      (fun path ->
+        locked (fun () ->
+            let mf = { data = Bytes.create 256; len = 0; durable_len = -1 } in
+            Hashtbl.replace files path mf;
+            make_file path mf));
+    v_rename =
+      (fun ~src ~dst ->
+        locked (fun () ->
+            let mf = find "rename" src in
+            Hashtbl.remove files src;
+            (* An atomic rename publishes the file: its current content
+               becomes the durable version (the engine fsyncs before
+               renaming; journaled filesystems order the rename after the
+               data it points to). *)
+            mf.durable_len <- mf.len;
+            Hashtbl.replace files dst mf));
+    v_delete =
+      (fun path ->
+        locked (fun () ->
+            ignore (find "delete" path);
+            Hashtbl.remove files path));
+    v_exists = (fun path -> locked (fun () -> Hashtbl.mem files path));
+    v_readdir =
+      (fun path ->
+        locked (fun () ->
+            let prefix = if path = "" then "" else path ^ "/" in
+            let plen = String.length prefix in
+            let names =
+              Hashtbl.fold
+                (fun name _ acc ->
+                  if String.length name > plen && String.sub name 0 plen = prefix
+                  then begin
+                    (* Direct children: files as-is, deeper paths by their
+                       first segment (the subdirectory name). *)
+                    let rest = String.sub name plen (String.length name - plen) in
+                    match String.index_opt rest '/' with
+                    | None -> rest :: acc
+                    | Some i -> String.sub rest 0 i :: acc
+                  end
+                  else acc)
+                files []
+            in
+            List.sort_uniq compare names));
+    v_mkdir_p = (fun path -> locked (fun () -> Hashtbl.replace dirs path ()));
+    v_crash =
+      (fun () ->
+        locked (fun () ->
+            let doomed = ref [] in
+            Hashtbl.iter
+              (fun path mf ->
+                if mf.durable_len < 0 then doomed := path :: !doomed
+                else mf.len <- mf.durable_len)
+              files;
+            List.iter (Hashtbl.remove files) !doomed));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Disk-model tracing wrapper                                          *)
+(* ------------------------------------------------------------------ *)
+
+let with_model model inner =
+  let wrap_file f =
+    {
+      f with
+      f_pread =
+        (fun ~off ~len ->
+          let data = f.f_pread ~off ~len in
+          Disk_model.note_read model f.f_path ~off ~len;
+          data);
+      f_append =
+        (fun s ->
+          let off = f.f_size () in
+          f.f_append s;
+          Disk_model.note_write model f.f_path ~off ~len:(String.length s));
+      f_fsync =
+        (fun () ->
+          f.f_fsync ();
+          Disk_model.note_fsync model f.f_path);
+    }
+  in
+  {
+    inner with
+    v_open_read =
+      (fun path ->
+        let f = inner.v_open_read path in
+        Disk_model.note_open model path;
+        wrap_file f);
+    v_create =
+      (fun path ->
+        let f = inner.v_create path in
+        Disk_model.note_create model path;
+        wrap_file f);
+    v_rename =
+      (fun ~src ~dst ->
+        inner.v_rename ~src ~dst;
+        Disk_model.note_rename model src dst);
+    v_delete =
+      (fun path ->
+        inner.v_delete path;
+        Disk_model.note_delete model path);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection wrapper                                             *)
+(* ------------------------------------------------------------------ *)
+
+let faulty ~should_fail inner =
+  let check op path =
+    if should_fail ~op ~path then io_error "%s %s: injected fault" op path
+  in
+  let wrap_file f =
+    {
+      f with
+      f_pread =
+        (fun ~off ~len ->
+          check "pread" f.f_path;
+          f.f_pread ~off ~len);
+      f_append =
+        (fun s ->
+          check "append" f.f_path;
+          f.f_append s);
+      f_fsync =
+        (fun () ->
+          check "fsync" f.f_path;
+          f.f_fsync ());
+    }
+  in
+  {
+    inner with
+    v_open_read =
+      (fun path ->
+        check "open" path;
+        wrap_file (inner.v_open_read path));
+    v_create =
+      (fun path ->
+        check "create" path;
+        wrap_file (inner.v_create path));
+    v_rename =
+      (fun ~src ~dst ->
+        check "rename" src;
+        inner.v_rename ~src ~dst);
+    v_delete =
+      (fun path ->
+        check "delete" path;
+        inner.v_delete path);
+  }

@@ -1,0 +1,73 @@
+(** Virtual filesystem.
+
+    Every byte the storage engine reads or writes goes through this
+    interface, which exists for three reasons:
+
+    - the disk-model benchmarks wrap a filesystem with {!with_model} so the
+      cost model sees the engine's exact I/O pattern;
+    - tests run against {!memory}, which supports {!crash}: all data not
+      made durable by [fsync] (or an atomic [rename]) disappears, letting
+      property tests validate the paper's prefix-durability guarantee;
+    - {!faulty} injects I/O errors to exercise recovery paths.
+
+    Offsets and sizes are [int]: a 63-bit int comfortably addresses any
+    tablet. All operations raise {!Io_error} on failure. *)
+
+exception Io_error of string
+
+type t
+
+(** An open file handle. Handles are safe to share across threads. *)
+type file
+
+(** {1 Implementations} *)
+
+(** Direct [Unix] filesystem access. *)
+val real : unit -> t
+
+(** An in-memory filesystem with durability tracking. *)
+val memory : unit -> t
+
+(** [with_model model inner] forwards everything to [inner] and notifies
+    [model] of each operation. *)
+val with_model : Disk_model.t -> t -> t
+
+(** [faulty ~should_fail inner] raises [Io_error] whenever
+    [should_fail ~op ~path] is true; [op] is the operation name
+    (["append"], ["fsync"], ["rename"], ...). *)
+val faulty : should_fail:(op:string -> path:string -> bool) -> t -> t
+
+(** {1 Operations} *)
+
+val open_read : t -> string -> file
+val create : t -> string -> file
+
+(** [pread t f ~off ~len] reads exactly [len] bytes at [off].
+    @raise Io_error if the range lies outside the file. *)
+val pread : t -> file -> off:int -> len:int -> string
+
+val append : t -> file -> string -> unit
+val file_size : t -> file -> int
+val fsync : t -> file -> unit
+val close : t -> file -> unit
+
+(** Atomic replace; the destination is durable with its pre-rename
+    content after a crash. *)
+val rename : t -> src:string -> dst:string -> unit
+
+val delete : t -> string -> unit
+val exists : t -> string -> bool
+
+(** Names (not paths) of directory entries, sorted. *)
+val readdir : t -> string -> string list
+
+val mkdir_p : t -> string -> unit
+
+(** Read a whole file. *)
+val read_all : t -> string -> string
+
+(** {1 Crash simulation} (memory filesystem only) *)
+
+(** Simulate a machine crash: every file reverts to its last durable
+    content. @raise Invalid_argument on other implementations. *)
+val crash : t -> unit

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Array Config Db List Littletable Lt_util Lt_vfs QCheck_alcotest Schema Table Value

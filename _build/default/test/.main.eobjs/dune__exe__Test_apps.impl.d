@@ -1,0 +1,1 @@
+test/test_apps.ml: Aggregator Alcotest Array Clock Config_store Db Device Events_grabber Int64 List Littletable Lt_apps Lt_util Motion Query String Support Table Usage_grabber Value

@@ -1,0 +1,1 @@
+test/test_avl.ml: Alcotest Avl Fun Gen List Littletable Map Printf QCheck String Support

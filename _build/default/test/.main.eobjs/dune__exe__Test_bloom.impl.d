@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Bloom Buffer Gen List Lt_bloom Lt_util Printf QCheck Support

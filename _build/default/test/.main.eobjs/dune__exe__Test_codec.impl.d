@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Binio Buffer Float Gen Int32 Int64 Key_codec List Littletable Lt_util QCheck Row_codec Schema String Support Value

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Clock Config Db Descriptor Gen Int64 List Littletable Lt_util Lt_vfs QCheck Query Support Table

@@ -1,0 +1,1 @@
+test/test_cursor.ml: Alcotest Cursor Format Int64 Key_codec List Littletable QCheck Query String Support Value

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Clock Config Db Filename Int64 List Littletable Lt_util Lt_vfs Printexc Printf Query Support Table Thread Value

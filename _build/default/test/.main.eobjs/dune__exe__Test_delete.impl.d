@@ -1,0 +1,1 @@
+test/test_delete.ml: Alcotest Array Clock Config Db Filename Fun Gen Hashtbl Int64 List Littletable Lt_net Lt_sql Lt_util Printf QCheck Query Schema Support Sys Table Value

@@ -1,0 +1,1 @@
+test/test_flush_graph.ml: Alcotest Flush_graph Gen List Littletable QCheck Support

@@ -1,0 +1,1 @@
+test/test_hll.ml: Alcotest Float Gen Hll List Lt_hll Lt_util Printf QCheck Support

@@ -1,0 +1,1 @@
+test/test_lz.ml: Alcotest Bytes Char Gen List Lt_lz Lt_util Lz Printf QCheck String Support

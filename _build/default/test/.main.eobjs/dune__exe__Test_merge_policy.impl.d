@@ -1,0 +1,1 @@
+test/test_merge_policy.ml: Alcotest Array Gen Int64 List Littletable Lt_util Merge_policy QCheck Support

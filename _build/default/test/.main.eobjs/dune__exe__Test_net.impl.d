@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Buffer Client Db Filename Fun Gen Int64 List Littletable Lt_net Lt_sql Lt_util Printf Protocol QCheck Query Schema Server Stats Support Sys Thread Value

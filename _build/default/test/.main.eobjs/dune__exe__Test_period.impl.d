@@ -1,0 +1,1 @@
+test/test_period.ml: Alcotest Clock Int64 Littletable Lt_util Period QCheck Support

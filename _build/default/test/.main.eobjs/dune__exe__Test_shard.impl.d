@@ -1,0 +1,1 @@
+test/test_shard.ml: Aggregator Alcotest Array Config Db Int64 List Littletable Lt_apps Lt_util Lt_vfs Query Shard Support Table Value

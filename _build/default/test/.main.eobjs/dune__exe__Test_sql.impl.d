@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Db Executor Format Int64 Lexer List Littletable Lt_sql Lt_util Parser Planner Printf Query String Support Table Value

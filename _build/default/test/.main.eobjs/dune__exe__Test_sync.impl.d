@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Clock Config Db Filename Gen Int64 List Littletable Lt_util Lt_vfs Printf QCheck Query String Support Table

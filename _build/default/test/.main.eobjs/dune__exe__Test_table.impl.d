@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Clock Config Db Descriptor Gen Hashtbl Int64 List Littletable Lt_util Period QCheck Query Schema Stats Support Table Value

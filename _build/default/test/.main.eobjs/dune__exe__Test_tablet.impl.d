@@ -1,0 +1,1 @@
+test/test_tablet.ml: Alcotest Array Block Bytes Char Descriptor Int64 Key_codec List Littletable Lt_util Lt_vfs Printf Row_codec Schema String Support Tablet Value

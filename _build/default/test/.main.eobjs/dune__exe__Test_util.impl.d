@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Binio Buffer Cdf Clock Crc32c Heap Int Int64 List Lt_lz Lt_util QCheck String Support Xorshift

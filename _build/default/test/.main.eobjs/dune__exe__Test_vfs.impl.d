@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Disk_model Filename Float Lt_vfs String Sys Unix Vfs

@@ -1,0 +1,78 @@
+(* Shared helpers for the test suites. *)
+
+open Littletable
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* The usage-table schema of Figure 1 / §4.1: (network, device, ts). *)
+let usage_schema () =
+  Schema.create
+    ~columns:
+      [
+        { Schema.name = "network"; ctype = Value.T_int64; default = Value.Int64 0L };
+        { Schema.name = "device"; ctype = Value.T_int64; default = Value.Int64 0L };
+        { Schema.name = "ts"; ctype = Value.T_timestamp; default = Value.Timestamp 0L };
+        { Schema.name = "bytes"; ctype = Value.T_int64; default = Value.Int64 0L };
+        { Schema.name = "rate"; ctype = Value.T_double; default = Value.Double 0.0 };
+      ]
+    ~pkey:[ "network"; "device"; "ts" ]
+
+let usage_row ~network ~device ~ts ~bytes ~rate =
+  [|
+    Value.Int64 network;
+    Value.Int64 device;
+    Value.Timestamp ts;
+    Value.Int64 bytes;
+    Value.Double rate;
+  |]
+
+(* A schema with a string key column, for codec edge cases. *)
+let event_schema () =
+  Schema.create
+    ~columns:
+      [
+        { Schema.name = "network"; ctype = Value.T_string; default = Value.String "" };
+        { Schema.name = "device"; ctype = Value.T_string; default = Value.String "" };
+        { Schema.name = "ts"; ctype = Value.T_timestamp; default = Value.Timestamp 0L };
+        { Schema.name = "event_id"; ctype = Value.T_int64; default = Value.Int64 0L };
+        { Schema.name = "body"; ctype = Value.T_blob; default = Value.Blob "" };
+      ]
+    ~pkey:[ "network"; "device"; "ts" ]
+
+(* A fresh in-memory database with a deterministic manual clock starting
+   mid-2024 so period boundaries are unremarkable. *)
+let fresh_db ?(config = Config.default) () =
+  let clock = Lt_util.Clock.manual ~start:1_720_000_000_000_000L () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let db = Db.open_ ~config ~clock ~vfs ~dir:"dbroot" () in
+  (db, clock, vfs)
+
+let ts0 = 1_720_000_000_000_000L
+
+let rows_of_result (r : Table.result) = r.Table.rows
+
+let int64_of_cell = function
+  | Value.Int64 v -> v
+  | v -> Alcotest.failf "expected int64 cell, got %s" (Value.to_string v)
+
+let ts_of_cell = function
+  | Value.Timestamp v -> v
+  | v -> Alcotest.failf "expected timestamp cell, got %s" (Value.to_string v)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+let check_int64 msg a b = Alcotest.(check int64) msg a b
+
+(* Sorted list of (network, device, ts, bytes) tuples from usage rows. *)
+let usage_tuples rows =
+  List.map
+    (fun row ->
+      ( int64_of_cell row.(0),
+        int64_of_cell row.(1),
+        ts_of_cell row.(2),
+        int64_of_cell row.(3) ))
+    rows

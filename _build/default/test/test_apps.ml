@@ -1,0 +1,552 @@
+open Littletable
+open Lt_util
+open Lt_apps
+
+let minute = Clock.minute
+
+let setup () =
+  let db, clock, vfs = Support.fresh_db () in
+  (db, clock, vfs)
+
+let mk_devices ~clock ~network n =
+  List.init n (fun i ->
+      Device.create ~seed:(Int64.of_int (100 + i)) ~network
+        ~device:(Int64.of_int (i + 1)) ~clock ())
+
+let advance_and_step clock devices d =
+  Clock.advance clock d;
+  List.iter Device.step devices
+
+(* ---- Device simulator ------------------------------------------------- *)
+
+let test_device_counter_monotone () =
+  let _, clock, _ = setup () in
+  let dev = Device.create ~seed:1L ~network:1L ~device:1L ~clock () in
+  let last = ref 0L in
+  for _ = 1 to 20 do
+    Clock.advance clock minute;
+    Device.step dev;
+    match Device.read_counter dev with
+    | Some (_, c) ->
+        Alcotest.(check bool) "monotone" true (c >= !last);
+        last := c
+    | None -> Alcotest.fail "online device must answer"
+  done;
+  Alcotest.(check bool) "accrued traffic" true (!last > 0L);
+  Device.reboot dev;
+  (match Device.read_counter dev with
+  | Some (_, c) -> Alcotest.(check int64) "reboot resets" 0L c
+  | None -> Alcotest.fail "offline after reboot?");
+  Device.set_online dev false;
+  Alcotest.(check bool) "offline returns None" true (Device.read_counter dev = None)
+
+let test_device_events_monotone_ids () =
+  let _, clock, _ = setup () in
+  let dev = Device.create ~seed:2L ~network:1L ~device:1L ~clock () in
+  Clock.advance clock (Int64.mul 30L minute);
+  Device.step dev;
+  match Device.fetch_events_after dev None with
+  | Some (first :: _ as events) ->
+      Alcotest.(check bool) "has events" true (List.length events > 5);
+      let ids = List.map (fun e -> e.Device.event_id) events in
+      Alcotest.(check bool) "strictly increasing" true
+        (List.for_all2 (fun a b -> b > a) (List.filteri (fun i _ -> i < List.length ids - 1) ids) (List.tl ids));
+      (* Incremental fetch starts after the supplied id. *)
+      (match Device.fetch_events_after dev (Some first.Device.event_id) with
+      | Some rest ->
+          Alcotest.(check int) "one less" (List.length events - 1) (List.length rest)
+      | None -> Alcotest.fail "online")
+  | _ -> Alcotest.fail "no events"
+
+let test_device_motion_words_valid () =
+  let _, clock, _ = setup () in
+  let dev = Device.create ~seed:3L ~network:1L ~device:7L ~clock () in
+  Clock.advance clock (Int64.mul 60L minute);
+  Device.step dev;
+  match Device.fetch_motion_after dev 0L with
+  | Some (_ :: _ as events) ->
+      List.iter
+        (fun ev ->
+          let w = ev.Device.word in
+          Alcotest.(check bool) "row in range" true (Motion.word_row w < Motion.coarse_rows);
+          Alcotest.(check bool) "col in range" true (Motion.word_col w < Motion.coarse_cols);
+          Alcotest.(check bool) "some blocks" true (Motion.word_blocks w > 0);
+          Alcotest.(check bool) "duration nonneg" true (ev.Device.duration >= 0L))
+        events
+  | _ -> Alcotest.fail "no motion"
+
+(* ---- Config store ------------------------------------------------------ *)
+
+let test_config_store () =
+  let cs = Config_store.create () in
+  Config_store.add_network cs ~id:1L ~name:"school";
+  Config_store.add_device cs ~network:1L ~device:10L ~tags:[ "classrooms" ];
+  Config_store.add_device cs ~network:1L ~device:11L ~tags:[ "classrooms"; "wing-b" ];
+  Config_store.add_device cs ~network:1L ~device:12L ~tags:[];
+  Alcotest.(check bool) "name" true (Config_store.network_name cs 1L = Some "school");
+  Alcotest.(check (list string)) "tags" [ "classrooms"; "wing-b" ]
+    (Config_store.device_tags cs ~network:1L ~device:11L);
+  Alcotest.(check (list string)) "unknown device" []
+    (Config_store.device_tags cs ~network:1L ~device:99L);
+  Alcotest.(check int) "device count" 3 (List.length (Config_store.devices cs));
+  Alcotest.(check (list string)) "all tags" [ "classrooms"; "wing-b" ]
+    (Config_store.all_tags cs);
+  match Config_store.add_device cs ~network:9L ~device:1L ~tags:[] with
+  | () -> Alcotest.fail "unknown network accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- UsageGrabber ------------------------------------------------------- *)
+
+let test_usage_grabber_rates () =
+  let db, clock, _ = setup () in
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 3 in
+  (* First poll only seeds the cache. *)
+  List.iter Device.step devices;
+  Alcotest.(check int) "first poll writes nothing" 0 (Usage_grabber.poll g devices);
+  Alcotest.(check int) "cache seeded" 3 (Usage_grabber.cache_size g);
+  let t_lo = Clock.now clock in
+  advance_and_step clock devices minute;
+  Alcotest.(check int) "second poll writes all" 3 (Usage_grabber.poll g devices);
+  advance_and_step clock devices minute;
+  ignore (Usage_grabber.poll g devices);
+  let t_hi = Clock.now clock in
+  (* Rates are consistent with the counters (bytes/second > 0). *)
+  let rates = Usage_grabber.device_rates table ~network:1L ~device:1L ~ts_min:t_lo ~ts_max:t_hi in
+  Alcotest.(check int) "two samples" 2 (List.length rates);
+  List.iter (fun (_, r) -> Alcotest.(check bool) "positive" true (r > 0.0)) rates;
+  (* Network rollup sums across devices. *)
+  let usage = Usage_grabber.network_usage table ~network:1L ~ts_min:t_lo ~ts_max:t_hi in
+  Alcotest.(check int) "three devices" 3 (List.length usage);
+  List.iter (fun (_, b) -> Alcotest.(check bool) "bytes > 0" true (b > 0L)) usage
+
+let test_usage_grabber_gap_threshold () =
+  let db, clock, _ = setup () in
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~threshold:Clock.hour ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 1 in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  (* Short unavailability (several minutes): proceed as normal. *)
+  advance_and_step clock devices (Int64.mul 5L minute);
+  Alcotest.(check int) "short gap writes" 1 (Usage_grabber.poll g devices);
+  (* Long unavailability (> T): no fabricated steady rate; gap shown. *)
+  advance_and_step clock devices (Int64.mul 3L Clock.hour);
+  Alcotest.(check int) "long gap writes nothing" 0 (Usage_grabber.poll g devices);
+  (* The next sample after the gap resumes. *)
+  advance_and_step clock devices minute;
+  Alcotest.(check int) "resumes" 1 (Usage_grabber.poll g devices)
+
+let test_usage_grabber_counter_reset () =
+  let db, clock, _ = setup () in
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 1 in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  advance_and_step clock devices minute;
+  ignore (Usage_grabber.poll g devices);
+  (* Reboot: counter goes backwards; the grabber must reseed, not write
+     a negative rate. *)
+  List.iter Device.reboot devices;
+  advance_and_step clock devices minute;
+  Alcotest.(check int) "reset writes nothing" 0 (Usage_grabber.poll g devices);
+  advance_and_step clock devices minute;
+  Alcotest.(check int) "then resumes" 1 (Usage_grabber.poll g devices)
+
+let test_usage_grabber_crash_recovery () =
+  let db, clock, _ = setup () in
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~threshold:Clock.hour ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 4 in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  advance_and_step clock devices minute;
+  ignore (Usage_grabber.poll g devices);
+  (* Device 4 goes silent long before the crash. *)
+  (match devices with
+  | d :: _ -> Device.set_online d false
+  | [] -> ());
+  advance_and_step clock devices minute;
+  ignore (Usage_grabber.poll g devices);
+  (* Crash; rebuild from the table. *)
+  Usage_grabber.crash g;
+  Alcotest.(check int) "cache empty" 0 (Usage_grabber.cache_size g);
+  Usage_grabber.rebuild_cache g
+    ~devices:(List.map (fun d -> (Device.network d, Device.device_id d)) devices);
+  (* All four devices had rows within T. *)
+  Alcotest.(check int) "cache rebuilt" 4 (Usage_grabber.cache_size g);
+  (* Resume: the next poll writes rows for online devices without
+     re-seeding (no data loss beyond the crash gap). *)
+  advance_and_step clock devices minute;
+  Alcotest.(check int) "resume writes 3 (one offline)" 3 (Usage_grabber.poll g devices)
+
+(* ---- Aggregator ---------------------------------------------------------- *)
+
+let populate_usage ~db ~clock ~networks ~devices_per ~minutes =
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~table ~clock () in
+  let devices =
+    List.concat_map
+      (fun n -> mk_devices ~clock ~network:(Int64.of_int n) devices_per)
+      (List.init networks (fun i -> i + 1))
+  in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  for _ = 1 to minutes do
+    advance_and_step clock devices minute;
+    ignore (Usage_grabber.poll g devices)
+  done;
+  (table, devices)
+
+let test_aggregator_rollup () =
+  let db, clock, _ = setup () in
+  let source, _ = populate_usage ~db ~clock ~networks:2 ~devices_per:3 ~minutes:45 in
+  let dest = Db.create_table db "usage_10m" (Aggregator.rollup_schema ()) ~ttl:None in
+  let agg =
+    Aggregator.create ~durability:(Aggregator.Safety_lag (Int64.mul 20L minute))
+      ~source ~dest ~clock ()
+  in
+  let periods = Aggregator.run_once agg in
+  Alcotest.(check bool) "aggregated some periods" true (periods >= 2);
+  (* Dest rows: one per (network, period) with data. *)
+  let rows = Aggregator.read_rollup dest ~key:(Value.Int64 1L) ~ts_min:0L ~ts_max:Int64.max_int in
+  Alcotest.(check bool) "network 1 rollups" true (List.length rows >= 2);
+  List.iter
+    (fun (_, bytes, hll) ->
+      Alcotest.(check bool) "bytes positive" true (bytes > 0L);
+      (* 3 devices active; HLL estimate should be close. *)
+      Alcotest.(check bool) "device estimate ~3" true (hll > 1.5 && hll < 4.5))
+    rows;
+  (* Idempotent: a second run adds nothing new for the same periods. *)
+  let before = List.length rows in
+  ignore (Aggregator.run_once agg);
+  let after =
+    List.length
+      (Aggregator.read_rollup dest ~key:(Value.Int64 1L) ~ts_min:0L ~ts_max:Int64.max_int)
+  in
+  Alcotest.(check int) "idempotent" before after
+
+let test_aggregator_crash_recovery () =
+  let db, clock, _ = setup () in
+  let source, devices = populate_usage ~db ~clock ~networks:1 ~devices_per:2 ~minutes:45 in
+  let dest = Db.create_table db "usage_10m" (Aggregator.rollup_schema ()) ~ttl:None in
+  let agg = Aggregator.create ~source ~dest ~clock () in
+  ignore (Aggregator.run_once agg);
+  let pos_before = Aggregator.position agg in
+  (* Crash; recovery must find the same resume point (minus the one
+     re-processed period). *)
+  Aggregator.crash agg;
+  Alcotest.(check bool) "position forgotten" true (Aggregator.position agg = None);
+  Aggregator.recover agg;
+  (match (Aggregator.position agg, pos_before) with
+  | Some got, Some want ->
+      Alcotest.(check int64) "recovered one period before" (Int64.sub want (Int64.mul 10L minute)) got
+  | _ -> Alcotest.fail "no position");
+  (* Continue aggregating new data; totals stay consistent (no dupes). *)
+  let g = Usage_grabber.create ~table:source ~clock () in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  for _ = 1 to 30 do
+    advance_and_step clock devices minute;
+    ignore (Usage_grabber.poll g devices)
+  done;
+  ignore (Aggregator.run_once agg);
+  let rows = Aggregator.read_rollup dest ~key:(Value.Int64 1L) ~ts_min:0L ~ts_max:Int64.max_int in
+  let tss = List.map (fun (ts, _, _) -> ts) rows in
+  Alcotest.(check bool) "period starts unique" true
+    (List.length tss = List.length (List.sort_uniq compare tss))
+
+let test_aggregator_flush_command () =
+  (* With the proposed flush command there is no 20-minute lag: periods
+     right up to now are aggregatable. *)
+  let db, clock, _ = setup () in
+  let source, _ = populate_usage ~db ~clock ~networks:1 ~devices_per:2 ~minutes:25 in
+  let dest = Db.create_table db "usage_10m" (Aggregator.rollup_schema ()) ~ttl:None in
+  let lagged = Aggregator.create ~source ~dest ~clock () in
+  let eager =
+    Aggregator.create ~durability:Aggregator.Flush_command ~source
+      ~dest:(Db.create_table db "usage_10m_eager" (Aggregator.rollup_schema ()) ~ttl:None)
+      ~clock ()
+  in
+  let p_lagged = Aggregator.run_once lagged in
+  let p_eager = Aggregator.run_once eager in
+  Alcotest.(check bool) "flush command sees more periods" true (p_eager > p_lagged)
+
+let test_tag_aggregator () =
+  let db, clock, _ = setup () in
+  let source, _ = populate_usage ~db ~clock ~networks:1 ~devices_per:3 ~minutes:35 in
+  let cs = Config_store.create () in
+  Config_store.add_network cs ~id:1L ~name:"school";
+  Config_store.add_device cs ~network:1L ~device:1L ~tags:[ "classrooms" ];
+  Config_store.add_device cs ~network:1L ~device:2L ~tags:[ "classrooms"; "playing-fields" ];
+  Config_store.add_device cs ~network:1L ~device:3L ~tags:[ "playing-fields" ];
+  let dest = Db.create_table db "usage_by_tag" (Aggregator.tag_schema ()) ~ttl:None in
+  let agg = Aggregator.create ~tags:cs ~source ~dest ~clock () in
+  let periods = Aggregator.run_once agg in
+  Alcotest.(check bool) "aggregated" true (periods >= 1);
+  let classrooms =
+    Aggregator.read_rollup dest ~key:(Value.String "classrooms") ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  let fields =
+    Aggregator.read_rollup dest ~key:(Value.String "playing-fields") ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  Alcotest.(check bool) "both tags present" true (classrooms <> [] && fields <> []);
+  List.iter
+    (fun (_, _, hll) -> Alcotest.(check bool) "~2 devices per tag" true (hll > 1.0 && hll < 3.5))
+    classrooms
+
+(* ---- EventsGrabber ------------------------------------------------------- *)
+
+let test_events_grabber_basic () =
+  let db, clock, _ = setup () in
+  let table = Events_grabber.create_table db "events" in
+  let g = Events_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 2 in
+  advance_and_step clock devices (Int64.mul 30L minute);
+  let n = Events_grabber.poll g devices in
+  Alcotest.(check bool) "events stored" true (n > 5);
+  (* Incremental: an immediate second poll adds nothing. *)
+  Alcotest.(check int) "incremental" 0 (Events_grabber.poll g devices);
+  advance_and_step clock devices (Int64.mul 30L minute);
+  Alcotest.(check bool) "new events arrive" true (Events_grabber.poll g devices > 0);
+  (* Reads come back in ts order with bodies. *)
+  let evs =
+    Events_grabber.device_events table ~network:1L ~device:1L ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  Alcotest.(check bool) "some events" true (List.length evs > 2);
+  let tss = List.map (fun (ts, _, _) -> ts) evs in
+  Alcotest.(check bool) "sorted" true (List.sort compare tss = tss)
+
+let test_events_grabber_crash_recovery () =
+  let db, clock, _ = setup () in
+  let table = Events_grabber.create_table db "events" in
+  let g = Events_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 3 in
+  advance_and_step clock devices (Int64.mul 30L minute);
+  ignore (Events_grabber.poll g devices);
+  let id_before = Events_grabber.cached_id g ~network:1L ~device:1L in
+  Events_grabber.crash g;
+  Events_grabber.recover g ~devices ~lookback:Clock.hour;
+  Alcotest.(check bool) "cache rebuilt to same id" true
+    (Events_grabber.cached_id g ~network:1L ~device:1L = id_before);
+  (* No duplicates after resuming. *)
+  advance_and_step clock devices (Int64.mul 10L minute);
+  ignore (Events_grabber.poll g devices);
+  let evs =
+    Events_grabber.device_events table ~network:1L ~device:1L ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  let ids = List.map (fun (_, id, _) -> id) evs in
+  Alcotest.(check bool) "unique ids" true
+    (List.length ids = List.length (List.sort_uniq compare ids))
+
+let test_events_grabber_long_offline_device () =
+  (* A device offline for a long period: recovery pass 2 uses the
+     device's oldest retained event to bound the table search. *)
+  let db, clock, _ = setup () in
+  let table = Events_grabber.create_table db "events" in
+  let g = Events_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 1 in
+  advance_and_step clock devices (Int64.mul 60L minute);
+  ignore (Events_grabber.poll g devices);
+  let id_before = Events_grabber.cached_id g ~network:1L ~device:1L in
+  (* Device keeps generating while the grabber is down for a day. *)
+  Events_grabber.crash g;
+  advance_and_step clock devices (Int64.mul 24L (Int64.mul 60L minute));
+  (* Recovery with a short lookback misses the old rows in pass 1 and
+     must use pass 2. *)
+  Events_grabber.recover g ~devices ~lookback:(Int64.mul 30L minute);
+  (match (Events_grabber.cached_id g ~network:1L ~device:1L, id_before) with
+  | Some got, Some want -> Alcotest.(check int64) "found old id" want got
+  | _ -> Alcotest.fail "no id recovered");
+  (* Poll now fetches exactly the day's backlog, no duplicates. *)
+  ignore (Events_grabber.poll g devices);
+  let evs =
+    Events_grabber.device_events table ~network:1L ~device:1L ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  let ids = List.map (fun (_, id, _) -> id) evs in
+  Alcotest.(check bool) "ids unique" true
+    (List.length ids = List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "backlog landed" true (List.length ids > 20)
+
+let test_events_grabber_sentinels () =
+  let db, clock, _ = setup () in
+  let table = Events_grabber.create_table db "events" in
+  let g = Events_grabber.create ~sentinel_every:2 ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 1 in
+  for _ = 1 to 4 do
+    advance_and_step clock devices (Int64.mul 10L minute);
+    ignore (Events_grabber.poll g devices)
+  done;
+  (* Sentinels present in raw storage but hidden from event reads. *)
+  let raw = (Table.query table Query.all).Table.rows in
+  let sentinels =
+    List.filter
+      (fun r -> r.(4) = Value.String Events_grabber.sentinel_body)
+      raw
+  in
+  Alcotest.(check bool) "sentinels written" true (List.length sentinels >= 1);
+  let evs =
+    Events_grabber.device_events table ~network:1L ~device:1L ~ts_min:0L
+      ~ts_max:Int64.max_int
+  in
+  Alcotest.(check bool) "reads hide sentinels" true
+    (List.for_all (fun (_, _, body) -> body <> Events_grabber.sentinel_body) evs)
+
+let test_events_search () =
+  let db, clock, _ = setup () in
+  let table = Events_grabber.create_table db "events" in
+  let g = Events_grabber.create ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 2 in
+  advance_and_step clock devices (Int64.mul 120L minute);
+  ignore (Events_grabber.poll g devices);
+  let hits =
+    Events_grabber.search table ~network:1L ~pattern:"dhcp" ~ts_min:0L
+      ~ts_max:Int64.max_int ~limit:10
+  in
+  Alcotest.(check bool) "found dhcp events" true (hits <> []);
+  List.iter
+    (fun (_, _, _, body) ->
+      Alcotest.(check bool) "matches" true
+        (String.length body >= 4))
+    hits;
+  (* Newest first. *)
+  let tss = List.map (fun (_, ts, _, _) -> ts) hits in
+  Alcotest.(check bool) "descending" true (List.rev (List.sort compare tss) = tss)
+
+(* ---- Motion ---------------------------------------------------------------- *)
+
+let test_motion_words () =
+  let w = Motion.word ~row:3 ~col:7 ~blocks:0b101 in
+  Alcotest.(check int) "row" 3 (Motion.word_row w);
+  Alcotest.(check int) "col" 7 (Motion.word_col w);
+  Alcotest.(check int) "blocks" 0b101 (Motion.word_blocks w);
+  (* Bits 0 and 2: macroblocks (42,12) and (44,12) — cell base (42,12). *)
+  Alcotest.(check bool) "macroblocks" true
+    (Motion.word_macroblocks w = [ (42, 12); (44, 12) ]);
+  (match Motion.word ~row:9 ~col:0 ~blocks:1 with
+  | (_ : int32) -> Alcotest.fail "row 9 accepted"
+  | exception Invalid_argument _ -> ());
+  (* All 24 bits set covers the full 6x4 cell. *)
+  let full = Motion.word ~row:0 ~col:0 ~blocks:0xFFFFFF in
+  Alcotest.(check int) "24 macroblocks" 24 (List.length (Motion.word_macroblocks full))
+
+let test_motion_grabber_and_search () =
+  let db, clock, _ = setup () in
+  let table = Motion.create_table db "motion" in
+  let g = Motion.create ~table ~clock () in
+  let cams = mk_devices ~clock ~network:1L 1 in
+  advance_and_step clock cams (Int64.mul 120L minute);
+  let n = Motion.poll g cams in
+  Alcotest.(check bool) "motion stored" true (n > 5);
+  Alcotest.(check int) "incremental" 0 (Motion.poll g cams);
+  (* Whole-frame search returns everything; an empty rectangle far off
+     the motion returns a subset. *)
+  let all =
+    Motion.search table ~camera:1L
+      ~rect:{ Motion.x0 = 0; y0 = 0; x1 = 59; y1 = 33 }
+      ~ts_min:0L ~ts_max:Int64.max_int ~limit:max_int
+  in
+  (* Events whose only set macroblocks fall in the clipped bottom slice
+     of the last coarse row (y >= 34) are legitimately invisible. *)
+  let visible =
+    List.filter
+      (fun r ->
+        match r.(2) with
+        | Value.Int32 w -> Motion.word_macroblocks w <> []
+        | _ -> false)
+      (Table.query table Query.all).Table.rows
+  in
+  Alcotest.(check int) "full-frame search finds all visible"
+    (List.length visible) (List.length all);
+  Alcotest.(check bool) "most events visible" true (List.length all > n / 2);
+  let corner =
+    Motion.search table ~camera:1L
+      ~rect:{ Motion.x0 = 0; y0 = 0; x1 = 2; y1 = 2 }
+      ~ts_min:0L ~ts_max:Int64.max_int ~limit:max_int
+  in
+  Alcotest.(check bool) "corner subset" true (List.length corner <= List.length all);
+  (* Newest first. *)
+  (match all with
+  | (t1, _, _) :: (t2, _, _) :: _ -> Alcotest.(check bool) "desc" true (t1 >= t2)
+  | _ -> ());
+  (* Heatmap counts equal per-macroblock hits. *)
+  let grid = Motion.heatmap table ~camera:1L ~ts_min:0L ~ts_max:Int64.max_int in
+  let total = Array.fold_left (fun a row -> Array.fold_left ( + ) a row) 0 grid in
+  Alcotest.(check bool) "heatmap populated" true (total > 0);
+  (* Crash/recover: positions rebuilt, no duplicate inserts. *)
+  Motion.crash g;
+  Motion.recover g ~cameras:cams ~lookback:Clock.week;
+  advance_and_step clock cams (Int64.mul 30L minute);
+  ignore (Motion.poll g cams);
+  let rows = (Table.query table Query.all).Table.rows in
+  let keys = List.map (fun r -> (r.(0), r.(1))) rows in
+  Alcotest.(check bool) "no duplicate (camera, ts)" true
+    (List.length keys = List.length (List.sort_uniq compare keys))
+
+(* Device churn: devices flapping offline/online mid-pipeline. Offline
+   devices are skipped; gaps longer than T produce no fabricated rates;
+   everything resumes cleanly. *)
+let test_pipeline_with_device_churn () =
+  let db, clock, _ = setup () in
+  let table = Usage_grabber.create_table db "usage" in
+  let g = Usage_grabber.create ~threshold:Clock.hour ~table ~clock () in
+  let devices = mk_devices ~clock ~network:1L 4 in
+  let rng = Lt_util.Xorshift.create 77L in
+  List.iter Device.step devices;
+  ignore (Usage_grabber.poll g devices);
+  for _minute = 1 to 240 do
+    advance_and_step clock devices minute;
+    (* Random 5% chance each device flips availability. *)
+    List.iter
+      (fun d ->
+        if Lt_util.Xorshift.int rng 20 = 0 then
+          Device.set_online d (not (Device.is_online d)))
+      devices;
+    ignore (Usage_grabber.poll g devices)
+  done;
+  List.iter (fun d -> Device.set_online d true) devices;
+  advance_and_step clock devices minute;
+  ignore (Usage_grabber.poll g devices);
+  (* All stored rates must be sane: positive and over intervals <= T. *)
+  let rows = (Table.query table Query.all).Table.rows in
+  Alcotest.(check bool) "rows collected" true (List.length rows > 50);
+  List.iter
+    (fun r ->
+      match (r.(2), r.(3), r.(5)) with
+      | Value.Timestamp t2, Value.Timestamp t1, Value.Double rate ->
+          Alcotest.(check bool) "interval within T" true
+            (Int64.sub t2 t1 <= Clock.hour && t2 > t1);
+          Alcotest.(check bool) "rate sane" true (rate >= 0.0)
+      | _ -> Alcotest.fail "bad row shape")
+    rows
+
+let suite =
+  [
+    ("device: counter monotone / reboot / offline", `Quick, test_device_counter_monotone);
+    ("device: events have monotone ids", `Quick, test_device_events_monotone_ids);
+    ("device: motion words valid", `Quick, test_device_motion_words_valid);
+    ("config store", `Quick, test_config_store);
+    ("usage grabber: rates", `Quick, test_usage_grabber_rates);
+    ("usage grabber: gap threshold T", `Quick, test_usage_grabber_gap_threshold);
+    ("usage grabber: counter reset", `Quick, test_usage_grabber_counter_reset);
+    ("usage grabber: crash recovery", `Quick, test_usage_grabber_crash_recovery);
+    ("aggregator: 10-minute rollup + HLL", `Quick, test_aggregator_rollup);
+    ("aggregator: crash recovery (exp lookback)", `Quick, test_aggregator_crash_recovery);
+    ("aggregator: flush command beats safety lag", `Quick, test_aggregator_flush_command);
+    ("aggregator: tag join", `Quick, test_tag_aggregator);
+    ("events grabber: basic + incremental", `Quick, test_events_grabber_basic);
+    ("events grabber: crash recovery", `Quick, test_events_grabber_crash_recovery);
+    ("events grabber: long-offline device", `Quick, test_events_grabber_long_offline_device);
+    ("events grabber: sentinels", `Quick, test_events_grabber_sentinels);
+    ("events search", `Quick, test_events_search);
+    ("motion: word encoding", `Quick, test_motion_words);
+    ("motion: grabber, search, heatmap", `Quick, test_motion_grabber_and_search);
+    ("pipeline with device churn", `Quick, test_pipeline_with_device_churn);
+  ]

@@ -1,0 +1,67 @@
+open Lt_bloom
+
+let test_no_false_negatives () =
+  let b = Bloom.create ~expected_keys:1000 () in
+  let keys = List.init 1000 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter (Bloom.add b) keys;
+  List.iter
+    (fun k ->
+      if not (Bloom.mem b k) then Alcotest.failf "false negative on %s" k)
+    keys
+
+let test_false_positive_rate () =
+  (* 10 bits/key gives ~1% FPR; assert under 3% with margin. *)
+  let n = 5000 in
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:n () in
+  for i = 0 to n - 1 do
+    Bloom.add b (Printf.sprintf "member-%d" i)
+  done;
+  let fp = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (Printf.sprintf "absent-%d" i) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  if rate > 0.03 then Alcotest.failf "false positive rate %.4f too high" rate
+
+let test_empty_filter () =
+  let b = Bloom.create ~expected_keys:10 () in
+  Alcotest.(check bool) "empty has nothing" false (Bloom.mem b "anything");
+  Bloom.add b "";
+  Alcotest.(check bool) "empty string key" true (Bloom.mem b "")
+
+let test_serialization () =
+  let b = Bloom.create ~expected_keys:100 () in
+  List.iter (Bloom.add b) [ "a"; "bb"; "ccc"; "\x00\x01\xff" ];
+  let buf = Buffer.create 64 in
+  Bloom.encode buf b;
+  let b' = Bloom.decode (Lt_util.Binio.cursor (Buffer.contents buf)) in
+  Alcotest.(check int) "bits preserved" (Bloom.bit_count b) (Bloom.bit_count b');
+  Alcotest.(check int) "k preserved" (Bloom.hash_count b) (Bloom.hash_count b');
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (Bloom.mem b' k))
+    [ "a"; "bb"; "ccc"; "\x00\x01\xff" ]
+
+let test_sizing () =
+  let b = Bloom.create ~bits_per_key:10 ~expected_keys:1000 () in
+  Alcotest.(check bool) "at least 10 bits/key" true (Bloom.bit_count b >= 10_000);
+  let tiny = Bloom.create ~expected_keys:0 () in
+  Alcotest.(check bool) "minimum size" true (Bloom.bit_count tiny >= 64)
+
+let prop_membership =
+  QCheck.Test.make ~name:"bloom: added keys always member" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (string_gen_of_size Gen.(int_bound 30) Gen.char))
+    (fun keys ->
+      let b = Bloom.create ~expected_keys:(List.length keys) () in
+      List.iter (Bloom.add b) keys;
+      List.for_all (Bloom.mem b) keys)
+
+let suite =
+  [
+    ("no false negatives", `Quick, test_no_false_negatives);
+    ("false positive rate ~1%", `Quick, test_false_positive_rate);
+    ("empty filter", `Quick, test_empty_filter);
+    ("serialization roundtrip", `Quick, test_serialization);
+    ("sizing", `Quick, test_sizing);
+    Support.qcheck prop_membership;
+  ]

@@ -1,0 +1,190 @@
+open Littletable
+
+let schema = Support.usage_schema ()
+
+let key net dev ts =
+  Key_codec.encode_key schema
+    (Support.usage_row ~network:net ~device:dev ~ts ~bytes:0L ~rate:0.0)
+
+let row tag = [| Value.Int64 tag |]
+
+let source_of_list entries =
+  let remaining = ref entries in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | kv :: tl ->
+        remaining := tl;
+        Some kv
+
+let keys_of src = List.map fst (Cursor.to_list src)
+
+let test_merge_interleaves () =
+  let a = [ (key 1L 1L 1L, row 1L); (key 1L 3L 1L, row 3L) ] in
+  let b = [ (key 1L 2L 1L, row 2L); (key 1L 4L 1L, row 4L) ] in
+  let merged =
+    Cursor.merge ~asc:true [ (1, source_of_list a); (2, source_of_list b) ]
+  in
+  Alcotest.(check (list string)) "sorted"
+    [ key 1L 1L 1L; key 1L 2L 1L; key 1L 3L 1L; key 1L 4L 1L ]
+    (keys_of merged)
+
+let test_merge_desc () =
+  let a = [ (key 1L 3L 1L, row 3L); (key 1L 1L 1L, row 1L) ] in
+  let b = [ (key 1L 2L 1L, row 2L) ] in
+  let merged =
+    Cursor.merge ~asc:false [ (1, source_of_list a); (2, source_of_list b) ]
+  in
+  Alcotest.(check (list string)) "reverse sorted"
+    [ key 1L 3L 1L; key 1L 2L 1L; key 1L 1L 1L ]
+    (keys_of merged)
+
+let test_merge_dedup_priority () =
+  (* Same key in two sources: the higher-priority (newer tablet) wins. *)
+  let k = key 1L 1L 1L in
+  let old_src = [ (k, row 100L) ] and new_src = [ (k, row 200L) ] in
+  let merged =
+    Cursor.merge ~asc:true [ (1, source_of_list old_src); (9, source_of_list new_src) ]
+  in
+  (match Cursor.to_list merged with
+  | [ (_, r) ] -> Alcotest.(check bool) "newer row" true (r = row 200L)
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l));
+  (* Three-way duplicate. *)
+  let merged =
+    Cursor.merge ~asc:true
+      [ (1, source_of_list [ (k, row 1L) ]);
+        (3, source_of_list [ (k, row 3L) ]);
+        (2, source_of_list [ (k, row 2L) ]) ]
+  in
+  match Cursor.to_list merged with
+  | [ (_, r) ] -> Alcotest.(check bool) "highest priority" true (r = row 3L)
+  | l -> Alcotest.failf "expected 1 row, got %d" (List.length l)
+
+let test_merge_empty_sources () =
+  Alcotest.(check int) "no sources" 0 (List.length (Cursor.to_list (Cursor.merge ~asc:true [])));
+  let merged =
+    Cursor.merge ~asc:true
+      [ (1, source_of_list []); (2, source_of_list [ (key 1L 1L 1L, row 1L) ]) ]
+  in
+  Alcotest.(check int) "one empty source" 1 (List.length (Cursor.to_list merged))
+
+let test_filter_ts () =
+  let entries =
+    [ (key 1L 1L 10L, row 1L); (key 1L 1L 20L, row 2L); (key 1L 1L 30L, row 3L) ]
+  in
+  let scanned = ref 0 in
+  let src =
+    Cursor.filter_ts ~scanned ~ts_min:15L ~ts_max:25L (source_of_list entries)
+  in
+  Alcotest.(check (list string)) "in window" [ key 1L 1L 20L ] (keys_of src);
+  Alcotest.(check int) "scanned counts everything" 3 !scanned;
+  (* Unbounded sides. *)
+  let scanned = ref 0 in
+  let src = Cursor.filter_ts ~scanned ~ts_min:20L (source_of_list entries) in
+  Alcotest.(check int) "min only" 2 (List.length (Cursor.to_list src));
+  let scanned = ref 0 in
+  let src = Cursor.filter_ts ~scanned (source_of_list entries) in
+  Alcotest.(check int) "no bounds" 3 (List.length (Cursor.to_list src))
+
+let test_take () =
+  let entries = List.init 10 (fun i -> (key 1L (Int64.of_int i) 1L, row (Int64.of_int i))) in
+  Alcotest.(check int) "take 3" 3
+    (List.length (Cursor.to_list (Cursor.take 3 (source_of_list entries))));
+  Alcotest.(check int) "take 0" 0
+    (List.length (Cursor.to_list (Cursor.take 0 (source_of_list entries))));
+  Alcotest.(check int) "take beyond" 10
+    (List.length (Cursor.to_list (Cursor.take 99 (source_of_list entries))))
+
+let prop_merge_equals_sorted_union =
+  QCheck.Test.make ~name:"merge = sorted union of disjoint sources" ~count:300
+    QCheck.(pair (list (pair (int_bound 50) (int_bound 1000)))
+              (list (pair (int_bound 50) (int_bound 1000))))
+    (fun (xs, ys) ->
+      (* Build disjoint key sets: evens from xs, odds from ys. *)
+      let mk parity (d, ts) = (key 1L (Int64.of_int ((d * 2) + parity)) (Int64.of_int ts), row 0L) in
+      let dedup l =
+        List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l
+      in
+      let a = dedup (List.map (mk 0) xs) and b = dedup (List.map (mk 1) ys) in
+      let merged =
+        Cursor.merge ~asc:true [ (1, source_of_list a); (2, source_of_list b) ]
+      in
+      let expect = List.map fst (List.sort compare (a @ b)) in
+      keys_of merged = expect)
+
+(* ---- Query compilation edge cases ------------------------------------ *)
+
+let compile q = Query.compile schema q
+
+let test_compile_prefix_ranges () =
+  (* Inclusive prefix on both sides = byte-prefix range. *)
+  let q = Query.prefix [ Value.Int64 5L ] in
+  (match compile q with
+  | Some c ->
+      let enc = Key_codec.encode_prefix schema [ Value.Int64 5L ] in
+      Alcotest.(check string) "lo" enc c.Query.lo;
+      Alcotest.(check bool) "hi = succ" true (c.Query.hi = Key_codec.prefix_succ enc)
+  | None -> Alcotest.fail "compilable");
+  (* Unbounded both sides. *)
+  (match compile Query.all with
+  | Some c ->
+      Alcotest.(check string) "lo empty" "" c.Query.lo;
+      Alcotest.(check bool) "hi none" true (c.Query.hi = None)
+  | None -> Alcotest.fail "all compiles")
+
+let test_compile_empty_ranges () =
+  (* lo > hi is provably empty. *)
+  let q =
+    { Query.all with
+      Query.key_low = Query.Incl [ Value.Int64 9L ];
+      Query.key_high = Query.Excl [ Value.Int64 3L ] }
+  in
+  Alcotest.(check bool) "empty range" true (compile q = None);
+  (* Exclusive low of a prefix excludes the whole subtree. *)
+  let q =
+    { Query.all with
+      Query.key_low = Query.Excl [ Value.Int64 5L ];
+      Query.key_high = Query.Incl [ Value.Int64 5L ] }
+  in
+  Alcotest.(check bool) "excl kills incl of same prefix" true (compile q = None)
+
+let test_compile_exclusive_bounds () =
+  let q =
+    { Query.all with
+      Query.key_low = Query.Excl [ Value.Int64 5L ];
+      Query.key_high = Query.Excl [ Value.Int64 7L ] }
+  in
+  match compile q with
+  | Some c ->
+      let e5 = Key_codec.encode_prefix schema [ Value.Int64 5L ] in
+      let e7 = Key_codec.encode_prefix schema [ Value.Int64 7L ] in
+      Alcotest.(check bool) "lo succ(5)" true (Some c.Query.lo = Key_codec.prefix_succ e5);
+      Alcotest.(check bool) "hi = 7" true (c.Query.hi = Some e7)
+  | None -> Alcotest.fail "compilable"
+
+let test_query_builders () =
+  let q = Query.between ~ts_min:10L ~ts_max:20L Query.all in
+  Alcotest.(check bool) "bounds" true (q.Query.ts_min = Some 10L && q.Query.ts_max = Some 20L);
+  (* Narrowing composes. *)
+  let q = Query.between ~ts_min:15L ~ts_max:30L q in
+  Alcotest.(check bool) "intersection" true (q.Query.ts_min = Some 15L && q.Query.ts_max = Some 20L);
+  let q = Query.with_limit 5 (Query.with_direction Query.Desc q) in
+  Alcotest.(check bool) "direction+limit" true
+    (q.Query.direction = Query.Desc && q.Query.limit = Some 5);
+  (* pp does not raise. *)
+  Alcotest.(check bool) "pp" true (String.length (Format.asprintf "%a" Query.pp q) > 0)
+
+let suite =
+  [
+    ("merge interleaves", `Quick, test_merge_interleaves);
+    ("merge descending", `Quick, test_merge_desc);
+    ("merge dedup by priority", `Quick, test_merge_dedup_priority);
+    ("merge with empty sources", `Quick, test_merge_empty_sources);
+    ("filter_ts", `Quick, test_filter_ts);
+    ("take", `Quick, test_take);
+    ("compile prefix ranges", `Quick, test_compile_prefix_ranges);
+    ("compile empty ranges", `Quick, test_compile_empty_ranges);
+    ("compile exclusive bounds", `Quick, test_compile_exclusive_bounds);
+    ("query builders", `Quick, test_query_builders);
+    Support.qcheck prop_merge_equals_sorted_union;
+  ]

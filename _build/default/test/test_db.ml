@@ -1,0 +1,205 @@
+(* Database-level behaviour: discovery, naming, maintenance, concurrency
+   between writers / readers / maintenance, and I/O fault tolerance. *)
+
+open Littletable
+open Lt_util
+
+let schema () = Support.usage_schema ()
+
+let row net dev ts =
+  Support.usage_row ~network:net ~device:dev ~ts ~bytes:0L ~rate:0.0
+
+let test_discovery_on_open () =
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let db = Db.open_ ~clock ~vfs ~dir:"root" () in
+  let t1 = Db.create_table db "alpha" (schema ()) ~ttl:None in
+  let _ = Db.create_table db "beta" (schema ()) ~ttl:(Some Clock.week) in
+  Table.insert_row t1 (row 1L 1L 1L);
+  Db.flush_all db;
+  Db.close db;
+  (* A fresh Db discovers both tables from their descriptors. *)
+  let db2 = Db.open_ ~clock ~vfs ~dir:"root" () in
+  Alcotest.(check (list string)) "discovered" [ "alpha"; "beta" ] (Db.table_names db2);
+  Alcotest.(check bool) "ttl restored" true
+    (Table.ttl (Db.table db2 "beta") = Some Clock.week);
+  Alcotest.(check int) "data back" 1
+    (List.length (Table.query (Db.table db2 "alpha") Query.all).Table.rows)
+
+let test_bad_names_rejected () =
+  let db, _, _ = Support.fresh_db () in
+  let bad name =
+    match Db.create_table db name (schema ()) ~ttl:None with
+    | (_ : Table.t) -> Alcotest.failf "accepted %S" name
+    | exception Invalid_argument _ -> ()
+  in
+  bad "";
+  bad "a/b";
+  bad "DESCRIPTOR";
+  (* Duplicates rejected. *)
+  ignore (Db.create_table db "x" (schema ()) ~ttl:None);
+  match Db.create_table db "x" (schema ()) ~ttl:None with
+  | (_ : Table.t) -> Alcotest.fail "duplicate accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_db_maintenance_covers_tables () =
+  let config = Config.make ~merge_delay:0L ~rollover_spread:0.0 () in
+  let db, clock, _ = Support.fresh_db ~config () in
+  let t1 = Db.create_table db "a" (schema ()) ~ttl:None in
+  let t2 = Db.create_table db "b" (schema ()) ~ttl:(Some Clock.week) in
+  Table.insert_row t1 (row 1L 1L (Clock.now clock));
+  Table.insert_row t2 (row 1L 1L (Int64.sub (Clock.now clock) (Int64.mul 3L Clock.week)));
+  Table.flush_all t2;
+  (* Age-based flush for t1 and TTL expiry for t2, in one pass. *)
+  Clock.advance clock (Int64.mul 11L Clock.minute);
+  Db.maintenance db;
+  Alcotest.(check int) "t1 flushed" 0 (Table.memtable_count t1);
+  Alcotest.(check int) "t2 expired" 0 (Table.tablet_count t2)
+
+(* Concurrent writer + readers + maintenance on one table: no lost rows,
+   no crashes, queries always see a consistent (prefix-consistent)
+   snapshot. *)
+let test_concurrent_insert_query_maintenance () =
+  let config =
+    Config.make ~flush_size:(16 * 1024) ~merge_delay:0L ~rollover_spread:0.0 ()
+  in
+  (* System clock: threads advance in real time. *)
+  let vfs = Lt_vfs.Vfs.memory () in
+  let db = Db.open_ ~config ~vfs ~dir:"root" () in
+  let t = Db.create_table db "hot" (schema ()) ~ttl:None in
+  let writer_done = ref false in
+  let failures = ref [] in
+  let record_failure exn =
+    failures := Printexc.to_string exn :: !failures
+  in
+  let writer =
+    Thread.create
+      (fun () ->
+        try
+          for i = 0 to 1999 do
+            Table.insert_row t (row 1L (Int64.of_int i) (Int64.of_int (i + 1)))
+          done;
+          writer_done := true
+        with exn -> record_failure exn)
+      ()
+  in
+  let reader =
+    Thread.create
+      (fun () ->
+        try
+          while not !writer_done do
+            let rows = (Table.query t Query.all).Table.rows in
+            (* Devices must appear without gaps: insertion order is
+               device order, and queries see a consistent snapshot. *)
+            let devices = List.map (fun r -> Support.int64_of_cell r.(1)) rows in
+            let sorted = List.sort compare devices in
+            ignore
+              (List.fold_left
+                 (fun expect d ->
+                   if d <> expect then
+                     record_failure
+                       (Failure (Printf.sprintf "gap: %Ld != %Ld" d expect));
+                   Int64.add d 1L)
+                 0L sorted);
+            Thread.yield ()
+          done
+        with exn -> record_failure exn)
+      ()
+  in
+  let maintainer =
+    Thread.create
+      (fun () ->
+        try
+          while not !writer_done do
+            Table.maintenance t;
+            Thread.yield ()
+          done
+        with exn -> record_failure exn)
+      ()
+  in
+  Thread.join writer;
+  Thread.join reader;
+  Thread.join maintainer;
+  Alcotest.(check (list string)) "no thread failures" [] !failures;
+  Alcotest.(check int) "all rows present" 2000
+    (List.length (Table.query t Query.all).Table.rows)
+
+let test_concurrent_tables_isolated () =
+  (* Paper §5.1.4: almost no shared state between tables. Writers to
+     distinct tables run concurrently without interference. *)
+  let db, _, _ = Support.fresh_db () in
+  let tables =
+    List.init 4 (fun i -> Db.create_table db (Printf.sprintf "w%d" i) (schema ()) ~ttl:None)
+  in
+  let failures = ref 0 in
+  let threads =
+    List.map
+      (fun t ->
+        Thread.create
+          (fun () ->
+            try
+              for i = 0 to 499 do
+                Table.insert_row t (row 1L (Int64.of_int i) (Int64.of_int (i + 1)))
+              done
+            with _ -> incr failures)
+          ())
+      tables
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no failures" 0 !failures;
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "each table complete" 500
+        (List.length (Table.query t Query.all).Table.rows))
+    tables
+
+(* I/O faults during flush must not corrupt the table: the failed flush
+   raises, the data stays queryable from memory, and a retry after the
+   fault clears succeeds. *)
+let test_flush_fault_recovery () =
+  let armed = ref false in
+  let base = Lt_vfs.Vfs.memory () in
+  let vfs =
+    Lt_vfs.Vfs.faulty
+      ~should_fail:(fun ~op ~path -> !armed && op = "append" && Filename.check_suffix path ".tab")
+      base
+  in
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let db = Db.open_ ~clock ~vfs ~dir:"root" () in
+  let t = Db.create_table db "f" (schema ()) ~ttl:None in
+  Table.insert t (List.init 10 (fun i -> row 1L (Int64.of_int i) (Int64.of_int (i + 1))));
+  armed := true;
+  (match Table.flush_all t with
+  | () -> Alcotest.fail "flush should fail"
+  | exception Lt_vfs.Vfs.Io_error _ -> ());
+  (* Data still readable from the memtable. *)
+  Alcotest.(check int) "still queryable" 10
+    (List.length (Table.query t Query.all).Table.rows);
+  armed := false;
+  Table.flush_all t;
+  Alcotest.(check int) "flushed after retry" 10
+    (List.length (Table.query t Query.all).Table.rows);
+  Alcotest.(check bool) "on disk" true (Table.tablet_count t >= 1)
+
+(* Regression: deleting every row of a memtable then flushing must not
+   loop on the empty memtable. *)
+let test_delete_all_then_flush () =
+  let db, _, _ = Support.fresh_db () in
+  let t = Db.create_table db "r" (schema ()) ~ttl:None in
+  Table.insert t [ row 1L 1L 1L; row 1L 2L 2L ];
+  Alcotest.(check int) "deleted" 2 (Table.delete_prefix t [ Value.Int64 1L ]);
+  Table.flush_all t;
+  (* Reaching here is the regression test; also nothing on disk. *)
+  Alcotest.(check int) "nothing flushed" 0 (Table.tablet_count t);
+  Alcotest.(check int) "no memtables" 0 (Table.memtable_count t)
+
+let suite =
+  [
+    ("discovery on open", `Quick, test_discovery_on_open);
+    ("bad names rejected", `Quick, test_bad_names_rejected);
+    ("maintenance covers all tables", `Quick, test_db_maintenance_covers_tables);
+    ("concurrent insert/query/maintenance", `Quick, test_concurrent_insert_query_maintenance);
+    ("concurrent tables isolated", `Quick, test_concurrent_tables_isolated);
+    ("flush fault recovery", `Quick, test_flush_fault_recovery);
+    ("delete-all then flush (regression)", `Quick, test_delete_all_then_flush);
+  ]

@@ -1,0 +1,83 @@
+open Littletable
+
+let sorted = List.sort compare
+
+let test_closure_simple () =
+  let g = Flush_graph.create () in
+  (* 1 must flush before 2, 2 before 3. *)
+  Flush_graph.add_edge g ~before:1 ~after:2;
+  Flush_graph.add_edge g ~before:2 ~after:3;
+  Alcotest.(check (list int)) "closure of 3" [ 1; 2; 3 ] (sorted (Flush_graph.closure g 3));
+  Alcotest.(check (list int)) "closure of 2" [ 1; 2 ] (sorted (Flush_graph.closure g 2));
+  Alcotest.(check (list int)) "closure of 1" [ 1 ] (Flush_graph.closure g 1)
+
+let test_closure_no_deps () =
+  let g = Flush_graph.create () in
+  Alcotest.(check (list int)) "lone node" [ 7 ] (Flush_graph.closure g 7)
+
+let test_self_edge_ignored () =
+  let g = Flush_graph.create () in
+  Flush_graph.add_edge g ~before:5 ~after:5;
+  Alcotest.(check (list int)) "no self dep" [ 5 ] (Flush_graph.closure g 5)
+
+let test_cycle () =
+  (* Inserts alternating between two tablets create a cycle: they must
+     flush together (§3.4.3). *)
+  let g = Flush_graph.create () in
+  Flush_graph.add_edge g ~before:1 ~after:2;
+  Flush_graph.add_edge g ~before:2 ~after:1;
+  Alcotest.(check (list int)) "cycle of 1" [ 1; 2 ] (sorted (Flush_graph.closure g 1));
+  Alcotest.(check (list int)) "cycle of 2" [ 1; 2 ] (sorted (Flush_graph.closure g 2))
+
+let test_diamond () =
+  let g = Flush_graph.create () in
+  Flush_graph.add_edge g ~before:1 ~after:2;
+  Flush_graph.add_edge g ~before:1 ~after:3;
+  Flush_graph.add_edge g ~before:2 ~after:4;
+  Flush_graph.add_edge g ~before:3 ~after:4;
+  Alcotest.(check (list int)) "diamond" [ 1; 2; 3; 4 ] (sorted (Flush_graph.closure g 4))
+
+let test_remove () =
+  let g = Flush_graph.create () in
+  Flush_graph.add_edge g ~before:1 ~after:2;
+  Flush_graph.add_edge g ~before:2 ~after:3;
+  Flush_graph.remove g [ 1; 2 ];
+  Alcotest.(check (list int)) "deps gone" [ 3 ] (Flush_graph.closure g 3);
+  Alcotest.(check int) "graph emptied" 0 (Flush_graph.node_count g)
+
+let test_remove_preserves_rest () =
+  let g = Flush_graph.create () in
+  Flush_graph.add_edge g ~before:1 ~after:2;
+  Flush_graph.add_edge g ~before:3 ~after:4;
+  Flush_graph.remove g [ 1; 2 ];
+  Alcotest.(check (list int)) "other chain intact" [ 3; 4 ]
+    (sorted (Flush_graph.closure g 4))
+
+let prop_closure_is_transitive =
+  (* If b is in closure(a) then closure(b) is a subset of closure(a). *)
+  QCheck.Test.make ~name:"closure transitivity" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 30) (pair (int_bound 10) (int_bound 10)))
+    (fun edges ->
+      let g = Flush_graph.create () in
+      List.iter (fun (b, a) -> Flush_graph.add_edge g ~before:b ~after:a) edges;
+      List.for_all
+        (fun (_, a) ->
+          let ca = Flush_graph.closure g a in
+          List.for_all
+            (fun b ->
+              let cb = Flush_graph.closure g b in
+              List.for_all (fun x -> List.mem x ca) cb)
+            ca)
+        edges)
+
+let suite =
+  [
+    ("closure: chain", `Quick, test_closure_simple);
+    ("closure: lone node", `Quick, test_closure_no_deps);
+    ("self edge ignored", `Quick, test_self_edge_ignored);
+    ("cycle flushes together", `Quick, test_cycle);
+    ("diamond", `Quick, test_diamond);
+    ("remove", `Quick, test_remove);
+    ("remove preserves rest", `Quick, test_remove_preserves_rest);
+    Support.qcheck prop_closure_is_transitive;
+  ]

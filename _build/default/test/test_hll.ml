@@ -1,0 +1,105 @@
+open Lt_hll
+
+let estimate_error ~actual estimate =
+  Float.abs (estimate -. float_of_int actual) /. float_of_int actual
+
+let test_small_cardinalities () =
+  let h = Hll.create () in
+  Alcotest.(check (float 0.01)) "empty" 0.0 (Hll.estimate h);
+  Hll.add h "only";
+  let e = Hll.estimate h in
+  if e < 0.5 || e > 1.5 then Alcotest.failf "estimate for 1 element: %f" e;
+  (* Duplicates must not inflate the estimate. *)
+  for _ = 1 to 1000 do
+    Hll.add h "only"
+  done;
+  let e = Hll.estimate h in
+  if e < 0.5 || e > 1.5 then Alcotest.failf "estimate after duplicates: %f" e
+
+let test_accuracy () =
+  (* Precision 12 -> ~1.6% standard error; assert within 6%. *)
+  let h = Hll.create ~precision:12 () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    Hll.add h (Printf.sprintf "client-%d" i)
+  done;
+  let err = estimate_error ~actual:n (Hll.estimate h) in
+  if err > 0.06 then Alcotest.failf "relative error %.4f too high" err
+
+let test_merge () =
+  let a = Hll.create ~precision:10 () and b = Hll.create ~precision:10 () in
+  for i = 0 to 9_999 do
+    Hll.add a (Printf.sprintf "x-%d" i)
+  done;
+  for i = 5_000 to 14_999 do
+    Hll.add b (Printf.sprintf "x-%d" i)
+  done;
+  Hll.merge_into a b;
+  (* The union has 15,000 distinct elements. Precision 10 -> ~3.3% SE. *)
+  let err = estimate_error ~actual:15_000 (Hll.estimate a) in
+  if err > 0.12 then Alcotest.failf "union error %.4f too high" err
+
+let test_merge_precision_mismatch () =
+  let a = Hll.create ~precision:10 () and b = Hll.create ~precision:12 () in
+  match Hll.merge_into a b with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_serialization () =
+  let h = Hll.create ~precision:8 () in
+  for i = 0 to 999 do
+    Hll.add h (string_of_int i)
+  done;
+  let h' = Hll.deserialize (Hll.serialize h) in
+  Alcotest.(check int) "precision" (Hll.precision h) (Hll.precision h');
+  Alcotest.(check (float 1e-9)) "estimate preserved" (Hll.estimate h)
+    (Hll.estimate h');
+  (* Corrupt payloads are rejected. *)
+  (match Hll.deserialize "\x0cshort" with
+  | (_ : Hll.t) -> Alcotest.fail "expected Corrupt"
+  | exception Lt_util.Binio.Corrupt _ -> ());
+  match Hll.deserialize "\x63" with
+  | (_ : Hll.t) -> Alcotest.fail "expected Corrupt (bad precision)"
+  | exception Lt_util.Binio.Corrupt _ -> ()
+
+let test_copy_independent () =
+  let a = Hll.create ~precision:6 () in
+  Hll.add a "one";
+  let b = Hll.copy a in
+  for i = 0 to 999 do
+    Hll.add b (string_of_int i)
+  done;
+  let ea = Hll.estimate a in
+  if ea > 2.0 then Alcotest.failf "copy leaked back: %f" ea
+
+let test_bad_precision () =
+  (match Hll.create ~precision:3 () with
+  | (_ : Hll.t) -> Alcotest.fail "precision 3 accepted"
+  | exception Invalid_argument _ -> ());
+  match Hll.create ~precision:17 () with
+  | (_ : Hll.t) -> Alcotest.fail "precision 17 accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_monotone_under_union =
+  QCheck.Test.make ~name:"hll: union estimate >= max of parts" ~count:50
+    QCheck.(pair (list_of_size Gen.(int_range 1 200) small_string)
+              (list_of_size Gen.(int_range 1 200) small_string))
+    (fun (xs, ys) ->
+      let a = Hll.create ~precision:10 () and b = Hll.create ~precision:10 () in
+      List.iter (Hll.add a) xs;
+      List.iter (Hll.add b) ys;
+      let ea = Hll.estimate a and eb = Hll.estimate b in
+      Hll.merge_into a b;
+      Hll.estimate a >= Float.max ea eb -. 1e-9)
+
+let suite =
+  [
+    ("small cardinalities", `Quick, test_small_cardinalities);
+    ("accuracy at 100k", `Quick, test_accuracy);
+    ("merge (union)", `Quick, test_merge);
+    ("merge precision mismatch", `Quick, test_merge_precision_mismatch);
+    ("serialization", `Quick, test_serialization);
+    ("copy independence", `Quick, test_copy_independent);
+    ("bad precision rejected", `Quick, test_bad_precision);
+    Support.qcheck prop_monotone_under_union;
+  ]

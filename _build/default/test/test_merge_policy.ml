@@ -1,0 +1,195 @@
+open Littletable
+
+(* ---- plan_sizes: the appendix policy -------------------------------- *)
+
+let unlimited = max_int
+
+let test_no_candidates () =
+  (* Strictly more-than-doubling sizes: nothing to merge. *)
+  Alcotest.(check bool) "fixpoint" true
+    (Merge_policy.plan_sizes ~max_tablet_size:unlimited [| 100; 49; 24; 11 |] = None);
+  Alcotest.(check bool) "empty" true
+    (Merge_policy.plan_sizes ~max_tablet_size:unlimited [||] = None);
+  Alcotest.(check bool) "single" true
+    (Merge_policy.plan_sizes ~max_tablet_size:unlimited [| 5 |] = None)
+
+let test_first_eligible_pair () =
+  (* 100 > 2*49 skips; 49 <= 2*30 seeds at index 1. *)
+  Alcotest.(check bool) "pair at 1" true
+    (Merge_policy.plan_sizes ~max_tablet_size:79 [| 100; 49; 30 |] = Some (1, 2))
+
+let test_extension_up_to_cap () =
+  (* Pair (10,10) extends to absorb the following tablets while under cap. *)
+  Alcotest.(check bool) "extends" true
+    (Merge_policy.plan_sizes ~max_tablet_size:35 [| 10; 10; 10; 10; 10 |]
+    = Some (0, 3));
+  Alcotest.(check bool) "extends all" true
+    (Merge_policy.plan_sizes ~max_tablet_size:1000 [| 10; 10; 10; 10 |]
+    = Some (0, 4))
+
+let test_equal_pair () =
+  Alcotest.(check bool) "equal sizes merge" true
+    (Merge_policy.plan_sizes ~max_tablet_size:unlimited [| 8; 8 |] = Some (0, 2))
+
+(* Run the policy to a fixpoint over a size list, counting how many times
+   each original "row" (unit of size) is rewritten. Models the appendix
+   proof obligations. *)
+let run_to_fixpoint sizes =
+  let tablets = ref (Array.to_list (Array.map (fun s -> (s, 1)) sizes)) in
+  (* each tablet: (size, max rewrite count among its rows) *)
+  let max_rewrites = ref 0 in
+  let rec step () =
+    let arr = Array.of_list !tablets in
+    match
+      Merge_policy.plan_sizes ~max_tablet_size:max_int (Array.map fst arr)
+    with
+    | None -> ()
+    | Some (start, len) ->
+        let merged_size = ref 0 and merged_depth = ref 0 in
+        for i = start to start + len - 1 do
+          merged_size := !merged_size + fst arr.(i);
+          merged_depth := max !merged_depth (snd arr.(i))
+        done;
+        let depth = !merged_depth + 1 in
+        max_rewrites := max !max_rewrites depth;
+        let out = ref [] in
+        Array.iteri
+          (fun i t ->
+            if i < start || i >= start + len then out := t :: !out
+            else if i = start then out := (!merged_size, depth) :: !out)
+          arr;
+        tablets := List.rev !out;
+        step ()
+  in
+  step ();
+  (List.length !tablets, !max_rewrites)
+
+let log2 x = log (float_of_int x) /. log 2.0
+
+let prop_logarithmic_tablet_count =
+  QCheck.Test.make ~name:"appendix: final tablet count is O(log T)" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 1 1000))
+    (fun sizes ->
+      let total = List.fold_left ( + ) 0 sizes in
+      let count, _ = run_to_fixpoint (Array.of_list sizes) in
+      (* The proof gives T >= 2^n - 1, i.e. n <= log2(T+1). *)
+      float_of_int count <= log2 (total + 1) +. 1.0)
+
+let prop_logarithmic_rewrites =
+  QCheck.Test.make ~name:"appendix: per-row rewrites are O(log T)" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 1 1000))
+    (fun sizes ->
+      let total = List.fold_left ( + ) 0 sizes in
+      let _, rewrites = run_to_fixpoint (Array.of_list sizes) in
+      (* Each merge seeded at t_i grows the container by >= 3/2, giving a
+         log_{1.5} bound; allow the additive constants of the proof. *)
+      float_of_int rewrites <= (log (float_of_int (total + 1)) /. log 1.5) +. 2.0)
+
+let prop_fixpoint_has_no_pair =
+  QCheck.Test.make ~name:"fixpoint: every tablet > 2x its successor" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (int_range 1 1000))
+    (fun sizes ->
+      let tablets = ref (Array.of_list sizes) in
+      let rec step () =
+        match Merge_policy.plan_sizes ~max_tablet_size:max_int !tablets with
+        | None -> ()
+        | Some (start, len) ->
+            let merged = Array.fold_left ( + ) 0 (Array.sub !tablets start len) in
+            tablets :=
+              Array.concat
+                [ Array.sub !tablets 0 start; [| merged |];
+                  Array.sub !tablets (start + len)
+                    (Array.length !tablets - start - len) ];
+            step ()
+      in
+      step ();
+      let arr = !tablets in
+      let ok = ref true in
+      for i = 0 to Array.length arr - 2 do
+        if arr.(i) <= 2 * arr.(i + 1) then ok := false
+      done;
+      !ok)
+
+(* ---- plan: periods and eligibility ----------------------------------- *)
+
+let now = 1_720_000_000_000_000L
+
+let input ?(eligible_at = 0L) ~id ~size ~min_ts ~max_ts () =
+  Merge_policy.{ id; size; min_ts; max_ts; eligible_at }
+
+let hour = Lt_util.Clock.hour
+let week = Lt_util.Clock.week
+
+let test_plan_simple () =
+  (* Two same-period, same-size tablets merge. *)
+  let ts = Int64.sub now (Int64.mul 10L week) in
+  let inputs =
+    [ input ~id:1 ~size:10 ~min_ts:ts ~max_ts:(Int64.add ts 1L) ();
+      input ~id:2 ~size:10 ~min_ts:(Int64.add ts 2L) ~max_ts:(Int64.add ts 3L) () ]
+  in
+  match Merge_policy.plan ~now ~max_tablet_size:max_int inputs with
+  | Some p -> Alcotest.(check (list int)) "both" [ 1; 2 ] p.Merge_policy.ids
+  | None -> Alcotest.fail "expected a plan"
+
+let test_plan_respects_periods () =
+  (* Same sizes but in different weeks: never merged. *)
+  let t1 = Int64.sub now (Int64.mul 10L week) in
+  let t2 = Int64.sub now (Int64.mul 9L week) in
+  let inputs =
+    [ input ~id:1 ~size:10 ~min_ts:t1 ~max_ts:(Int64.add t1 hour) ();
+      input ~id:2 ~size:10 ~min_ts:t2 ~max_ts:(Int64.add t2 hour) () ]
+  in
+  Alcotest.(check bool) "no cross-period merge" true
+    (Merge_policy.plan ~now ~max_tablet_size:max_int inputs = None)
+
+let test_plan_respects_eligibility () =
+  let ts = Int64.sub now (Int64.mul 10L week) in
+  let later = Int64.add now 1L in
+  let inputs =
+    [ input ~id:1 ~size:10 ~min_ts:ts ~max_ts:ts ~eligible_at:later ();
+      input ~id:2 ~size:10 ~min_ts:(Int64.add ts 2L) ~max_ts:(Int64.add ts 2L) () ]
+  in
+  Alcotest.(check bool) "delayed tablet excluded" true
+    (Merge_policy.plan ~now ~max_tablet_size:max_int inputs = None)
+
+let test_plan_ineligible_breaks_adjacency () =
+  (* Eligible tablets separated by an ineligible one must not merge
+     around it (that would interleave timespans). *)
+  let ts k = Int64.add (Int64.sub now (Int64.mul 10L week)) (Int64.of_int k) in
+  let later = Int64.add now 1L in
+  let inputs =
+    [ input ~id:1 ~size:10 ~min_ts:(ts 0) ~max_ts:(ts 1) ();
+      input ~id:2 ~size:10 ~min_ts:(ts 2) ~max_ts:(ts 3) ~eligible_at:later ();
+      input ~id:3 ~size:10 ~min_ts:(ts 4) ~max_ts:(ts 5) () ]
+  in
+  Alcotest.(check bool) "no merge across ineligible" true
+    (Merge_policy.plan ~now ~max_tablet_size:max_int inputs = None)
+
+let test_plan_prefers_oldest_group () =
+  let old_ts k = Int64.add (Int64.sub now (Int64.mul 20L week)) (Int64.of_int k) in
+  let newer_ts k = Int64.add (Int64.sub now (Int64.mul 10L week)) (Int64.of_int k) in
+  let inputs =
+    [ input ~id:1 ~size:10 ~min_ts:(old_ts 0) ~max_ts:(old_ts 1) ();
+      input ~id:2 ~size:10 ~min_ts:(old_ts 2) ~max_ts:(old_ts 3) ();
+      input ~id:3 ~size:10 ~min_ts:(newer_ts 0) ~max_ts:(newer_ts 1) ();
+      input ~id:4 ~size:10 ~min_ts:(newer_ts 2) ~max_ts:(newer_ts 3) () ]
+  in
+  match Merge_policy.plan ~now ~max_tablet_size:max_int inputs with
+  | Some p -> Alcotest.(check (list int)) "oldest pair" [ 1; 2 ] p.Merge_policy.ids
+  | None -> Alcotest.fail "expected a plan"
+
+let suite =
+  [
+    ("plan_sizes: no candidates", `Quick, test_no_candidates);
+    ("plan_sizes: first eligible pair", `Quick, test_first_eligible_pair);
+    ("plan_sizes: extension up to cap", `Quick, test_extension_up_to_cap);
+    ("plan_sizes: equal pair", `Quick, test_equal_pair);
+    ("plan: simple merge", `Quick, test_plan_simple);
+    ("plan: periods respected", `Quick, test_plan_respects_periods);
+    ("plan: eligibility respected", `Quick, test_plan_respects_eligibility);
+    ("plan: ineligible breaks adjacency", `Quick, test_plan_ineligible_breaks_adjacency);
+    ("plan: oldest group first", `Quick, test_plan_prefers_oldest_group);
+    Support.qcheck prop_logarithmic_tablet_count;
+    Support.qcheck prop_logarithmic_rewrites;
+    Support.qcheck prop_fixpoint_has_no_pair;
+  ]

@@ -1,0 +1,264 @@
+open Littletable
+open Lt_net
+
+(* ---- Protocol roundtrips (no sockets) --------------------------------- *)
+
+let roundtrip_request req =
+  let b = Buffer.create 64 in
+  Protocol.write_request b req;
+  let cur = Lt_util.Binio.cursor (Buffer.contents b) in
+  let req' = Protocol.read_request cur in
+  Lt_util.Binio.expect_end cur;
+  req'
+
+let roundtrip_response resp =
+  let b = Buffer.create 64 in
+  Protocol.write_response b resp;
+  let cur = Lt_util.Binio.cursor (Buffer.contents b) in
+  let resp' = Protocol.read_response cur in
+  Lt_util.Binio.expect_end cur;
+  resp'
+
+let test_protocol_requests () =
+  let schema = Support.usage_schema () in
+  let reqs =
+    [
+      Protocol.Hello 1;
+      Protocol.List_tables;
+      Protocol.Get_table "usage";
+      Protocol.Create_table { table = "t"; schema; ttl = Some 42L };
+      Protocol.Drop_table "t";
+      Protocol.Insert
+        {
+          table = "t";
+          rows =
+            [
+              [| Value.Int32 1l; Value.Double 2.5; Value.String "x\x00y";
+                 Value.Blob "\xff"; Value.Timestamp 7L |];
+            ];
+        };
+      Protocol.Query
+        {
+          table = "t";
+          query =
+            Query.with_limit 9
+              (Query.with_direction Query.Desc
+                 (Query.between ~ts_min:1L ~ts_max:2L
+                    (Query.prefix [ Value.Int64 5L ])));
+        };
+      Protocol.Latest { table = "t"; prefix = [ Value.Int64 1L; Value.String "d" ] };
+      Protocol.Flush_before { table = "t"; ts = 123L };
+      Protocol.Get_stats "t";
+      Protocol.Ping;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match (req, roundtrip_request req) with
+      | ( Protocol.Create_table { table = t1; schema = s1; ttl = l1 },
+          Protocol.Create_table { table = t2; schema = s2; ttl = l2 } ) ->
+          Alcotest.(check bool) "create" true
+            (t1 = t2 && Schema.equal s1 s2 && l1 = l2)
+      | a, b -> Alcotest.(check bool) "request roundtrip" true (a = b))
+    reqs
+
+let test_protocol_responses () =
+  let resps =
+    [
+      Protocol.Hello_ok 1;
+      Protocol.Tables [ "a"; "b" ];
+      Protocol.Ok;
+      Protocol.Insert_ok 12;
+      Protocol.Row_batch
+        {
+          rows = [ [| Value.Int64 1L |]; [| Value.String "s" |] ];
+          more_available = true;
+          scanned = 99;
+        };
+      Protocol.Latest_row None;
+      Protocol.Latest_row (Some [| Value.Timestamp 5L |]);
+      Protocol.Error "boom";
+      Protocol.Pong;
+    ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "response roundtrip" true (roundtrip_response r = r))
+    resps
+
+let test_protocol_rejects_garbage () =
+  (match Protocol.read_request (Lt_util.Binio.cursor "\xee") with
+  | (_ : Protocol.request) -> Alcotest.fail "bad tag accepted"
+  | exception Protocol.Protocol_error _ -> ());
+  match Protocol.read_response (Lt_util.Binio.cursor "\xee") with
+  | (_ : Protocol.response) -> Alcotest.fail "bad tag accepted"
+  | exception Protocol.Protocol_error _ -> ()
+
+(* ---- End-to-end over TCP ----------------------------------------------- *)
+
+let with_server f =
+  let dir = Filename.temp_file "lt_net_test" "" in
+  Sys.remove dir;
+  let config = Littletable.Config.make ~server_row_limit:8 () in
+  let db = Db.open_ ~config ~dir () in
+  let server = Server.start ~maintenance_period_s:0.0 ~db ~port:0 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f server)
+
+let test_server_end_to_end () =
+  with_server (fun server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      Client.ping c;
+      Alcotest.(check (list string)) "empty" [] (Client.list_tables c);
+      let schema = Support.usage_schema () in
+      Client.create_table c "usage" schema ~ttl:None;
+      Alcotest.(check (list string)) "created" [ "usage" ] (Client.list_tables c);
+      let got_schema, ttl = Client.table_info c "usage" in
+      Alcotest.(check bool) "schema" true (Schema.equal schema got_schema);
+      Alcotest.(check bool) "ttl" true (ttl = None);
+      (* Insert 30 rows; server pages at 8. *)
+      let rows =
+        List.init 30 (fun i ->
+            Support.usage_row ~network:1L ~device:(Int64.of_int i)
+              ~ts:(Int64.of_int (i + 1)) ~bytes:(Int64.of_int (i * 2)) ~rate:0.0)
+      in
+      Client.insert c "usage" rows;
+      let page = Client.query_page c "usage" Query.all in
+      Alcotest.(check int) "page capped" 8 (List.length page.Client.rows);
+      Alcotest.(check bool) "more" true page.Client.more_available;
+      let all = Client.query_all c "usage" Query.all in
+      Alcotest.(check int) "paged through" 30 (List.length all);
+      Alcotest.(check bool) "ordered and complete" true
+        (List.map (fun r -> Support.int64_of_cell r.(1)) all
+        = List.init 30 Int64.of_int);
+      (* Descending pagination too. *)
+      let desc = Client.query_all c "usage" (Query.with_direction Query.Desc Query.all) in
+      Alcotest.(check bool) "desc" true (desc = List.rev all);
+      (* Client-side limit below a page. *)
+      let limited = Client.query_all c "usage" (Query.with_limit 3 Query.all) in
+      Alcotest.(check int) "limit 3" 3 (List.length limited);
+      (* latest. *)
+      (match Client.latest c "usage" [ Value.Int64 1L ] with
+      | Some row -> Alcotest.(check int64) "latest ts" 30L (Support.ts_of_cell row.(2))
+      | None -> Alcotest.fail "no latest");
+      (* flush_before + stats. *)
+      Client.flush_before c "usage" ~ts:100L;
+      let s = Client.stats c "usage" in
+      Alcotest.(check int) "rows inserted" 30 s.Stats.rows_inserted;
+      Alcotest.(check bool) "flushed" true (s.Stats.flushes >= 1);
+      (* errors. *)
+      (match Client.insert c "usage" rows with
+      | () -> Alcotest.fail "duplicate batch accepted"
+      | exception Client.Remote_error _ -> ());
+      (match Client.table_info c "missing" with
+      | (_ : Schema.t * int64 option) -> Alcotest.fail "missing table"
+      | exception Client.Remote_error _ -> ());
+      Client.close c)
+
+let test_server_sql_over_wire () =
+  with_server (fun server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      ignore
+        (Client.sql c
+           "CREATE TABLE ev (net STRING, dev STRING, ts TIMESTAMP, \
+            id INT64, body STRING, PRIMARY KEY (net, dev, ts))");
+      (match
+         Client.sql c
+           "INSERT INTO ev (net, dev, ts, id, body) VALUES \
+            ('n1', 'd1', 10, 1, 'assoc'), ('n1', 'd1', 20, 2, 'dhcp'), \
+            ('n1', 'd2', 30, 3, 'auth')"
+       with
+      | Lt_sql.Executor.Affected 3 -> ()
+      | _ -> Alcotest.fail "insert");
+      (match Client.sql c "SELECT COUNT(*) FROM ev WHERE net = 'n1' AND dev = 'd1'" with
+      | Lt_sql.Executor.Rows { rows = [ [| Value.Int64 2L |] ]; _ } -> ()
+      | _ -> Alcotest.fail "count");
+      (match Client.sql c "SELECT dev, MAX(ts) FROM ev WHERE net = 'n1' GROUP BY dev" with
+      | Lt_sql.Executor.Rows { rows; _ } -> Alcotest.(check int) "groups" 2 (List.length rows)
+      | _ -> Alcotest.fail "group");
+      Client.close c)
+
+let test_multiple_clients () =
+  with_server (fun server ->
+      let schema = Support.usage_schema () in
+      let c0 = Client.connect ~port:(Server.port server) () in
+      Client.create_table c0 "usage" schema ~ttl:None;
+      (* Paper §5.1.4: separate writers to separate tables; here several
+         clients write to the same server concurrently. *)
+      let clients = List.init 4 (fun _ -> Client.connect ~port:(Server.port server) ()) in
+      let threads =
+        List.mapi
+          (fun w c ->
+            Thread.create
+              (fun () ->
+                for i = 0 to 49 do
+                  Client.insert c "usage"
+                    [
+                      Support.usage_row ~network:(Int64.of_int w)
+                        ~device:(Int64.of_int i) ~ts:(Int64.of_int ((w * 1000) + i))
+                        ~bytes:0L ~rate:0.0;
+                    ]
+                done)
+              ())
+          clients
+      in
+      List.iter Thread.join threads;
+      let all = Client.query_all c0 "usage" Query.all in
+      Alcotest.(check int) "all writers landed" 200 (List.length all);
+      List.iter Client.close (c0 :: clients))
+
+let test_reconnect_after_server_restart () =
+  let dir = Filename.temp_file "lt_net_test" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      let db = Db.open_ ~dir () in
+      let server = Server.start ~maintenance_period_s:0.0 ~db ~port:0 () in
+      let port = Server.port server in
+      let c = Client.connect ~port () in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      Client.insert c "usage"
+        [ Support.usage_row ~network:1L ~device:1L ~ts:1L ~bytes:0L ~rate:0.0 ];
+      (* Server goes down: the persistent connection detects it. *)
+      Server.stop server;
+      (match Client.ping c with
+      | () -> Alcotest.fail "expected Disconnected"
+      | exception Client.Disconnected -> ());
+      (* Server comes back on the same port (flush happened at stop). *)
+      let db2 = Db.open_ ~dir () in
+      let server2 = Server.start ~maintenance_period_s:0.0 ~db:db2 ~port () in
+      Client.reconnect c;
+      let rows = Client.query_all c "usage" Query.all in
+      Alcotest.(check int) "durable row back" 1 (List.length rows);
+      Client.close c;
+      Server.stop server2)
+
+(* Fuzz: arbitrary bytes fed to the decoders either parse or raise a
+   protocol/corruption error — never crash. *)
+let prop_decoders_total =
+  QCheck.Test.make ~name:"protocol decoders are total" ~count:2000
+    QCheck.(string_gen_of_size Gen.(int_bound 100) Gen.char)
+    (fun junk ->
+      let ok f =
+        match f (Lt_util.Binio.cursor junk) with
+        | _ -> true
+        | exception (Protocol.Protocol_error _ | Lt_util.Binio.Corrupt _) -> true
+        | exception Littletable.Schema.Invalid _ -> true
+      in
+      ok Protocol.read_request && ok Protocol.read_response)
+
+let suite =
+  [
+    ("protocol request roundtrips", `Quick, test_protocol_requests);
+    ("protocol response roundtrips", `Quick, test_protocol_responses);
+    ("protocol rejects garbage", `Quick, test_protocol_rejects_garbage);
+    ("server end-to-end", `Quick, test_server_end_to_end);
+    ("sql over the wire", `Quick, test_server_sql_over_wire);
+    ("multiple concurrent clients", `Quick, test_multiple_clients);
+    ("reconnect after restart", `Quick, test_reconnect_after_server_restart);
+    Support.qcheck prop_decoders_total;
+  ]

@@ -1,0 +1,100 @@
+open Littletable
+open Lt_util
+
+let day = Clock.day
+let hour = Clock.hour
+let week = Clock.week
+
+(* A "now" on a Wednesday-ish, well inside a week: some arbitrary large
+   epoch time plus offsets to avoid boundary coincidences. *)
+let now = Int64.add (Int64.mul 2840L week) (Int64.add (Int64.mul 3L day) (Int64.mul 5L hour))
+
+let test_class_lengths () =
+  Alcotest.(check int64) "4h" (Int64.mul 4L hour) (Period.class_length Period.Four_hour);
+  Alcotest.(check int64) "day" day (Period.class_length Period.Day);
+  Alcotest.(check int64) "week" week (Period.class_length Period.Week)
+
+let test_align () =
+  Alcotest.(check int64) "exact" 100L (Period.align 100L ~unit_len:50L);
+  Alcotest.(check int64) "down" 100L (Period.align 149L ~unit_len:50L);
+  Alcotest.(check int64) "zero" 0L (Period.align 49L ~unit_len:50L);
+  (* Pre-epoch rounds toward negative infinity. *)
+  Alcotest.(check int64) "negative" (-50L) (Period.align (-1L) ~unit_len:50L)
+
+let test_bin_today () =
+  (* A timestamp in the current epoch-aligned day gets a 4-hour bin. *)
+  let ts = Int64.add (Period.align now ~unit_len:day) (Int64.mul 2L hour) in
+  let p = Period.bin ~now ts in
+  Alcotest.(check bool) "class" true (p.Period.cls = Period.Four_hour);
+  Alcotest.(check int64) "aligned" (Period.align ts ~unit_len:(Int64.mul 4L hour))
+    p.Period.start;
+  Alcotest.(check bool) "contains ts" true
+    (ts >= p.Period.start && ts < Period.stop p)
+
+let test_bin_this_week () =
+  (* Yesterday (within the aligned week, before the aligned day). *)
+  let ts = Int64.sub (Period.align now ~unit_len:day) (Int64.mul 3L hour) in
+  let p = Period.bin ~now ts in
+  Alcotest.(check bool) "class day" true (p.Period.cls = Period.Day);
+  Alcotest.(check int64) "day aligned" (Period.align ts ~unit_len:day) p.Period.start
+
+let test_bin_older () =
+  let ts = Int64.sub now (Int64.mul 3L week) in
+  let p = Period.bin ~now ts in
+  Alcotest.(check bool) "class week" true (p.Period.cls = Period.Week);
+  Alcotest.(check int64) "week aligned" (Period.align ts ~unit_len:week) p.Period.start
+
+let test_bin_future () =
+  (* Future timestamps land in 4-hour bins of their own. *)
+  let ts = Int64.add now (Int64.mul 30L day) in
+  let p = Period.bin ~now ts in
+  Alcotest.(check bool) "future is 4h" true (p.Period.cls = Period.Four_hour);
+  Alcotest.(check bool) "contains" true (ts >= p.Period.start && ts < Period.stop p)
+
+let test_classify_ages () =
+  (* The same timestamp reclassifies as now advances: 4h -> day -> week. *)
+  let ts = Int64.add (Period.align now ~unit_len:day) hour in
+  Alcotest.(check bool) "fresh: 4h" true (Period.classify ~now ts = Period.Four_hour);
+  let later = Int64.add now (Int64.mul 2L day) in
+  Alcotest.(check bool) "later: day" true (Period.classify ~now:later ts = Period.Day);
+  let much_later = Int64.add now (Int64.mul 3L week) in
+  Alcotest.(check bool) "much later: week" true
+    (Period.classify ~now:much_later ts = Period.Week)
+
+let prop_bin_contains_ts =
+  QCheck.Test.make ~name:"bin always contains its timestamp" ~count:2000
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 2_000_000_000))
+    (fun (now_s, ts_s) ->
+      let now = Int64.mul (Int64.of_int now_s) 1_000_000L in
+      let ts = Int64.mul (Int64.of_int ts_s) 1_000_000L in
+      let p = Period.bin ~now ts in
+      ts >= p.Period.start && ts < Period.stop p)
+
+let prop_bins_partition =
+  (* Two timestamps binned under the same [now] land in the same bin iff
+     their bins' intervals intersect — bins of one class tile time. *)
+  QCheck.Test.make ~name:"bins of equal class are disjoint or equal" ~count:2000
+    QCheck.(triple (int_bound 1_000_000_000) (int_bound 2_000_000_000)
+              (int_bound 2_000_000_000))
+    (fun (now_s, a_s, b_s) ->
+      let now = Int64.mul (Int64.of_int now_s) 1_000_000L in
+      let a = Period.bin ~now (Int64.mul (Int64.of_int a_s) 1_000_000L) in
+      let b = Period.bin ~now (Int64.mul (Int64.of_int b_s) 1_000_000L) in
+      if a.Period.cls = b.Period.cls then
+        a.Period.start = b.Period.start
+        || Period.stop a <= b.Period.start
+        || Period.stop b <= a.Period.start
+      else true)
+
+let suite =
+  [
+    ("class lengths", `Quick, test_class_lengths);
+    ("align", `Quick, test_align);
+    ("bin: today is 4h", `Quick, test_bin_today);
+    ("bin: this week is day", `Quick, test_bin_this_week);
+    ("bin: older is week", `Quick, test_bin_older);
+    ("bin: future is 4h", `Quick, test_bin_future);
+    ("classify ages with now", `Quick, test_classify_ages);
+    Support.qcheck prop_bin_contains_ts;
+    Support.qcheck prop_bins_partition;
+  ]

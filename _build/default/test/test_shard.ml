@@ -1,0 +1,107 @@
+(* Shards (§2): the full collection pipeline, warm-spare failover, and
+   shard splitting. *)
+
+open Littletable
+open Lt_apps
+module Clock = Lt_util.Clock
+
+let config =
+  Config.make ~block_size:1024 ~flush_size:(64 * 1024) ~merge_delay:0L
+    ~rollover_spread:0.0 ()
+
+let run_minutes shard clock n =
+  for _ = 1 to n do
+    Clock.advance clock Clock.minute;
+    Shard.tick shard
+  done
+
+let usage_rows shard =
+  (Table.query (Shard.usage_table shard) Query.all).Table.rows
+
+let networks_present rows =
+  List.sort_uniq compare (List.map (fun r -> Support.int64_of_cell r.(0)) rows)
+
+let test_shard_pipeline () =
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let shard =
+    Shard.create ~config ~vfs ~clock ~dir:"shard" ~networks:[ 1L; 2L ]
+      ~devices_per_network:3 ()
+  in
+  run_minutes shard clock 40;
+  let rows = usage_rows shard in
+  Alcotest.(check bool) "usage collected" true (List.length rows > 100);
+  Alcotest.(check (list int64)) "both networks" [ 1L; 2L ] (networks_present rows);
+  (* Events flow too. *)
+  let events = (Table.query (Shard.events_table shard) Query.all).Table.rows in
+  Alcotest.(check bool) "events collected" true (events <> []);
+  (* The rollup aggregator produced periods once past the safety lag. *)
+  run_minutes shard clock 30;
+  let rollups =
+    Aggregator.read_rollup (Db.table (Shard.db shard) "usage_10m")
+      ~key:(Value.Int64 1L) ~ts_min:0L ~ts_max:Int64.max_int
+  in
+  Alcotest.(check bool) "rollups present" true (rollups <> [])
+
+let test_shard_failover () =
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let spare_vfs = Lt_vfs.Vfs.memory () in
+  let shard =
+    Shard.create ~config ~vfs ~clock ~dir:"shard" ~networks:[ 7L ]
+      ~devices_per_network:2 ()
+  in
+  run_minutes shard clock 30;
+  Shard.archive_to_spare shard ~spare_vfs ~spare_dir:"spare";
+  let archived = List.length (usage_rows shard) in
+  (* More data after the last archival round; then the shard "dies". *)
+  run_minutes shard clock 10;
+  let spare =
+    Shard.failover ~config ~spare_vfs ~clock ~spare_dir:"spare" ~networks:[ 7L ]
+      ~devices_per_network:2 ()
+  in
+  (* The spare starts from the archived state... *)
+  Alcotest.(check int) "archived rows present" archived
+    (List.length (usage_rows spare));
+  (* ...and the pipeline continues: grabbers recovered their caches and
+     resume fetching from the devices. *)
+  run_minutes spare clock 10;
+  Alcotest.(check bool) "spare collects new data" true
+    (List.length (usage_rows spare) > archived)
+
+let test_shard_split () =
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let vfs = Lt_vfs.Vfs.memory () in
+  let shard =
+    Shard.create ~config ~vfs ~clock ~dir:"parent" ~networks:[ 1L; 2L; 3L; 4L ]
+      ~devices_per_network:2 ()
+  in
+  run_minutes shard clock 30;
+  let parent_rows = List.length (usage_rows shard) in
+  let left, right =
+    Shard.split ~config shard ~vfs ~left_dir:"child_l" ~right_dir:"child_r"
+      ~devices_per_network:2 ()
+  in
+  Alcotest.(check (list int64)) "left networks" [ 1L; 2L ] (Shard.networks left);
+  Alcotest.(check (list int64)) "right networks" [ 3L; 4L ] (Shard.networks right);
+  let lrows = usage_rows left and rrows = usage_rows right in
+  Alcotest.(check (list int64)) "left holds its customers only" [ 1L; 2L ]
+    (networks_present lrows);
+  Alcotest.(check (list int64)) "right holds its customers only" [ 3L; 4L ]
+    (networks_present rrows);
+  (* Nothing lost: the two children partition the parent's rows. *)
+  Alcotest.(check int) "partition" parent_rows
+    (List.length lrows + List.length rrows);
+  (* Both children keep collecting for their own networks. *)
+  run_minutes left clock 5;
+  run_minutes right clock 5;
+  Alcotest.(check (list int64)) "left stays partitioned" [ 1L; 2L ]
+    (networks_present (usage_rows left));
+  Alcotest.(check bool) "left grew" true (List.length (usage_rows left) > List.length lrows)
+
+let suite =
+  [
+    ("pipeline end to end", `Quick, test_shard_pipeline);
+    ("warm-spare failover", `Quick, test_shard_failover);
+    ("shard split", `Quick, test_shard_split);
+  ]

@@ -1,0 +1,174 @@
+(* Continuous archival to a warm spare (§2.2, §3.5): differential sync
+   until stable, spare consistency, and failover. *)
+
+open Littletable
+open Lt_util
+module Vfs = Lt_vfs.Vfs
+module Sync = Lt_vfs.Sync
+
+let config =
+  Config.make ~block_size:1024 ~flush_size:(8 * 1024) ~merge_delay:0L
+    ~rollover_spread:0.0 ()
+
+let test_pass_copies_and_prunes () =
+  let src = Vfs.memory () and dst = Vfs.memory () in
+  let write vfs path data =
+    Vfs.mkdir_p vfs (Filename.dirname path);
+    let f = Vfs.create vfs path in
+    Vfs.append vfs f data;
+    Vfs.close vfs f
+  in
+  write src "shard/t1/000001.tab" "tablet-one";
+  write src "shard/t1/DESCRIPTOR" "desc";
+  write dst "spare/t1/000009.tab" "stale";
+  let s = Sync.pass ~src ~src_dir:"shard" ~dst ~dst_dir:"spare" () in
+  Alcotest.(check int) "copied" 2 s.Sync.copied;
+  Alcotest.(check int) "pruned stale" 1 s.Sync.deleted;
+  Alcotest.(check string) "content" "tablet-one" (Vfs.read_all dst "spare/t1/000001.tab");
+  (* Second pass is a no-op. *)
+  let s2 = Sync.pass ~src ~src_dir:"shard" ~dst ~dst_dir:"spare" () in
+  Alcotest.(check int) "idempotent copy" 0 s2.Sync.copied;
+  Alcotest.(check int) "idempotent delete" 0 s2.Sync.deleted;
+  (* Same-size different-content files are detected (descriptors). *)
+  write src "shard/t1/DESCRIPTOR" "DESC";
+  let s3 = Sync.pass ~src ~src_dir:"shard" ~dst ~dst_dir:"spare" () in
+  Alcotest.(check int) "content diff caught" 1 s3.Sync.copied
+
+let test_until_stable () =
+  let src = Vfs.memory () and dst = Vfs.memory () in
+  let f = Vfs.create src "shard/x" in
+  Vfs.append src f "data";
+  Vfs.close src f;
+  let stats, stable = Sync.until_stable ~src ~src_dir:"shard" ~dst ~dst_dir:"spare" () in
+  Alcotest.(check bool) "stable" true stable;
+  Alcotest.(check int) "one file" 1 stats.Sync.copied
+
+(* The full §2.2 story: a live shard continuously archived to a spare;
+   the shard dies; the spare takes over with a consistent database that
+   holds a prefix of the shard's flushed state. *)
+let test_failover_to_spare () =
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let shard_vfs = Vfs.memory () and spare_vfs = Vfs.memory () in
+  let db = Db.open_ ~config ~clock ~vfs:shard_vfs ~dir:"shard" () in
+  let t = Db.create_table db "usage" (Support.usage_schema ()) ~ttl:None in
+  let insert_batch base n =
+    Table.insert t
+      (List.init n (fun i ->
+           Support.usage_row ~network:1L ~device:(Int64.of_int (base + i))
+             ~ts:(Int64.add (Clock.now clock) (Int64.of_int (base + i)))
+             ~bytes:(Int64.of_int (base + i)) ~rate:0.0))
+  in
+  (* Several rounds of inserts, flushes, merges, and archival passes. *)
+  for round = 0 to 4 do
+    insert_batch (round * 100) 50;
+    Table.flush_all t;
+    ignore (Table.merge_step t);
+    let _, stable =
+      Lt_vfs.Sync.until_stable ~src:shard_vfs ~src_dir:"shard" ~dst:spare_vfs
+        ~dst_dir:"spare" ()
+    in
+    Alcotest.(check bool) "sync stabilized" true stable
+  done;
+  (* More inserts after the last archival: flushed on the shard but never
+     synced — lost in the failover, like a crash's unflushed tail. *)
+  insert_batch 900 25;
+  Table.flush_all t;
+  (* Shard dies. Spare takes over: open the database from the replica. *)
+  let spare_db = Db.open_ ~config ~clock ~vfs:spare_vfs ~dir:"spare" () in
+  let spare_t = Db.table spare_db "usage" in
+  let rows = (Table.query spare_t Query.all).Table.rows in
+  Alcotest.(check int) "all archived rows present" 250 (List.length rows);
+  (* The spare holds exactly the archived rounds' devices: five blocks
+     of 50 starting at multiples of 100, and none of the post-archival
+     batch (900..924). *)
+  let devices =
+    List.sort compare (List.map (fun r -> Support.int64_of_cell r.(1)) rows)
+  in
+  let expected =
+    List.concat_map
+      (fun round -> List.init 50 (fun i -> Int64.of_int ((round * 100) + i)))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "prefix" true (devices = expected);
+  (* The spare is fully operational: writes and reads continue. *)
+  Table.insert spare_t
+    [ Support.usage_row ~network:2L ~device:1L ~ts:(Clock.now clock) ~bytes:0L ~rate:0.0 ];
+  Alcotest.(check int) "spare accepts writes" 251
+    (List.length (Table.query spare_t Query.all).Table.rows)
+
+let test_sync_mid_merge_consistency () =
+  (* Sync while the source keeps changing (merges delete tablets): the
+     loop must converge and the spare must always be openable. *)
+  let clock = Clock.manual ~start:Support.ts0 () in
+  let shard_vfs = Vfs.memory () and spare_vfs = Vfs.memory () in
+  let db = Db.open_ ~config ~clock ~vfs:shard_vfs ~dir:"shard" () in
+  let t = Db.create_table db "usage" (Support.usage_schema ()) ~ttl:None in
+  for round = 0 to 9 do
+    Table.insert t
+      (List.init 30 (fun i ->
+           Support.usage_row ~network:1L ~device:(Int64.of_int ((round * 30) + i))
+             ~ts:(Int64.add (Clock.now clock) (Int64.of_int ((round * 30) + i)))
+             ~bytes:0L ~rate:0.0));
+    Table.flush_all t;
+    (* Interleave: one sync pass, then a merge (changing files), then
+       sync until stable. *)
+    ignore (Lt_vfs.Sync.pass ~src:shard_vfs ~src_dir:"shard" ~dst:spare_vfs ~dst_dir:"spare" ());
+    while Table.merge_step t do () done;
+    ignore
+      (Lt_vfs.Sync.until_stable ~src:shard_vfs ~src_dir:"shard" ~dst:spare_vfs
+         ~dst_dir:"spare" ())
+  done;
+  let spare_db = Db.open_ ~config ~clock ~vfs:spare_vfs ~dir:"spare" () in
+  let spare_t = Db.table spare_db "usage" in
+  Alcotest.(check int) "all rows on spare" 300
+    (List.length (Table.query spare_t Query.all).Table.rows)
+
+(* Random file trees: after until_stable, src and dst are identical. *)
+let prop_sync_reaches_equality =
+  QCheck.Test.make ~name:"sync: until_stable makes trees equal" ~count:100
+    QCheck.(pair
+              (list_of_size Gen.(int_bound 12)
+                 (pair (int_bound 5) (string_gen_of_size Gen.(int_bound 40) Gen.printable)))
+              (list_of_size Gen.(int_bound 12)
+                 (pair (int_bound 5) (string_gen_of_size Gen.(int_bound 40) Gen.printable))))
+    (fun (src_files, stale_files) ->
+      let src = Vfs.memory () and dst = Vfs.memory () in
+      let write vfs root (i, data) =
+        let path = Printf.sprintf "%s/t%d/f%d" root (i mod 3) i in
+        Vfs.mkdir_p vfs (Filename.dirname path);
+        let f = Vfs.create vfs path in
+        Vfs.append vfs f data;
+        Vfs.close vfs f
+      in
+      List.iter (write src "s") src_files;
+      List.iter (write dst "d") stale_files;
+      let _, stable = Sync.until_stable ~src ~src_dir:"s" ~dst ~dst_dir:"d" () in
+      if not stable then false
+      else begin
+        (* Every src file present with equal content; no extras. *)
+        let rec walk vfs dir =
+          List.concat_map
+            (fun name ->
+              let p = Filename.concat dir name in
+              match walk vfs p with [] -> [ p ] | deeper -> deeper)
+            (try Vfs.readdir vfs dir with Vfs.Io_error _ -> [])
+        in
+        let rel root p = String.sub p (String.length root + 1) (String.length p - String.length root - 1) in
+        let src_list = List.sort compare (List.map (rel "s") (walk src "s")) in
+        let dst_list = List.sort compare (List.map (rel "d") (walk dst "d")) in
+        src_list = dst_list
+        && List.for_all
+             (fun r ->
+               Vfs.read_all src (Filename.concat "s" r)
+               = Vfs.read_all dst (Filename.concat "d" r))
+             src_list
+      end)
+
+let suite =
+  [
+    ("pass copies and prunes", `Quick, test_pass_copies_and_prunes);
+    ("until_stable", `Quick, test_until_stable);
+    ("failover to warm spare", `Quick, test_failover_to_spare);
+    ("sync during merges stays consistent", `Quick, test_sync_mid_merge_consistency);
+    Support.qcheck prop_sync_reaches_equality;
+  ]

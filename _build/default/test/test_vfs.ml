@@ -1,0 +1,190 @@
+open Lt_vfs
+
+let test_memory_basic () =
+  let v = Vfs.memory () in
+  let f = Vfs.create v "dir/a.txt" in
+  Vfs.append v f "hello ";
+  Vfs.append v f "world";
+  Alcotest.(check int) "size" 11 (Vfs.file_size v f);
+  Alcotest.(check string) "pread" "world" (Vfs.pread v f ~off:6 ~len:5);
+  Alcotest.(check string) "read_all" "hello world" (Vfs.read_all v "dir/a.txt");
+  Alcotest.(check bool) "exists" true (Vfs.exists v "dir/a.txt");
+  Alcotest.(check bool) "missing" false (Vfs.exists v "dir/b.txt");
+  Vfs.delete v "dir/a.txt";
+  Alcotest.(check bool) "deleted" false (Vfs.exists v "dir/a.txt")
+
+let test_memory_pread_bounds () =
+  let v = Vfs.memory () in
+  let f = Vfs.create v "x" in
+  Vfs.append v f "abc";
+  match Vfs.pread v f ~off:2 ~len:5 with
+  | (_ : string) -> Alcotest.fail "expected Io_error"
+  | exception Vfs.Io_error _ -> ()
+
+let test_memory_readdir () =
+  let v = Vfs.memory () in
+  ignore (Vfs.create v "root/t1/DESCRIPTOR");
+  ignore (Vfs.create v "root/t1/000001.tab");
+  ignore (Vfs.create v "root/t2/DESCRIPTOR");
+  ignore (Vfs.create v "root/top.txt");
+  Alcotest.(check (list string)) "root entries" [ "t1"; "t2"; "top.txt" ]
+    (Vfs.readdir v "root");
+  Alcotest.(check (list string)) "table entries" [ "000001.tab"; "DESCRIPTOR" ]
+    (Vfs.readdir v "root/t1")
+
+let test_rename_replaces () =
+  let v = Vfs.memory () in
+  let f = Vfs.create v "a" in
+  Vfs.append v f "new";
+  let g = Vfs.create v "b" in
+  Vfs.append v g "old";
+  Vfs.rename v ~src:"a" ~dst:"b";
+  Alcotest.(check string) "replaced" "new" (Vfs.read_all v "b");
+  Alcotest.(check bool) "source gone" false (Vfs.exists v "a")
+
+let test_crash_durability () =
+  let v = Vfs.memory () in
+  (* File 1: synced fully -> survives. *)
+  let f1 = Vfs.create v "synced" in
+  Vfs.append v f1 "durable";
+  Vfs.fsync v f1;
+  (* File 2: synced then appended more -> truncates to synced prefix. *)
+  let f2 = Vfs.create v "partial" in
+  Vfs.append v f2 "keep";
+  Vfs.fsync v f2;
+  Vfs.append v f2 "-lost";
+  (* File 3: never synced -> disappears. *)
+  let f3 = Vfs.create v "volatile" in
+  Vfs.append v f3 "gone";
+  (* File 4: published by rename -> durable at rename-time content. *)
+  let f4 = Vfs.create v "tmp" in
+  Vfs.append v f4 "renamed";
+  Vfs.rename v ~src:"tmp" ~dst:"published";
+  Vfs.crash v;
+  Alcotest.(check string) "synced survives" "durable" (Vfs.read_all v "synced");
+  Alcotest.(check string) "partial truncated" "keep" (Vfs.read_all v "partial");
+  Alcotest.(check bool) "unsynced gone" false (Vfs.exists v "volatile");
+  Alcotest.(check string) "renamed survives" "renamed" (Vfs.read_all v "published")
+
+let test_faulty () =
+  let armed = ref false in
+  let v =
+    Vfs.faulty
+      ~should_fail:(fun ~op ~path:_ -> !armed && op = "append")
+      (Vfs.memory ())
+  in
+  let f = Vfs.create v "x" in
+  Vfs.append v f "ok";
+  armed := true;
+  (match Vfs.append v f "boom" with
+  | () -> Alcotest.fail "expected Io_error"
+  | exception Vfs.Io_error _ -> ());
+  armed := false;
+  Vfs.append v f "fine";
+  Alcotest.(check string) "partial content" "okfine" (Vfs.read_all v "x")
+
+let test_real_roundtrip () =
+  let dir = Filename.temp_file "lt_vfs" "" in
+  Sys.remove dir;
+  let v = Vfs.real () in
+  Vfs.mkdir_p v (Filename.concat dir "sub");
+  let path = Filename.concat dir "sub/file.bin" in
+  let f = Vfs.create v path in
+  Vfs.append v f "0123456789";
+  Vfs.fsync v f;
+  Alcotest.(check string) "pread middle" "345" (Vfs.pread v f ~off:3 ~len:3);
+  Vfs.close v f;
+  Alcotest.(check string) "read_all" "0123456789" (Vfs.read_all v path);
+  Vfs.rename v ~src:path ~dst:(Filename.concat dir "sub/renamed.bin");
+  Alcotest.(check (list string)) "readdir" [ "renamed.bin" ]
+    (Vfs.readdir v (Filename.concat dir "sub"));
+  Vfs.delete v (Filename.concat dir "sub/renamed.bin");
+  Unix.rmdir (Filename.concat dir "sub");
+  Unix.rmdir dir
+
+(* --- Disk model ------------------------------------------------------ *)
+
+let model_vfs ?config () =
+  let model = Disk_model.create ?config () in
+  let v = Vfs.with_model model (Vfs.memory ()) in
+  (model, v)
+
+let test_model_sequential_write () =
+  let model, v = model_vfs () in
+  let f = Vfs.create v "seq" in
+  (* 12 MB in 1 MB appends: head stays at end of file -> no seeks. *)
+  let chunk = String.make (1 lsl 20) 'x' in
+  for _ = 1 to 12 do
+    Vfs.append v f chunk
+  done;
+  Alcotest.(check int) "no seeks" 0 (Disk_model.seeks model);
+  let t = Disk_model.elapsed_s model in
+  (* 12 MB at 120 MB/s = 0.1 s. *)
+  if Float.abs (t -. 0.1) > 0.005 then Alcotest.failf "elapsed %.4f, want ~0.1" t
+
+let test_model_seek_cost () =
+  let model, v = model_vfs ~config:(Disk_model.config ~cache_bytes:0 ()) () in
+  let f = Vfs.create v "f" in
+  Vfs.append v f (String.make (1 lsl 20) 'y');
+  Disk_model.reset model;
+  (* Alternate between two far-apart offsets: every read seeks. *)
+  for _ = 1 to 10 do
+    ignore (Vfs.pread v f ~off:0 ~len:512);
+    ignore (Vfs.pread v f ~off:900_000 ~len:512)
+  done;
+  Alcotest.(check int) "20 seeks" 20 (Disk_model.seeks model);
+  let t = Disk_model.elapsed_s model in
+  (* Dominated by 20 * 8 ms = 0.16 s. *)
+  if t < 0.16 then Alcotest.failf "elapsed %.4f < seek floor" t
+
+let test_model_readahead_serves_sequential () =
+  let model, v = model_vfs () in
+  let f = Vfs.create v "ra" in
+  Vfs.append v f (String.make (1 lsl 20) 'z');
+  Disk_model.reset model;
+  Disk_model.clear_cache model;
+  (* 64 KiB sequential reads within one 128 KiB readahead window: the
+     second read of each pair is a cache hit. *)
+  ignore (Vfs.pread v f ~off:0 ~len:65536);
+  let seeks_after_first = Disk_model.seeks model in
+  ignore (Vfs.pread v f ~off:65536 ~len:65536);
+  Alcotest.(check int) "second read cached" seeks_after_first
+    (Disk_model.seeks model);
+  Alcotest.(check int) "bytes fetched = readahead" (128 * 1024)
+    (Disk_model.bytes_read model)
+
+let test_model_open_charges_inode_seek () =
+  let model, v = model_vfs () in
+  let f = Vfs.create v "file" in
+  Vfs.append v f "data";
+  Disk_model.reset model;
+  ignore (Vfs.open_read v "file");
+  Alcotest.(check int) "inode seek" 1 (Disk_model.seeks model)
+
+let test_model_rename_keeps_extent () =
+  let model, v = model_vfs () in
+  let f = Vfs.create v "a" in
+  Vfs.append v f (String.make 1024 'a');
+  Vfs.rename v ~src:"a" ~dst:"b";
+  Disk_model.reset model;
+  Disk_model.clear_cache model;
+  let g = Vfs.open_read v "b" in
+  ignore (Vfs.pread v g ~off:0 ~len:1024);
+  (* open (1 seek) + first read (1 seek): extent tracked under new name. *)
+  Alcotest.(check int) "two seeks" 2 (Disk_model.seeks model)
+
+let suite =
+  [
+    ("memory: basic ops", `Quick, test_memory_basic);
+    ("memory: pread bounds", `Quick, test_memory_pread_bounds);
+    ("memory: readdir", `Quick, test_memory_readdir);
+    ("memory: rename replaces", `Quick, test_rename_replaces);
+    ("memory: crash durability", `Quick, test_crash_durability);
+    ("faulty wrapper", `Quick, test_faulty);
+    ("real filesystem roundtrip", `Quick, test_real_roundtrip);
+    ("model: sequential write", `Quick, test_model_sequential_write);
+    ("model: seek cost", `Quick, test_model_seek_cost);
+    ("model: readahead", `Quick, test_model_readahead_serves_sequential);
+    ("model: open = inode seek", `Quick, test_model_open_charges_inode_seek);
+    ("model: rename keeps extent", `Quick, test_model_rename_keeps_extent);
+  ]
