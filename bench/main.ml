@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- --full  paper-scale volumes (slow)
 
    Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-   tablet-bounds micro *)
+   tablet-bounds ablation-bloom ablation-cache micro *)
 
 let mib = Support.mib
 
@@ -31,6 +31,7 @@ let experiments ~full =
     ("fig10", Fleet.fig10);
     ("tablet-bounds", Tablet_bounds.run);
     ("ablation-bloom", Ablation_bloom.run);
+    ("ablation-cache", fun () -> Ablation_cache.run ~quick:(not full) ());
     ("micro", Micro.run);
   ]
 

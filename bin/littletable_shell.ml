@@ -3,12 +3,22 @@
      dune exec bin/littletable_shell.exe -- --port 7447
      littletable> SELECT device, SUM(bytes) FROM usage WHERE network = 7 GROUP BY device;
 
-   Also runs one-shot statements with -e. *)
+   Dot commands: .stats <table> prints the server-side operation and
+   block-cache counters. Also runs one-shot statements with -e. *)
+
+let show_stats client table =
+  match Lt_net.Client.stats client table with
+  | s -> Format.printf "%a@." Littletable.Stats.pp s
+  | exception Lt_net.Client.Remote_error msg ->
+      Format.printf "server error: %s@." msg
 
 let execute_line client line =
   match String.trim line with
   | "" -> ()
   | ".quit" | ".exit" | "exit" | "quit" -> raise Exit
+  | line when String.length line > 7 && String.sub line 0 7 = ".stats " ->
+      show_stats client (String.trim (String.sub line 7 (String.length line - 7)))
+  | ".stats" -> Format.printf "usage: .stats <table>@."
   | line -> (
       match Lt_net.Client.sql client line with
       | result -> Format.printf "%a@." Lt_sql.Executor.pp_result result

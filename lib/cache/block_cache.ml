@@ -1,0 +1,254 @@
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  inserted_bytes : int;
+  resident_bytes : int;
+  resident_entries : int;
+}
+
+type segment = Probation | Protected
+
+type 'v node = {
+  file : int;
+  block : int;
+  value : 'v;
+  weight : int;
+  mutable seg : segment;
+  mutable prev : 'v node option;
+  mutable next : 'v node option;
+}
+
+(* Intrusive doubly-linked list, head = MRU, tail = LRU. *)
+type 'v lru = {
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable bytes : int;
+}
+
+let lru_create () = { head = None; tail = None; bytes = 0 }
+
+let lru_push_front l n =
+  n.prev <- None;
+  n.next <- l.head;
+  (match l.head with Some h -> h.prev <- Some n | None -> l.tail <- Some n);
+  l.head <- Some n;
+  l.bytes <- l.bytes + n.weight
+
+let lru_unlink l n =
+  (match n.prev with Some p -> p.next <- n.next | None -> l.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> l.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  l.bytes <- l.bytes - n.weight
+
+type 'v shard = {
+  mutex : Mutex.t;
+  table : (int * int, 'v node) Hashtbl.t;
+  probation : 'v lru;
+  protected : 'v lru;
+  cap : int;  (** shard byte capacity *)
+  prot_cap : int;  (** protected-segment byte target, ~80% of [cap] *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+  mutable inserted_bytes : int;
+}
+
+type 'v t = {
+  shards : 'v shard array;
+  mask : int;
+  capacity : int;
+  next_file : int Atomic.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let rec pow2_geq n p = if p >= n then p else pow2_geq n (p * 2)
+
+let create ?(shards = 8) ~capacity () =
+  if capacity <= 0 then invalid_arg "Block_cache.create: capacity <= 0";
+  if shards <= 0 then invalid_arg "Block_cache.create: shards <= 0";
+  let n = pow2_geq shards 1 in
+  let cap = max 1 (capacity / n) in
+  let shard _ =
+    {
+      mutex = Mutex.create ();
+      table = Hashtbl.create 256;
+      probation = lru_create ();
+      protected = lru_create ();
+      cap;
+      prot_cap = cap * 4 / 5;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      insertions = 0;
+      inserted_bytes = 0;
+    }
+  in
+  {
+    shards = Array.init n shard;
+    mask = n - 1;
+    capacity;
+    next_file = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+let file_id t = Atomic.fetch_and_add t.next_file 1
+
+let shard_of t ~file ~block =
+  (* Fibonacci-ish mix so consecutive block indexes spread over shards. *)
+  let h = ((file * 0x9E3779B1) lxor (block * 0x85EBCA77)) land max_int in
+  t.shards.((h lsr 7) lxor h land t.mask)
+
+let seg_list s = function Probation -> s.probation | Protected -> s.protected
+
+(* Keep the protected segment at its byte target by demoting its LRU
+   back to the probation MRU (standard SLRU: demoted blocks get one more
+   chance before capacity eviction reaches them). *)
+let rec rebalance_protected s =
+  if s.protected.bytes > s.prot_cap then begin
+    match s.protected.tail with
+    | None -> ()
+    | Some n ->
+        lru_unlink s.protected n;
+        n.seg <- Probation;
+        lru_push_front s.probation n;
+        rebalance_protected s
+  end
+
+(* Evict from the probation LRU (protected only once probation is empty)
+   until the shard fits. *)
+let rec evict_to_cap s =
+  if s.probation.bytes + s.protected.bytes > s.cap then begin
+    let victim =
+      match s.probation.tail with
+      | Some _ as v -> v
+      | None -> s.protected.tail
+    in
+    match victim with
+    | None -> ()
+    | Some n ->
+        lru_unlink (seg_list s n.seg) n;
+        Hashtbl.remove s.table (n.file, n.block);
+        s.evictions <- s.evictions + 1;
+        evict_to_cap s
+  end
+
+let find t ~file ~block =
+  let s = shard_of t ~file ~block in
+  locked s.mutex (fun () ->
+      match Hashtbl.find_opt s.table (file, block) with
+      | None ->
+          s.misses <- s.misses + 1;
+          None
+      | Some n ->
+          s.hits <- s.hits + 1;
+          (match n.seg with
+          | Protected ->
+              lru_unlink s.protected n;
+              lru_push_front s.protected n
+          | Probation ->
+              lru_unlink s.probation n;
+              n.seg <- Protected;
+              lru_push_front s.protected n;
+              rebalance_protected s);
+          Some n.value)
+
+let insert t ~file ~block ~bytes v =
+  let s = shard_of t ~file ~block in
+  locked s.mutex (fun () ->
+      match Hashtbl.find_opt s.table (file, block) with
+      | Some n ->
+          (* Raced with another reader loading the same block: refresh
+             recency, keep the resident value. *)
+          let l = seg_list s n.seg in
+          lru_unlink l n;
+          lru_push_front l n
+      | None ->
+          let n =
+            {
+              file;
+              block;
+              value = v;
+              weight = max 1 bytes;
+              seg = Probation;
+              prev = None;
+              next = None;
+            }
+          in
+          Hashtbl.replace s.table (file, block) n;
+          lru_push_front s.probation n;
+          s.insertions <- s.insertions + 1;
+          s.inserted_bytes <- s.inserted_bytes + n.weight;
+          evict_to_cap s)
+
+let invalidate_file t ~file =
+  Array.iter
+    (fun s ->
+      locked s.mutex (fun () ->
+          let victims =
+            Hashtbl.fold
+              (fun _ n acc -> if n.file = file then n :: acc else acc)
+              s.table []
+          in
+          List.iter
+            (fun n ->
+              lru_unlink (seg_list s n.seg) n;
+              Hashtbl.remove s.table (n.file, n.block))
+            victims))
+    t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      locked s.mutex (fun () ->
+          Hashtbl.reset s.table;
+          s.probation.head <- None;
+          s.probation.tail <- None;
+          s.probation.bytes <- 0;
+          s.protected.head <- None;
+          s.protected.tail <- None;
+          s.protected.bytes <- 0))
+    t.shards
+
+let counters t =
+  Array.fold_left
+    (fun (acc : counters) s ->
+      locked s.mutex (fun () ->
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            insertions = acc.insertions + s.insertions;
+            inserted_bytes = acc.inserted_bytes + s.inserted_bytes;
+            resident_bytes =
+              acc.resident_bytes + s.probation.bytes + s.protected.bytes;
+            resident_entries = acc.resident_entries + Hashtbl.length s.table;
+          }))
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      insertions = 0;
+      inserted_bytes = 0;
+      resident_bytes = 0;
+      resident_entries = 0;
+    }
+    t.shards
+
+let reset_counters t =
+  Array.iter
+    (fun s ->
+      locked s.mutex (fun () ->
+          s.hits <- 0;
+          s.misses <- 0;
+          s.evictions <- 0;
+          s.insertions <- 0;
+          s.inserted_bytes <- 0))
+    t.shards

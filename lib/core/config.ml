@@ -11,6 +11,7 @@ type t = {
   flush_backlog : int;
   server_row_limit : int;
   enforce_unique : bool;
+  cache_bytes : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     flush_backlog = 1;
     server_row_limit = 65536;
     enforce_unique = true;
+    cache_bytes = 64 * 1024 * 1024;
   }
 
 let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
@@ -35,7 +37,8 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     ?(bloom_bits_per_key = default.bloom_bits_per_key)
     ?(flush_backlog = default.flush_backlog)
     ?(server_row_limit = default.server_row_limit)
-    ?(enforce_unique = default.enforce_unique) () =
+    ?(enforce_unique = default.enforce_unique)
+    ?(cache_bytes = default.cache_bytes) () =
   {
     block_size;
     flush_size;
@@ -47,4 +50,5 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     flush_backlog;
     server_row_limit;
     enforce_unique;
+    cache_bytes;
   }

@@ -28,6 +28,10 @@ type t = {
           flag (§3.5) *)
   enforce_unique : bool;
       (** primary-key uniqueness checks on insert (§3.4.4) *)
+  cache_bytes : int;
+      (** process-wide block-cache capacity, bytes — the in-process
+          stand-in for the OS page cache the paper relies on (§3.2,
+          §3.5); 64 MB default, 0 disables *)
 }
 
 val default : t
@@ -44,5 +48,6 @@ val make :
   ?flush_backlog:int ->
   ?server_row_limit:int ->
   ?enforce_unique:bool ->
+  ?cache_bytes:int ->
   unit ->
   t

@@ -7,6 +7,7 @@ type t = {
   vfs : Vfs.t;
   dir : string;
   tables : (string, Table.t) Hashtbl.t;
+  cache : Block.t Lt_cache.Block_cache.t option;
   mutex : Mutex.t;
 }
 
@@ -19,8 +20,21 @@ let table_dir t name = Filename.concat t.dir name
 let open_ ?(config = Config.default) ?(clock = Clock.system)
     ?(vfs = Vfs.real ()) ~dir () =
   Vfs.mkdir_p vfs dir;
+  let cache =
+    if config.Config.cache_bytes > 0 then
+      Some (Lt_cache.Block_cache.create ~capacity:config.Config.cache_bytes ())
+    else None
+  in
   let t =
-    { config; clock; vfs; dir; tables = Hashtbl.create 16; mutex = Mutex.create () }
+    {
+      config;
+      clock;
+      vfs;
+      dir;
+      tables = Hashtbl.create 16;
+      cache;
+      mutex = Mutex.create ();
+    }
   in
   let entries = try Vfs.readdir vfs dir with Vfs.Io_error _ -> [] in
   List.iter
@@ -28,11 +42,13 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
       let tdir = table_dir t name in
       if Descriptor.exists vfs ~dir:tdir then
         Hashtbl.replace t.tables name
-          (Table.open_ vfs ~clock ~config ~dir:tdir ~name))
+          (Table.open_ ?cache vfs ~clock ~config ~dir:tdir ~name))
     entries;
   t
 
 let config t = t.config
+
+let block_cache t = t.cache
 
 let clock t = t.clock
 
@@ -50,7 +66,7 @@ let create_table t name schema ~ttl =
       if Hashtbl.mem t.tables name then
         invalid_arg (Printf.sprintf "Db: table %S already exists" name);
       let table =
-        Table.create t.vfs ~clock:t.clock ~config:t.config
+        Table.create ?cache:t.cache t.vfs ~clock:t.clock ~config:t.config
           ~dir:(table_dir t name) ~name schema ~ttl
       in
       Hashtbl.replace t.tables name table;

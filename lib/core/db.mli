@@ -24,6 +24,12 @@ val open_ :
   t
 
 val config : t -> Config.t
+
+(** The process-wide block cache shared by every table's readers — sized
+    by {!Config.t.cache_bytes} at [open_]; [None] when disabled. Exposed
+    for benchmarks and tests that inspect hit/eviction counters
+    directly; normal observability goes through {!Table.stats}. *)
+val block_cache : t -> Block.t Lt_cache.Block_cache.t option
 val clock : t -> Lt_util.Clock.t
 val vfs : t -> Lt_vfs.Vfs.t
 val dir : t -> string

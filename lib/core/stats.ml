@@ -12,6 +12,23 @@ type t = {
   mutable tablets_expired : int;
 }
 
+type cache_snapshot = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_inserted_bytes : int;
+  cache_resident_bytes : int;
+}
+
+let no_cache =
+  {
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    cache_inserted_bytes = 0;
+    cache_resident_bytes = 0;
+  }
+
 type snapshot = {
   rows_inserted : int;
   insert_batches : int;
@@ -25,6 +42,7 @@ type snapshot = {
   merged_bytes_out : int;
   tablets_expired : int;
   bytes_written : int;
+  cache : cache_snapshot;
 }
 
 let create () =
@@ -42,7 +60,20 @@ let create () =
     tablets_expired = 0;
   }
 
-let read (t : t) =
+let reset (t : t) =
+  t.rows_inserted <- 0;
+  t.insert_batches <- 0;
+  t.rows_returned <- 0;
+  t.rows_scanned <- 0;
+  t.queries <- 0;
+  t.flushes <- 0;
+  t.flushed_bytes <- 0;
+  t.merges <- 0;
+  t.merged_bytes_in <- 0;
+  t.merged_bytes_out <- 0;
+  t.tablets_expired <- 0
+
+let read ?(cache = no_cache) (t : t) =
   {
     rows_inserted = t.rows_inserted;
     insert_batches = t.insert_batches;
@@ -56,6 +87,7 @@ let read (t : t) =
     merged_bytes_out = t.merged_bytes_out;
     tablets_expired = t.tablets_expired;
     bytes_written = t.flushed_bytes + t.merged_bytes_out;
+    cache;
   }
 
 let scan_ratio s =
@@ -66,32 +98,47 @@ let write_amplification s =
   if s.flushed_bytes = 0 then 1.0
   else float_of_int s.bytes_written /. float_of_int s.flushed_bytes
 
+let cache_hit_ratio s =
+  let total = s.cache.cache_hits + s.cache.cache_misses in
+  if total = 0 then 0.0
+  else float_of_int s.cache.cache_hits /. float_of_int total
+
+(* Counters only ever grow (asserted below), so any two snapshots are
+   ordered: later reads dominate earlier ones field by field. *)
+let bump v delta =
+  assert (delta >= 0);
+  v + delta
+
 let note_insert (t : t) ~rows =
-  t.rows_inserted <- t.rows_inserted + rows;
-  t.insert_batches <- t.insert_batches + 1
+  t.rows_inserted <- bump t.rows_inserted rows;
+  t.insert_batches <- bump t.insert_batches 1
 
 let note_query (t : t) ~scanned ~returned =
-  t.queries <- t.queries + 1;
-  t.rows_scanned <- t.rows_scanned + scanned;
-  t.rows_returned <- t.rows_returned + returned
+  t.queries <- bump t.queries 1;
+  t.rows_scanned <- bump t.rows_scanned scanned;
+  t.rows_returned <- bump t.rows_returned returned
 
 let note_flush (t : t) ~bytes =
-  t.flushes <- t.flushes + 1;
-  t.flushed_bytes <- t.flushed_bytes + bytes
+  t.flushes <- bump t.flushes 1;
+  t.flushed_bytes <- bump t.flushed_bytes bytes
 
 let note_merge (t : t) ~bytes_in ~bytes_out =
-  t.merges <- t.merges + 1;
-  t.merged_bytes_in <- t.merged_bytes_in + bytes_in;
-  t.merged_bytes_out <- t.merged_bytes_out + bytes_out
+  t.merges <- bump t.merges 1;
+  t.merged_bytes_in <- bump t.merged_bytes_in bytes_in;
+  t.merged_bytes_out <- bump t.merged_bytes_out bytes_out
 
 let note_expired (t : t) ~tablets =
-  t.tablets_expired <- t.tablets_expired + tablets
+  t.tablets_expired <- bump t.tablets_expired tablets
 
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>inserted %d rows in %d batches; %d queries returned %d rows \
      (scanned %d, ratio %.2f); %d flushes (%d B), %d merges (%d B in, %d B \
-     out), write amp %.2f; %d tablets expired@]"
+     out), write amp %.2f; %d tablets expired; block cache %d hits / %d \
+     misses (%.0f%%), %d evictions, %d B resident@]"
     s.rows_inserted s.insert_batches s.queries s.rows_returned s.rows_scanned
     (scan_ratio s) s.flushes s.flushed_bytes s.merges s.merged_bytes_in
     s.merged_bytes_out (write_amplification s) s.tablets_expired
+    s.cache.cache_hits s.cache.cache_misses
+    (cache_hit_ratio s *. 100.0)
+    s.cache.cache_evictions s.cache.cache_resident_bytes

@@ -2,13 +2,37 @@
 
     These back the production-metrics figures: rows scanned vs rows
     returned (Figure 9, §5.2.4), insert/query rates (§5.2.3), flush and
-    merge activity, and write amplification (§5.1.3). Counters are
-    updated under the owning table's locks; reads are monotonic
-    snapshots. *)
+    merge activity, and write amplification (§5.1.3).
+
+    Counters are updated under the owning table's locks and are strictly
+    monotonic (every [note_*] adds a non-negative delta, asserted in the
+    implementation): of any two {!snapshot}s of the same table, the
+    later dominates the earlier field by field, so rates may be computed
+    by differencing snapshots. Benchmarks that need a clean slate should
+    {!reset} rather than recreate the table. *)
 
 type t
 
 val create : unit -> t
+
+(** Zero every counter. Intended for benchmarks measuring a phase in
+    isolation; differencing snapshots taken across a [reset] is
+    meaningless (monotonicity holds only between resets). *)
+val reset : t -> unit
+
+(** Block-cache counters (see {!Lt_cache.Block_cache}). The cache is
+    process-wide, shared by every table of a {!Db}, so these fields are
+    identical across the tables of one database. All-zero ({!no_cache})
+    when the cache is disabled. *)
+type cache_snapshot = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_inserted_bytes : int;
+  cache_resident_bytes : int;  (** current footprint, not monotonic *)
+}
+
+val no_cache : cache_snapshot
 
 type snapshot = {
   rows_inserted : int;
@@ -23,15 +47,21 @@ type snapshot = {
   merged_bytes_out : int;
   tablets_expired : int;
   bytes_written : int;  (** flushes + merge output *)
+  cache : cache_snapshot;
 }
 
-val read : t -> snapshot
+(** Monotonic snapshot; [cache] defaults to {!no_cache}. *)
+val read : ?cache:cache_snapshot -> t -> snapshot
 
 (** Rows scanned per row returned; 1.0 when nothing returned yet. *)
 val scan_ratio : snapshot -> float
 
 (** Bytes written to disk per byte of first-time flush; >= 1. *)
 val write_amplification : snapshot -> float
+
+(** Block-cache hits / (hits + misses); 0 when the cache is cold or
+    disabled. *)
+val cache_hit_ratio : snapshot -> float
 
 val note_insert : t -> rows:int -> unit
 val note_query : t -> scanned:int -> returned:int -> unit

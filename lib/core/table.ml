@@ -1,5 +1,6 @@
 open Lt_util
 module Vfs = Lt_vfs.Vfs
+module Bcache = Lt_cache.Block_cache
 
 exception Duplicate_key of string
 
@@ -31,6 +32,8 @@ type t = {
   writer_lock : Mutex.t;  (** serializes inserts, flushes, schema changes *)
   maint_lock : Mutex.t;  (** serializes merges and expiry *)
   stats : Stats.t;
+  cache : Block.t Bcache.t option;
+      (** process-wide block cache, shared across the {!Db}'s tables *)
   rng : Xorshift.t;
   mutable closed : bool;
 }
@@ -49,7 +52,21 @@ let schema t = locked t.state (fun () -> t.schema)
 
 let ttl t = locked t.state (fun () -> t.ttl)
 
-let stats t = Stats.read t.stats
+let stats t =
+  let cache =
+    Option.map
+      (fun c ->
+        let k = Bcache.counters c in
+        {
+          Stats.cache_hits = k.Bcache.hits;
+          cache_misses = k.Bcache.misses;
+          cache_evictions = k.Bcache.evictions;
+          cache_inserted_bytes = k.Bcache.inserted_bytes;
+          cache_resident_bytes = k.Bcache.resident_bytes;
+        })
+      t.cache
+  in
+  Stats.read ?cache t.stats
 
 let tablet_path t file = Filename.concat t.dir file
 
@@ -67,7 +84,7 @@ let seed_of_name name =
     name;
   !h
 
-let make vfs ~clock ~config ~dir ~name ~desc =
+let make vfs ~clock ~config ~dir ~name ~desc ~cache =
   let open Descriptor in
   let n = Clock.now clock in
   let disk =
@@ -110,19 +127,20 @@ let make vfs ~clock ~config ~dir ~name ~desc =
     writer_lock = Mutex.create ();
     maint_lock = Mutex.create ();
     stats = Stats.create ();
+    cache;
     rng = Xorshift.create (seed_of_name name);
     closed = false;
   }
 
-let create vfs ~clock ~config ~dir ~name schema ~ttl =
+let create ?cache vfs ~clock ~config ~dir ~name schema ~ttl =
   Vfs.mkdir_p vfs dir;
   if Descriptor.exists vfs ~dir then
     invalid_arg (Printf.sprintf "Table.create: %s already holds a table" dir);
   let desc = Descriptor.{ schema; ttl; next_id = 1; tablets = [] } in
   Descriptor.save vfs ~dir desc;
-  make vfs ~clock ~config ~dir ~name ~desc
+  make vfs ~clock ~config ~dir ~name ~desc ~cache
 
-let open_ vfs ~clock ~config ~dir ~name =
+let open_ ?cache vfs ~clock ~config ~dir ~name =
   let desc = Descriptor.load vfs ~dir in
   (* Crash hygiene: a crash or failed flush can leave tablet files that
      never made it into a descriptor (and interrupted descriptor
@@ -135,7 +153,7 @@ let open_ vfs ~clock ~config ~dir ~name =
       if not (List.mem entry referenced) then
         try Vfs.delete vfs (Filename.concat dir entry) with Vfs.Io_error _ -> ())
     (try Vfs.readdir vfs dir with Vfs.Io_error _ -> []);
-  make vfs ~clock ~config ~dir ~name ~desc
+  make vfs ~clock ~config ~dir ~name ~desc ~cache
 
 (* Must be called with [state] held. *)
 let save_descriptor_locked t =
@@ -151,7 +169,7 @@ let get_reader_locked t dt =
   | Some r -> r
   | None ->
       let r =
-        Tablet.open_reader t.vfs
+        Tablet.open_reader ?cache:t.cache t.vfs
           ~path:(tablet_path t dt.meta.Descriptor.file)
           ~into:t.schema
       in

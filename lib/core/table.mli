@@ -24,8 +24,10 @@ exception Duplicate_key of string
 (** [create vfs ~clock ~config ~dir ~name schema ~ttl] makes a fresh
     table (its directory must not already hold one) and writes the
     initial descriptor. [ttl] is in microseconds, [None] = retain
-    forever. *)
+    forever. [cache] is the process-wide block cache the table's readers
+    share (normally supplied by {!Db}); omitted = uncached reads. *)
 val create :
+  ?cache:Block.t Lt_cache.Block_cache.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->
@@ -38,6 +40,7 @@ val create :
 (** Open an existing table from its descriptor. Unflushed data from a
     previous process is gone, per the durability contract. *)
 val open_ :
+  ?cache:Block.t Lt_cache.Block_cache.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->
@@ -132,6 +135,8 @@ val memtable_count : t -> int
 (** Per-tablet metadata, in timespan order. *)
 val tablets : t -> Descriptor.tablet_meta list
 
+(** Operation counters; the [cache] fields reflect the shared
+    process-wide block cache (identical across a {!Db}'s tables). *)
 val stats : t -> Stats.snapshot
 
 (** Total bytes of on-disk tablets. *)

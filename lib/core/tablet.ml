@@ -1,5 +1,6 @@
 open Lt_util
 module Vfs = Lt_vfs.Vfs
+module Bcache = Lt_cache.Block_cache
 
 let magic = 0x4C54424C54312E30L (* "LTBLT1.0" *)
 
@@ -298,9 +299,11 @@ type reader = {
   r_size : int;
   footer : footer;
   mutable target : Schema.t;
+  r_cache : (Block.t Bcache.t * int) option;
+      (** shared block cache plus this reader's file id *)
 }
 
-let open_reader vfs ~path ~into =
+let open_reader ?cache vfs ~path ~into =
   let file = Vfs.open_read vfs path in
   match
     let size = Vfs.file_size vfs file in
@@ -315,14 +318,31 @@ let open_reader vfs ~path ~into =
       raise (Binio.Corrupt "tablet: bad trailer geometry");
     let footer_frame = Vfs.pread vfs file ~off:footer_off ~len:footer_len in
     let footer = decode_footer (decode_frame footer_frame) in
-    { r_vfs = vfs; r_path = path; r_file = file; r_size = size; footer; target = into }
+    let r_cache = Option.map (fun c -> (c, Bcache.file_id c)) cache in
+    {
+      r_vfs = vfs;
+      r_path = path;
+      r_file = file;
+      r_size = size;
+      footer;
+      target = into;
+      r_cache;
+    }
   with
   | r -> r
   | exception e ->
       (try Vfs.close vfs file with Vfs.Io_error _ -> ());
       raise e
 
-let close r = try Vfs.close r.r_vfs r.r_file with Vfs.Io_error _ -> ()
+(* Closing also invalidates this reader's cached blocks: readers close
+   exactly when their file is deleted (merge, expiry, bulk delete, drop)
+   or the table shuts down, and file ids are never reused, so a reopened
+   path caches afresh rather than resurrecting stale blocks. *)
+let close r =
+  (match r.r_cache with
+  | Some (c, fid) -> Bcache.invalidate_file c ~file:fid
+  | None -> ());
+  try Vfs.close r.r_vfs r.r_file with Vfs.Io_error _ -> ()
 
 let summary r =
   {
@@ -345,10 +365,25 @@ let may_contain_prefix r prefix =
 
 let block_count r = Array.length r.footer.index
 
-let load_block r i =
+let read_block r i =
   let e = r.footer.index.(i) in
   let frame = Vfs.pread r.r_vfs r.r_file ~off:e.file_off ~len:e.frame_len in
-  Block.decode (decode_frame frame)
+  decode_frame frame
+
+(* The cache sits above the VFS and below the block decode: a hit skips
+   the (modeled) disk read, the checksum, and the decompression. Weights
+   are raw frame bytes, approximating resident memory. *)
+let load_block r i =
+  match r.r_cache with
+  | None -> Block.decode (read_block r i)
+  | Some (c, fid) -> (
+      match Bcache.find c ~file:fid ~block:i with
+      | Some b -> b
+      | None ->
+          let raw = read_block r i in
+          let b = Block.decode raw in
+          Bcache.insert c ~file:fid ~block:i ~bytes:(String.length raw) b;
+          b)
 
 (* First block that could contain a key >= k: binary search on last keys. *)
 let search_block r k =

@@ -69,9 +69,19 @@ val abandon : writer -> unit
 type reader
 
 (** Open a tablet and load its footer. [into] is the schema rows are
-    translated to on read. *)
-val open_reader : Lt_vfs.Vfs.t -> path:string -> into:Schema.t -> reader
+    translated to on read. [cache], when given, is consulted before
+    every block read and filled on miss (see {!Lt_cache.Block_cache});
+    the reader allocates itself a fresh file id in it. *)
+val open_reader :
+  ?cache:Block.t Lt_cache.Block_cache.t ->
+  Lt_vfs.Vfs.t ->
+  path:string ->
+  into:Schema.t ->
+  reader
 
+(** Close the file handle and invalidate this reader's blocks in the
+    cache (readers close exactly when their file dies or the table
+    shuts down). *)
 val close : reader -> unit
 
 val summary : reader -> summary

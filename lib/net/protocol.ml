@@ -264,6 +264,10 @@ let put_stats b (s : Stats.snapshot) =
       s.Stats.rows_scanned; s.Stats.queries; s.Stats.flushes;
       s.Stats.flushed_bytes; s.Stats.merges; s.Stats.merged_bytes_in;
       s.Stats.merged_bytes_out; s.Stats.tablets_expired; s.Stats.bytes_written;
+      s.Stats.cache.Stats.cache_hits; s.Stats.cache.Stats.cache_misses;
+      s.Stats.cache.Stats.cache_evictions;
+      s.Stats.cache.Stats.cache_inserted_bytes;
+      s.Stats.cache.Stats.cache_resident_bytes;
     ]
 
 let get_stats cur =
@@ -280,10 +284,20 @@ let get_stats cur =
   let merged_bytes_out = v () in
   let tablets_expired = v () in
   let bytes_written = v () in
+  let cache_hits = v () in
+  let cache_misses = v () in
+  let cache_evictions = v () in
+  let cache_inserted_bytes = v () in
+  let cache_resident_bytes = v () in
   {
     Stats.rows_inserted; insert_batches; rows_returned; rows_scanned; queries;
     flushes; flushed_bytes; merges; merged_bytes_in; merged_bytes_out;
     tablets_expired; bytes_written;
+    cache =
+      {
+        Stats.cache_hits; cache_misses; cache_evictions; cache_inserted_bytes;
+        cache_resident_bytes;
+      };
   }
 
 let write_response b = function

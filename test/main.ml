@@ -14,6 +14,7 @@ let () =
       ("tablet", Test_tablet.suite);
       ("cursor", Test_cursor.suite);
       ("table", Test_table.suite);
+      ("cache", Test_cache.suite);
       ("crash", Test_crash.suite);
       ("delete", Test_delete.suite);
       ("sync", Test_sync.suite);
