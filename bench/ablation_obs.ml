@@ -1,0 +1,61 @@
+(* Ablation: observability overhead on the insert hot path.
+
+   The obs layer (lib/obs) times every insert, flush, query, merge and
+   block stage; its acceptance bar is <3% overhead on insert throughput.
+   This experiment runs the same deterministic insert workload twice —
+   registry enabled (the default) and disabled (Config.obs_enabled =
+   false, which turns every instrumentation site into a single boolean
+   load) — and reports the delta. Best-of-N wall time per side, since
+   we are measuring a small CPU difference under scheduler noise. *)
+
+open Littletable
+open Support
+
+let row_size = 128
+
+let rows_per_batch = 512
+
+let insert_once ~obs_enabled ~batches =
+  let config = Config.make ~obs_enabled () in
+  let env = make_env ~config () in
+  let table = Db.create_table env.db "obs_ablation" (row_schema ()) ~ttl:None in
+  let rng = Lt_util.Xorshift.create 7L in
+  let t0 = wall () in
+  for _ = 1 to batches do
+    Table.insert table
+      (make_batch rng ~clock:env.clock ~n:rows_per_batch ~row_size);
+    Lt_util.Clock.advance env.clock (Lt_util.Clock.usec rows_per_batch)
+  done;
+  Table.flush_all table;
+  let dt = wall () -. t0 in
+  Db.close env.db;
+  dt
+
+let best ~trials f =
+  let t = ref infinity in
+  for _ = 1 to trials do
+    t := Float.min !t (f ())
+  done;
+  !t
+
+let run ?(quick = true) () =
+  header "Ablation: observability overhead on inserts (obs on vs off)";
+  let batches = if quick then 128 else 1024 in
+  let trials = if quick then 3 else 5 in
+  let rows = batches * rows_per_batch in
+  note "%d batches of %d x %d B rows, best of %d runs per side." batches
+    rows_per_batch row_size trials;
+  (* Warm up allocators and code paths before timing either side. *)
+  ignore (insert_once ~obs_enabled:true ~batches:(max 1 (batches / 8)));
+  let on_s = best ~trials (fun () -> insert_once ~obs_enabled:true ~batches) in
+  let off_s = best ~trials (fun () -> insert_once ~obs_enabled:false ~batches) in
+  let rate s = float_of_int rows /. s in
+  let overhead_pct = (on_s -. off_s) /. off_s *. 100.0 in
+  table_header [ ("obs", 8); ("wall s", 10); ("rows/s", 12) ];
+  Printf.printf "%-8s  %-10.3f  %-12.0f\n" "off" off_s (rate off_s);
+  Printf.printf "%-8s  %-10.3f  %-12.0f\n" "on" on_s (rate on_s);
+  Printf.printf "\nmetrics+tracing overhead: %+.2f%% (target < 3%%)\n"
+    overhead_pct;
+  metric ~name:"insert_rows_per_s_obs_off" ~value:(rate off_s) ~unit:"rows/s";
+  metric ~name:"insert_rows_per_s_obs_on" ~value:(rate on_s) ~unit:"rows/s";
+  metric ~name:"obs_overhead_pct" ~value:overhead_pct ~unit:"%"

@@ -5,9 +5,10 @@
      dune exec bench/main.exe            run everything (scaled volumes)
      dune exec bench/main.exe -- fig5    run one experiment
      dune exec bench/main.exe -- --full  paper-scale volumes (slow)
+     dune exec bench/main.exe -- --json  also write BENCH_<name>.json
 
    Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-   tablet-bounds ablation-bloom ablation-cache micro *)
+   tablet-bounds ablation-bloom ablation-cache ablation-obs micro *)
 
 let mib = Support.mib
 
@@ -32,13 +33,15 @@ let experiments ~full =
     ("tablet-bounds", Tablet_bounds.run);
     ("ablation-bloom", Ablation_bloom.run);
     ("ablation-cache", fun () -> Ablation_cache.run ~quick:(not full) ());
+    ("ablation-obs", fun () -> Ablation_obs.run ~quick:(not full) ());
     ("micro", Micro.run);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let selected = List.filter (fun a -> a <> "--full") args in
+  let json = List.mem "--json" args in
+  let selected = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   let experiments = experiments ~full in
   let to_run =
     match selected with
@@ -57,5 +60,12 @@ let () =
   Printf.printf "LittleTable benchmark harness (%s volumes)\n"
     (if full then "paper-scale" else "scaled");
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      Support.begin_metrics ();
+      let e0 = Unix.gettimeofday () in
+      f ();
+      if json then
+        Support.write_json ~name ~wall_s:(Unix.gettimeofday () -. e0))
+    to_run;
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -147,5 +147,6 @@ let run () =
   Support.table_header [ ("benchmark", 44); ("ns/op", 14); ("ops/s", 14) ];
   List.iter
     (fun (name, ns) ->
+      Support.metric ~name ~value:ns ~unit:"ns/op";
       Printf.printf "%-44s  %-14.1f  %-14.0f\n" name ns (1e9 /. ns))
     (List.sort compare rows)

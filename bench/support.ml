@@ -146,3 +146,63 @@ let human_bytes n =
    single-core container, so each figure runs a scaled volume by default
    and notes it. *)
 let scaled ~default_full ~scale = default_full / scale
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments record headline numbers with {!metric}; when the harness
+   runs with --json it drains them into BENCH_<name>.json after each
+   experiment so CI and regression tooling can diff runs. *)
+let recorded : (string * float * string) list ref = ref []
+
+let begin_metrics () = recorded := []
+
+let metric ~name ~value ~unit = recorded := (name, value, unit) :: !recorded
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | ic ->
+      let rev = try input_line ic with End_of_file -> "" in
+      ignore (Unix.close_process_in ic);
+      if rev = "" then "unknown" else rev
+  | exception Unix.Unix_error _ -> "unknown"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~name ~wall_s =
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  (* JSON has no NaN/Infinity literals; drop non-finite samples. *)
+  let metrics =
+    List.filter (fun (_, v, _) -> Float.is_finite v) (List.rev !recorded)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"name\": \"%s\",\n" (json_escape name);
+  Printf.bprintf buf "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.bprintf buf "  \"wall_s\": %.3f,\n" wall_s;
+  Buffer.add_string buf "  \"metrics\": [";
+  List.iteri
+    (fun i (m, v, u) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    { \"metric\": \"%s\", \"value\": %.6g, \"unit\": \"%s\" }"
+        (json_escape m) v (json_escape u))
+    metrics;
+  Buffer.add_string buf (if metrics = [] then "]" else "\n  ]");
+  Buffer.add_string buf "\n}\n";
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s (%d metrics)\n" file (List.length metrics)

@@ -8,12 +8,19 @@ let setup_logging level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
-let run dir port maintenance level =
+let run dir port metrics_port maintenance level =
   setup_logging level;
   let db = Littletable.Db.open_ ~dir () in
-  let server = Lt_net.Server.start ~maintenance_period_s:maintenance ~db ~port () in
+  let server =
+    Lt_net.Server.start ~maintenance_period_s:maintenance ?metrics_port ~db
+      ~port ()
+  in
   Printf.printf "littletable: serving %s on 127.0.0.1:%d\n%!" dir
     (Lt_net.Server.port server);
+  (match Lt_net.Server.metrics_port server with
+  | Some p ->
+      Printf.printf "littletable: metrics on http://127.0.0.1:%d/metrics\n%!" p
+  | None -> ());
   let stop _ =
     Printf.printf "littletable: shutting down\n%!";
     Lt_net.Server.stop server;
@@ -33,6 +40,13 @@ let port =
   let doc = "TCP port to listen on (0 picks an ephemeral port)." in
   Arg.(value & opt int 7447 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
 
+let metrics_port =
+  let doc =
+    "Serve Prometheus metrics over HTTP at /metrics on this port (0 picks \
+     an ephemeral port). Off when absent."
+  in
+  Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc)
+
 let maintenance =
   let doc = "Seconds between background maintenance passes." in
   Arg.(value & opt float 1.0 & info [ "maintenance-period" ] ~docv:"SECONDS" ~doc)
@@ -48,6 +62,6 @@ let log_level =
 let cmd =
   let doc = "LittleTable time-series database server" in
   let info = Cmd.info "littletable-server" ~doc in
-  Cmd.v info Term.(const run $ dir $ port $ maintenance $ log_level)
+  Cmd.v info Term.(const run $ dir $ port $ metrics_port $ maintenance $ log_level)
 
 let () = exit (Cmd.eval cmd)

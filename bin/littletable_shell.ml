@@ -3,8 +3,8 @@
      dune exec bin/littletable_shell.exe -- --port 7447
      littletable> SELECT device, SUM(bytes) FROM usage WHERE network = 7 GROUP BY device;
 
-   Dot commands: .stats <table> prints the server-side operation and
-   block-cache counters. Also runs one-shot statements with -e. *)
+   Lines starting with '.' are dot commands (see .help); anything else
+   is SQL. Also runs one-shot statements with -e. *)
 
 let show_stats client table =
   match Lt_net.Client.stats client table with
@@ -12,13 +12,76 @@ let show_stats client table =
   | exception Lt_net.Client.Remote_error msg ->
       Format.printf "server error: %s@." msg
 
+let show_metrics client =
+  match Lt_net.Client.metrics client with
+  | text -> print_string text
+  | exception Lt_net.Client.Remote_error msg ->
+      Format.printf "server error: %s@." msg
+
+let show_slow client n =
+  match Lt_net.Client.slow_ops ?n client with
+  | [] -> Format.printf "no slow operations recorded@."
+  | spans ->
+      List.iter
+        (fun sp -> Format.printf "%a@." Lt_obs.Trace.pp_span sp)
+        spans
+  | exception Lt_net.Client.Remote_error msg ->
+      Format.printf "server error: %s@." msg
+
+(* Dot commands: name, argument synopsis, help line, handler on the
+   whitespace-separated arguments. *)
+let rec dot_commands =
+  [ (".help", "", "list available dot commands",
+     fun _ _ ->
+       List.iter
+         (fun (name, args, help, _) ->
+           Format.printf "  %-18s %s@."
+             (if args = "" then name else name ^ " " ^ args)
+             help)
+         dot_commands);
+    (".stats", "<table>", "server-side operation and block-cache counters",
+     fun client args ->
+       match args with
+       | [ table ] -> show_stats client table
+       | _ -> Format.printf "usage: .stats <table>@.");
+    (".metrics", "", "Prometheus text exposition of the server's metrics",
+     fun client args ->
+       match args with
+       | [] -> show_metrics client
+       | _ -> Format.printf "usage: .metrics@.");
+    (".slow", "[n]", "most recent slow operations (default 20)",
+     fun client args ->
+       match args with
+       | [] -> show_slow client None
+       | [ n ] -> (
+           match int_of_string_opt n with
+           | Some n when n >= 0 -> show_slow client (Some n)
+           | _ -> Format.printf "usage: .slow [n]@.")
+       | _ -> Format.printf "usage: .slow [n]@.");
+    (".quit", "", "leave the shell", fun _ _ -> raise Exit);
+    (".exit", "", "leave the shell", fun _ _ -> raise Exit) ]
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let run_dot_command client line =
+  match tokenize line with
+  | [] -> ()
+  | cmd :: args -> (
+      match
+        List.find_opt (fun (name, _, _, _) -> name = cmd) dot_commands
+      with
+      | Some (_, _, _, handler) -> handler client args
+      | None ->
+          Format.printf "unknown command %s (try .help)@." cmd)
+
 let execute_line client line =
   match String.trim line with
   | "" -> ()
-  | ".quit" | ".exit" | "exit" | "quit" -> raise Exit
-  | line when String.length line > 7 && String.sub line 0 7 = ".stats " ->
-      show_stats client (String.trim (String.sub line 7 (String.length line - 7)))
-  | ".stats" -> Format.printf "usage: .stats <table>@."
+  | "exit" | "quit" -> raise Exit
+  | line when line.[0] = '.' -> run_dot_command client line
   | line -> (
       match Lt_net.Client.sql client line with
       | result -> Format.printf "%a@." Lt_sql.Executor.pp_result result

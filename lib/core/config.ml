@@ -12,6 +12,8 @@ type t = {
   server_row_limit : int;
   enforce_unique : bool;
   cache_bytes : int;
+  obs_enabled : bool;
+  slow_op_micros : int64;
 }
 
 let default =
@@ -27,6 +29,8 @@ let default =
     server_row_limit = 65536;
     enforce_unique = true;
     cache_bytes = 64 * 1024 * 1024;
+    obs_enabled = true;
+    slow_op_micros = Clock.msec 100;
   }
 
 let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
@@ -38,7 +42,8 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     ?(flush_backlog = default.flush_backlog)
     ?(server_row_limit = default.server_row_limit)
     ?(enforce_unique = default.enforce_unique)
-    ?(cache_bytes = default.cache_bytes) () =
+    ?(cache_bytes = default.cache_bytes) ?(obs_enabled = default.obs_enabled)
+    ?(slow_op_micros = default.slow_op_micros) () =
   {
     block_size;
     flush_size;
@@ -51,4 +56,6 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     server_row_limit;
     enforce_unique;
     cache_bytes;
+    obs_enabled;
+    slow_op_micros;
   }

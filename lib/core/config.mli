@@ -32,6 +32,14 @@ type t = {
       (** process-wide block-cache capacity, bytes — the in-process
           stand-in for the OS page cache the paper relies on (§3.2,
           §3.5); 64 MB default, 0 disables *)
+  obs_enabled : bool;
+      (** collect latency histograms and slow-op spans ([Lt_obs]);
+          disabling reduces every instrumentation site to a boolean
+          load *)
+  slow_op_micros : int64;
+      (** operations at least this slow (microseconds) are kept in the
+          slow-op ring's [.slow] view and logged through ["lt.slowop"]
+          — 100 ms default *)
 }
 
 val default : t
@@ -49,5 +57,7 @@ val make :
   ?server_row_limit:int ->
   ?enforce_unique:bool ->
   ?cache_bytes:int ->
+  ?obs_enabled:bool ->
+  ?slow_op_micros:int64 ->
   unit ->
   t

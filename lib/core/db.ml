@@ -1,5 +1,7 @@
 open Lt_util
 module Vfs = Lt_vfs.Vfs
+module Obs = Lt_obs.Obs
+module Metrics = Lt_obs.Metrics
 
 type t = {
   config : Config.t;
@@ -8,6 +10,7 @@ type t = {
   dir : string;
   tables : (string, Table.t) Hashtbl.t;
   cache : Block.t Lt_cache.Block_cache.t option;
+  obs : Obs.t;
   mutex : Mutex.t;
 }
 
@@ -17,6 +20,65 @@ let locked t f =
 
 let table_dir t name = Filename.concat t.dir name
 
+(* Export every table's Stats counters (plus structural gauges) into
+   the Prometheus exposition at render time, so the existing counter
+   machinery is the single source of truth and never double-counts. *)
+let stats_samples t =
+  let sample name help kind labels v =
+    { Metrics.s_name = name; s_help = help; s_kind = kind; s_labels = labels;
+      s_value = float_of_int v }
+  in
+  Mutex.lock t.mutex;
+  let tables = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [] in
+  Mutex.unlock t.mutex;
+  let tables =
+    List.sort (fun a b -> String.compare (Table.name a) (Table.name b)) tables
+  in
+  let per_table tbl =
+    let labels = [ ("table", Table.name tbl) ] in
+    let s = Table.stats tbl in
+    [ sample "lt_rows_inserted_total" "Rows inserted." `Counter labels
+        s.Stats.rows_inserted;
+      sample "lt_insert_batches_total" "Insert batches." `Counter labels
+        s.Stats.insert_batches;
+      sample "lt_queries_total" "Queries (including latest-row searches)."
+        `Counter labels s.Stats.queries;
+      sample "lt_rows_returned_total" "Rows returned by queries." `Counter
+        labels s.Stats.rows_returned;
+      sample "lt_rows_scanned_total" "Rows scanned by queries." `Counter
+        labels s.Stats.rows_scanned;
+      sample "lt_flushes_total" "Memtable flushes." `Counter labels
+        s.Stats.flushes;
+      sample "lt_flushed_bytes_total" "Bytes written by flushes." `Counter
+        labels s.Stats.flushed_bytes;
+      sample "lt_merges_total" "Tablet merges." `Counter labels s.Stats.merges;
+      sample "lt_merged_bytes_out_total" "Bytes written by merges." `Counter
+        labels s.Stats.merged_bytes_out;
+      sample "lt_tablets_expired_total" "Tablets reclaimed by TTL expiry."
+        `Counter labels s.Stats.tablets_expired;
+      sample "lt_tablets" "On-disk tablets." `Gauge labels
+        (Table.tablet_count tbl);
+      sample "lt_memtables" "In-memory tablets (filling + frozen)." `Gauge
+        labels (Table.memtable_count tbl);
+      sample "lt_disk_bytes" "Total bytes of on-disk tablets." `Gauge labels
+        (Table.disk_size tbl) ]
+  in
+  let cache_samples =
+    match t.cache with
+    | None -> []
+    | Some c ->
+        let k = Lt_cache.Block_cache.counters c in
+        let open Lt_cache.Block_cache in
+        [ sample "lt_cache_hits_total" "Block cache hits." `Counter [] k.hits;
+          sample "lt_cache_misses_total" "Block cache misses." `Counter []
+            k.misses;
+          sample "lt_cache_evictions_total" "Block cache evictions." `Counter
+            [] k.evictions;
+          sample "lt_cache_resident_bytes" "Block cache resident bytes."
+            `Gauge [] k.resident_bytes ]
+  in
+  List.concat_map per_table tables @ cache_samples
+
 let open_ ?(config = Config.default) ?(clock = Clock.system)
     ?(vfs = Vfs.real ()) ~dir () =
   Vfs.mkdir_p vfs dir;
@@ -24,6 +86,10 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
     if config.Config.cache_bytes > 0 then
       Some (Lt_cache.Block_cache.create ~capacity:config.Config.cache_bytes ())
     else None
+  in
+  let obs =
+    Obs.create ~enabled:config.Config.obs_enabled
+      ~slow_op_micros:config.Config.slow_op_micros ~clock ()
   in
   let t =
     {
@@ -33,20 +99,24 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
       dir;
       tables = Hashtbl.create 16;
       cache;
+      obs;
       mutex = Mutex.create ();
     }
   in
+  Metrics.register_collector (Obs.registry obs) (fun () -> stats_samples t);
   let entries = try Vfs.readdir vfs dir with Vfs.Io_error _ -> [] in
   List.iter
     (fun name ->
       let tdir = table_dir t name in
       if Descriptor.exists vfs ~dir:tdir then
         Hashtbl.replace t.tables name
-          (Table.open_ ?cache vfs ~clock ~config ~dir:tdir ~name))
+          (Table.open_ ?cache ~obs vfs ~clock ~config ~dir:tdir ~name))
     entries;
   t
 
 let config t = t.config
+
+let obs t = t.obs
 
 let block_cache t = t.cache
 
@@ -66,8 +136,8 @@ let create_table t name schema ~ttl =
       if Hashtbl.mem t.tables name then
         invalid_arg (Printf.sprintf "Db: table %S already exists" name);
       let table =
-        Table.create ?cache:t.cache t.vfs ~clock:t.clock ~config:t.config
-          ~dir:(table_dir t name) ~name schema ~ttl
+        Table.create ?cache:t.cache ~obs:t.obs t.vfs ~clock:t.clock
+          ~config:t.config ~dir:(table_dir t name) ~name schema ~ttl
       in
       Hashtbl.replace t.tables name table;
       table)

@@ -30,6 +30,14 @@ val config : t -> Config.t
     for benchmarks and tests that inspect hit/eviction counters
     directly; normal observability goes through {!Table.stats}. *)
 val block_cache : t -> Block.t Lt_cache.Block_cache.t option
+
+(** The observability bundle shared by every table: latency histograms,
+    the slow-op ring, and a collector that folds {!Table.stats} and the
+    block-cache counters into the Prometheus exposition. Created at
+    [open_] from {!Config.t.obs_enabled} / {!Config.t.slow_op_micros}
+    with the database clock. *)
+val obs : t -> Lt_obs.Obs.t
+
 val clock : t -> Lt_util.Clock.t
 val vfs : t -> Lt_vfs.Vfs.t
 val dir : t -> string

@@ -90,9 +90,11 @@ let read ?(cache = no_cache) (t : t) =
     cache;
   }
 
+(* Guard only the denominator: a query that scanned rows but returned
+   none is pure waste and must show up as a large ratio, not hide
+   behind a 1.0 placeholder. *)
 let scan_ratio s =
-  if s.rows_returned = 0 then 1.0
-  else float_of_int s.rows_scanned /. float_of_int s.rows_returned
+  float_of_int s.rows_scanned /. float_of_int (max 1 s.rows_returned)
 
 let write_amplification s =
   if s.flushed_bytes = 0 then 1.0

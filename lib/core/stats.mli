@@ -53,7 +53,10 @@ type snapshot = {
 (** Monotonic snapshot; [cache] defaults to {!no_cache}. *)
 val read : ?cache:cache_snapshot -> t -> snapshot
 
-(** Rows scanned per row returned; 1.0 when nothing returned yet. *)
+(** Rows scanned per row returned, computed as
+    [scanned / max 1 returned] so pure-waste scans (rows scanned but
+    none returned) report their full scan count instead of hiding
+    behind a placeholder. 0.0 only when nothing was scanned. *)
 val scan_ratio : snapshot -> float
 
 (** Bytes written to disk per byte of first-time flush; >= 1. *)

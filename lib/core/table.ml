@@ -1,6 +1,8 @@
 open Lt_util
 module Vfs = Lt_vfs.Vfs
 module Bcache = Lt_cache.Block_cache
+module Obs = Lt_obs.Obs
+module Otrace = Lt_obs.Trace
 
 exception Duplicate_key of string
 
@@ -34,6 +36,8 @@ type t = {
   stats : Stats.t;
   cache : Block.t Bcache.t option;
       (** process-wide block cache, shared across the {!Db}'s tables *)
+  obs : Obs.t;
+  instr : Obs.table_instruments;
   rng : Xorshift.t;
   mutable closed : bool;
 }
@@ -71,6 +75,35 @@ let stats t =
 let tablet_path t file = Filename.concat t.dir file
 
 (* ------------------------------------------------------------------ *)
+(* Observability spans                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cache_counts t =
+  match t.cache with
+  | None -> (0, 0)
+  | Some c ->
+      let k = Bcache.counters c in
+      (k.Bcache.hits, k.Bcache.misses)
+
+(* Open a span: clock time plus the block-cache counters at entry, so
+   the closing side can attribute hit/miss deltas to this operation
+   (approximate under concurrent readers — see DESIGN.md). All zero
+   when observability is off. *)
+let obs_begin t =
+  if Obs.enabled t.obs then
+    let h, m = cache_counts t in
+    (Clock.now t.clock, h, m)
+  else (0L, 0, 0)
+
+let obs_end t ~hist ~op ~t0 ~h0 ~m0 ?(scanned = 0) ?(returned = 0)
+    ?(tablets = 0) () =
+  if Obs.enabled t.obs then begin
+    let h1, m1 = cache_counts t in
+    Obs.record_op t.obs ~hist ~op ~table:t.tname ~t0 ~scanned ~returned
+      ~tablets ~cache_hits:(h1 - h0) ~cache_misses:(m1 - m0) ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -84,7 +117,7 @@ let seed_of_name name =
     name;
   !h
 
-let make vfs ~clock ~config ~dir ~name ~desc ~cache =
+let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs =
   let open Descriptor in
   let n = Clock.now clock in
   let disk =
@@ -128,19 +161,21 @@ let make vfs ~clock ~config ~dir ~name ~desc ~cache =
     maint_lock = Mutex.create ();
     stats = Stats.create ();
     cache;
+    obs;
+    instr = Obs.table_instruments obs ~table:name;
     rng = Xorshift.create (seed_of_name name);
     closed = false;
   }
 
-let create ?cache vfs ~clock ~config ~dir ~name schema ~ttl =
+let create ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name schema ~ttl =
   Vfs.mkdir_p vfs dir;
   if Descriptor.exists vfs ~dir then
     invalid_arg (Printf.sprintf "Table.create: %s already holds a table" dir);
   let desc = Descriptor.{ schema; ttl; next_id = 1; tablets = [] } in
   Descriptor.save vfs ~dir desc;
-  make vfs ~clock ~config ~dir ~name ~desc ~cache
+  make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs
 
-let open_ ?cache vfs ~clock ~config ~dir ~name =
+let open_ ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name =
   let desc = Descriptor.load vfs ~dir in
   (* Crash hygiene: a crash or failed flush can leave tablet files that
      never made it into a descriptor (and interrupted descriptor
@@ -153,7 +188,7 @@ let open_ ?cache vfs ~clock ~config ~dir ~name =
       if not (List.mem entry referenced) then
         try Vfs.delete vfs (Filename.concat dir entry) with Vfs.Io_error _ -> ())
     (try Vfs.readdir vfs dir with Vfs.Io_error _ -> []);
-  make vfs ~clock ~config ~dir ~name ~desc ~cache
+  make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs
 
 (* Must be called with [state] held. *)
 let save_descriptor_locked t =
@@ -169,7 +204,7 @@ let get_reader_locked t dt =
   | Some r -> r
   | None ->
       let r =
-        Tablet.open_reader ?cache:t.cache t.vfs
+        Tablet.open_reader ?cache:t.cache ~obs:t.obs t.vfs
           ~path:(tablet_path t dt.meta.Descriptor.file)
           ~into:t.schema
       in
@@ -333,7 +368,16 @@ let flush_closure t mt =
         match t.last_insert_tablet with
         | Some id when List.mem id ids -> t.last_insert_tablet <- None
         | _ -> ());
-  let metas = List.map (fun m -> (m, write_memtable t m)) members in
+  let metas =
+    List.map
+      (fun m ->
+        let t0, h0, m0 = obs_begin t in
+        let meta = write_memtable t m in
+        obs_end t ~hist:t.instr.Obs.h_flush ~op:Otrace.Flush ~t0 ~h0 ~m0
+          ~returned:meta.Descriptor.row_count ();
+        (m, meta))
+      members
+  in
   locked t.state (fun () ->
       let n = now t in
       List.iter
@@ -501,10 +545,13 @@ let insert_one t row =
         freeze_locked t mt)
 
 let insert t rows =
+  let t0, h0, m0 = obs_begin t in
   locked t.writer_lock (fun () ->
       List.iter (insert_one t) rows;
       Stats.note_insert t.stats ~rows:(List.length rows);
-      flush_frozen_backlog t ~limit:t.config.Config.flush_backlog)
+      flush_frozen_backlog t ~limit:t.config.Config.flush_backlog);
+  obs_end t ~hist:t.instr.Obs.h_insert ~op:Otrace.Insert ~t0 ~h0 ~m0
+    ~returned:(List.length rows) ()
 
 let insert_row t row = insert t [ row ]
 
@@ -582,7 +629,7 @@ let empty_source () = None
 
 let query_raw t (q : Query.t) =
   match Query.compile t.schema q with
-  | None -> (empty_source, (fun () -> ()), ref 0)
+  | None -> (empty_source, (fun () -> ()), ref 0, 0)
   | Some compiled ->
       let asc = q.Query.direction = Query.Asc in
       let scan =
@@ -601,10 +648,11 @@ let query_raw t (q : Query.t) =
           release t scan.referenced
         end
       in
-      (filtered, release_once, scanned)
+      (filtered, release_once, scanned, List.length scan.referenced)
 
 let query_iter t q =
-  let src, release_once, scanned = query_raw t q in
+  let t0, h0, m0 = obs_begin t in
+  let src, release_once, scanned, tablets = query_raw t q in
   let src =
     match q.Query.limit with None -> src | Some n -> Cursor.take n src
   in
@@ -621,6 +669,8 @@ let query_iter t q =
           finished := true;
           release_once ();
           Stats.note_query t.stats ~scanned:!scanned ~returned:!returned;
+          obs_end t ~hist:t.instr.Obs.h_query ~op:Otrace.Query ~t0 ~h0 ~m0
+            ~scanned:!scanned ~returned:!returned ~tablets ();
           None
     end
 
@@ -631,7 +681,8 @@ type result = {
 }
 
 let query t (q : Query.t) =
-  let src, release_once, scanned = query_raw t q in
+  let t0, h0, m0 = obs_begin t in
+  let src, release_once, scanned, tablets = query_raw t q in
   let server_cap = t.config.Config.server_row_limit in
   let cap =
     match q.Query.limit with
@@ -650,6 +701,8 @@ let query t (q : Query.t) =
   release_once ();
   let scanned = !scanned in
   Stats.note_query t.stats ~scanned ~returned:(List.length rows);
+  obs_end t ~hist:t.instr.Obs.h_query ~op:Otrace.Query ~t0 ~h0 ~m0 ~scanned
+    ~returned:(List.length rows) ~tablets ();
   (* more_available signals only the server's own cap (§3.5): when the
      client asked for fewer rows than the server cap, hitting the client
      limit is not "more available" in the protocol sense. *)
@@ -671,6 +724,7 @@ let item_span = function
   | On_disk dt -> (dt.meta.Descriptor.min_ts, dt.meta.Descriptor.max_ts)
 
 let latest t prefix_values =
+  let t0, h0, m0 = obs_begin t in
   let prefix = Key_codec.encode_prefix t.schema prefix_values in
   let hi = Key_codec.prefix_succ prefix in
   let full_prefix =
@@ -776,6 +830,10 @@ let latest t prefix_values =
       let result = try_groups groups in
       Stats.note_query t.stats ~scanned:!scanned
         ~returned:(if result = None then 0 else 1);
+      obs_end t ~hist:t.instr.Obs.h_latest ~op:Otrace.Latest ~t0 ~h0 ~m0
+        ~scanned:!scanned
+        ~returned:(if result = None then 0 else 1)
+        ~tablets:(List.length refs) ();
       result)
 
 (* ------------------------------------------------------------------ *)
@@ -838,6 +896,7 @@ let merge_step_unlocked t =
   match plan with
   | None -> false
   | Some (sources, readers, new_id, cutoff) ->
+      let t0, h0, m0 = obs_begin t in
       let ok = ref false in
       Fun.protect
         ~finally:(fun () -> release t sources)
@@ -941,6 +1000,9 @@ let merge_step_unlocked t =
               in
               Stats.note_merge t.stats ~bytes_in ~bytes_out;
               save_descriptor_locked t);
+          obs_end t ~hist:t.instr.Obs.h_merge ~op:Otrace.Merge ~t0 ~h0 ~m0
+            ~scanned:!scanned ~returned:!rows
+            ~tablets:(List.length sources) ();
           ok := true);
       !ok
 

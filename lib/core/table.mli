@@ -25,9 +25,13 @@ exception Duplicate_key of string
     table (its directory must not already hold one) and writes the
     initial descriptor. [ttl] is in microseconds, [None] = retain
     forever. [cache] is the process-wide block cache the table's readers
-    share (normally supplied by {!Db}); omitted = uncached reads. *)
+    share (normally supplied by {!Db}); omitted = uncached reads.
+    [obs] is the observability bundle operations report latency spans
+    to (also normally supplied by {!Db}); omitted = no instrumentation
+    ({!Lt_obs.Obs.noop}). *)
 val create :
   ?cache:Block.t Lt_cache.Block_cache.t ->
+  ?obs:Lt_obs.Obs.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->
@@ -41,6 +45,7 @@ val create :
     previous process is gone, per the durability contract. *)
 val open_ :
   ?cache:Block.t Lt_cache.Block_cache.t ->
+  ?obs:Lt_obs.Obs.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->

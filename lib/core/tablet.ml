@@ -1,6 +1,8 @@
 open Lt_util
 module Vfs = Lt_vfs.Vfs
 module Bcache = Lt_cache.Block_cache
+module Obs = Lt_obs.Obs
+module Metrics = Lt_obs.Metrics
 
 let magic = 0x4C54424C54312E30L (* "LTBLT1.0" *)
 
@@ -301,9 +303,12 @@ type reader = {
   mutable target : Schema.t;
   r_cache : (Block.t Bcache.t * int) option;
       (** shared block cache plus this reader's file id *)
+  r_obs : Obs.t;
+  r_h_read : Metrics.Histogram.t;
+  r_h_decomp : Metrics.Histogram.t;
 }
 
-let open_reader ?cache vfs ~path ~into =
+let open_reader ?cache ?(obs = Obs.noop) vfs ~path ~into =
   let file = Vfs.open_read vfs path in
   match
     let size = Vfs.file_size vfs file in
@@ -327,6 +332,9 @@ let open_reader ?cache vfs ~path ~into =
       footer;
       target = into;
       r_cache;
+      r_obs = obs;
+      r_h_read = Obs.block_read_hist obs;
+      r_h_decomp = Obs.block_decompress_hist obs;
     }
   with
   | r -> r
@@ -365,10 +373,19 @@ let may_contain_prefix r prefix =
 
 let block_count r = Array.length r.footer.index
 
+(* Stage timings: "read" covers the (modeled) disk pread, "decompress"
+   the checksum + frame decompression. When observability is off both
+   now_us calls return 0 and the observes are boolean-load no-ops. *)
 let read_block r i =
   let e = r.footer.index.(i) in
+  let t0 = Obs.now_us r.r_obs in
   let frame = Vfs.pread r.r_vfs r.r_file ~off:e.file_off ~len:e.frame_len in
-  decode_frame frame
+  let t1 = Obs.now_us r.r_obs in
+  Metrics.Histogram.observe_us r.r_h_read (Int64.sub t1 t0);
+  let raw = decode_frame frame in
+  Metrics.Histogram.observe_us r.r_h_decomp
+    (Int64.sub (Obs.now_us r.r_obs) t1);
+  raw
 
 (* The cache sits above the VFS and below the block decode: a hit skips
    the (modeled) disk read, the checksum, and the decompression. Weights

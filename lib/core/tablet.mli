@@ -71,9 +71,11 @@ type reader
 (** Open a tablet and load its footer. [into] is the schema rows are
     translated to on read. [cache], when given, is consulted before
     every block read and filled on miss (see {!Lt_cache.Block_cache});
-    the reader allocates itself a fresh file id in it. *)
+    the reader allocates itself a fresh file id in it. [obs] receives
+    per-block read/decompress stage latencies (default: none). *)
 val open_reader :
   ?cache:Block.t Lt_cache.Block_cache.t ->
+  ?obs:Lt_obs.Obs.t ->
   Lt_vfs.Vfs.t ->
   path:string ->
   into:Schema.t ->

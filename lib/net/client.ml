@@ -213,6 +213,18 @@ let stats t table =
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad stats response")
 
+let metrics t =
+  match roundtrip t Protocol.Get_metrics with
+  | Protocol.Metrics_text text -> text
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad metrics response")
+
+let slow_ops ?(n = 20) t =
+  match roundtrip t (Protocol.Get_slow_ops n) with
+  | Protocol.Slow_ops spans -> spans
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad slow ops response")
+
 let sql_backend t =
   {
     Lt_sql.Executor.b_schema =

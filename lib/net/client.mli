@@ -79,6 +79,14 @@ val set_ttl : t -> string -> ttl:int64 option -> unit
 
 val stats : t -> string -> Stats.snapshot
 
+(** The server's Prometheus text exposition — the same document its
+    [/metrics] HTTP endpoint serves. *)
+val metrics : t -> string
+
+(** The server's most recent slow-op spans, newest first; [n] caps the
+    count (default 20). *)
+val slow_ops : ?n:int -> t -> Lt_obs.Trace.span list
+
 (** {1 SQL} *)
 
 (** An {!Lt_sql.Executor} backend speaking this connection. *)

@@ -25,6 +25,8 @@ type request =
   | Add_column of { table : string; column : Schema.column }
   | Widen_column of { table : string; column : string }
   | Set_ttl of { table : string; ttl : int64 option }
+  | Get_metrics
+  | Get_slow_ops of int  (** at most this many spans, newest first *)
 
 type response =
   | Hello_ok of int
@@ -38,6 +40,8 @@ type response =
   | Error of string
   | Pong
   | Deleted of int
+  | Metrics_text of string  (** Prometheus exposition *)
+  | Slow_ops of Lt_obs.Trace.span list
 
 (* ---- Tagged values ---------------------------------------------------- *)
 
@@ -207,6 +211,10 @@ let write_request b = function
       Binio.put_u8 b 14;
       Binio.put_string b table;
       put_opt_i64 b ttl
+  | Get_metrics -> Binio.put_u8 b 15
+  | Get_slow_ops n ->
+      Binio.put_u8 b 16;
+      Binio.put_varint b n
 
 let read_request cur =
   match Binio.get_u8 cur with
@@ -253,6 +261,8 @@ let read_request cur =
       let table = Binio.get_string cur in
       let ttl = get_opt_i64 cur in
       Set_ttl { table; ttl }
+  | 15 -> Get_metrics
+  | 16 -> Get_slow_ops (Binio.get_varint cur)
   | n -> error "bad request tag %d" n
 
 (* ---- Responses ------------------------------------------------------------ *)
@@ -300,6 +310,44 @@ let get_stats cur =
       };
   }
 
+let span_op_tag = function
+  | Lt_obs.Trace.Insert -> 0
+  | Lt_obs.Trace.Query -> 1
+  | Lt_obs.Trace.Latest -> 2
+  | Lt_obs.Trace.Flush -> 3
+  | Lt_obs.Trace.Merge -> 4
+
+let span_op_of_tag = function
+  | 0 -> Lt_obs.Trace.Insert
+  | 1 -> Lt_obs.Trace.Query
+  | 2 -> Lt_obs.Trace.Latest
+  | 3 -> Lt_obs.Trace.Flush
+  | 4 -> Lt_obs.Trace.Merge
+  | n -> error "bad span op tag %d" n
+
+let put_span b (sp : Lt_obs.Trace.span) =
+  Binio.put_u8 b (span_op_tag sp.Lt_obs.Trace.sp_op);
+  Binio.put_string b sp.sp_table;
+  Binio.put_i64 b sp.sp_start_us;
+  Binio.put_i64 b sp.sp_duration_us;
+  List.iter (Binio.put_varint b)
+    [ sp.sp_scanned; sp.sp_returned; sp.sp_tablets; sp.sp_cache_hits;
+      sp.sp_cache_misses ]
+
+let get_span cur =
+  let sp_op = span_op_of_tag (Binio.get_u8 cur) in
+  let sp_table = Binio.get_string cur in
+  let sp_start_us = Binio.get_i64 cur in
+  let sp_duration_us = Binio.get_i64 cur in
+  let v () = Binio.get_varint cur in
+  let sp_scanned = v () in
+  let sp_returned = v () in
+  let sp_tablets = v () in
+  let sp_cache_hits = v () in
+  let sp_cache_misses = v () in
+  { Lt_obs.Trace.sp_op; sp_table; sp_start_us; sp_duration_us; sp_scanned;
+    sp_returned; sp_tablets; sp_cache_hits; sp_cache_misses }
+
 let write_response b = function
   | Hello_ok v ->
       Binio.put_u8 b 0;
@@ -338,6 +386,13 @@ let write_response b = function
   | Deleted n ->
       Binio.put_u8 b 10;
       Binio.put_varint b n
+  | Metrics_text text ->
+      Binio.put_u8 b 11;
+      Binio.put_string b text
+  | Slow_ops spans ->
+      Binio.put_u8 b 12;
+      Binio.put_varint b (List.length spans);
+      List.iter (put_span b) spans
 
 let read_response cur =
   match Binio.get_u8 cur with
@@ -365,6 +420,10 @@ let read_response cur =
   | 8 -> Error (Binio.get_string cur)
   | 9 -> Pong
   | 10 -> Deleted (Binio.get_varint cur)
+  | 11 -> Metrics_text (Binio.get_string cur)
+  | 12 ->
+      let n = Binio.get_varint cur in
+      Slow_ops (List.init n (fun _ -> get_span cur))
   | n -> error "bad response tag %d" n
 
 (* ---- Socket framing ------------------------------------------------------ *)

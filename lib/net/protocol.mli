@@ -34,6 +34,8 @@ type request =
   | Add_column of { table : string; column : Schema.column }
   | Widen_column of { table : string; column : string }
   | Set_ttl of { table : string; ttl : int64 option }
+  | Get_metrics  (** Prometheus exposition of the server's registry *)
+  | Get_slow_ops of int  (** at most this many slow spans, newest first *)
 
 type response =
   | Hello_ok of int
@@ -47,6 +49,8 @@ type response =
   | Error of string
   | Pong
   | Deleted of int
+  | Metrics_text of string
+  | Slow_ops of Lt_obs.Trace.span list
 
 val version : int
 

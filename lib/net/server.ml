@@ -1,4 +1,7 @@
 open Littletable
+module Obs = Lt_obs.Obs
+module Metrics = Lt_obs.Metrics
+module Trace = Lt_obs.Trace
 
 let log = Logs.Src.create "lt.server" ~doc:"LittleTable server"
 
@@ -8,15 +11,39 @@ type t = {
   db : Db.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  metrics_fd : Unix.file_descr option;
+  metrics_bound_port : int option;
   mutable running : bool;
   mutable threads : (Thread.t * Unix.file_descr) list;
   accept_thread : Thread.t option ref;
   maint_thread : Thread.t option ref;
+  metrics_thread : Thread.t option ref;
   mutex : Mutex.t;
   stopped : Condition.t;
 }
 
 let port t = t.bound_port
+
+let metrics_port t = t.metrics_bound_port
+
+let request_kind : Protocol.request -> string = function
+  | Hello _ -> "hello"
+  | List_tables -> "list_tables"
+  | Get_table _ -> "get_table"
+  | Create_table _ -> "create_table"
+  | Drop_table _ -> "drop_table"
+  | Insert _ -> "insert"
+  | Query _ -> "query"
+  | Latest _ -> "latest"
+  | Flush_before _ -> "flush_before"
+  | Get_stats _ -> "get_stats"
+  | Ping -> "ping"
+  | Delete_prefix _ -> "delete_prefix"
+  | Add_column _ -> "add_column"
+  | Widen_column _ -> "widen_column"
+  | Set_ttl _ -> "set_ttl"
+  | Get_metrics -> "get_metrics"
+  | Get_slow_ops _ -> "get_slow_ops"
 
 let handle_request db req =
   let open Protocol in
@@ -103,12 +130,17 @@ let handle_request db req =
       | Some tbl ->
           Table.set_ttl tbl ttl;
           Ok)
+  | Get_metrics -> Metrics_text (Obs.render (Db.obs db))
+  | Get_slow_ops n ->
+      Slow_ops (Trace.slow ~n:(max 0 n) (Obs.trace (Db.obs db)))
 
 let client_loop t fd =
+  let obs = Db.obs t.db in
   let finished = ref false in
   while t.running && not !finished do
     match Protocol.recv_request fd with
     | req ->
+        let t0 = Obs.now_us obs in
         let resp =
           try handle_request t.db req with
           | Protocol.Protocol_error msg | Lt_util.Binio.Corrupt msg ->
@@ -116,6 +148,10 @@ let client_loop t fd =
           | Lt_vfs.Vfs.Io_error msg -> Protocol.Error ("io error: " ^ msg)
           | Invalid_argument msg -> Protocol.Error msg
         in
+        if Obs.enabled obs then
+          Metrics.Histogram.observe_us
+            (Obs.request_hist obs ~kind:(request_kind req))
+            (Int64.sub (Obs.now_us obs) t0);
         (try Protocol.send_response fd resp
          with Unix.Unix_error _ -> finished := true)
     | exception (End_of_file | Unix.Unix_error _) -> finished := true
@@ -144,6 +180,71 @@ let accept_loop t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+(* ---- Metrics HTTP listener ------------------------------------------- *)
+
+let write_string fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  try
+    while !off < len do
+      let n = Unix.write fd b !off (len - !off) in
+      off := !off + n
+    done
+  with Unix.Unix_error _ -> ()
+
+(* One short-lived connection per scrape: read the request head, serve
+   /metrics, close. Handled inline on the listener thread — a metrics
+   scrape every few seconds does not need concurrency. *)
+let handle_metrics_conn t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let buf = Bytes.create 4096 in
+      let n = try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0 in
+      if n > 0 then begin
+        let head = Bytes.sub_string buf 0 n in
+        let first_line =
+          match String.index_opt head '\r' with
+          | Some i -> String.sub head 0 i
+          | None -> head
+        in
+        let path =
+          match String.split_on_char ' ' first_line with
+          | _meth :: path :: _ -> path
+          | _ -> ""
+        in
+        let status, body =
+          match path with
+          | "/metrics" | "/" -> ("200 OK", Obs.render (Db.obs t.db))
+          | _ -> ("404 Not Found", "not found\n")
+        in
+        write_string fd
+          (Printf.sprintf
+             "HTTP/1.1 %s\r\n\
+              Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+              Content-Length: %d\r\n\
+              Connection: close\r\n\
+              \r\n\
+              %s"
+             status (String.length body) body)
+      end)
+
+let metrics_loop t fd =
+  (* Same select-with-timeout pattern as [accept_loop], for the same
+     reason: [stop] must be able to join this thread. *)
+  while t.running do
+    match Unix.select [ fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept fd with
+        | conn, _ -> handle_metrics_conn t conn
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
 let maintenance_loop t period =
   while t.running do
     (* Sleep in small slices so [stop] is prompt. *)
@@ -158,25 +259,42 @@ let maintenance_loop t period =
         Log.err (fun m -> m "maintenance failed: %s" (Printexc.to_string exn))
   done
 
-let start ?(maintenance_period_s = 1.0) ~db ~port () =
+let listen_on port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen fd 64;
-  let bound_port =
+  let bound =
     match Unix.getsockname fd with
     | Unix.ADDR_INET (_, p) -> p
     | _ -> assert false
+  in
+  (fd, bound)
+
+let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
+  let fd, bound_port = listen_on port in
+  let metrics =
+    match metrics_port with
+    | None -> None
+    | Some p -> (
+        match listen_on p with
+        | pair -> Some pair
+        | exception e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
   in
   let t =
     {
       db;
       listen_fd = fd;
       bound_port;
+      metrics_fd = Option.map fst metrics;
+      metrics_bound_port = Option.map snd metrics;
       running = true;
       threads = [];
       accept_thread = ref None;
       maint_thread = ref None;
+      metrics_thread = ref None;
       mutex = Mutex.create ();
       stopped = Condition.create ();
     }
@@ -184,15 +302,32 @@ let start ?(maintenance_period_s = 1.0) ~db ~port () =
   t.accept_thread := Some (Thread.create accept_loop t);
   if maintenance_period_s > 0.0 then
     t.maint_thread := Some (Thread.create (fun () -> maintenance_loop t maintenance_period_s) ());
+  (match t.metrics_fd with
+  | Some mfd -> t.metrics_thread := Some (Thread.create (metrics_loop t) mfd)
+  | None -> ());
   Log.info (fun m -> m "listening on 127.0.0.1:%d" bound_port);
+  (match t.metrics_bound_port with
+  | Some p -> Log.info (fun m -> m "metrics on http://127.0.0.1:%d/metrics" p)
+  | None -> ());
   t
+
+(* [stop] may run inside one of the server's own threads: OCaml signal
+   handlers execute on whichever thread next reaches a safepoint, and the
+   select-with-timeout loops make the accept/metrics threads the likely
+   candidates. Joining the current thread would deadlock forever. *)
+let join_unless_self th =
+  if Thread.id th <> Thread.id (Thread.self ()) then Thread.join th
 
 let stop t =
   if t.running then begin
     t.running <- false;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (match !(t.accept_thread) with Some th -> Thread.join th | None -> ());
-    (match !(t.maint_thread) with Some th -> Thread.join th | None -> ());
+    (match t.metrics_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match !(t.accept_thread) with Some th -> join_unless_self th | None -> ());
+    (match !(t.maint_thread) with Some th -> join_unless_self th | None -> ());
+    (match !(t.metrics_thread) with Some th -> join_unless_self th | None -> ());
     let threads =
       Mutex.lock t.mutex;
       let ths = t.threads in
@@ -205,7 +340,7 @@ let stop t =
       (fun (_, fd) ->
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       threads;
-    List.iter (fun (th, _) -> Thread.join th) threads;
+    List.iter (fun (th, _) -> join_unless_self th) threads;
     Db.flush_all t.db;
     Mutex.lock t.mutex;
     Condition.broadcast t.stopped;

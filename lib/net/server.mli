@@ -12,15 +12,26 @@
 
 type t
 
-(** [start ?maintenance_period_s ~db ~port ()] binds [127.0.0.1:port]
-    ([port = 0] picks an ephemeral port) and starts accepting.
-    [maintenance_period_s <= 0.] disables the maintenance thread (useful
-    under a manual clock). *)
+(** [start ?maintenance_period_s ?metrics_port ~db ~port ()] binds
+    [127.0.0.1:port] ([port = 0] picks an ephemeral port) and starts
+    accepting. [maintenance_period_s <= 0.] disables the maintenance
+    thread (useful under a manual clock). [metrics_port], when given,
+    additionally serves the database's Prometheus metrics over HTTP at
+    [http://127.0.0.1:<metrics_port>/metrics] ([0] again picks an
+    ephemeral port); omitted = no metrics listener. *)
 val start :
-  ?maintenance_period_s:float -> db:Littletable.Db.t -> port:int -> unit -> t
+  ?maintenance_period_s:float ->
+  ?metrics_port:int ->
+  db:Littletable.Db.t ->
+  port:int ->
+  unit ->
+  t
 
 (** The port actually bound. *)
 val port : t -> int
+
+(** The metrics HTTP port actually bound, when the listener is on. *)
+val metrics_port : t -> int option
 
 (** Stop accepting, close client connections, join threads, and flush
     all tables. *)

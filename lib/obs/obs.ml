@@ -1,0 +1,84 @@
+module Clock = Lt_util.Clock
+
+type t = {
+  o_registry : Metrics.registry;
+  o_trace : Trace.t;
+  o_clock : Clock.t;
+}
+
+let create ?(enabled = true) ?(trace_capacity = 256)
+    ?(slow_op_micros = Clock.msec 100) ~clock () =
+  { o_registry = Metrics.create_registry ~enabled ();
+    o_trace = Trace.create ~capacity:trace_capacity ~slow_us:slow_op_micros ();
+    o_clock = clock }
+
+let noop = create ~enabled:false ~trace_capacity:1 ~clock:Clock.system ()
+
+let registry t = t.o_registry
+let trace t = t.o_trace
+let clock t = t.o_clock
+let enabled t = Metrics.enabled t.o_registry
+let now_us t = if enabled t then Clock.now t.o_clock else 0L
+
+let record_op t ~hist ~op ~table ~t0 ?(scanned = 0) ?(returned = 0)
+    ?(tablets = 0) ?(cache_hits = 0) ?(cache_misses = 0) () =
+  if enabled t then begin
+    let now = Clock.now t.o_clock in
+    let duration = Int64.max 0L (Int64.sub now t0) in
+    Metrics.Histogram.observe_us hist duration;
+    Trace.record t.o_trace
+      { Trace.sp_op = op;
+        sp_table = table;
+        sp_start_us = t0;
+        sp_duration_us = duration;
+        sp_scanned = scanned;
+        sp_returned = returned;
+        sp_tablets = tablets;
+        sp_cache_hits = cache_hits;
+        sp_cache_misses = cache_misses }
+  end
+
+type table_instruments = {
+  h_insert : Metrics.Histogram.t;
+  h_query : Metrics.Histogram.t;
+  h_latest : Metrics.Histogram.t;
+  h_flush : Metrics.Histogram.t;
+  h_merge : Metrics.Histogram.t;
+}
+
+let duration_hist t name help ~labels =
+  Metrics.histogram t.o_registry ~help ~labels name
+
+let table_instruments t ~table =
+  let labels = [ ("table", table) ] in
+  { h_insert =
+      duration_hist t "lt_insert_duration_seconds"
+        "Latency of Table.insert batches." ~labels;
+    h_query =
+      duration_hist t "lt_query_duration_seconds"
+        "Latency of Table.query / query_iter, first call to exhaustion."
+        ~labels;
+    h_latest =
+      duration_hist t "lt_latest_duration_seconds"
+        "Latency of Table.latest prefix searches." ~labels;
+    h_flush =
+      duration_hist t "lt_flush_duration_seconds"
+        "Latency of one memtable flush to a tablet." ~labels;
+    h_merge =
+      duration_hist t "lt_merge_duration_seconds"
+        "Latency of one adjacent-pair tablet merge step." ~labels }
+
+let block_read_hist t =
+  duration_hist t "lt_block_stage_duration_seconds"
+    "Latency of tablet block read stages." ~labels:[ ("stage", "read") ]
+
+let block_decompress_hist t =
+  duration_hist t "lt_block_stage_duration_seconds"
+    "Latency of tablet block read stages." ~labels:[ ("stage", "decompress") ]
+
+let request_hist t ~kind =
+  duration_hist t "lt_request_duration_seconds"
+    "Server-side latency of wire protocol requests."
+    ~labels:[ ("kind", kind) ]
+
+let render t = Metrics.render t.o_registry

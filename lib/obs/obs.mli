@@ -1,0 +1,71 @@
+(** The engine-facing observability bundle: one {!Metrics.registry},
+    one {!Trace.t} slow-op ring, and the {!Lt_util.Clock.t} that times
+    operations — manual clocks make latency tests deterministic.
+
+    A [Db] owns one [t] and threads it down to tables, tablet readers,
+    and the network server. Code that runs without a [Db] (unit tests,
+    the dump tool, benches) gets {!noop}, whose disabled registry makes
+    every instrumentation site a single boolean load.
+
+    Metric naming: every series is prefixed [lt_]; durations are
+    [<what>_duration_seconds] histograms labeled by [table] (engine
+    ops), [stage] (block reads), or [kind] (wire requests). *)
+
+type t
+
+(** [create ?enabled ?trace_capacity ?slow_op_micros ~clock ()] —
+    defaults: enabled, 256-span ring, 100 ms slow threshold. *)
+val create :
+  ?enabled:bool -> ?trace_capacity:int -> ?slow_op_micros:int64 ->
+  clock:Lt_util.Clock.t -> unit -> t
+
+(** A shared disabled instance: observes nothing, retains nothing. *)
+val noop : t
+
+val registry : t -> Metrics.registry
+
+val trace : t -> Trace.t
+
+val clock : t -> Lt_util.Clock.t
+
+val enabled : t -> bool
+
+(** Clock time in microseconds, or [0L] when disabled (so a disabled
+    timing site costs one load and no clock read). *)
+val now_us : t -> int64
+
+(** [record_op t ~hist ~op ~table ~t0 ... ()] — close the span opened
+    at [t0] (a {!now_us} result): observe the duration on [hist],
+    push a {!Trace.span} onto the ring (logging it if slow). No-op
+    when disabled. *)
+val record_op :
+  t -> hist:Metrics.Histogram.t -> op:Trace.op -> table:string ->
+  t0:int64 -> ?scanned:int -> ?returned:int -> ?tablets:int ->
+  ?cache_hits:int -> ?cache_misses:int -> unit -> unit
+
+(** Per-table duration histograms for the five engine operations,
+    all labeled [{table="<name>"}]. *)
+type table_instruments = {
+  h_insert : Metrics.Histogram.t; (* lt_insert_duration_seconds *)
+  h_query : Metrics.Histogram.t; (* lt_query_duration_seconds *)
+  h_latest : Metrics.Histogram.t; (* lt_latest_duration_seconds *)
+  h_flush : Metrics.Histogram.t; (* lt_flush_duration_seconds *)
+  h_merge : Metrics.Histogram.t; (* lt_merge_duration_seconds *)
+}
+
+val table_instruments : t -> table:string -> table_instruments
+
+(** [lt_block_stage_duration_seconds{stage="read"}] — one tablet-file
+    pread. *)
+val block_read_hist : t -> Metrics.Histogram.t
+
+(** [lt_block_stage_duration_seconds{stage="decompress"}] — frame
+    decode + block decompression. *)
+val block_decompress_hist : t -> Metrics.Histogram.t
+
+(** [lt_request_duration_seconds{kind="<request>"}] — server-side wire
+    request round-trip. *)
+val request_hist : t -> kind:string -> Metrics.Histogram.t
+
+(** Render the registry as Prometheus text. *)
+val render : t -> string

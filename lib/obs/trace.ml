@@ -1,0 +1,93 @@
+type op = Insert | Query | Latest | Flush | Merge
+
+type span = {
+  sp_op : op;
+  sp_table : string;
+  sp_start_us : int64;
+  sp_duration_us : int64;
+  sp_scanned : int;
+  sp_returned : int;
+  sp_tablets : int;
+  sp_cache_hits : int;
+  sp_cache_misses : int;
+}
+
+type t = {
+  ring : span option array;
+  mutable next : int; (* total spans ever recorded; write cursor = next mod capacity *)
+  mutable slow_us : int64;
+  mutex : Mutex.t;
+}
+
+let log_src = Logs.Src.create "lt.slowop" ~doc:"LittleTable slow operations"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let create ?(capacity = 256) ~slow_us () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None;
+    next = 0;
+    slow_us;
+    mutex = Mutex.create () }
+
+let capacity t = Array.length t.ring
+let slow_us t = t.slow_us
+let set_slow_us t v = t.slow_us <- v
+let recorded t = t.next
+
+let op_name = function
+  | Insert -> "insert"
+  | Query -> "query"
+  | Latest -> "latest"
+  | Flush -> "flush"
+  | Merge -> "merge"
+
+let pp_span ppf sp =
+  Format.fprintf ppf
+    "%-6s %-16s %8Ld us  scanned=%d returned=%d tablets=%d cache=%d/%d"
+    (op_name sp.sp_op) sp.sp_table sp.sp_duration_us sp.sp_scanned
+    sp.sp_returned sp.sp_tablets sp.sp_cache_hits
+    (sp.sp_cache_hits + sp.sp_cache_misses)
+
+let record t sp =
+  let slow =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.ring in
+    t.ring.(t.next mod cap) <- Some sp;
+    t.next <- t.next + 1;
+    let slow = sp.sp_duration_us >= t.slow_us in
+    Mutex.unlock t.mutex;
+    slow
+  in
+  if slow then Log.warn (fun m -> m "slow op: %a" pp_span sp)
+
+(* Newest-first walk of the retained window. *)
+let fold_recent t f =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.ring in
+  let retained = min t.next cap in
+  let acc = ref [] in
+  for i = 1 to retained do
+    match t.ring.((t.next - i + (cap * 2)) mod cap) with
+    | Some sp -> if f sp then acc := sp :: !acc
+    | None -> ()
+  done;
+  Mutex.unlock t.mutex;
+  List.rev !acc
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let recent ?n t =
+  let all = fold_recent t (fun _ -> true) in
+  match n with None -> all | Some n -> take n all
+
+let slow ?n t =
+  let threshold = t.slow_us in
+  let all = fold_recent t (fun sp -> sp.sp_duration_us >= threshold) in
+  match n with None -> all | Some n -> take n all

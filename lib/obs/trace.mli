@@ -1,0 +1,53 @@
+(** Slow-op trace ring: a fixed-size ring buffer of recent operation
+    spans, the "what just happened" complement to the aggregate
+    {!Metrics} histograms. Every instrumented engine operation records
+    a span; spans whose duration meets the slow threshold
+    ([Config.slow_op_micros]) are additionally emitted at warning level
+    through the ["lt.slowop"] [Logs] source, so a production log
+    captures outliers even when nobody is watching [.slow]. *)
+
+type op = Insert | Query | Latest | Flush | Merge
+
+type span = {
+  sp_op : op;
+  sp_table : string;
+  sp_start_us : int64; (* clock time at operation start *)
+  sp_duration_us : int64;
+  sp_scanned : int; (* rows scanned; 0 when not applicable *)
+  sp_returned : int; (* rows returned / inserted / flushed / merged *)
+  sp_tablets : int; (* tablets touched *)
+  sp_cache_hits : int;
+  sp_cache_misses : int;
+}
+
+type t
+
+(** [create ?capacity ~slow_us ()] — [capacity] defaults to 256 spans;
+    [slow_us] is the threshold at or above which a span is also logged. *)
+val create : ?capacity:int -> slow_us:int64 -> unit -> t
+
+val capacity : t -> int
+
+val slow_us : t -> int64
+
+val set_slow_us : t -> int64 -> unit
+
+(** Total spans ever recorded (not bounded by capacity). *)
+val recorded : t -> int
+
+val record : t -> span -> unit
+
+(** Most recent spans, newest first, at most [n] (default: all
+    retained). *)
+val recent : ?n:int -> t -> span list
+
+(** Most recent spans with [sp_duration_us >= slow_us], newest first,
+    at most [n]. *)
+val slow : ?n:int -> t -> span list
+
+val op_name : op -> string
+
+val pp_span : Format.formatter -> span -> unit
+
+(** The ["lt.slowop"] log source slow spans are emitted through. *)
+val log_src : Logs.src

@@ -49,6 +49,8 @@ let test_protocol_requests () =
       Protocol.Latest { table = "t"; prefix = [ Value.Int64 1L; Value.String "d" ] };
       Protocol.Flush_before { table = "t"; ts = 123L };
       Protocol.Get_stats "t";
+      Protocol.Get_metrics;
+      Protocol.Get_slow_ops 25;
       Protocol.Ping;
     ]
   in
@@ -79,6 +81,32 @@ let test_protocol_responses () =
       Protocol.Latest_row (Some [| Value.Timestamp 5L |]);
       Protocol.Error "boom";
       Protocol.Pong;
+      Protocol.Metrics_text "# TYPE lt_up gauge\nlt_up 1\n";
+      Protocol.Slow_ops
+        [
+          {
+            Lt_obs.Trace.sp_op = Lt_obs.Trace.Query;
+            sp_table = "usage";
+            sp_start_us = 17L;
+            sp_duration_us = 250_000L;
+            sp_scanned = 512;
+            sp_returned = 3;
+            sp_tablets = 4;
+            sp_cache_hits = 9;
+            sp_cache_misses = 2;
+          };
+          {
+            Lt_obs.Trace.sp_op = Lt_obs.Trace.Merge;
+            sp_table = "t2";
+            sp_start_us = 0L;
+            sp_duration_us = 0L;
+            sp_scanned = 0;
+            sp_returned = 0;
+            sp_tablets = 0;
+            sp_cache_hits = 0;
+            sp_cache_misses = 0;
+          };
+        ];
     ]
   in
   List.iter
