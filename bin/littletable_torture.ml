@@ -1,0 +1,108 @@
+(* Crash-point torture sweep runner for CI and local debugging.
+
+     littletable_torture                       sweep default seeds
+     littletable_torture --seed 42 --seed 43   sweep specific seeds
+     littletable_torture --workload merge      restrict to one workload
+     littletable_torture --replay merge:crash:42:17
+                                               re-run one recorded point
+
+   On failure, writes one line per failing (workload, mode, seed, point)
+   to --out (default TORTURE_FAILURES.txt) and exits 1. *)
+
+module Torture = Lt_torture.Torture
+
+let default_seeds = [ 1L; 42L; 1337L ]
+
+let parse_workload s =
+  match
+    List.find_opt
+      (fun w -> Torture.workload_name w = s)
+      Torture.all_workloads
+  with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %S; known: %s\n" s
+        (String.concat " " (List.map Torture.workload_name Torture.all_workloads));
+      exit 2
+
+let parse_mode = function
+  | "crash" -> Torture.Crash
+  | "io-error" -> Torture.Io_err
+  | s ->
+      Printf.eprintf "unknown mode %S; known: crash io-error\n" s;
+      exit 2
+
+let replay spec =
+  match String.split_on_char ':' spec with
+  | [ w; m; seed; k ] -> (
+      let w = parse_workload w in
+      let m = parse_mode m in
+      let seed = Int64.of_string seed in
+      let k = int_of_string k in
+      match Torture.replay ~seed w m k with
+      | Ok () ->
+          Printf.printf "replay %s: ok\n" spec;
+          exit 0
+      | Error reason ->
+          Printf.printf "replay %s: FAIL: %s\n" spec reason;
+          exit 1)
+  | _ ->
+      Printf.eprintf "bad replay spec %S (want workload:mode:seed:point)\n" spec;
+      exit 2
+
+let () =
+  let seeds = ref [] in
+  let workloads = ref [] in
+  let out = ref "TORTURE_FAILURES.txt" in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+        seeds := Int64.of_string v :: !seeds;
+        parse rest
+    | "--workload" :: v :: rest ->
+        workloads := parse_workload v :: !workloads;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--replay" :: v :: _ -> replay v
+    | a :: _ ->
+        Printf.eprintf
+          "unknown argument %S; usage: [--seed N]* [--workload W]* [--out F] \
+           [--replay W:M:SEED:K]\n"
+          a;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds = if !seeds = [] then default_seeds else List.rev !seeds in
+  let workloads =
+    if !workloads = [] then Torture.all_workloads else List.rev !workloads
+  in
+  let t0 = Unix.gettimeofday () in
+  let total_runs = ref 0 in
+  let failures =
+    List.concat_map
+      (fun seed ->
+        let runs, fs = Torture.sweep ~workloads ~seed () in
+        total_runs := !total_runs + runs;
+        Printf.printf "seed %Ld: %d runs, %d failures\n%!" seed runs
+          (List.length fs);
+        fs)
+      seeds
+  in
+  Printf.printf "torture sweep: %d runs, %d failures in %.1f s\n" !total_runs
+    (List.length failures)
+    (Unix.gettimeofday () -. t0);
+  if failures <> [] then begin
+    let oc = open_out !out in
+    List.iter
+      (fun f ->
+        let line = Format.asprintf "%a" Torture.pp_failure f in
+        Printf.printf "  %s\n" line;
+        output_string oc (line ^ "\n"))
+      failures;
+    close_out oc;
+    Printf.printf "failure list written to %s (re-run one with --replay)\n"
+      !out;
+    exit 1
+  end

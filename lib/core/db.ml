@@ -56,6 +56,12 @@ let stats_samples t =
         labels s.Stats.merged_bytes_out;
       sample "lt_tablets_expired_total" "Tablets reclaimed by TTL expiry."
         `Counter labels s.Stats.tablets_expired;
+      sample "lt_flush_retries_total"
+        "Flush attempts requeued after a transient I/O error." `Counter labels
+        s.Stats.flush_retries;
+      sample "lt_tablets_quarantined_total"
+        "Corrupt tablets quarantined at table open." `Counter labels
+        s.Stats.tablets_quarantined;
       sample "lt_tablets" "On-disk tablets." `Gauge labels
         (Table.tablet_count tbl);
       sample "lt_memtables" "In-memory tablets (filling + frozen)." `Gauge

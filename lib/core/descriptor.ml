@@ -98,10 +98,18 @@ let save vfs ~dir t =
   let path = Filename.concat dir file_name in
   let tmp = path ^ ".tmp" in
   let file = Vfs.create vfs tmp in
-  Vfs.append vfs file (encode (normalize t));
-  Vfs.fsync vfs file;
-  Vfs.close vfs file;
-  Vfs.rename vfs ~src:tmp ~dst:path
+  (try
+     Vfs.append vfs file (encode (normalize t));
+     Vfs.fsync vfs file;
+     Vfs.close vfs file
+   with e ->
+     (try Vfs.close vfs file with Vfs.Io_error _ -> ());
+     (try Vfs.delete vfs tmp with Vfs.Io_error _ -> ());
+     raise e);
+  Vfs.rename vfs ~src:tmp ~dst:path;
+  (* The rename publishes the new descriptor only once the directory
+     entry itself is durable (fsync of the parent dirfd). *)
+  Vfs.sync_dir vfs dir
 
 let load vfs ~dir =
   let path = Filename.concat dir file_name in

@@ -10,6 +10,8 @@ type t = {
   mutable merged_bytes_in : int;
   mutable merged_bytes_out : int;
   mutable tablets_expired : int;
+  mutable flush_retries : int;
+  mutable tablets_quarantined : int;
 }
 
 type cache_snapshot = {
@@ -41,6 +43,8 @@ type snapshot = {
   merged_bytes_in : int;
   merged_bytes_out : int;
   tablets_expired : int;
+  flush_retries : int;
+  tablets_quarantined : int;
   bytes_written : int;
   cache : cache_snapshot;
 }
@@ -58,6 +62,8 @@ let create () =
     merged_bytes_in = 0;
     merged_bytes_out = 0;
     tablets_expired = 0;
+    flush_retries = 0;
+    tablets_quarantined = 0;
   }
 
 let reset (t : t) =
@@ -71,7 +77,9 @@ let reset (t : t) =
   t.merges <- 0;
   t.merged_bytes_in <- 0;
   t.merged_bytes_out <- 0;
-  t.tablets_expired <- 0
+  t.tablets_expired <- 0;
+  t.flush_retries <- 0;
+  t.tablets_quarantined <- 0
 
 let read ?(cache = no_cache) (t : t) =
   {
@@ -86,6 +94,8 @@ let read ?(cache = no_cache) (t : t) =
     merged_bytes_in = t.merged_bytes_in;
     merged_bytes_out = t.merged_bytes_out;
     tablets_expired = t.tablets_expired;
+    flush_retries = t.flush_retries;
+    tablets_quarantined = t.tablets_quarantined;
     bytes_written = t.flushed_bytes + t.merged_bytes_out;
     cache;
   }
@@ -132,15 +142,22 @@ let note_merge (t : t) ~bytes_in ~bytes_out =
 let note_expired (t : t) ~tablets =
   t.tablets_expired <- bump t.tablets_expired tablets
 
+let note_flush_retry (t : t) = t.flush_retries <- bump t.flush_retries 1
+
+let note_quarantined (t : t) ~tablets =
+  t.tablets_quarantined <- bump t.tablets_quarantined tablets
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>inserted %d rows in %d batches; %d queries returned %d rows \
      (scanned %d, ratio %.2f); %d flushes (%d B), %d merges (%d B in, %d B \
-     out), write amp %.2f; %d tablets expired; block cache %d hits / %d \
-     misses (%.0f%%), %d evictions, %d B resident@]"
+     out), write amp %.2f; %d tablets expired; %d flush retries, %d tablets \
+     quarantined; block cache %d hits / %d misses (%.0f%%), %d evictions, \
+     %d B resident@]"
     s.rows_inserted s.insert_batches s.queries s.rows_returned s.rows_scanned
     (scan_ratio s) s.flushes s.flushed_bytes s.merges s.merged_bytes_in
     s.merged_bytes_out (write_amplification s) s.tablets_expired
-    s.cache.cache_hits s.cache.cache_misses
+    s.flush_retries s.tablets_quarantined s.cache.cache_hits
+    s.cache.cache_misses
     (cache_hit_ratio s *. 100.0)
     s.cache.cache_evictions s.cache.cache_resident_bytes

@@ -46,6 +46,9 @@ type snapshot = {
   merged_bytes_in : int;
   merged_bytes_out : int;
   tablets_expired : int;
+  flush_retries : int;  (** flush attempts requeued after a transient I/O error *)
+  tablets_quarantined : int;
+      (** corrupt tablets set aside at {!Table.open_} instead of failing the open *)
   bytes_written : int;  (** flushes + merge output *)
   cache : cache_snapshot;
 }
@@ -71,5 +74,7 @@ val note_query : t -> scanned:int -> returned:int -> unit
 val note_flush : t -> bytes:int -> unit
 val note_merge : t -> bytes_in:int -> bytes_out:int -> unit
 val note_expired : t -> tablets:int -> unit
+val note_flush_retry : t -> unit
+val note_quarantined : t -> tablets:int -> unit
 
 val pp : Format.formatter -> snapshot -> unit

@@ -30,6 +30,10 @@ type t = {
   graph : Flush_graph.t;
   mutable last_insert_tablet : int option;
   mutable max_ts_seen : int64 option;
+  mutable flush_failures : int;
+      (** consecutive failed flush attempts; guarded by [writer_lock] *)
+  mutable flush_retry_at : int64;
+      (** no background flush retry before this time; guarded by [writer_lock] *)
   state : Mutex.t;  (** guards all mutable fields above *)
   writer_lock : Mutex.t;  (** serializes inserts, flushes, schema changes *)
   maint_lock : Mutex.t;  (** serializes merges and expiry *)
@@ -156,6 +160,8 @@ let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs =
     graph = Flush_graph.create ();
     last_insert_tablet = None;
     max_ts_seen;
+    flush_failures = 0;
+    flush_retry_at = 0L;
     state = Mutex.create ();
     writer_lock = Mutex.create ();
     maint_lock = Mutex.create ();
@@ -175,20 +181,67 @@ let create ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name schema ~ttl =
   Descriptor.save vfs ~dir desc;
   make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs
 
+let quarantine_log = Logs.Src.create "lt.quarantine" ~doc:"Tablet quarantine"
+
+let is_quarantine_file entry = Filename.check_suffix entry ".quarantine"
+
 let open_ ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name =
   let desc = Descriptor.load vfs ~dir in
   (* Crash hygiene: a crash or failed flush can leave tablet files that
      never made it into a descriptor (and interrupted descriptor
-     temporaries). Anything the descriptor does not reference is dead. *)
+     temporaries). Anything the descriptor does not reference is dead —
+     except quarantined tablets, kept aside for forensics. *)
   let referenced =
     Descriptor.file_name :: List.map (fun m -> m.Descriptor.file) desc.Descriptor.tablets
   in
   List.iter
     (fun entry ->
-      if not (List.mem entry referenced) then
+      if (not (List.mem entry referenced)) && not (is_quarantine_file entry) then
         try Vfs.delete vfs (Filename.concat dir entry) with Vfs.Io_error _ -> ())
     (try Vfs.readdir vfs dir with Vfs.Io_error _ -> []);
-  make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs
+  (* Validate every referenced tablet; a corrupt or truncated one is set
+     aside rather than making the whole table unopenable. A missing file
+     is simply dropped — there is nothing left to preserve. *)
+  let quarantined = ref 0 in
+  let validate m =
+    let path = Filename.concat dir m.Descriptor.file in
+    match
+      let r = Tablet.open_reader vfs ~path ~into:desc.Descriptor.schema in
+      Tablet.close r
+    with
+    | () -> true
+    | exception ((Binio.Corrupt _ | Lt_vfs.Vfs.Io_error _) as e) ->
+        incr quarantined;
+        let reason =
+          match e with
+          | Binio.Corrupt msg -> msg
+          | Lt_vfs.Vfs.Io_error msg -> msg
+          | _ -> assert false
+        in
+        if Vfs.exists vfs path then begin
+          (try Vfs.rename vfs ~src:path ~dst:(path ^ ".quarantine")
+           with Vfs.Io_error _ -> (
+             try Vfs.delete vfs path with Vfs.Io_error _ -> ()));
+          (try Vfs.sync_dir vfs dir with Vfs.Io_error _ -> ())
+        end;
+        Logs.warn ~src:quarantine_log (fun f ->
+            f "table %s: quarantined tablet %s (%s)" name m.Descriptor.file
+              reason);
+        false
+  in
+  let good = List.filter validate desc.Descriptor.tablets in
+  let desc =
+    if !quarantined = 0 then desc
+    else begin
+      let desc = { desc with Descriptor.tablets = good } in
+      Descriptor.save vfs ~dir desc;
+      desc
+    end
+  in
+  let t = make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs in
+  if !quarantined > 0 then
+    Stats.note_quarantined t.stats ~tablets:!quarantined;
+  t
 
 (* Must be called with [state] held. *)
 let save_descriptor_locked t =
@@ -215,7 +268,12 @@ let destroy_tablet t dt =
   (match dt.reader with Some r -> Tablet.close r | None -> ());
   dt.reader <- None;
   let path = tablet_path t dt.meta.Descriptor.file in
-  if Vfs.exists t.vfs path then Vfs.delete t.vfs path
+  (* Best-effort: the durable descriptor no longer references this
+     tablet, so a failed delete merely leaks a file that the hygiene
+     sweep at the next [open_] reclaims. It must not fail the operation
+     whose commit already succeeded. *)
+  try if Vfs.exists t.vfs path then Vfs.delete t.vfs path
+  with Vfs.Io_error _ -> ()
 
 (* Must be called with [state] held. *)
 let release_locked t dts =
@@ -313,18 +371,27 @@ let write_memtable t mt =
       ~expected_rows:(Memtable.row_count mt) ()
   in
   let it = Avl.iter_asc (Memtable.snapshot mt) in
-  let rec go () =
-    match Avl.next it with
-    | None -> ()
-    | Some (key, row) ->
-        let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
-        Tablet.add writer ~key ~key_prefixes:prefixes
-          ~ts:(Key_codec.ts_of_key key)
-          ~value:(Row_codec.encode_value schema row);
-        go ()
+  let summary =
+    (* A failure mid-write leaves a partial tablet; abandon it so only
+       complete files ever carry a tablet name. The memtable itself is
+       untouched — the caller keeps it queued for retry. *)
+    try
+      let rec go () =
+        match Avl.next it with
+        | None -> ()
+        | Some (key, row) ->
+            let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
+            Tablet.add writer ~key ~key_prefixes:prefixes
+              ~ts:(Key_codec.ts_of_key key)
+              ~value:(Row_codec.encode_value schema row);
+            go ()
+      in
+      go ();
+      Tablet.finish writer
+    with e ->
+      Tablet.abandon writer;
+      raise e
   in
-  go ();
-  let summary = Tablet.finish writer in
   Descriptor.
     {
       id;
@@ -380,10 +447,9 @@ let flush_closure t mt =
   in
   locked t.state (fun () ->
       let n = now t in
-      List.iter
-        (fun (m, meta) ->
-          Stats.note_flush t.stats ~bytes:meta.Descriptor.size;
-          t.disk <-
+      let new_dts =
+        List.map
+          (fun (_, meta) ->
             {
               meta;
               reader = None;
@@ -391,24 +457,50 @@ let flush_closure t mt =
               doomed = false;
               last_cls = Period.classify ~now:n meta.Descriptor.min_ts;
               eligible_at = Int64.add n t.config.Config.merge_delay;
-            }
-            :: t.disk;
-          let id = Memtable.id m in
-          t.frozen <- List.filter (fun x -> Memtable.id x <> id) t.frozen;
-          if t.last_insert_tablet = Some id then t.last_insert_tablet <- None)
-        metas;
-      Flush_graph.remove t.graph (List.map (fun (m, _) -> Memtable.id m) metas);
+            })
+          metas
+      in
+      let saved_disk = t.disk in
       t.disk <-
         List.sort
           (fun a b ->
             match Int64.compare a.meta.Descriptor.min_ts b.meta.Descriptor.min_ts with
             | 0 -> Int.compare a.meta.Descriptor.id b.meta.Descriptor.id
             | c -> c)
-          t.disk;
-      save_descriptor_locked t)
+          (new_dts @ t.disk);
+      (* Persist before touching the queues: if the descriptor save
+         fails, the memtables must stay frozen (the rows are acked and
+         nowhere else) and the new files die unreferenced. *)
+      (match save_descriptor_locked t with
+      | () -> ()
+      | exception e ->
+          t.disk <- saved_disk;
+          List.iter
+            (fun (_, meta) ->
+              try Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
+              with Vfs.Io_error _ -> ())
+            metas;
+          raise e);
+      List.iter
+        (fun (m, meta) ->
+          Stats.note_flush t.stats ~bytes:meta.Descriptor.size;
+          let id = Memtable.id m in
+          t.frozen <- List.filter (fun x -> Memtable.id x <> id) t.frozen;
+          if t.last_insert_tablet = Some id then t.last_insert_tablet <- None)
+        metas;
+      Flush_graph.remove t.graph (List.map (fun (m, _) -> Memtable.id m) metas))
 
-(* Caller holds [writer_lock]. *)
-let flush_frozen_backlog t ~limit =
+(* Retry backoff for background flushes: 100 ms doubling to a 10 s cap. *)
+let flush_backoff_base_us = 100_000
+let flush_backoff_cap_us = 10_000_000
+
+(* Caller holds [writer_lock]. With [swallow] (the insert and
+   maintenance paths), a transient I/O failure is absorbed: the frozen
+   memtables stay queued, a retry counter bumps, and further background
+   attempts wait out an exponential backoff. Without it (explicit
+   flushes, whose callers need durability-or-error), failures propagate
+   and the backoff clock is ignored. *)
+let flush_frozen_backlog ?(swallow = false) t ~limit =
   let rec go () =
     let next =
       locked t.state (fun () ->
@@ -419,8 +511,30 @@ let flush_frozen_backlog t ~limit =
     match next with
     | None -> ()
     | Some m ->
-        flush_closure t m;
-        go ()
+        if swallow then begin
+          if now t >= t.flush_retry_at then begin
+            match flush_closure t m with
+            | () ->
+                t.flush_failures <- 0;
+                t.flush_retry_at <- 0L;
+                go ()
+            | exception Vfs.Io_error _ ->
+                t.flush_failures <- t.flush_failures + 1;
+                Stats.note_flush_retry t.stats;
+                let backoff =
+                  min flush_backoff_cap_us
+                    (flush_backoff_base_us
+                    * (1 lsl min 10 (t.flush_failures - 1)))
+                in
+                t.flush_retry_at <- Int64.add (now t) (Int64.of_int backoff)
+          end
+        end
+        else begin
+          flush_closure t m;
+          t.flush_failures <- 0;
+          t.flush_retry_at <- 0L;
+          go ()
+        end
   in
   go ()
 
@@ -549,7 +663,7 @@ let insert t rows =
   locked t.writer_lock (fun () ->
       List.iter (insert_one t) rows;
       Stats.note_insert t.stats ~rows:(List.length rows);
-      flush_frozen_backlog t ~limit:t.config.Config.flush_backlog);
+      flush_frozen_backlog ~swallow:true t ~limit:t.config.Config.flush_backlog);
   obs_end t ~hist:t.instr.Obs.h_insert ~op:Otrace.Insert ~t0 ~h0 ~m0
     ~returned:(List.length rows) ()
 
@@ -925,50 +1039,58 @@ let merge_step_unlocked t =
               ~expected_rows ()
           in
           let rows = ref 0 in
-          let rec copy () =
-            match src () with
-            | None -> ()
-            | Some (key, row) ->
-                incr rows;
-                let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
-                Tablet.add writer ~key ~key_prefixes:prefixes
-                  ~ts:(Key_codec.ts_of_key key)
-                  ~value:(Row_codec.encode_value schema row);
-                copy ()
-          in
-          copy ();
           let new_meta =
-            if !rows = 0 then begin
-              (* Everything in the inputs had expired. *)
+            (* Abandon the partial output on any write failure; the
+               sources are untouched, so the merge simply retries later. *)
+            try
+              let rec copy () =
+                match src () with
+                | None -> ()
+                | Some (key, row) ->
+                    incr rows;
+                    let _, prefixes =
+                      Key_codec.encode_key_with_prefixes schema row
+                    in
+                    Tablet.add writer ~key ~key_prefixes:prefixes
+                      ~ts:(Key_codec.ts_of_key key)
+                      ~value:(Row_codec.encode_value schema row);
+                    copy ()
+              in
+              copy ();
+              if !rows = 0 then begin
+                (* Everything in the inputs had expired. *)
+                Tablet.abandon writer;
+                None
+              end
+              else begin
+                let s = Tablet.finish writer in
+                Some
+                  Descriptor.
+                    {
+                      id = new_id;
+                      file;
+                      min_ts = s.Tablet.min_ts;
+                      max_ts = s.Tablet.max_ts;
+                      min_key = s.Tablet.min_key;
+                      max_key = s.Tablet.max_key;
+                      row_count = s.Tablet.row_count;
+                      size = s.Tablet.size;
+                    }
+              end
+            with e ->
               Tablet.abandon writer;
-              None
-            end
-            else begin
-              let s = Tablet.finish writer in
-              Some
-                Descriptor.
-                  {
-                    id = new_id;
-                    file;
-                    min_ts = s.Tablet.min_ts;
-                    max_ts = s.Tablet.max_ts;
-                    min_key = s.Tablet.min_key;
-                    max_key = s.Tablet.max_key;
-                    row_count = s.Tablet.row_count;
-                    size = s.Tablet.size;
-                  }
-            end
+              raise e
           in
           locked t.state (fun () ->
               let n = now t in
               let source_ids =
                 List.map (fun dt -> dt.meta.Descriptor.id) sources
               in
+              let saved_disk = t.disk in
               t.disk <-
                 List.filter
                   (fun dt -> not (List.mem dt.meta.Descriptor.id source_ids))
                   t.disk;
-              List.iter (fun dt -> dt.doomed <- true) sources;
               (match new_meta with
               | None -> ()
               | Some meta ->
@@ -990,6 +1112,21 @@ let merge_step_unlocked t =
                          eligible_at = Int64.add n t.config.Config.merge_delay;
                        }
                       :: t.disk));
+              (* Persist before dooming the sources: if the save fails
+                 they must stay live, or the deferred destroy triggered
+                 by [release] would delete files the durable descriptor
+                 still references. *)
+              (match save_descriptor_locked t with
+              | () -> ()
+              | exception e ->
+                  t.disk <- saved_disk;
+                  (match new_meta with
+                  | Some meta -> (
+                      try Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
+                      with Vfs.Io_error _ -> ())
+                  | None -> ());
+                  raise e);
+              List.iter (fun dt -> dt.doomed <- true) sources;
               let bytes_in =
                 List.fold_left
                   (fun acc dt -> acc + dt.meta.Descriptor.size)
@@ -998,8 +1135,7 @@ let merge_step_unlocked t =
               let bytes_out =
                 match new_meta with None -> 0 | Some m -> m.Descriptor.size
               in
-              Stats.note_merge t.stats ~bytes_in ~bytes_out;
-              save_descriptor_locked t);
+              Stats.note_merge t.stats ~bytes_in ~bytes_out);
           obs_end t ~hist:t.instr.Obs.h_merge ~op:Otrace.Merge ~t0 ~h0 ~m0
             ~scanned:!scanned ~returned:!rows
             ~tablets:(List.length sources) ();
@@ -1024,8 +1160,16 @@ let expire_unlocked t =
           in
           if expired = [] then 0
           else begin
+            let saved_disk = t.disk in
             t.disk <- live;
-            save_descriptor_locked t;
+            (* Persist before destroying: a failed save must leave the
+               expired tablets live, not delete files the durable
+               descriptor still references. *)
+            (match save_descriptor_locked t with
+            | () -> ()
+            | exception e ->
+                t.disk <- saved_disk;
+                raise e);
             List.iter
               (fun dt ->
                 dt.doomed <- true;
@@ -1114,8 +1258,12 @@ let delete_prefix t prefix_values =
                 vs)
           in
           let replacements =
-            List.map
-              (fun dt ->
+            (* On a failure mid-rewrite, drop the refs taken above so the
+               victims don't leak; files of replacements written so far
+               die unreferenced and are swept at the next open. *)
+            try
+              List.map
+                (fun dt ->
                 let m = dt.meta in
                 let fully_inside =
                   String.compare m.Descriptor.min_key lo >= 0
@@ -1145,29 +1293,38 @@ let delete_prefix t prefix_values =
                   in
                   let it = Tablet.iter reader ~asc:true () in
                   let kept = ref 0 in
-                  let rec copy () =
-                    match it () with
-                    | None -> ()
-                    | Some (key, row) ->
-                        if in_range key then incr deleted
-                        else begin
-                          incr kept;
-                          let _, prefixes =
-                            Key_codec.encode_key_with_prefixes schema row
-                          in
-                          Tablet.add writer ~key ~key_prefixes:prefixes
-                            ~ts:(Key_codec.ts_of_key key)
-                            ~value:(Row_codec.encode_value schema row)
-                        end;
-                        copy ()
-                  in
-                  copy ();
+                  (try
+                     let rec copy () =
+                       match it () with
+                       | None -> ()
+                       | Some (key, row) ->
+                           if in_range key then incr deleted
+                           else begin
+                             incr kept;
+                             let _, prefixes =
+                               Key_codec.encode_key_with_prefixes schema row
+                             in
+                             Tablet.add writer ~key ~key_prefixes:prefixes
+                               ~ts:(Key_codec.ts_of_key key)
+                               ~value:(Row_codec.encode_value schema row)
+                           end;
+                           copy ()
+                     in
+                     copy ()
+                   with e ->
+                     Tablet.abandon writer;
+                     raise e);
                   if !kept = 0 then begin
                     Tablet.abandon writer;
                     (dt, None)
                   end
                   else begin
-                    let s = Tablet.finish writer in
+                    let s =
+                      try Tablet.finish writer
+                      with e ->
+                        Tablet.abandon writer;
+                        raise e
+                    in
                     ( dt,
                       Some
                         Descriptor.
@@ -1183,19 +1340,25 @@ let delete_prefix t prefix_values =
                           } )
                   end
                 end)
-              victims
+                victims
+            with e ->
+              locked t.state (fun () -> release_locked t victims);
+              raise e
           in
-          (* Single atomic commit. *)
+          (* Single atomic commit: persist first, doom and release the
+             victims only once the new descriptor is durable. On a
+             failed save the victims stay live and the replacement files
+             die unreferenced (swept at next open). *)
           locked t.state (fun () ->
               let n = now t in
               let victim_ids =
                 List.map (fun (dt, _) -> dt.meta.Descriptor.id) replacements
               in
+              let saved_disk = t.disk in
               t.disk <-
                 List.filter
                   (fun dt -> not (List.mem dt.meta.Descriptor.id victim_ids))
                   t.disk;
-              List.iter (fun (dt, _) -> dt.doomed <- true) replacements;
               List.iter
                 (fun (_, repl) ->
                   match repl with
@@ -1221,7 +1384,22 @@ let delete_prefix t prefix_values =
                     | 0 -> Int.compare a.meta.Descriptor.id b.meta.Descriptor.id
                     | c -> c)
                   t.disk;
-              save_descriptor_locked t;
+              (match save_descriptor_locked t with
+              | () -> ()
+              | exception e ->
+                  t.disk <- saved_disk;
+                  List.iter
+                    (fun (_, repl) ->
+                      match repl with
+                      | None -> ()
+                      | Some meta -> (
+                          try
+                            Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
+                          with Vfs.Io_error _ -> ()))
+                    replacements;
+                  release_locked t (List.map fst replacements);
+                  raise e);
+              List.iter (fun (dt, _) -> dt.doomed <- true) replacements;
               release_locked t (List.map fst replacements));
           !deleted))
 
@@ -1238,7 +1416,7 @@ let maintenance t =
               if Int64.sub n (Memtable.created_at m) >= t.config.Config.flush_age
               then freeze_locked t m)
             t.filling);
-      flush_frozen_backlog t ~limit:1);
+      flush_frozen_backlog ~swallow:true t ~limit:1);
   locked t.maint_lock (fun () ->
       while merge_step_unlocked t do
         ()

@@ -277,6 +277,10 @@ let finish w =
   Vfs.fsync w.vfs w.file;
   let size = Vfs.file_size w.vfs w.file in
   Vfs.close w.vfs w.file;
+  (* fsync makes the bytes durable but not the directory entry: without
+     a parent-directory sync the finished tablet can vanish on crash even
+     though the descriptor that references it survives. *)
+  Vfs.sync_dir w.vfs (Filename.dirname w.path);
   {
     row_count = w.w_rows;
     size;

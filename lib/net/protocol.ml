@@ -273,7 +273,8 @@ let put_stats b (s : Stats.snapshot) =
       s.Stats.rows_inserted; s.Stats.insert_batches; s.Stats.rows_returned;
       s.Stats.rows_scanned; s.Stats.queries; s.Stats.flushes;
       s.Stats.flushed_bytes; s.Stats.merges; s.Stats.merged_bytes_in;
-      s.Stats.merged_bytes_out; s.Stats.tablets_expired; s.Stats.bytes_written;
+      s.Stats.merged_bytes_out; s.Stats.tablets_expired; s.Stats.flush_retries;
+      s.Stats.tablets_quarantined; s.Stats.bytes_written;
       s.Stats.cache.Stats.cache_hits; s.Stats.cache.Stats.cache_misses;
       s.Stats.cache.Stats.cache_evictions;
       s.Stats.cache.Stats.cache_inserted_bytes;
@@ -293,6 +294,8 @@ let get_stats cur =
   let merged_bytes_in = v () in
   let merged_bytes_out = v () in
   let tablets_expired = v () in
+  let flush_retries = v () in
+  let tablets_quarantined = v () in
   let bytes_written = v () in
   let cache_hits = v () in
   let cache_misses = v () in
@@ -302,7 +305,7 @@ let get_stats cur =
   {
     Stats.rows_inserted; insert_batches; rows_returned; rows_scanned; queries;
     flushes; flushed_bytes; merges; merged_bytes_in; merged_bytes_out;
-    tablets_expired; bytes_written;
+    tablets_expired; flush_retries; tablets_quarantined; bytes_written;
     cache =
       {
         Stats.cache_hits; cache_misses; cache_evictions; cache_inserted_bytes;

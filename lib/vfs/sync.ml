@@ -39,13 +39,25 @@ let differs ~src ~src_path ~dst ~dst_path =
     ssize <> dsize || Vfs.read_all src src_path <> Vfs.read_all dst dst_path
   end
 
+(* Copy through a temporary + atomic rename: a crash mid-copy must never
+   leave a torn file at the destination name — a half-written DESCRIPTOR
+   would make the spare unopenable. Leftover [.sync.tmp] files are pruned
+   by the next pass like any other file absent at the source. *)
 let copy_file ~src ~src_path ~dst ~dst_path =
   let data = Vfs.read_all src src_path in
   Vfs.mkdir_p dst (Filename.dirname dst_path);
-  let f = Vfs.create dst dst_path in
-  Vfs.append dst f data;
-  Vfs.fsync dst f;
-  Vfs.close dst f;
+  let tmp_path = dst_path ^ ".sync.tmp" in
+  let f = Vfs.create dst tmp_path in
+  (try
+     Vfs.append dst f data;
+     Vfs.fsync dst f;
+     Vfs.close dst f
+   with e ->
+     (try Vfs.close dst f with Vfs.Io_error _ -> ());
+     (try Vfs.delete dst tmp_path with Vfs.Io_error _ -> ());
+     raise e);
+  Vfs.rename dst ~src:tmp_path ~dst:dst_path;
+  Vfs.sync_dir dst (Filename.dirname dst_path);
   String.length data
 
 (* Descriptors last: a spare must never see a descriptor that references

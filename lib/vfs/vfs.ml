@@ -19,6 +19,7 @@ type t = {
   v_exists : string -> bool;
   v_readdir : string -> string list;
   v_mkdir_p : string -> unit;
+  v_sync_dir : string -> unit;
   v_crash : unit -> unit;
 }
 
@@ -45,6 +46,8 @@ let exists t path = t.v_exists path
 let readdir t path = t.v_readdir path
 
 let mkdir_p t path = t.v_mkdir_p path
+
+let sync_dir t path = t.v_sync_dir path
 
 let crash t = t.v_crash ()
 
@@ -135,6 +138,14 @@ let real () =
             Array.sort compare entries;
             Array.to_list entries));
     v_mkdir_p = (fun path -> wrap_unix "mkdir" path (fun () -> mkdir_p path));
+    v_sync_dir =
+      (fun path ->
+        let path = if path = "" then "." else path in
+        wrap_unix "sync_dir" path (fun () ->
+            let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> Unix.fsync fd)));
     v_crash = (fun () -> invalid_arg "Vfs.crash: real filesystem");
   }
 
@@ -145,12 +156,18 @@ let real () =
 type mem_file = {
   mutable data : Bytes.t;
   mutable len : int;
-  mutable durable_len : int;  (** bytes that survive a crash *)
+  mutable durable_len : int;  (** content bytes that survive a crash; -1 = none *)
+  mutable entry_durable : bool;
+      (** the directory entry survives a crash (parent dir synced) *)
 }
 
 let memory () =
   let files : (string, mem_file) Hashtbl.t = Hashtbl.create 64 in
   let dirs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Durable content that reappears under [path] after a crash because the
+     operation that removed or replaced the entry (delete, rename, create-
+     over) was never made durable by a parent-directory sync. *)
+  let ghosts : (string, string) Hashtbl.t = Hashtbl.create 8 in
   let mutex = Mutex.create () in
   let locked f =
     Mutex.lock mutex;
@@ -160,6 +177,13 @@ let memory () =
     match Hashtbl.find_opt files path with
     | Some f -> f
     | None -> io_error "%s %s: no such file" op path
+  in
+  (* Remember the crash-surviving image of [path] before its entry is
+     removed or replaced; a later sync of the parent directory (or an
+     fsync of a replacement file under the same name) forgets it. *)
+  let ghost_of path mf =
+    if mf.entry_durable && mf.durable_len >= 0 then
+      Hashtbl.replace ghosts path (Bytes.sub_string mf.data 0 mf.durable_len)
   in
   let make_file path mf =
     {
@@ -184,7 +208,13 @@ let memory () =
               Bytes.blit_string s 0 mf.data mf.len n;
               mf.len <- mf.len + n));
       f_size = (fun () -> locked (fun () -> mf.len));
-      f_fsync = (fun () -> locked (fun () -> mf.durable_len <- mf.len));
+      f_fsync =
+        (fun () ->
+          locked (fun () ->
+              mf.durable_len <- mf.len;
+              (* Content at this name is durable now; any older image the
+                 name could revert to is superseded. *)
+              Hashtbl.remove ghosts path));
       f_close = (fun () -> ());
     }
   in
@@ -194,7 +224,20 @@ let memory () =
     v_create =
       (fun path ->
         locked (fun () ->
-            let mf = { data = Bytes.create 256; len = 0; durable_len = -1 } in
+            (* Creating over an existing file truncates through the existing
+               directory entry: entry durability is inherited, and if the old
+               content was durable it reappears after a crash unless the new
+               content is fsynced first. *)
+            let entry_durable =
+              match Hashtbl.find_opt files path with
+              | Some old ->
+                  ghost_of path old;
+                  old.entry_durable
+              | None -> false
+            in
+            let mf =
+              { data = Bytes.create 256; len = 0; durable_len = -1; entry_durable }
+            in
             Hashtbl.replace files path mf;
             make_file path mf));
     v_rename =
@@ -202,16 +245,24 @@ let memory () =
         locked (fun () ->
             let mf = find "rename" src in
             Hashtbl.remove files src;
-            (* An atomic rename publishes the file: its current content
-               becomes the durable version (the engine fsyncs before
-               renaming; journaled filesystems order the rename after the
-               data it points to). *)
+            (* The rename itself commits only with a parent-directory sync:
+               until then a crash reverts it, restoring both the source
+               entry and the destination's previous durable content. *)
+            ghost_of src mf;
+            (match Hashtbl.find_opt files dst with
+            | Some old -> ghost_of dst old
+            | None -> ());
+            (* Journaled filesystems order file data ahead of the rename
+               record (and the engine fsyncs before renaming anyway), so the
+               content carried across is durable at rename-time length. *)
             mf.durable_len <- mf.len;
+            mf.entry_durable <- false;
             Hashtbl.replace files dst mf));
     v_delete =
       (fun path ->
         locked (fun () ->
-            ignore (find "delete" path);
+            let mf = find "delete" path in
+            ghost_of path mf;
             Hashtbl.remove files path));
     v_exists = (fun path -> locked (fun () -> Hashtbl.mem files path));
     v_readdir =
@@ -236,16 +287,45 @@ let memory () =
             in
             List.sort_uniq compare names));
     v_mkdir_p = (fun path -> locked (fun () -> Hashtbl.replace dirs path ()));
+    v_sync_dir =
+      (fun path ->
+        locked (fun () ->
+            let dir = if path = "" then "." else path in
+            let in_dir p = Filename.dirname p = dir in
+            Hashtbl.iter
+              (fun p mf -> if in_dir p then mf.entry_durable <- true)
+              files;
+            let committed =
+              Hashtbl.fold
+                (fun p _ acc -> if in_dir p then p :: acc else acc)
+                ghosts []
+            in
+            List.iter (Hashtbl.remove ghosts) committed));
     v_crash =
       (fun () ->
         locked (fun () ->
             let doomed = ref [] in
             Hashtbl.iter
               (fun path mf ->
-                if mf.durable_len < 0 then doomed := path :: !doomed
+                if (not mf.entry_durable) || mf.durable_len < 0 then
+                  doomed := path :: !doomed
                 else mf.len <- mf.durable_len)
               files;
-            List.iter (Hashtbl.remove files) !doomed));
+            List.iter (Hashtbl.remove files) !doomed;
+            Hashtbl.iter
+              (fun path content ->
+                if not (Hashtbl.mem files path) then begin
+                  let len = String.length content in
+                  {
+                    data = Bytes.of_string content;
+                    len;
+                    durable_len = len;
+                    entry_durable = true;
+                  }
+                  |> Hashtbl.replace files path
+                end)
+              ghosts;
+            Hashtbl.reset ghosts));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -337,4 +417,103 @@ let faulty ~should_fail inner =
       (fun path ->
         check "delete" path;
         inner.v_delete path);
+    v_sync_dir =
+      (fun path ->
+        check "sync_dir" path;
+        inner.v_sync_dir path);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Durability-point counting and crash/fault sweeps                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Crash_point of int
+
+type inject = No_fault | Crash_at of int | Io_error_at of int
+
+type counter = {
+  mutable c_ops : int;
+  mutable c_log : (string * string) list;  (** reversed (op, path) *)
+  mutable c_halted : bool;
+  c_inject : inject;
+  c_mutex : Mutex.t;
+}
+
+let op_count c = c.c_ops
+
+let op_log c = List.rev c.c_log
+
+let halted c = c.c_halted
+
+(* A sink handle for creates issued after the simulated crash: the writes
+   go nowhere, exactly as they would on a dead machine. *)
+let dead_file path =
+  {
+    f_path = path;
+    f_pread =
+      (fun ~off:_ ~len:_ -> io_error "pread %s: machine crashed" path);
+    f_append = (fun _ -> ());
+    f_size = (fun () -> 0);
+    f_fsync = (fun () -> ());
+    f_close = (fun () -> ());
+  }
+
+let counting ?(inject = No_fault) inner =
+  let c =
+    {
+      c_ops = 0;
+      c_log = [];
+      c_halted = false;
+      c_inject = inject;
+      c_mutex = Mutex.create ();
+    }
+  in
+  (* Returns true when the durability operation should execute and false
+     to silently suppress it (after a simulated crash even the unwind
+     path's deletes and fsyncs must not reach the filesystem). Raises at
+     the armed injection point. *)
+  let note op path =
+    Mutex.lock c.c_mutex;
+    let verdict =
+      if c.c_halted then `Suppress
+      else begin
+        let k = c.c_ops in
+        c.c_ops <- k + 1;
+        c.c_log <- (op, path) :: c.c_log;
+        match c.c_inject with
+        | Crash_at p when k = p ->
+            c.c_halted <- true;
+            `Crash k
+        | Io_error_at p when k = p -> `Fail k
+        | _ -> `Run
+      end
+    in
+    Mutex.unlock c.c_mutex;
+    match verdict with
+    | `Run -> true
+    | `Suppress -> false
+    | `Crash k -> raise (Crash_point k)
+    | `Fail k -> io_error "%s %s: injected fault at durability point %d" op path k
+  in
+  let wrap_file f =
+    {
+      f with
+      f_append = (fun s -> if note "append" f.f_path then f.f_append s);
+      f_fsync = (fun () -> if note "fsync" f.f_path then f.f_fsync ());
+    }
+  in
+  let vfs =
+    {
+      inner with
+      v_create =
+        (fun path ->
+          if note "create" path then wrap_file (inner.v_create path)
+          else dead_file path);
+      v_rename =
+        (fun ~src ~dst -> if note "rename" src then inner.v_rename ~src ~dst);
+      v_delete = (fun path -> if note "delete" path then inner.v_delete path);
+      v_sync_dir =
+        (fun path -> if note "sync_dir" path then inner.v_sync_dir path);
+    }
+  in
+  (c, vfs)

@@ -34,7 +34,7 @@ val with_model : Disk_model.t -> t -> t
 
 (** [faulty ~should_fail inner] raises [Io_error] whenever
     [should_fail ~op ~path] is true; [op] is the operation name
-    (["append"], ["fsync"], ["rename"], ...). *)
+    (["append"], ["fsync"], ["rename"], ["sync_dir"], ...). *)
 val faulty : should_fail:(op:string -> path:string -> bool) -> t -> t
 
 (** {1 Operations} *)
@@ -51,8 +51,9 @@ val file_size : t -> file -> int
 val fsync : t -> file -> unit
 val close : t -> file -> unit
 
-(** Atomic replace; the destination is durable with its pre-rename
-    content after a crash. *)
+(** Atomic replace. The swap itself only survives a crash once the
+    parent directory has been {!sync_dir}'d; until then the destination
+    may revert to its pre-rename content. *)
 val rename : t -> src:string -> dst:string -> unit
 
 val delete : t -> string -> unit
@@ -63,11 +64,61 @@ val readdir : t -> string -> string list
 
 val mkdir_p : t -> string -> unit
 
+(** [sync_dir t dir] makes [dir]'s entries durable — the fsync-the-parent
+    step POSIX requires after [create]/[rename]/[delete] before the
+    presence (or absence) of a name is guaranteed to survive a crash.
+    Real filesystem: opens the directory and fsyncs the fd. Memory
+    filesystem: commits pending entry changes so {!crash} keeps them. *)
+val sync_dir : t -> string -> unit
+
 (** Read a whole file. *)
 val read_all : t -> string -> string
 
 (** {1 Crash simulation} (memory filesystem only) *)
 
 (** Simulate a machine crash: every file reverts to its last durable
-    content. @raise Invalid_argument on other implementations. *)
+    content, and directory entries not committed by {!sync_dir} are
+    rolled back (unsynced files vanish; deletes and renames whose parent
+    was never synced are undone).
+    @raise Invalid_argument on other implementations. *)
 val crash : t -> unit
+
+(** {1 Durability-point counting and fault sweeps}
+
+    The torture harness ({!module:Lt_torture.Torture}) runs a workload
+    once under a {!counting} wrapper to enumerate its durability points,
+    then replays it once per point with [Crash_at k] or [Io_error_at k]
+    armed. *)
+
+(** Raised (once) by a [Crash_at k] wrapper at durability point [k].
+    Deliberately distinct from {!Io_error} so engine recovery code cannot
+    swallow a simulated machine death. *)
+exception Crash_point of int
+
+type inject =
+  | No_fault
+  | Crash_at of int
+      (** Raise {!Crash_point} at point [k], then silently suppress every
+          subsequent mutation — nothing runs on a dead machine, including
+          [Fun.protect] cleanup handlers. *)
+  | Io_error_at of int
+      (** Raise {!Io_error} at point [k] only; later operations succeed,
+          modeling a transient fault. *)
+
+(** Mutable record of the durability-relevant operations observed. *)
+type counter
+
+(** [counting ?inject inner] wraps [inner], numbering each
+    durability-relevant operation (create / append / fsync / rename /
+    delete / sync_dir) from 0 in execution order. Reads are not counted.
+    Thread-safe. *)
+val counting : ?inject:inject -> t -> counter * t
+
+(** Durability operations observed so far. *)
+val op_count : counter -> int
+
+(** [(op, path)] pairs in execution order. *)
+val op_log : counter -> (string * string) list
+
+(** True once a [Crash_at] point has fired. *)
+val halted : counter -> bool

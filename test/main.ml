@@ -16,6 +16,7 @@ let () =
       ("table", Test_table.suite);
       ("cache", Test_cache.suite);
       ("crash", Test_crash.suite);
+      ("torture", Test_torture.suite);
       ("delete", Test_delete.suite);
       ("sync", Test_sync.suite);
       ("db", Test_db.suite);

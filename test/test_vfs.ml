@@ -44,7 +44,7 @@ let test_rename_replaces () =
 
 let test_crash_durability () =
   let v = Vfs.memory () in
-  (* File 1: synced fully -> survives. *)
+  (* File 1: synced fully (content + directory entry) -> survives. *)
   let f1 = Vfs.create v "synced" in
   Vfs.append v f1 "durable";
   Vfs.fsync v f1;
@@ -56,15 +56,118 @@ let test_crash_durability () =
   (* File 3: never synced -> disappears. *)
   let f3 = Vfs.create v "volatile" in
   Vfs.append v f3 "gone";
-  (* File 4: published by rename -> durable at rename-time content. *)
+  (* File 4: published by rename + directory sync -> durable at
+     rename-time content. *)
   let f4 = Vfs.create v "tmp" in
   Vfs.append v f4 "renamed";
   Vfs.rename v ~src:"tmp" ~dst:"published";
+  Vfs.sync_dir v ".";
   Vfs.crash v;
   Alcotest.(check string) "synced survives" "durable" (Vfs.read_all v "synced");
   Alcotest.(check string) "partial truncated" "keep" (Vfs.read_all v "partial");
   Alcotest.(check bool) "unsynced gone" false (Vfs.exists v "volatile");
   Alcotest.(check string) "renamed survives" "renamed" (Vfs.read_all v "published")
+
+let test_entry_durability () =
+  let v = Vfs.memory () in
+  (* fsync alone does not persist a directory entry in a never-synced
+     directory... *)
+  let f = Vfs.create v "d/no-entry" in
+  Vfs.append v f "x";
+  Vfs.fsync v f;
+  (* ...whereas fsync + sync_dir does. *)
+  let g = Vfs.create v "d/with-entry" in
+  Vfs.append v g "y";
+  Vfs.fsync v g;
+  Vfs.sync_dir v "d";
+  (* An entry created after the sync_dir is again not durable. *)
+  let h = Vfs.create v "d/late" in
+  Vfs.append v h "z";
+  Vfs.fsync v h;
+  Vfs.crash v;
+  Alcotest.(check bool) "no-entry file survives (same-dir sync covers it)"
+    true
+    (Vfs.exists v "d/no-entry");
+  Alcotest.(check string) "synced-entry survives" "y" (Vfs.read_all v "d/with-entry");
+  Alcotest.(check bool) "late entry gone" false (Vfs.exists v "d/late")
+
+let test_unsynced_delete_resurrects () =
+  let v = Vfs.memory () in
+  let f = Vfs.create v "d/a" in
+  Vfs.append v f "alive";
+  Vfs.fsync v f;
+  Vfs.sync_dir v "d";
+  (* Delete without syncing the directory: the removal is not durable,
+     so a crash brings the file back. *)
+  Vfs.delete v "d/a";
+  Alcotest.(check bool) "gone before crash" false (Vfs.exists v "d/a");
+  Vfs.crash v;
+  Alcotest.(check string) "resurrected" "alive" (Vfs.read_all v "d/a");
+  (* Delete + sync_dir: the removal sticks. *)
+  Vfs.delete v "d/a";
+  Vfs.sync_dir v "d";
+  Vfs.crash v;
+  Alcotest.(check bool) "durably deleted" false (Vfs.exists v "d/a")
+
+let test_unsynced_rename_reverts () =
+  let v = Vfs.memory () in
+  let f = Vfs.create v "d/old" in
+  Vfs.append v f "vOLD";
+  Vfs.fsync v f;
+  Vfs.sync_dir v "d";
+  let g = Vfs.create v "d/tmp" in
+  Vfs.append v g "vNEW";
+  Vfs.fsync v g;
+  (* Rename over the durable file without a directory sync: a crash
+     rolls the swap back. *)
+  Vfs.rename v ~src:"d/tmp" ~dst:"d/old";
+  Alcotest.(check string) "new before crash" "vNEW" (Vfs.read_all v "d/old");
+  Vfs.crash v;
+  Alcotest.(check string) "reverted" "vOLD" (Vfs.read_all v "d/old");
+  Alcotest.(check bool) "tmp not resurrected" false (Vfs.exists v "d/tmp")
+
+let test_counting_crash_point () =
+  let base = Vfs.memory () in
+  let workload v =
+    let f = Vfs.create v "w/a" in
+    (* point 0: create *)
+    Vfs.append v f "data";
+    (* point 1: append *)
+    Vfs.fsync v f;
+    (* point 2: fsync *)
+    Vfs.rename v ~src:"w/a" ~dst:"w/b";
+    (* point 3: rename *)
+    Vfs.sync_dir v "w"
+    (* point 4: sync_dir *)
+  in
+  let c, v = Vfs.counting base in
+  workload v;
+  Alcotest.(check int) "5 durability points" 5 (Vfs.op_count c);
+  Alcotest.(check (list (pair string string)))
+    "op log"
+    [ ("create", "w/a"); ("append", "w/a"); ("fsync", "w/a");
+      ("rename", "w/a"); ("sync_dir", "w") ]
+    (Vfs.op_log c);
+  (* Crash at the rename: file a is durable but never renamed. *)
+  let base2 = Vfs.memory () in
+  let c2, v2 = Vfs.counting ~inject:(Vfs.Crash_at 3) base2 in
+  (match workload v2 with
+  | () -> Alcotest.fail "expected Crash_point"
+  | exception Vfs.Crash_point k -> Alcotest.(check int) "crash point" 3 k);
+  Alcotest.(check bool) "halted" true (Vfs.halted c2);
+  (* Post-crash operations are suppressed, not executed. *)
+  Vfs.delete v2 "w/a";
+  Alcotest.(check bool) "delete suppressed" true (Vfs.exists base2 "w/a");
+  (* Io_error at the append is transient: the workload fails but the
+     filesystem stays alive. *)
+  let base3 = Vfs.memory () in
+  let _, v3 = Vfs.counting ~inject:(Vfs.Io_error_at 1) base3 in
+  (match workload v3 with
+  | () -> Alcotest.fail "expected Io_error"
+  | exception Vfs.Io_error _ -> ());
+  let f = Vfs.create v3 "w/retry" in
+  Vfs.append v3 f "ok";
+  Alcotest.(check string) "later ops succeed" "ok" (Vfs.read_all base3 "w/retry")
 
 let test_faulty () =
   let armed = ref false in
@@ -180,6 +283,10 @@ let suite =
     ("memory: readdir", `Quick, test_memory_readdir);
     ("memory: rename replaces", `Quick, test_rename_replaces);
     ("memory: crash durability", `Quick, test_crash_durability);
+    ("memory: entry durability needs sync_dir", `Quick, test_entry_durability);
+    ("memory: unsynced delete resurrects", `Quick, test_unsynced_delete_resurrects);
+    ("memory: unsynced rename reverts", `Quick, test_unsynced_rename_reverts);
+    ("counting wrapper: crash/io-error points", `Quick, test_counting_crash_point);
     ("faulty wrapper", `Quick, test_faulty);
     ("real filesystem roundtrip", `Quick, test_real_roundtrip);
     ("model: sequential write", `Quick, test_model_sequential_write);
