@@ -1,0 +1,56 @@
+(* littletable_lint — run the project-invariant analyzer over source
+   roots and exit non-zero on any finding. See lib/lint/lint.mli. *)
+
+let usage = "littletable_lint [--format=plain|github] [--rules r1,r2] DIR..."
+
+let () =
+  let format = ref `Plain in
+  let rules = ref None in
+  let list_rules = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol
+          ( [ "plain"; "github" ],
+            fun s -> format := if s = "github" then `Github else `Plain ),
+        " output format (default plain)" );
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            rules := Some (String.split_on_char ',' s |> List.map String.trim)),
+        "r1,r2 restrict to a comma-separated subset of rules" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun dir -> roots := dir :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%-16s %s\n" r (Lt_lint.Lint.rule_doc r))
+      Lt_lint.Lint.rule_names;
+    exit 0
+  end;
+  (match !rules with
+  | Some rs ->
+      List.iter
+        (fun r ->
+          if not (List.mem r Lt_lint.Lint.rule_names) then begin
+            Printf.eprintf "littletable_lint: unknown rule %S\n" r;
+            exit 2
+          end)
+        rs
+  | None -> ());
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs in
+  let findings = Lt_lint.Lint.run ?rules:!rules ~roots () in
+  List.iter
+    (fun f ->
+      print_endline
+        (match !format with
+        | `Plain -> Lt_lint.Lint.to_plain f
+        | `Github -> Lt_lint.Lint.to_github f))
+    findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+      Printf.eprintf "littletable_lint: %d finding(s)\n" (List.length fs);
+      exit 1

@@ -1,3 +1,5 @@
+module Mutexes = Lt_util.Mutexes
+
 type counters = {
   hits : int;
   misses : int;
@@ -63,10 +65,6 @@ type 'v t = {
   capacity : int;
   next_file : int Atomic.t;
 }
-
-let locked m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let rec pow2_geq n p = if p >= n then p else pow2_geq n (p * 2)
 
@@ -142,7 +140,7 @@ let rec evict_to_cap s =
 
 let find t ~file ~block =
   let s = shard_of t ~file ~block in
-  locked s.mutex (fun () ->
+  Mutexes.with_lock s.mutex (fun () ->
       match Hashtbl.find_opt s.table (file, block) with
       | None ->
           s.misses <- s.misses + 1;
@@ -162,7 +160,7 @@ let find t ~file ~block =
 
 let insert t ~file ~block ~bytes v =
   let s = shard_of t ~file ~block in
-  locked s.mutex (fun () ->
+  Mutexes.with_lock s.mutex (fun () ->
       match Hashtbl.find_opt s.table (file, block) with
       | Some n ->
           (* Raced with another reader loading the same block: refresh
@@ -191,7 +189,7 @@ let insert t ~file ~block ~bytes v =
 let invalidate_file t ~file =
   Array.iter
     (fun s ->
-      locked s.mutex (fun () ->
+      Mutexes.with_lock s.mutex (fun () ->
           let victims =
             Hashtbl.fold
               (fun _ n acc -> if n.file = file then n :: acc else acc)
@@ -207,7 +205,7 @@ let invalidate_file t ~file =
 let clear t =
   Array.iter
     (fun s ->
-      locked s.mutex (fun () ->
+      Mutexes.with_lock s.mutex (fun () ->
           Hashtbl.reset s.table;
           s.probation.head <- None;
           s.probation.tail <- None;
@@ -220,7 +218,7 @@ let clear t =
 let counters t =
   Array.fold_left
     (fun (acc : counters) s ->
-      locked s.mutex (fun () ->
+      Mutexes.with_lock s.mutex (fun () ->
           {
             hits = acc.hits + s.hits;
             misses = acc.misses + s.misses;
@@ -245,7 +243,7 @@ let counters t =
 let reset_counters t =
   Array.iter
     (fun s ->
-      locked s.mutex (fun () ->
+      Mutexes.with_lock s.mutex (fun () ->
           s.hits <- 0;
           s.misses <- 0;
           s.evictions <- 0;

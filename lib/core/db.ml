@@ -14,10 +14,6 @@ type t = {
   mutex : Mutex.t;
 }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
-
 let table_dir t name = Filename.concat t.dir name
 
 (* Export every table's Stats counters (plus structural gauges) into
@@ -28,9 +24,10 @@ let stats_samples t =
     { Metrics.s_name = name; s_help = help; s_kind = kind; s_labels = labels;
       s_value = float_of_int v }
   in
-  Mutex.lock t.mutex;
-  let tables = Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [] in
-  Mutex.unlock t.mutex;
+  let tables =
+    Mutexes.with_lock t.mutex (fun () ->
+        Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [])
+  in
   let tables =
     List.sort (fun a b -> String.compare (Table.name a) (Table.name b)) tables
   in
@@ -138,7 +135,7 @@ let validate_name name =
 
 let create_table t name schema ~ttl =
   validate_name name;
-  locked t (fun () ->
+  Mutexes.with_lock t.mutex (fun () ->
       if Hashtbl.mem t.tables name then
         invalid_arg (Printf.sprintf "Db: table %S already exists" name);
       let table =
@@ -148,18 +145,18 @@ let create_table t name schema ~ttl =
       Hashtbl.replace t.tables name table;
       table)
 
-let find_table t name = locked t (fun () -> Hashtbl.find_opt t.tables name)
+let find_table t name = Mutexes.with_lock t.mutex (fun () -> Hashtbl.find_opt t.tables name)
 
 let table t name =
   match find_table t name with Some tbl -> tbl | None -> raise Not_found
 
 let table_names t =
-  locked t (fun () ->
+  Mutexes.with_lock t.mutex (fun () ->
       List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []))
 
 let drop_table t name =
   let tbl =
-    locked t (fun () ->
+    Mutexes.with_lock t.mutex (fun () ->
         match Hashtbl.find_opt t.tables name with
         | None -> raise Not_found
         | Some tbl ->
@@ -175,7 +172,7 @@ let drop_table t name =
     (try Vfs.readdir t.vfs tdir with Vfs.Io_error _ -> [])
 
 let all_tables t =
-  locked t (fun () -> Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [])
+  Mutexes.with_lock t.mutex (fun () -> Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables [])
 
 let maintenance t = List.iter Table.maintenance (all_tables t)
 

@@ -46,19 +46,15 @@ type t = {
   mutable closed : bool;
 }
 
-let locked m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
 let now t = Clock.now t.clock
 
 let name t = t.tname
 
 let dir t = t.dir
 
-let schema t = locked t.state (fun () -> t.schema)
+let schema t = Mutexes.with_lock t.state (fun () -> t.schema)
 
-let ttl t = locked t.state (fun () -> t.ttl)
+let ttl t = Mutexes.with_lock t.state (fun () -> t.ttl)
 
 let stats t =
   let cache =
@@ -283,10 +279,10 @@ let release_locked t dts =
       if dt.doomed && dt.refs = 0 then destroy_tablet t dt)
     dts
 
-let release t dts = locked t.state (fun () -> release_locked t dts)
+let release t dts = Mutexes.with_lock t.state (fun () -> release_locked t dts)
 
 let close t =
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       if not t.closed then begin
         t.closed <- true;
         List.iter
@@ -306,8 +302,8 @@ let ttl_cutoff_locked t =
   | Some ttl -> Some (Int64.sub (now t) ttl)
 
 let set_ttl t ttl =
-  locked t.writer_lock (fun () ->
-      locked t.state (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
+      Mutexes.with_lock t.state (fun () ->
           t.ttl <- ttl;
           save_descriptor_locked t))
 
@@ -331,8 +327,8 @@ let rebuild_memtable t ~from mt =
   fresh
 
 let change_schema t f =
-  locked t.writer_lock (fun () ->
-      locked t.state (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
+      Mutexes.with_lock t.state (fun () ->
           let old = t.schema in
           t.schema <- f old;
           t.filling <- List.map (rebuild_memtable t ~from:old) t.filling;
@@ -361,7 +357,7 @@ let freeze_locked t mt =
 (* Write one memtable out as a tablet file; no descriptor update yet.
    Runs without the state lock: frozen memtables are immutable. *)
 let write_memtable t mt =
-  let schema = locked t.state (fun () -> t.schema) in
+  let schema = Mutexes.with_lock t.state (fun () -> t.schema) in
   let id = Memtable.id mt in
   let file = Descriptor.tablet_file id in
   let writer =
@@ -408,7 +404,7 @@ let write_memtable t mt =
    update (§3.4.3). Caller holds [writer_lock]. *)
 let flush_closure t mt =
   let members =
-    locked t.state (fun () ->
+    Mutexes.with_lock t.state (fun () ->
         let ids = Flush_graph.closure t.graph (Memtable.id mt) in
         let in_ids m = List.mem (Memtable.id m) ids in
         let from_filling = List.filter in_ids t.filling in
@@ -427,7 +423,7 @@ let flush_closure t mt =
      write; drop them from the queues or the flush loop would pick them
      forever. *)
   if empties <> [] then
-    locked t.state (fun () ->
+    Mutexes.with_lock t.state (fun () ->
         let ids = List.map Memtable.id empties in
         t.frozen <- List.filter (fun m -> not (List.mem (Memtable.id m) ids)) t.frozen;
         t.filling <- List.filter (fun m -> not (List.mem (Memtable.id m) ids)) t.filling;
@@ -445,7 +441,7 @@ let flush_closure t mt =
         (m, meta))
       members
   in
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       let n = now t in
       let new_dts =
         List.map
@@ -503,7 +499,7 @@ let flush_backoff_cap_us = 10_000_000
 let flush_frozen_backlog ?(swallow = false) t ~limit =
   let rec go () =
     let next =
-      locked t.state (fun () ->
+      Mutexes.with_lock t.state (fun () ->
           if List.length t.frozen >= limit then
             match t.frozen with [] -> None | m :: _ -> Some m
           else None)
@@ -539,13 +535,13 @@ let flush_frozen_backlog ?(swallow = false) t ~limit =
   go ()
 
 let flush_all t =
-  locked t.writer_lock (fun () ->
-      locked t.state (fun () -> List.iter (freeze_locked t) t.filling);
+  Mutexes.with_lock t.writer_lock (fun () ->
+      Mutexes.with_lock t.state (fun () -> List.iter (freeze_locked t) t.filling);
       flush_frozen_backlog t ~limit:1)
 
 let flush_before t ~ts =
-  locked t.writer_lock (fun () ->
-      locked t.state (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
+      Mutexes.with_lock t.state (fun () ->
           List.iter
             (fun m ->
               match Memtable.ts_range m with
@@ -554,7 +550,7 @@ let flush_before t ~ts =
             t.filling);
       let rec go () =
         let next =
-          locked t.state (fun () ->
+          Mutexes.with_lock t.state (fun () ->
               List.find_opt
                 (fun m ->
                   match Memtable.ts_range m with
@@ -586,7 +582,7 @@ let pp_key schema key =
    [writer_lock], so no new rows can appear concurrently. *)
 let check_unique t ~key ~ts =
   let candidates =
-    locked t.state (fun () ->
+    Mutexes.with_lock t.state (fun () ->
         match t.max_ts_seen with
         | Some mts when ts > mts -> `Unique
         | _ ->
@@ -618,7 +614,7 @@ let check_unique t ~key ~ts =
           (fun () ->
             List.exists
               (fun dt ->
-                let r = locked t.state (fun () -> get_reader_locked t dt) in
+                let r = Mutexes.with_lock t.state (fun () -> get_reader_locked t dt) in
                 Tablet.mem r key)
               cands)
       in
@@ -629,7 +625,7 @@ let insert_one t row =
   let ts = Schema.row_ts t.schema row in
   let key = Key_codec.encode_key t.schema row in
   if t.config.Config.enforce_unique then check_unique t ~key ~ts;
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       let n = now t in
       let bin = Period.bin ~now:n ts in
       let mt =
@@ -660,7 +656,7 @@ let insert_one t row =
 
 let insert t rows =
   let t0, h0, m0 = obs_begin t in
-  locked t.writer_lock (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
       List.iter (insert_one t) rows;
       Stats.note_insert t.stats ~rows:(List.length rows);
       flush_frozen_backlog ~swallow:true t ~limit:t.config.Config.flush_backlog);
@@ -669,7 +665,7 @@ let insert t rows =
 
 let insert_row t row = insert t [ row ]
 
-let max_ts t = locked t.state (fun () -> t.max_ts_seen)
+let max_ts t = Mutexes.with_lock t.state (fun () -> t.max_ts_seen)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -684,7 +680,7 @@ type scan = {
 (* Select overlapping tablets and snapshot memtables. Takes refs on the
    disk tablets; the caller must [release] them. *)
 let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       let cutoff = ttl_cutoff_locked t in
       let eff_ts_min =
         match (ts_min, cutoff) with
@@ -845,7 +841,7 @@ let latest t prefix_values =
     List.length prefix_values = Array.length (Schema.pkey t.schema) - 1
   in
   let items, cutoff =
-    locked t.state (fun () ->
+    Mutexes.with_lock t.state (fun () ->
         let mem_items =
           List.filter_map
             (fun m ->
@@ -897,10 +893,10 @@ let latest t prefix_values =
                   Some (Memtable.id m, fun () -> Avl.next it)
               | On_disk dt ->
                   if Tablet.may_contain_prefix
-                       (locked t.state (fun () -> get_reader_locked t dt))
+                       (Mutexes.with_lock t.state (fun () -> get_reader_locked t dt))
                        prefix
                   then
-                    let r = locked t.state (fun () -> get_reader_locked t dt) in
+                    let r = Mutexes.with_lock t.state (fun () -> get_reader_locked t dt) in
                     Some
                       (dt.meta.Descriptor.id, Tablet.iter r ~asc:false ~lo:prefix ?hi ())
                   else None)
@@ -991,7 +987,7 @@ let merge_plan_locked t =
 
 let merge_step_unlocked t =
   let plan =
-    locked t.state (fun () ->
+    Mutexes.with_lock t.state (fun () ->
         match merge_plan_locked t with
         | None -> None
         | Some plan ->
@@ -1015,7 +1011,7 @@ let merge_step_unlocked t =
       Fun.protect
         ~finally:(fun () -> release t sources)
         (fun () ->
-          let schema = locked t.state (fun () -> t.schema) in
+          let schema = Mutexes.with_lock t.state (fun () -> t.schema) in
           let iters =
             List.map2
               (fun dt r -> (dt.meta.Descriptor.id, Tablet.iter r ~asc:true ()))
@@ -1081,7 +1077,7 @@ let merge_step_unlocked t =
               Tablet.abandon writer;
               raise e
           in
-          locked t.state (fun () ->
+          Mutexes.with_lock t.state (fun () ->
               let n = now t in
               let source_ids =
                 List.map (fun dt -> dt.meta.Descriptor.id) sources
@@ -1142,14 +1138,14 @@ let merge_step_unlocked t =
           ok := true);
       !ok
 
-let merge_step t = locked t.maint_lock (fun () -> merge_step_unlocked t)
+let merge_step t = Mutexes.with_lock t.maint_lock (fun () -> merge_step_unlocked t)
 
 (* ------------------------------------------------------------------ *)
 (* Expiry (§3.3)                                                       *)
 (* ------------------------------------------------------------------ *)
 
 let expire_unlocked t =
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       match ttl_cutoff_locked t with
       | None -> 0
       | Some cutoff ->
@@ -1180,7 +1176,7 @@ let expire_unlocked t =
             n
           end)
 
-let expire t = locked t.maint_lock (fun () -> expire_unlocked t)
+let expire t = Mutexes.with_lock t.maint_lock (fun () -> expire_unlocked t)
 
 (* ------------------------------------------------------------------ *)
 (* Bulk delete (§7's planned privacy-compliance feature)               *)
@@ -1193,11 +1189,11 @@ let delete_prefix t prefix_values =
     String.compare key lo >= 0
     && match hi_opt with None -> true | Some hi -> String.compare key hi < 0
   in
-  locked t.writer_lock (fun () ->
-      locked t.maint_lock (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
+      Mutexes.with_lock t.maint_lock (fun () ->
           let deleted = ref 0 in
           (* Memtables: rebuild without the range. *)
-          locked t.state (fun () ->
+          Mutexes.with_lock t.state (fun () ->
               let filter_mt mt =
                 let fresh =
                   Memtable.create ~id:(Memtable.id mt)
@@ -1243,7 +1239,7 @@ let delete_prefix t prefix_values =
               | _ -> ()));
           (* Disk tablets overlapping the range. *)
           let victims =
-            locked t.state (fun () ->
+            Mutexes.with_lock t.state (fun () ->
                 let vs =
                   List.filter
                     (fun dt ->
@@ -1278,7 +1274,7 @@ let delete_prefix t prefix_values =
                 else begin
                   (* Straddling tablet: rewrite it without the range. *)
                   let reader, schema, new_id =
-                    locked t.state (fun () ->
+                    Mutexes.with_lock t.state (fun () ->
                         let r = get_reader_locked t dt in
                         let id = t.next_id in
                         t.next_id <- t.next_id + 1;
@@ -1342,14 +1338,14 @@ let delete_prefix t prefix_values =
                 end)
                 victims
             with e ->
-              locked t.state (fun () -> release_locked t victims);
+              Mutexes.with_lock t.state (fun () -> release_locked t victims);
               raise e
           in
           (* Single atomic commit: persist first, doom and release the
              victims only once the new descriptor is durable. On a
              failed save the victims stay live and the replacement files
              die unreferenced (swept at next open). *)
-          locked t.state (fun () ->
+          Mutexes.with_lock t.state (fun () ->
               let n = now t in
               let victim_ids =
                 List.map (fun (dt, _) -> dt.meta.Descriptor.id) replacements
@@ -1408,16 +1404,16 @@ let delete_prefix t prefix_values =
 (* ------------------------------------------------------------------ *)
 
 let maintenance t =
-  locked t.writer_lock (fun () ->
+  Mutexes.with_lock t.writer_lock (fun () ->
       let n = now t in
-      locked t.state (fun () ->
+      Mutexes.with_lock t.state (fun () ->
           List.iter
             (fun m ->
               if Int64.sub n (Memtable.created_at m) >= t.config.Config.flush_age
               then freeze_locked t m)
             t.filling);
       flush_frozen_backlog ~swallow:true t ~limit:1);
-  locked t.maint_lock (fun () ->
+  Mutexes.with_lock t.maint_lock (fun () ->
       while merge_step_unlocked t do
         ()
       done;
@@ -1427,13 +1423,13 @@ let maintenance t =
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let tablet_count t = locked t.state (fun () -> List.length t.disk)
+let tablet_count t = Mutexes.with_lock t.state (fun () -> List.length t.disk)
 
 let memtable_count t =
-  locked t.state (fun () -> List.length t.filling + List.length t.frozen)
+  Mutexes.with_lock t.state (fun () -> List.length t.filling + List.length t.frozen)
 
-let tablets t = locked t.state (fun () -> List.map (fun dt -> dt.meta) t.disk)
+let tablets t = Mutexes.with_lock t.state (fun () -> List.map (fun dt -> dt.meta) t.disk)
 
 let disk_size t =
-  locked t.state (fun () ->
+  Mutexes.with_lock t.state (fun () ->
       List.fold_left (fun acc dt -> acc + dt.meta.Descriptor.size) 0 t.disk)

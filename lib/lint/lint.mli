@@ -1,0 +1,53 @@
+(** Project-invariant static analyzer.
+
+    Parses every [.ml]/[.mli] under the given roots with compiler-libs
+    and enforces the six LittleTable invariants the type checker cannot
+    see (see DESIGN.md "Static analysis"):
+
+    - [vfs-discipline]: no raw [Unix]/[Sys]/[Stdlib] filesystem calls
+      outside [lib/vfs] — everything durability-relevant must flow
+      through {!Vfs} so the crash-point torture harness sees it.
+    - [lock-safety]: no bare [Mutex.lock]/[Mutex.unlock] outside
+      [lib/util/mutexes.ml] — critical sections must use the
+      exception-safe [Mutexes.with_lock].
+    - [lock-order]: builds a static lock-acquisition graph from nested
+      [with_lock] regions (interprocedural, across modules) and flags
+      any cycle.
+    - [clock-discipline]: no [Unix.gettimeofday]/[Unix.time]/[Sys.time]
+      or [Random] outside [lib/util/clock.ml] — time and randomness
+      must be injectable for [--replay] determinism.
+    - [no-stdout]: lib code logs via [Logs], never [print_*]/[printf].
+    - [mli-coverage]: every module under [lib/] keeps an interface.
+
+    A finding is suppressed only by an explicit
+    [[@lint.allow "<rule>: <justification>"]] attribute on the
+    enclosing expression, binding, or item ([[@@@lint.allow ...]] for a
+    whole file). A malformed or unknown suppression is itself reported
+    (rule [lint-allow]). *)
+
+type finding = {
+  f_file : string;  (** path as given (relative to the scan cwd) *)
+  f_line : int;  (** 1-based *)
+  f_col : int;  (** 0-based, matching compiler convention *)
+  f_rule : string;
+  f_msg : string;
+}
+
+val rule_names : string list
+(** The six enforceable rules, in reporting order. *)
+
+val rule_doc : string -> string
+(** One-line rationale for a rule name (for [--rules] listings). *)
+
+val run : ?rules:string list -> roots:string list -> unit -> finding list
+(** [run ~roots ()] scans every [.ml]/[.mli] under [roots]
+    (directories or single files; [_build] and dot-directories are
+    skipped) and returns the surviving findings sorted by file, line,
+    column, and rule. [?rules] restricts checking to the named subset.
+    Unreadable or syntactically invalid files yield [parse] findings. *)
+
+val to_plain : finding -> string
+(** ["file:line: \[rule\] message"]. *)
+
+val to_github : finding -> string
+(** GitHub Actions workflow-command annotation for the finding. *)

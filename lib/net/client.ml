@@ -28,9 +28,7 @@ let drop_connection t =
   t.fd <- None
 
 let roundtrip t req =
-  Mutex.lock t.mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mutex)
+  Lt_util.Mutexes.with_lock t.mutex
     (fun () ->
       match t.fd with
       | None -> raise Disconnected
@@ -68,17 +66,13 @@ let connect ?(host = "127.0.0.1") ~port () =
   hello t;
   t
 
-let close t =
-  Mutex.lock t.mutex;
-  drop_connection t;
-  Mutex.unlock t.mutex
+let close t = Lt_util.Mutexes.with_lock t.mutex (fun () -> drop_connection t)
 
 let reconnect t =
-  Mutex.lock t.mutex;
-  drop_connection t;
-  t.fd <- Some (connect_fd t.host t.port);
-  Hashtbl.reset t.schemas;
-  Mutex.unlock t.mutex;
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      drop_connection t;
+      t.fd <- Some (connect_fd t.host t.port);
+      Hashtbl.reset t.schemas);
   hello t
 
 let ping t =

@@ -171,9 +171,8 @@ let accept_loop t =
     | _ :: _, _, _ -> (
         match Unix.accept t.listen_fd with
         | fd, _ ->
-            Mutex.lock t.mutex;
-            t.threads <- (Thread.create (client_loop t) fd, fd) :: t.threads;
-            Mutex.unlock t.mutex
+            Lt_util.Mutexes.with_lock t.mutex (fun () ->
+                t.threads <- (Thread.create (client_loop t) fd, fd) :: t.threads)
         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
@@ -329,11 +328,10 @@ let stop t =
     (match !(t.maint_thread) with Some th -> join_unless_self th | None -> ());
     (match !(t.metrics_thread) with Some th -> join_unless_self th | None -> ());
     let threads =
-      Mutex.lock t.mutex;
-      let ths = t.threads in
-      t.threads <- [];
-      Mutex.unlock t.mutex;
-      ths
+      Lt_util.Mutexes.with_lock t.mutex (fun () ->
+          let ths = t.threads in
+          t.threads <- [];
+          ths)
     in
     (* Unblock handlers waiting in recv, then join them. *)
     List.iter
@@ -342,14 +340,11 @@ let stop t =
       threads;
     List.iter (fun (th, _) -> join_unless_self th) threads;
     Db.flush_all t.db;
-    Mutex.lock t.mutex;
-    Condition.broadcast t.stopped;
-    Mutex.unlock t.mutex
+    Lt_util.Mutexes.with_lock t.mutex (fun () -> Condition.broadcast t.stopped)
   end
 
 let wait t =
-  Mutex.lock t.mutex;
-  while t.running do
-    Condition.wait t.stopped t.mutex
-  done;
-  Mutex.unlock t.mutex
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      while t.running do
+        Condition.wait t.stopped t.mutex
+      done)

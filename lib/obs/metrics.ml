@@ -52,9 +52,7 @@ let create_registry ?(enabled = true) () =
 let set_enabled r b = r.r_enabled := b
 let enabled r = !(r.r_enabled)
 
-let with_lock m f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+let with_lock = Lt_util.Mutexes.with_lock
 
 let sort_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels

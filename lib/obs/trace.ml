@@ -51,29 +51,26 @@ let pp_span ppf sp =
 
 let record t sp =
   let slow =
-    Mutex.lock t.mutex;
-    let cap = Array.length t.ring in
-    t.ring.(t.next mod cap) <- Some sp;
-    t.next <- t.next + 1;
-    let slow = sp.sp_duration_us >= t.slow_us in
-    Mutex.unlock t.mutex;
-    slow
+    Lt_util.Mutexes.with_lock t.mutex (fun () ->
+        let cap = Array.length t.ring in
+        t.ring.(t.next mod cap) <- Some sp;
+        t.next <- t.next + 1;
+        sp.sp_duration_us >= t.slow_us)
   in
   if slow then Log.warn (fun m -> m "slow op: %a" pp_span sp)
 
 (* Newest-first walk of the retained window. *)
 let fold_recent t f =
-  Mutex.lock t.mutex;
-  let cap = Array.length t.ring in
-  let retained = min t.next cap in
-  let acc = ref [] in
-  for i = 1 to retained do
-    match t.ring.((t.next - i + (cap * 2)) mod cap) with
-    | Some sp -> if f sp then acc := sp :: !acc
-    | None -> ()
-  done;
-  Mutex.unlock t.mutex;
-  List.rev !acc
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let cap = Array.length t.ring in
+      let retained = min t.next cap in
+      let acc = ref [] in
+      for i = 1 to retained do
+        match t.ring.((t.next - i + (cap * 2)) mod cap) with
+        | Some sp -> if f sp then acc := sp :: !acc
+        | None -> ()
+      done;
+      List.rev !acc)
 
 let take n l =
   let rec go n = function

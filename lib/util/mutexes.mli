@@ -1,0 +1,12 @@
+(** Exception-safe mutex combinators.
+
+    This is the only module in the tree allowed to call [Mutex.lock] /
+    [Mutex.unlock] directly: the [lock-safety] lint rule (see
+    [lib/lint]) flags bare lock calls anywhere else. Routing every
+    critical section through {!with_lock} guarantees a raise inside the
+    section cannot leak the lock and wedge the engine. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] on both
+    normal return and exception (via [Fun.protect]). Not reentrant:
+    [m] must not already be held by the calling thread. *)

@@ -59,9 +59,7 @@ let create ?(config = default_config) () =
     mutex = Mutex.create ();
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked t f = Lt_util.Mutexes.with_lock t.mutex f
 
 let elapsed_s t = locked t (fun () -> t.elapsed_us /. 1e6)
 

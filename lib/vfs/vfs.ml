@@ -71,10 +71,7 @@ let real () =
   let make_file path fd =
     (* pread via lseek + read must not interleave across threads. *)
     let mutex = Mutex.create () in
-    let locked f =
-      Mutex.lock mutex;
-      Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-    in
+    let locked f = Lt_util.Mutexes.with_lock mutex f in
     {
       f_path = path;
       f_pread =
@@ -169,10 +166,7 @@ let memory () =
      over) was never made durable by a parent-directory sync. *)
   let ghosts : (string, string) Hashtbl.t = Hashtbl.create 8 in
   let mutex = Mutex.create () in
-  let locked f =
-    Mutex.lock mutex;
-    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-  in
+  let locked f = Lt_util.Mutexes.with_lock mutex f in
   let find op path =
     match Hashtbl.find_opt files path with
     | Some f -> f
@@ -473,22 +467,21 @@ let counting ?(inject = No_fault) inner =
      path's deletes and fsyncs must not reach the filesystem). Raises at
      the armed injection point. *)
   let note op path =
-    Mutex.lock c.c_mutex;
     let verdict =
-      if c.c_halted then `Suppress
-      else begin
-        let k = c.c_ops in
-        c.c_ops <- k + 1;
-        c.c_log <- (op, path) :: c.c_log;
-        match c.c_inject with
-        | Crash_at p when k = p ->
-            c.c_halted <- true;
-            `Crash k
-        | Io_error_at p when k = p -> `Fail k
-        | _ -> `Run
-      end
+      Lt_util.Mutexes.with_lock c.c_mutex (fun () ->
+          if c.c_halted then `Suppress
+          else begin
+            let k = c.c_ops in
+            c.c_ops <- k + 1;
+            c.c_log <- (op, path) :: c.c_log;
+            match c.c_inject with
+            | Crash_at p when k = p ->
+                c.c_halted <- true;
+                `Crash k
+            | Io_error_at p when k = p -> `Fail k
+            | _ -> `Run
+          end)
     in
-    Mutex.unlock c.c_mutex;
     match verdict with
     | `Run -> true
     | `Suppress -> false

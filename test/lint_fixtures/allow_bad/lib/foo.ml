@@ -1,0 +1,3 @@
+let a path = (Sys.remove path [@lint.allow "no-such-rule: whatever"])
+
+let b path = (Sys.remove path [@lint.allow "vfs-discipline"])

@@ -1,0 +1,3 @@
+[@@@lint.allow "no-stdout: fixture exercises whole-file suppression"]
+
+let report x = print_endline x

@@ -1,0 +1,3 @@
+let now () = Unix.gettimeofday ()
+
+let jitter () = Random.int 100

@@ -1,0 +1,1 @@
+let now clock = Clock.now clock

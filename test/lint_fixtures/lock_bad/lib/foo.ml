@@ -1,0 +1,6 @@
+let m = Mutex.create ()
+
+let bump counter =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m

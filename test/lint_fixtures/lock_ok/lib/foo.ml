@@ -1,0 +1,3 @@
+let m = Mutex.create ()
+
+let bump counter = Mutexes.with_lock m (fun () -> incr counter)

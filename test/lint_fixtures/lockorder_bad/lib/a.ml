@@ -1,0 +1,3 @@
+let back () = with_lock ma (fun () -> ())
+
+let front () = with_lock ma (fun () -> B.take ())

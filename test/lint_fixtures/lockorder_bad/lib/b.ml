@@ -1,0 +1,1 @@
+let take () = with_lock mb (fun () -> A.back ())

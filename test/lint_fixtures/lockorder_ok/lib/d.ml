@@ -1,0 +1,4 @@
+(* Both paths take m1 before m2: consistent order, no cycle. *)
+let f () = with_lock m1 (fun () -> with_lock m2 (fun () -> ()))
+
+let g () = with_lock m1 (fun () -> with_lock m2 (fun () -> ()))

@@ -1,0 +1,1 @@
+let f () = with_lock m (fun () -> with_lock m (fun () -> ()))

@@ -1,0 +1,3 @@
+let report x =
+  print_endline x;
+  Printf.printf "%s\n" x

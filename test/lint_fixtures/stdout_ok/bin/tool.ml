@@ -1,0 +1,2 @@
+(* print_* is fine in executables; the rule covers lib only. *)
+let () = print_endline "ok"

@@ -1,0 +1,1 @@
+let report x = Logs.info (fun m -> m "%s" x)

@@ -1,0 +1,3 @@
+let delete path = Sys.remove path
+
+let log_channel path = open_out path

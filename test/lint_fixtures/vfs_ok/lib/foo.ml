@@ -1,0 +1,1 @@
+let delete vfs path = Vfs.delete vfs path

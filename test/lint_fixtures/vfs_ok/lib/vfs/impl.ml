@@ -1,0 +1,2 @@
+(* Inside lib/vfs the raw calls are the point. *)
+let open_raw path = Unix.openfile path [ Unix.O_RDONLY ] 0

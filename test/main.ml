@@ -25,4 +25,5 @@ let () =
       ("obs", Test_obs.suite);
       ("apps", Test_apps.suite);
       ("shard", Test_shard.suite);
+      ("lint", Test_lint.suite);
     ]
