@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --json  also write BENCH_<name>.json
 
    Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-   tablet-bounds ablation-bloom ablation-cache ablation-obs micro *)
+   tablet-bounds ablation-bloom ablation-cache ablation-obs
+   ablation-parallel micro *)
 
 let mib = Support.mib
 
@@ -34,6 +35,7 @@ let experiments ~full =
     ("ablation-bloom", Ablation_bloom.run);
     ("ablation-cache", fun () -> Ablation_cache.run ~quick:(not full) ());
     ("ablation-obs", fun () -> Ablation_obs.run ~quick:(not full) ());
+    ("ablation-parallel", fun () -> Ablation_parallel.run ~quick:(not full) ());
     ("micro", Micro.run);
   ]
 

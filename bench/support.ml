@@ -24,9 +24,10 @@ type env = {
   model : Disk_model.t;
 }
 
-let make_env ?(config = Config.default) ?(readahead = 128 * 1024) () =
+let make_env ?(config = Config.default) ?(readahead = 128 * 1024)
+    ?(spindles = 1) () =
   let model =
-    Disk_model.create ~config:(Disk_model.config ~readahead ()) ()
+    Disk_model.create ~config:(Disk_model.config ~readahead ~spindles ()) ()
   in
   let vfs = Vfs.with_model model (Vfs.memory ()) in
   let clock = Clock.manual ~start:1_720_000_000_000_000L () in

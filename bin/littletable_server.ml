@@ -8,9 +8,14 @@ let setup_logging level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
-let run dir port metrics_port maintenance level =
+let run dir port metrics_port maintenance query_domains level =
   setup_logging level;
-  let db = Littletable.Db.open_ ~dir () in
+  let config =
+    match query_domains with
+    | None -> Littletable.Config.default
+    | Some n -> Littletable.Config.make ~query_domains:n ()
+  in
+  let db = Littletable.Db.open_ ~config ~dir () in
   let server =
     Lt_net.Server.start ~maintenance_period_s:maintenance ?metrics_port ~db
       ~port ()
@@ -51,6 +56,14 @@ let maintenance =
   let doc = "Seconds between background maintenance passes." in
   Arg.(value & opt float 1.0 & info [ "maintenance-period" ] ~docv:"SECONDS" ~doc)
 
+let query_domains =
+  let doc =
+    "Worker domains for parallel tablet scans, shared by all client \
+     connections and sized once at startup. 0 forces sequential scans; \
+     default: CPU count minus two, at least one."
+  in
+  Arg.(value & opt (some int) None & info [ "query-domains" ] ~docv:"N" ~doc)
+
 let log_level =
   let doc = "Log verbosity: quiet, error, warning, info, debug." in
   Arg.(value & opt (enum [ ("quiet", None); ("error", Some Logs.Error);
@@ -62,6 +75,9 @@ let log_level =
 let cmd =
   let doc = "LittleTable time-series database server" in
   let info = Cmd.info "littletable-server" ~doc in
-  Cmd.v info Term.(const run $ dir $ port $ metrics_port $ maintenance $ log_level)
+  Cmd.v info
+    Term.(
+      const run $ dir $ port $ metrics_port $ maintenance $ query_domains
+      $ log_level)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,7 @@ type t = {
   cache_bytes : int;
   obs_enabled : bool;
   slow_op_micros : int64;
+  query_domains : int;
 }
 
 let default =
@@ -31,6 +32,7 @@ let default =
     cache_bytes = 64 * 1024 * 1024;
     obs_enabled = true;
     slow_op_micros = Clock.msec 100;
+    query_domains = Lt_exec.Pool.default_domains ();
   }
 
 let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
@@ -43,7 +45,8 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     ?(server_row_limit = default.server_row_limit)
     ?(enforce_unique = default.enforce_unique)
     ?(cache_bytes = default.cache_bytes) ?(obs_enabled = default.obs_enabled)
-    ?(slow_op_micros = default.slow_op_micros) () =
+    ?(slow_op_micros = default.slow_op_micros)
+    ?(query_domains = default.query_domains) () =
   {
     block_size;
     flush_size;
@@ -58,4 +61,5 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     cache_bytes;
     obs_enabled;
     slow_op_micros;
+    query_domains;
   }

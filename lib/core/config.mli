@@ -40,6 +40,12 @@ type t = {
       (** operations at least this slow (microseconds) are kept in the
           slow-op ring's [.slow] view and logged through ["lt.slowop"]
           — 100 ms default *)
+  query_domains : int;
+      (** worker domains for parallel tablet scans ([Lt_exec]); queries
+          touching more than one tablet fan out over a pool of this
+          size and are k-way merged back into primary-key order, with
+          results byte-identical to a sequential scan. 0 forces the
+          sequential path; default [max 1 (ncpu - 2)] *)
 }
 
 val default : t
@@ -59,5 +65,6 @@ val make :
   ?cache_bytes:int ->
   ?obs_enabled:bool ->
   ?slow_op_micros:int64 ->
+  ?query_domains:int ->
   unit ->
   t

@@ -11,6 +11,8 @@ type t = {
   tables : (string, Table.t) Hashtbl.t;
   cache : Block.t Lt_cache.Block_cache.t option;
   obs : Obs.t;
+  pool : Lt_exec.Pool.t option;
+      (** shared scan pool, sized once from [Config.query_domains] *)
   mutex : Mutex.t;
 }
 
@@ -94,6 +96,14 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
     Obs.create ~enabled:config.Config.obs_enabled
       ~slow_op_micros:config.Config.slow_op_micros ~clock ()
   in
+  (* [Pool.shared] keys process-wide pools by size, so opening many
+     databases with the same config (test suites do) reuses one set of
+     worker domains instead of spawning per-[Db]. *)
+  let pool =
+    if config.Config.query_domains > 0 then
+      Some (Lt_exec.Pool.shared ~domains:config.Config.query_domains)
+    else None
+  in
   let t =
     {
       config;
@@ -103,6 +113,7 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
       tables = Hashtbl.create 16;
       cache;
       obs;
+      pool;
       mutex = Mutex.create ();
     }
   in
@@ -113,13 +124,15 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
       let tdir = table_dir t name in
       if Descriptor.exists vfs ~dir:tdir then
         Hashtbl.replace t.tables name
-          (Table.open_ ?cache ~obs vfs ~clock ~config ~dir:tdir ~name))
+          (Table.open_ ?cache ~obs ?pool vfs ~clock ~config ~dir:tdir ~name))
     entries;
   t
 
 let config t = t.config
 
 let obs t = t.obs
+
+let scan_pool t = t.pool
 
 let block_cache t = t.cache
 
@@ -139,8 +152,9 @@ let create_table t name schema ~ttl =
       if Hashtbl.mem t.tables name then
         invalid_arg (Printf.sprintf "Db: table %S already exists" name);
       let table =
-        Table.create ?cache:t.cache ~obs:t.obs t.vfs ~clock:t.clock
-          ~config:t.config ~dir:(table_dir t name) ~name schema ~ttl
+        Table.create ?cache:t.cache ~obs:t.obs ?pool:t.pool t.vfs
+          ~clock:t.clock ~config:t.config ~dir:(table_dir t name) ~name schema
+          ~ttl
       in
       Hashtbl.replace t.tables name table;
       table)

@@ -38,6 +38,13 @@ val block_cache : t -> Block.t Lt_cache.Block_cache.t option
     with the database clock. *)
 val obs : t -> Lt_obs.Obs.t
 
+(** The parallel-scan worker pool shared by every table, obtained from
+    {!Lt_exec.Pool.shared} and sized once at [open_] from
+    {!Config.t.query_domains}; [None] when that is 0 (sequential
+    scans). Never shut down by {!close} — the underlying domains are
+    process-wide and shared across databases of the same size. *)
+val scan_pool : t -> Lt_exec.Pool.t option
+
 val clock : t -> Lt_util.Clock.t
 val vfs : t -> Lt_vfs.Vfs.t
 val dir : t -> string

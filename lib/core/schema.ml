@@ -188,10 +188,10 @@ let encode buf t =
 let decode cur =
   let version = Binio.get_varint cur in
   let ncols = Binio.get_varint cur in
-  if ncols = 0 || ncols > 4096 then raise (Binio.Corrupt "schema: bad column count");
+  if ncols <= 0 || ncols > 4096 then raise (Binio.Corrupt "schema: bad column count");
   let columns = Array.init ncols (fun _ -> decode_column cur) in
   let nkey = Binio.get_varint cur in
-  if nkey = 0 || nkey > ncols then raise (Binio.Corrupt "schema: bad key count");
+  if nkey <= 0 || nkey > ncols then raise (Binio.Corrupt "schema: bad key count");
   let pkey = Array.init nkey (fun _ -> Binio.get_varint cur) in
   (try validate columns pkey
    with Invalid msg -> raise (Binio.Corrupt ("schema: " ^ msg)));

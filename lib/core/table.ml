@@ -3,6 +3,9 @@ module Vfs = Lt_vfs.Vfs
 module Bcache = Lt_cache.Block_cache
 module Obs = Lt_obs.Obs
 module Otrace = Lt_obs.Trace
+module Ometrics = Lt_obs.Metrics
+module Pool = Lt_exec.Pool
+module Pscan = Lt_exec.Pscan
 
 exception Duplicate_key of string
 
@@ -42,6 +45,8 @@ type t = {
       (** process-wide block cache, shared across the {!Db}'s tables *)
   obs : Obs.t;
   instr : Obs.table_instruments;
+  pool : Pool.t option;
+      (** worker pool for parallel tablet scans; [None] = sequential *)
   rng : Xorshift.t;
   mutable closed : bool;
 }
@@ -117,7 +122,7 @@ let seed_of_name name =
     name;
   !h
 
-let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs =
+let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs ~pool =
   let open Descriptor in
   let n = Clock.now clock in
   let disk =
@@ -165,23 +170,25 @@ let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs =
     cache;
     obs;
     instr = Obs.table_instruments obs ~table:name;
+    pool;
     rng = Xorshift.create (seed_of_name name);
     closed = false;
   }
 
-let create ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name schema ~ttl =
+let create ?cache ?(obs = Obs.noop) ?pool vfs ~clock ~config ~dir ~name schema
+    ~ttl =
   Vfs.mkdir_p vfs dir;
   if Descriptor.exists vfs ~dir then
     invalid_arg (Printf.sprintf "Table.create: %s already holds a table" dir);
   let desc = Descriptor.{ schema; ttl; next_id = 1; tablets = [] } in
   Descriptor.save vfs ~dir desc;
-  make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs
+  make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs ~pool
 
 let quarantine_log = Logs.Src.create "lt.quarantine" ~doc:"Tablet quarantine"
 
 let is_quarantine_file entry = Filename.check_suffix entry ".quarantine"
 
-let open_ ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name =
+let open_ ?cache ?(obs = Obs.noop) ?pool vfs ~clock ~config ~dir ~name =
   let desc = Descriptor.load vfs ~dir in
   (* Crash hygiene: a crash or failed flush can leave tablet files that
      never made it into a descriptor (and interrupted descriptor
@@ -234,7 +241,7 @@ let open_ ?cache ?(obs = Obs.noop) vfs ~clock ~config ~dir ~name =
       desc
     end
   in
-  let t = make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs in
+  let t = make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs ~pool in
   if !quarantined > 0 then
     Stats.note_quarantined t.stats ~tablets:!quarantined;
   t
@@ -737,6 +744,39 @@ let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
 
 let empty_source () = None
 
+(* Fan the scan's sources out over the worker pool when it can help: a
+   pool is configured, the scan touches disk, and there is more than one
+   source. Each source gets a single self-rescheduling producer task at
+   a time, so the memtable AVL snapshots (immutable) and per-source
+   tablet iterators (never shared between tasks) need no extra locking.
+   The returned finish function must run before the caller releases its
+   tablet references; {!Pscan.stage} guarantees no producer task is
+   still reading after it returns. *)
+let maybe_stage t ~has_disk sources =
+  match t.pool with
+  | Some pool when has_disk && List.length sources > 1 ->
+      let obs_on = Obs.enabled t.obs in
+      if obs_on then
+        Ometrics.Histogram.observe t.instr.Obs.h_fanout
+          (float_of_int (List.length sources));
+      let now_us () = if obs_on then Clock.now t.clock else 0L in
+      let on_worker ~busy_us ~rows:_ =
+        if obs_on then
+          Ometrics.Histogram.observe_us t.instr.Obs.h_worker_scan busy_us
+      in
+      let on_stall dur =
+        (* [record_op] both observes the histogram and records a span;
+           back-dating [t0] by the stall duration makes the span close
+           to [dur] long without a second clock source. *)
+        if obs_on && Int64.compare dur 0L > 0 then
+          Obs.record_op t.obs ~hist:t.instr.Obs.h_stall ~op:Otrace.Stall
+            ~table:t.tname
+            ~t0:(Int64.sub (Clock.now t.clock) dur)
+            ()
+      in
+      Pscan.stage pool ~now_us ~on_worker ~on_stall sources
+  | _ -> (sources, fun () -> ())
+
 let query_raw t (q : Query.t) =
   match Query.compile t.schema q with
   | None -> (empty_source, (fun () -> ()), ref 0, 0)
@@ -746,7 +786,10 @@ let query_raw t (q : Query.t) =
         open_scan t ~compiled ~ts_min:q.Query.ts_min ~ts_max:q.Query.ts_max ~asc
       in
       let scanned = ref 0 in
-      let merged = Cursor.merge ~asc scan.sources in
+      let staged, finish_stage =
+        maybe_stage t ~has_disk:(scan.referenced <> []) scan.sources
+      in
+      let merged = Cursor.merge ~asc staged in
       let filtered =
         Cursor.filter_ts ~scanned ?ts_min:scan.eff_ts_min ?ts_max:q.Query.ts_max
           merged
@@ -755,6 +798,9 @@ let query_raw t (q : Query.t) =
       let release_once () =
         if not !released then begin
           released := true;
+          (* Cancel and join in-flight producers before dropping the
+             tablet refs they read through. *)
+          finish_stage ();
           release t scan.referenced
         end
       in
@@ -904,30 +950,41 @@ let latest t prefix_values =
         in
         if sources = [] then None
         else begin
-          let src =
-            Cursor.filter_ts ~scanned ?ts_min:cutoff
-              (Cursor.merge ~asc:false sources)
+          let has_disk =
+            List.exists
+              (function On_disk _ -> true | In_mem _ -> false)
+              members
           in
-          if full_prefix then
-            (* Keys sharing all non-ts columns differ only in ts, and ts
-               is the last key column, so descending key order is
-               descending ts order: the first hit is the latest. *)
-            Option.map snd (src ())
-          else begin
-            let best = ref None in
-            let rec go () =
-              match src () with
-              | None -> ()
-              | Some (key, row) ->
-                  let ts = Key_codec.ts_of_key key in
-                  (match !best with
-                  | Some (bts, _) when bts >= ts -> ()
-                  | _ -> best := Some (ts, row));
-                  go ()
-            in
-            go ();
-            Option.map snd !best
-          end
+          let staged, finish_stage = maybe_stage t ~has_disk sources in
+          (* The inner protect joins producers before the outer protect
+             releases the tablet refs they read through; a full-prefix
+             hit on the first row cancels the rest of the group's
+             workers. *)
+          Fun.protect ~finally:finish_stage (fun () ->
+              let src =
+                Cursor.filter_ts ~scanned ?ts_min:cutoff
+                  (Cursor.merge ~asc:false staged)
+              in
+              if full_prefix then
+                (* Keys sharing all non-ts columns differ only in ts, and
+                   ts is the last key column, so descending key order is
+                   descending ts order: the first hit is the latest. *)
+                Option.map snd (src ())
+              else begin
+                let best = ref None in
+                let rec go () =
+                  match src () with
+                  | None -> ()
+                  | Some (key, row) ->
+                      let ts = Key_codec.ts_of_key key in
+                      (match !best with
+                      | Some (bts, _) when bts >= ts -> ()
+                      | _ -> best := Some (ts, row));
+                      go ()
+                in
+                go ();
+                Option.map snd !best
+              end)
         end
       in
       let rec try_groups = function

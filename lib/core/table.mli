@@ -28,10 +28,14 @@ exception Duplicate_key of string
     share (normally supplied by {!Db}); omitted = uncached reads.
     [obs] is the observability bundle operations report latency spans
     to (also normally supplied by {!Db}); omitted = no instrumentation
-    ({!Lt_obs.Obs.noop}). *)
+    ({!Lt_obs.Obs.noop}). [pool] enables parallel tablet scans: queries
+    touching disk through more than one source fan out over its worker
+    domains and k-way merge back into key order, byte-identical to the
+    sequential path; omitted = sequential scans. *)
 val create :
   ?cache:Block.t Lt_cache.Block_cache.t ->
   ?obs:Lt_obs.Obs.t ->
+  ?pool:Lt_exec.Pool.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->
@@ -46,6 +50,7 @@ val create :
 val open_ :
   ?cache:Block.t Lt_cache.Block_cache.t ->
   ?obs:Lt_obs.Obs.t ->
+  ?pool:Lt_exec.Pool.t ->
   Lt_vfs.Vfs.t ->
   clock:Lt_util.Clock.t ->
   config:Config.t ->

@@ -1,0 +1,17 @@
+(** Early-termination tokens.
+
+    A query that stops before draining its sources (a [limit], a
+    latest-row search that found its answer, a client that walked away)
+    sets its token; in-flight {!Pscan} producer tasks observe it between
+    rows and stop producing, so the pool is free for other queries and
+    tablet references can be released promptly. Setting is idempotent
+    and never blocks. *)
+
+type t
+
+val create : unit -> t
+
+(** Request cancellation. Idempotent; safe from any domain. *)
+val set : t -> unit
+
+val is_set : t -> bool

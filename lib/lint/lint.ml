@@ -41,6 +41,10 @@ let rules_with_doc =
     ( "no-stdout",
       "lib code logs via Logs, never print_*/printf: stdout belongs to \
        the shell and bench output formats" );
+    ( "domain-discipline",
+      "Domain.spawn/Domain.join only inside lib/exec: every worker \
+       domain must come from the shared Pool so worker counts, shutdown \
+       joins, and queue behaviour stay centralized" );
     ( "mli-coverage",
       "every module under lib/ keeps an interface so the public surface \
        is deliberate" );
@@ -98,6 +102,12 @@ let clock_applies path =
 
 let stdout_applies path =
   match context path with Lib _ -> true | Bin | Bench | Other -> false
+
+let domain_applies path =
+  match context path with
+  | Lib ("exec" :: _) -> false
+  | Lib _ | Bin | Bench -> true
+  | Other -> false
 
 let scanned path =
   match context path with Lib _ | Bin | Bench -> true | Other -> false
@@ -157,6 +167,13 @@ let banned_ident path_parts =
       Some ("vfs-discipline", "raw channel open; route it through Vfs")
   | [ "Filename"; ("temp_file" | "open_temp_file") ] ->
       Some ("vfs-discipline", "temp-file creation; route it through Vfs")
+  | [ "Domain"; ("spawn" | "join") as f ] ->
+      Some
+        ( "domain-discipline",
+          Printf.sprintf
+            "Domain.%s outside lib/exec; spawn workers through the shared \
+             Lt_exec.Pool"
+            f )
   | [ "Mutex"; ("lock" | "unlock" | "try_lock") as f ] ->
       Some
         ( "lock-safety",
@@ -196,6 +213,7 @@ let rule_applies rule path =
   | "lock-safety" -> lock_safety_applies path
   | "clock-discipline" -> clock_applies path
   | "no-stdout" -> stdout_applies path
+  | "domain-discipline" -> domain_applies path
   | "lock-order" | "mli-coverage" -> scanned path
   | _ -> true
 

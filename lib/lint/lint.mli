@@ -1,7 +1,7 @@
 (** Project-invariant static analyzer.
 
     Parses every [.ml]/[.mli] under the given roots with compiler-libs
-    and enforces the six LittleTable invariants the type checker cannot
+    and enforces the seven LittleTable invariants the type checker cannot
     see (see DESIGN.md "Static analysis"):
 
     - [vfs-discipline]: no raw [Unix]/[Sys]/[Stdlib] filesystem calls
@@ -17,6 +17,8 @@
       or [Random] outside [lib/util/clock.ml] — time and randomness
       must be injectable for [--replay] determinism.
     - [no-stdout]: lib code logs via [Logs], never [print_*]/[printf].
+    - [domain-discipline]: [Domain.spawn]/[Domain.join] only inside
+      [lib/exec] — worker domains come from the shared [Lt_exec.Pool].
     - [mli-coverage]: every module under [lib/] keeps an interface.
 
     A finding is suppressed only by an explicit
@@ -34,7 +36,7 @@ type finding = {
 }
 
 val rule_names : string list
-(** The six enforceable rules, in reporting order. *)
+(** The seven enforceable rules, in reporting order. *)
 
 val rule_doc : string -> string
 (** One-line rationale for a rule name (for [--rules] listings). *)

@@ -77,7 +77,7 @@ let put_row b row =
 
 let get_row cur =
   let n = Binio.get_varint cur in
-  if n > 65536 then error "implausible row arity %d" n;
+  if n < 0 || n > 65536 then error "implausible row arity %d" n;
   Array.init n (fun _ -> get_value cur)
 
 let put_rows b rows =
@@ -86,6 +86,7 @@ let put_rows b rows =
 
 let get_rows cur =
   let n = Binio.get_varint cur in
+  if n < 0 then error "implausible row count %d" n;
   List.init n (fun _ -> get_row cur)
 
 let put_opt_i64 b = function
@@ -319,6 +320,7 @@ let span_op_tag = function
   | Lt_obs.Trace.Latest -> 2
   | Lt_obs.Trace.Flush -> 3
   | Lt_obs.Trace.Merge -> 4
+  | Lt_obs.Trace.Stall -> 5
 
 let span_op_of_tag = function
   | 0 -> Lt_obs.Trace.Insert
@@ -326,6 +328,7 @@ let span_op_of_tag = function
   | 2 -> Lt_obs.Trace.Latest
   | 3 -> Lt_obs.Trace.Flush
   | 4 -> Lt_obs.Trace.Merge
+  | 5 -> Lt_obs.Trace.Stall
   | n -> error "bad span op tag %d" n
 
 let put_span b (sp : Lt_obs.Trace.span) =

@@ -305,6 +305,13 @@ let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
   | Some mfd -> t.metrics_thread := Some (Thread.create (metrics_loop t) mfd)
   | None -> ());
   Log.info (fun m -> m "listening on 127.0.0.1:%d" bound_port);
+  (match Db.scan_pool db with
+  | Some pool ->
+      Log.info (fun m ->
+          m "parallel scans over %d worker domain%s (shared across clients)"
+            (Lt_exec.Pool.size pool)
+            (if Lt_exec.Pool.size pool = 1 then "" else "s"))
+  | None -> Log.info (fun m -> m "parallel scans disabled (query_domains=0)"));
   (match t.metrics_bound_port with
   | Some p -> Log.info (fun m -> m "metrics on http://127.0.0.1:%d/metrics" p)
   | None -> ());

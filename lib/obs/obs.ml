@@ -44,6 +44,9 @@ type table_instruments = {
   h_latest : Metrics.Histogram.t;
   h_flush : Metrics.Histogram.t;
   h_merge : Metrics.Histogram.t;
+  h_fanout : Metrics.Histogram.t;
+  h_worker_scan : Metrics.Histogram.t;
+  h_stall : Metrics.Histogram.t;
 }
 
 let duration_hist t name help ~labels =
@@ -66,7 +69,19 @@ let table_instruments t ~table =
         "Latency of one memtable flush to a tablet." ~labels;
     h_merge =
       duration_hist t "lt_merge_duration_seconds"
-        "Latency of one adjacent-pair tablet merge step." ~labels }
+        "Latency of one adjacent-pair tablet merge step." ~labels;
+    h_fanout =
+      Metrics.histogram t.o_registry
+        ~help:"Sources staged per parallel tablet scan."
+        ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+        ~labels "lt_parallel_scan_fanout";
+    h_worker_scan =
+      duration_hist t "lt_worker_scan_duration_seconds"
+        "Per-worker producer-side scan time within a parallel query."
+        ~labels;
+    h_stall =
+      duration_hist t "lt_merge_stall_duration_seconds"
+        "Time the parallel-scan merge spent waiting on a worker." ~labels }
 
 let block_read_hist t =
   duration_hist t "lt_block_stage_duration_seconds"

@@ -43,14 +43,20 @@ val record_op :
   t0:int64 -> ?scanned:int -> ?returned:int -> ?tablets:int ->
   ?cache_hits:int -> ?cache_misses:int -> unit -> unit
 
-(** Per-table duration histograms for the five engine operations,
-    all labeled [{table="<name>"}]. *)
+(** Per-table histograms for the engine operations plus the
+    parallel-scan instruments, all labeled [{table="<name>"}]. *)
 type table_instruments = {
   h_insert : Metrics.Histogram.t; (* lt_insert_duration_seconds *)
   h_query : Metrics.Histogram.t; (* lt_query_duration_seconds *)
   h_latest : Metrics.Histogram.t; (* lt_latest_duration_seconds *)
   h_flush : Metrics.Histogram.t; (* lt_flush_duration_seconds *)
   h_merge : Metrics.Histogram.t; (* lt_merge_duration_seconds *)
+  h_fanout : Metrics.Histogram.t;
+      (* lt_parallel_scan_fanout — sources staged per parallel scan *)
+  h_worker_scan : Metrics.Histogram.t;
+      (* lt_worker_scan_duration_seconds — producer-side scan time *)
+  h_stall : Metrics.Histogram.t;
+      (* lt_merge_stall_duration_seconds — merge waited on a worker *)
 }
 
 val table_instruments : t -> table:string -> table_instruments

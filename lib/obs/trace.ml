@@ -1,4 +1,4 @@
-type op = Insert | Query | Latest | Flush | Merge
+type op = Insert | Query | Latest | Flush | Merge | Stall
 
 type span = {
   sp_op : op;
@@ -41,6 +41,7 @@ let op_name = function
   | Latest -> "latest"
   | Flush -> "flush"
   | Merge -> "merge"
+  | Stall -> "stall"
 
 let pp_span ppf sp =
   Format.fprintf ppf

@@ -6,7 +6,13 @@
     through the ["lt.slowop"] [Logs] source, so a production log
     captures outliers even when nobody is watching [.slow]. *)
 
-type op = Insert | Query | Latest | Flush | Merge
+type op =
+  | Insert
+  | Query
+  | Latest
+  | Flush
+  | Merge
+  | Stall  (** a parallel-scan merge waited on a worker mid-chunk *)
 
 type span = {
   sp_op : op;

@@ -3,6 +3,7 @@ type config = {
   seq_bytes_per_us : float;
   readahead : int;
   cache_bytes : int;
+  spindles : int;
 }
 
 let default_config =
@@ -11,27 +12,41 @@ let default_config =
     seq_bytes_per_us = 120.0; (* 120 MB/s = 120 bytes/us *)
     readahead = 128 * 1024;
     cache_bytes = 64 * 1024 * 1024;
+    spindles = 1;
   }
 
 let config ?(seek_us = default_config.seek_us)
     ?(seq_bytes_per_us = default_config.seq_bytes_per_us)
     ?(readahead = default_config.readahead)
-    ?(cache_bytes = default_config.cache_bytes) () =
-  { seek_us; seq_bytes_per_us; readahead; cache_bytes }
+    ?(cache_bytes = default_config.cache_bytes)
+    ?(spindles = default_config.spindles) () =
+  { seek_us; seq_bytes_per_us; readahead; cache_bytes; spindles }
 
 (* Cached physical ranges [lo, hi), evicted FIFO by total bytes. *)
 type cached = { lo : int; hi : int }
 
+(* Time accounting is virtual and channel-based so concurrent issuers
+   (parallel-scan worker domains) overlap correctly: each issuing domain
+   has a channel clock (when that issuer becomes free), each spindle a
+   busy clock (when the platter becomes free). An op starts at
+   [max channel spindle_busy], runs for its cost, and advances both;
+   [elapsed_s] is the makespan — when the last op finishes. With one
+   issuer and one spindle every start equals the previous finish and the
+   makespan degenerates to the old straight sum of costs. *)
 type t = {
   mutable cfg : config;
-  mutable elapsed_us : float;
+  mutable finish_us : float;  (** makespan: max finish over all ops *)
   mutable seeks : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
-  mutable head : int;  (** current physical position *)
+  heads : int array;  (** per-spindle physical position *)
+  busy : float array;  (** per-spindle busy-until clock *)
+  channels : (int, float) Hashtbl.t;  (** per-domain issuer clock *)
   mutable next_extent : int;  (** allocation cursor *)
   bases : (string, int) Hashtbl.t;  (** file -> extent base *)
   sizes : (string, int) Hashtbl.t;  (** file -> current size *)
+  spindle_of : (string, int) Hashtbl.t;  (** file -> spindle *)
+  mutable next_spindle : int;  (** round-robin placement cursor *)
   cache : cached Queue.t;
   mutable cache_used : int;
   windows : (string, int * int) Hashtbl.t;
@@ -43,16 +58,21 @@ type t = {
 let extent_align = 1 lsl 20
 
 let create ?(config = default_config) () =
+  let spindles = max 1 config.spindles in
   {
     cfg = config;
-    elapsed_us = 0.0;
+    finish_us = 0.0;
     seeks = 0;
     bytes_read = 0;
     bytes_written = 0;
-    head = 0;
+    heads = Array.make spindles 0;
+    busy = Array.make spindles 0.0;
+    channels = Hashtbl.create 8;
     next_extent = 0;
     bases = Hashtbl.create 64;
     sizes = Hashtbl.create 64;
+    spindle_of = Hashtbl.create 64;
+    next_spindle = 0;
     cache = Queue.create ();
     cache_used = 0;
     windows = Hashtbl.create 64;
@@ -61,7 +81,7 @@ let create ?(config = default_config) () =
 
 let locked t f = Lt_util.Mutexes.with_lock t.mutex f
 
-let elapsed_s t = locked t (fun () -> t.elapsed_us /. 1e6)
+let elapsed_s t = locked t (fun () -> t.finish_us /. 1e6)
 
 let seeks t = locked t (fun () -> t.seeks)
 
@@ -71,7 +91,9 @@ let bytes_written t = locked t (fun () -> t.bytes_written)
 
 let reset t =
   locked t (fun () ->
-      t.elapsed_us <- 0.0;
+      t.finish_us <- 0.0;
+      Array.fill t.busy 0 (Array.length t.busy) 0.0;
+      Hashtbl.reset t.channels;
       t.seeks <- 0;
       t.bytes_read <- 0;
       t.bytes_written <- 0)
@@ -95,12 +117,26 @@ let base_of t path =
       Hashtbl.replace t.sizes path 0;
       b
 
-let charge_seek t =
-  t.seeks <- t.seeks + 1;
-  t.elapsed_us <- t.elapsed_us +. t.cfg.seek_us
+(* Files are striped round-robin across spindles at first touch, like a
+   multi-disk volume placing whole extents; the assignment follows the
+   file through renames. *)
+let spindle_of t path =
+  match Hashtbl.find_opt t.spindle_of path with
+  | Some s -> s
+  | None ->
+      let s = t.next_spindle mod Array.length t.heads in
+      t.next_spindle <- t.next_spindle + 1;
+      Hashtbl.replace t.spindle_of path s;
+      s
 
-let charge_transfer t bytes =
-  t.elapsed_us <- t.elapsed_us +. (float_of_int bytes /. t.cfg.seq_bytes_per_us)
+let commit t ~spindle cost_us =
+  let ch = (Domain.self () :> int) in
+  let ch_now = Option.value ~default:0.0 (Hashtbl.find_opt t.channels ch) in
+  let start = Float.max ch_now t.busy.(spindle) in
+  let fin = start +. cost_us in
+  t.busy.(spindle) <- fin;
+  Hashtbl.replace t.channels ch fin;
+  if fin > t.finish_us then t.finish_us <- fin
 
 let cache_insert t lo hi =
   if t.cfg.cache_bytes > 0 then begin
@@ -123,14 +159,17 @@ let cache_covers t lo hi =
 let note_open t path =
   locked t (fun () ->
       ignore (base_of t path);
-      charge_seek t)
+      let sp = spindle_of t path in
+      t.seeks <- t.seeks + 1;
+      commit t ~spindle:sp t.cfg.seek_us)
 
 let note_create t path =
   locked t (fun () ->
       let b = t.next_extent in
       t.next_extent <- t.next_extent + extent_align;
       Hashtbl.replace t.bases path b;
-      Hashtbl.replace t.sizes path 0)
+      Hashtbl.replace t.sizes path 0;
+      ignore (spindle_of t path))
 
 let grow_extent t path upto =
   (* Keep allocation cursor ahead of large files so extents stay disjoint. *)
@@ -145,6 +184,7 @@ let note_read t path ~off ~len =
   if len > 0 then
     locked t (fun () ->
         let base = base_of t path in
+        let sp = spindle_of t path in
         let size = Option.value ~default:0 (Hashtbl.find_opt t.sizes path) in
         let lo = base + off in
         let hi = lo + len in
@@ -168,9 +208,14 @@ let note_read t path ~off ~len =
             | _ -> lo
           in
           (* The seek decision is physical: continuing this file's stream
-             avoids a seek only if the head is still at its window end —
-             interleaving streams across files moves the arm and pays. *)
-          if fetch_lo <> t.head then charge_seek t;
+             avoids a seek only if its spindle's head is still at the
+             window end — interleaving streams across files on one
+             spindle moves the arm and pays. *)
+          let cost = ref 0.0 in
+          if fetch_lo <> t.heads.(sp) then begin
+            t.seeks <- t.seeks + 1;
+            cost := !cost +. t.cfg.seek_us
+          end;
           (* Established sequential streams get extra readahead from the
              drive's cache, shared among the active streams — the effect
              the paper observed pushing the Figure 5 plateau above the
@@ -185,25 +230,32 @@ let note_read t path ~off ~len =
           in
           let fetch_hi = max hi (min file_end (fetch_lo + readahead)) in
           let bytes = max 0 (fetch_hi - fetch_lo) in
-          charge_transfer t bytes;
+          cost := !cost +. (float_of_int bytes /. t.cfg.seq_bytes_per_us);
           t.bytes_read <- t.bytes_read + bytes;
-          t.head <- fetch_hi;
+          t.heads.(sp) <- fetch_hi;
           Hashtbl.replace t.windows path (lo, fetch_hi);
-          cache_insert t fetch_lo fetch_hi
+          cache_insert t fetch_lo fetch_hi;
+          commit t ~spindle:sp !cost
         end)
 
 let note_write t path ~off ~len =
   if len > 0 then
     locked t (fun () ->
         let base = base_of t path in
+        let sp = spindle_of t path in
         grow_extent t path (off + len);
         let lo = base + off in
-        if t.head <> lo then charge_seek t;
-        charge_transfer t len;
+        let cost = ref 0.0 in
+        if t.heads.(sp) <> lo then begin
+          t.seeks <- t.seeks + 1;
+          cost := !cost +. t.cfg.seek_us
+        end;
+        cost := !cost +. (float_of_int len /. t.cfg.seq_bytes_per_us);
         t.bytes_written <- t.bytes_written + len;
-        t.head <- lo + len;
+        t.heads.(sp) <- lo + len;
         let size = Option.value ~default:0 (Hashtbl.find_opt t.sizes path) in
-        Hashtbl.replace t.sizes path (max size (off + len)))
+        Hashtbl.replace t.sizes path (max size (off + len));
+        commit t ~spindle:sp !cost)
 
 (* Writes are charged at issue time (the drive's write cache hides sync
    latency behind transfer time at these sizes), so fsync is free. *)
@@ -211,7 +263,7 @@ let note_fsync _t _path = ()
 
 let note_rename t src dst =
   locked t (fun () ->
-      match Hashtbl.find_opt t.bases src with
+      (match Hashtbl.find_opt t.bases src with
       | None -> ()
       | Some b ->
           Hashtbl.remove t.bases src;
@@ -220,10 +272,16 @@ let note_rename t src dst =
           | Some s ->
               Hashtbl.remove t.sizes src;
               Hashtbl.replace t.sizes dst s
-          | None -> ()))
+          | None -> ()));
+      match Hashtbl.find_opt t.spindle_of src with
+      | None -> ()
+      | Some s ->
+          Hashtbl.remove t.spindle_of src;
+          Hashtbl.replace t.spindle_of dst s)
 
 let note_delete t path =
   locked t (fun () ->
       Hashtbl.remove t.bases path;
       Hashtbl.remove t.sizes path;
+      Hashtbl.remove t.spindle_of path;
       Hashtbl.remove t.windows path)

@@ -24,6 +24,13 @@ type config = {
   seq_bytes_per_us : float;  (** sequential rate, default 120 MB/s *)
   readahead : int;  (** filesystem readahead, default 128 KiB *)
   cache_bytes : int;  (** drive cache, default 64 MiB *)
+  spindles : int;
+      (** independent disks in the modeled volume, default 1. Files are
+          striped whole across spindles round-robin; each spindle has its
+          own head and busy clock, and each issuing domain its own
+          virtual clock, so concurrent issuers (parallel scans) overlap
+          on distinct spindles. {!elapsed_s} is then the makespan rather
+          than the sum; with 1 spindle and 1 issuer the two coincide. *)
 }
 
 val default_config : config
@@ -34,6 +41,7 @@ val config :
   ?seq_bytes_per_us:float ->
   ?readahead:int ->
   ?cache_bytes:int ->
+  ?spindles:int ->
   unit ->
   config
 
@@ -44,7 +52,9 @@ val create : ?config:config -> unit -> t
 (** {1 Results} *)
 
 val elapsed_s : t -> float
-(** Modeled disk-busy time since creation or the last {!reset}. *)
+(** Modeled disk time since creation or the last {!reset}: the makespan
+    over all spindles and issuing domains (a plain running sum when both
+    are 1). *)
 
 val seeks : t -> int
 

@@ -1,0 +1,3 @@
+let scatter f xs =
+  let ds = List.map (fun x -> Domain.spawn (fun () -> f x)) xs in
+  List.map Domain.join ds

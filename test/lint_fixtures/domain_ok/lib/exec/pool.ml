@@ -1,0 +1,4 @@
+(* Inside lib/exec spawning domains is the point. *)
+let spawn_worker body = Domain.spawn body
+
+let join_worker d = Domain.join d

@@ -1,0 +1,1 @@
+let run pool task = Pool.submit pool task

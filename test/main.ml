@@ -25,5 +25,7 @@ let () =
       ("obs", Test_obs.suite);
       ("apps", Test_apps.suite);
       ("shard", Test_shard.suite);
+      ("exec", Test_exec.suite);
+      ("model", Test_model.suite);
       ("lint", Test_lint.suite);
     ]

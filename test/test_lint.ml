@@ -66,6 +66,13 @@ let test_stdout () =
   check_clean "Logs in lib + print in bin clean"
     (run ~rules:[ "no-stdout" ] "stdout_ok")
 
+let test_domain_discipline () =
+  let bad = run ~rules:[ "domain-discipline" ] "domain_bad" in
+  Alcotest.(check int) "spawn and join flagged" 2
+    (count "domain-discipline" bad);
+  check_clean "lib/exec exemption clean"
+    (run ~rules:[ "domain-discipline" ] "domain_ok")
+
 let test_mli_coverage () =
   let bad = run ~rules:[ "mli-coverage" ] "mli_bad" in
   Alcotest.(check int) "missing interface flagged" 1 (count "mli-coverage" bad);
@@ -100,7 +107,7 @@ let test_formats () =
     "::error file=lib/x/y.ml,line=12,col=5::no-stdout: boom" (Lint.to_github f)
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "six rules" 6 (List.length Lint.rule_names);
+  Alcotest.(check int) "seven rules" 7 (List.length Lint.rule_names);
   List.iter
     (fun r ->
       Alcotest.(check bool) ("doc for " ^ r) true
@@ -116,6 +123,7 @@ let suite =
     Alcotest.test_case "lock-order consistent" `Quick test_lock_order_consistent;
     Alcotest.test_case "clock-discipline" `Quick test_clock;
     Alcotest.test_case "no-stdout" `Quick test_stdout;
+    Alcotest.test_case "domain-discipline" `Quick test_domain_discipline;
     Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
     Alcotest.test_case "allow is rule-scoped" `Quick test_allow_scoped;
     Alcotest.test_case "allow malformed" `Quick test_allow_malformed;

@@ -1,0 +1,251 @@
+(* Model-oracle randomized testing: a pure in-memory reference model
+   (a key→row map with query-time TTL filtering) is driven through the
+   same seeded op sequence as a real [Table], and every query result —
+   rows, order, more_available, delete counts, duplicate-key outcomes —
+   must match exactly. Each seed runs at query_domains = 0 and 2, so
+   the parallel scan path is held to the same oracle as the sequential
+   one. Failures print the (seed, domains, op) triple for replay. *)
+
+open Littletable
+module X = Lt_util.Xorshift
+module Clock = Lt_util.Clock
+
+let server_cap = 48
+
+(* ---- Reference model ------------------------------------------------- *)
+
+(* Encoded key → row. TTL is applied at query time only: physically
+   present but expired rows are invisible, exactly like the engine's
+   ts_min cutoff, so the model never needs to know when expiry ran. *)
+type model = {
+  rows : (string, Value.t array) Hashtbl.t;
+  schema : Schema.t;
+}
+
+let model_create schema = { rows = Hashtbl.create 256; schema }
+
+let model_insert m key row =
+  if Hashtbl.mem m.rows key then `Duplicate
+  else begin
+    Hashtbl.replace m.rows key row;
+    `Ok
+  end
+
+let model_delete_prefix m prefix_values =
+  let p = Key_codec.encode_prefix m.schema prefix_values in
+  let plen = String.length p in
+  let victims =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if String.length k >= plen && String.sub k 0 plen = p then k :: acc
+        else acc)
+      m.rows []
+  in
+  List.iter (Hashtbl.remove m.rows) victims;
+  List.length victims
+
+type mq = {
+  q_prefix : Value.t list;
+  q_ts_min : int64 option;
+  q_ts_max : int64 option;
+  q_desc : bool;
+  q_limit : int option;
+}
+
+let to_query mq =
+  let q = match mq.q_prefix with [] -> Query.all | p -> Query.prefix p in
+  let q = Query.between ?ts_min:mq.q_ts_min ?ts_max:mq.q_ts_max q in
+  let q = if mq.q_desc then Query.with_direction Query.Desc q else q in
+  match mq.q_limit with None -> q | Some l -> Query.with_limit l q
+
+(* First [n] elements plus whether anything was left over. *)
+let rec take n = function
+  | [] -> ([], false)
+  | _ :: _ when n = 0 -> ([], true)
+  | x :: tl ->
+      let front, more = take (n - 1) tl in
+      (x :: front, more)
+
+let model_query m ~cutoff mq =
+  let p = Key_codec.encode_prefix m.schema mq.q_prefix in
+  let plen = String.length p in
+  let live =
+    Hashtbl.fold
+      (fun k row acc ->
+        if String.length k >= plen && String.sub k 0 plen = p then begin
+          let ts = Key_codec.ts_of_key k in
+          let ok =
+            (match cutoff with None -> true | Some c -> ts >= c)
+            && (match mq.q_ts_min with None -> true | Some b -> ts >= b)
+            && match mq.q_ts_max with None -> true | Some b -> ts <= b
+          in
+          if ok then (k, row) :: acc else acc
+        end
+        else acc)
+      m.rows []
+  in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) live
+  in
+  let sorted = if mq.q_desc then List.rev sorted else sorted in
+  let cap =
+    match mq.q_limit with None -> server_cap | Some l -> min l server_cap
+  in
+  let rows, more = take cap sorted in
+  let more_available =
+    more
+    && match mq.q_limit with None -> true | Some l -> l > server_cap
+  in
+  (List.map snd rows, more_available)
+
+(* ---- Random op sequences --------------------------------------------- *)
+
+let gen_prefix rng ~depth =
+  let net = Value.Int64 (Int64.of_int (X.int rng 4)) in
+  match depth with
+  | 0 -> []
+  | 1 -> [ net ]
+  | _ -> [ net; Value.Int64 (Int64.of_int (X.int rng 5)) ]
+
+let gen_query rng ~now =
+  let q_prefix = gen_prefix rng ~depth:(X.int rng 3) in
+  let span = Int64.mul 40L Clock.minute in
+  let bound () =
+    Int64.add (Int64.sub now span)
+      (Int64.of_int (X.int rng (Int64.to_int span * 2)))
+  in
+  let q_ts_min = if X.int rng 3 = 0 then Some (bound ()) else None in
+  let q_ts_max = if X.int rng 3 = 0 then Some (bound ()) else None in
+  let q_limit =
+    match X.int rng 5 with
+    | 0 -> Some 1
+    | 1 -> Some 5
+    | 2 -> Some (server_cap * 2) (* above the server cap *)
+    | _ -> None
+  in
+  { q_prefix; q_ts_min; q_ts_max; q_desc = X.bool rng; q_limit }
+
+let check_query ~ctx ~clock ~ttl model tbl rng =
+  let now = Clock.now clock in
+  let cutoff = match ttl with None -> None | Some t -> Some (Int64.sub now t) in
+  let mq = gen_query rng ~now in
+  let want_rows, want_more = model_query model ~cutoff mq in
+  let got = Table.query tbl (to_query mq) in
+  Alcotest.(check int)
+    (ctx ^ ": row count") (List.length want_rows)
+    (List.length got.Table.rows);
+  List.iteri
+    (fun i (w, g) ->
+      if not (w = g) then
+        Alcotest.failf "%s: row %d differs (model vs table)" ctx i)
+    (List.combine want_rows got.Table.rows);
+  Alcotest.(check bool)
+    (ctx ^ ": more_available") want_more got.Table.more_available
+
+(* One seeded run: build a table (with the given query_domains), drive
+   both it and the model through the same ops, checking queries along
+   the way and with a final battery. *)
+let run_case ~domains ~with_ttl seed =
+  let config =
+    Config.make ~query_domains:domains ~server_row_limit:server_cap ()
+  in
+  let db, clock, _vfs = Support.fresh_db ~config () in
+  Fun.protect ~finally:(fun () -> Db.close db) @@ fun () ->
+  let ttl = if with_ttl then Some Clock.hour else None in
+  let schema = Support.usage_schema () in
+  let tbl = Db.create_table db "usage" schema ~ttl in
+  let model = model_create schema in
+  let rng = X.create (Int64.of_int (0x5eed + (seed * 7919))) in
+  let used = Hashtbl.create 256 in
+  let n_ops = 140 in
+  for op = 1 to n_ops do
+    let ctx =
+      Printf.sprintf "seed=%d domains=%d ttl=%b op=%d" seed domains with_ttl op
+    in
+    (match X.int rng 100 with
+    | r when r < 45 ->
+        (* Insert a batch of fresh rows with ts in [now - 30min, now]. *)
+        for _ = 1 to 1 + X.int rng 6 do
+          let now = Clock.now clock in
+          let ts =
+            Int64.sub now
+              (Int64.of_int
+                 (X.int rng (Int64.to_int (Int64.mul 30L Clock.minute))))
+          in
+          let row =
+            Support.usage_row
+              ~network:(Int64.of_int (X.int rng 4))
+              ~device:(Int64.of_int (X.int rng 5))
+              ~ts
+              ~bytes:(Int64.of_int (X.int rng 1_000_000))
+              ~rate:(float_of_int (X.int rng 1000) /. 8.)
+          in
+          let key = Key_codec.encode_key schema row in
+          if not (with_ttl && Hashtbl.mem used key) then begin
+            Hashtbl.replace used key ();
+            let want = model_insert model key row in
+            match Table.insert_row tbl row with
+            | () ->
+                if want <> `Ok then
+                  Alcotest.failf "%s: table accepted a duplicate key" ctx
+            | exception Table.Duplicate_key _ ->
+                if want <> `Duplicate then
+                  Alcotest.failf "%s: spurious Duplicate_key" ctx
+          end
+        done
+    | r when r < 55 ->
+        (* Re-insert an existing live row: must raise Duplicate_key.
+           Skipped under TTL where the row may have expired away. *)
+        if not with_ttl then begin
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model.rows [] in
+          match keys with
+          | [] -> ()
+          | _ ->
+              let k = List.nth keys (X.int rng (List.length keys)) in
+              let row = Hashtbl.find model.rows k in
+              (match Table.insert_row tbl row with
+              | () -> Alcotest.failf "%s: duplicate re-insert accepted" ctx
+              | exception Table.Duplicate_key _ -> ())
+        end
+    | r when r < 65 ->
+        if not with_ttl then begin
+          let prefix = gen_prefix rng ~depth:(1 + X.int rng 2) in
+          let want = model_delete_prefix model prefix in
+          Alcotest.(check int)
+            (ctx ^ ": delete_prefix count") want
+            (Table.delete_prefix tbl prefix)
+        end
+    | r when r < 75 -> Table.flush_all tbl
+    | r when r < 82 -> ignore (Table.merge_step tbl)
+    | r when r < 88 ->
+        Table.maintenance tbl;
+        if with_ttl then ignore (Table.expire tbl)
+    | _ ->
+        Clock.advance clock
+          (Int64.of_int
+             (1 + X.int rng (Int64.to_int (Int64.mul 10L Clock.minute)))));
+    if op mod 7 = 0 then check_query ~ctx ~clock ~ttl model tbl rng
+  done;
+  Table.flush_all tbl;
+  for k = 1 to 25 do
+    let ctx =
+      Printf.sprintf "seed=%d domains=%d ttl=%b final=%d" seed domains with_ttl
+        k
+    in
+    check_query ~ctx ~clock ~ttl model tbl rng
+  done
+
+let oracle_cases ~with_ttl seeds () =
+  List.iter
+    (fun seed ->
+      run_case ~domains:0 ~with_ttl seed;
+      run_case ~domains:2 ~with_ttl seed)
+    seeds
+
+let suite =
+  [
+    Alcotest.test_case "oracle: ops + duplicates + delete_prefix" `Quick
+      (oracle_cases ~with_ttl:false [ 1; 2; 3; 4; 5; 6 ]);
+    Alcotest.test_case "oracle: TTL expiry" `Quick
+      (oracle_cases ~with_ttl:true [ 7; 8; 9; 10 ]);
+  ]

@@ -279,6 +279,19 @@ let prop_decoders_total =
       in
       ok Protocol.read_request && ok Protocol.read_response)
 
+(* Regression: a varint overflowing to a negative count must be a
+   protocol error, not Invalid_argument from Array.init/List.init. *)
+let test_negative_count_rejected () =
+  let junk = "\002a\128\128\128\128\128\128\128\128aaaaaa" in
+  let ok f =
+    match f (Lt_util.Binio.cursor junk) with
+    | _ -> true
+    | exception (Protocol.Protocol_error _ | Lt_util.Binio.Corrupt _) -> true
+    | exception Littletable.Schema.Invalid _ -> true
+  in
+  Alcotest.(check bool) "negative schema column count" true
+    (ok Protocol.read_request && ok Protocol.read_response)
+
 let suite =
   [
     ("protocol request roundtrips", `Quick, test_protocol_requests);
@@ -288,5 +301,6 @@ let suite =
     ("sql over the wire", `Quick, test_server_sql_over_wire);
     ("multiple concurrent clients", `Quick, test_multiple_clients);
     ("reconnect after restart", `Quick, test_reconnect_after_server_restart);
+    ("negative decode counts rejected", `Quick, test_negative_count_rejected);
     Support.qcheck prop_decoders_total;
   ]

@@ -389,6 +389,99 @@ let test_stats_scan_ratio () =
   Alcotest.(check int) "returned" 10 (List.length r.Table.rows);
   Alcotest.(check bool) "scanned more than returned" true (r.Table.scanned >= 10)
 
+(* ---- Concurrent readers vs maintenance -------------------------------- *)
+
+(* N reader threads hammer queries while the main thread inserts,
+   flushes, merges, expires, and advances the clock. Every result must
+   be internally consistent: strictly ascending keys (the merge never
+   interleaves wrongly) and self-checking row payloads (a torn read
+   would break the bytes invariant), and Stats counters only grow. The
+   parallel scan pool is active, so reader threads also share worker
+   domains. *)
+
+let stress_bytes net dev ts =
+  Int64.add
+    (Int64.add (Int64.mul net 1_000_000L) (Int64.mul dev 10_000L))
+    (Int64.rem ts 10_000L)
+
+let test_concurrent_readers () =
+  let config =
+    Config.make ~block_size:1024 ~flush_size:(8 * 1024)
+      ~max_tablet_size:(64 * 1024) ~merge_delay:0L ~rollover_spread:0.0
+      ~server_row_limit:10_000 ~query_domains:2 ()
+  in
+  let _, clock, _, t = fresh ~config ~ttl:Clock.hour () in
+  let stop = Atomic.make false in
+  let failure = ref None in
+  let fail_mutex = Mutex.create () in
+  let record_failure msg =
+    Mutex.lock fail_mutex;
+    if !failure = None then failure := Some msg;
+    Mutex.unlock fail_mutex
+  in
+  let check_result rows =
+    let tuples = Support.usage_tuples rows in
+    let rec sorted = function
+      | (a : int64 * int64 * int64 * int64) :: (b :: _ as tl) ->
+          (let n0, d0, t0, _ = a and n1, d1, t1, _ = b in
+           (n0, d0, t0) < (n1, d1, t1))
+          && sorted tl
+      | _ -> true
+    in
+    if not (sorted tuples) then record_failure "keys out of order";
+    List.iter
+      (fun (net, dev, ts, bytes) ->
+        if bytes <> stress_bytes net dev ts then
+          record_failure
+            (Printf.sprintf "torn row: net=%Ld dev=%Ld ts=%Ld bytes=%Ld" net
+               dev ts bytes))
+      tuples
+  in
+  let reader () =
+    let last_scanned = ref 0 and last_queries = ref 0 and last_returned = ref 0 in
+    while not (Atomic.get stop) do
+      check_result (all_rows t);
+      check_result
+        (Table.query t (Query.prefix [ Value.Int64 1L ])).Table.rows;
+      let s = Table.stats t in
+      if
+        s.Stats.rows_scanned < !last_scanned
+        || s.Stats.queries < !last_queries
+        || s.Stats.rows_returned < !last_returned
+      then record_failure "stats went backwards";
+      last_scanned := s.Stats.rows_scanned;
+      last_queries := s.Stats.queries;
+      last_returned := s.Stats.rows_returned
+    done
+  in
+  let readers = List.init 4 (fun _ -> Thread.create reader ()) in
+  let ts_of i j = Int64.add Support.ts0 (Int64.of_int ((i * 100) + j)) in
+  for i = 0 to 59 do
+    Table.insert t
+      (List.init 20 (fun j ->
+           let net = Int64.of_int (i mod 4) and dev = Int64.of_int (j mod 5) in
+           let ts = ts_of i j in
+           row ~bytes:(stress_bytes net dev ts) net dev ts));
+    (match i mod 6 with
+    | 0 -> Table.flush_all t
+    | 1 -> ignore (Table.merge_step t)
+    | 2 ->
+        Clock.advance clock Clock.minute;
+        ignore (Table.expire t)
+    | 3 -> Table.maintenance t
+    | _ -> ());
+    Thread.yield ()
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join readers;
+  (match !failure with
+  | Some msg -> Alcotest.fail msg
+  | None -> ());
+  (* Final sanity: everything inserted and unexpired is still there. *)
+  check_result (all_rows t);
+  Alcotest.(check int) "all rows present" (60 * 20)
+    (List.length (all_rows t))
+
 (* ---- Randomized comparison against a reference model ----------------- *)
 
 let prop_matches_reference =
@@ -447,5 +540,6 @@ let suite =
     ("out-of-order inserts bin correctly", `Quick, test_out_of_order_inserts_bin_correctly);
     ("drop and recreate", `Quick, test_drop_and_recreate_via_db);
     ("stats scan ratio", `Quick, test_stats_scan_ratio);
+    ("concurrent readers vs maintenance", `Quick, test_concurrent_readers);
     Support.qcheck prop_matches_reference;
   ]
