@@ -109,3 +109,129 @@ let fig10 () =
   Printf.printf "lookback <= 1 week: %.0f%% (paper >90%%); TTL >= 1 year: %.0f%%\n"
     (Cdf.fraction_below lb 7.0 *. 100.0)
     ((1.0 -. Cdf.fraction_below tt 364.9) *. 100.0)
+
+(* ---- Fleet through the router ----------------------------------------- *)
+
+(* Smoke-scale version of the deployment the figures above describe: the
+   fleet is many shards behind a placement layer. Three in-process
+   backend servers (memory VFS) sit behind one router; the workload
+   measures insert throughput and per-request latency through the full
+   client -> router -> shard -> merge path. *)
+
+let percentile_ms samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else a.(min (n - 1) (int_of_float (Float.of_int n *. q))) *. 1000.0
+
+let fleet_schema () =
+  Littletable.(
+    Schema.create
+      ~columns:
+        [ { Schema.name = "network"; ctype = Value.T_int64; default = Value.Int64 0L };
+          { Schema.name = "device"; ctype = Value.T_int64; default = Value.Int64 0L };
+          { Schema.name = "ts"; ctype = Value.T_timestamp; default = Value.Timestamp 0L };
+          { Schema.name = "bytes"; ctype = Value.T_int64; default = Value.Int64 0L } ]
+      ~pkey:[ "network"; "device"; "ts" ])
+
+let router_smoke () =
+  Support.header "fleet: insert/query through the sharding router (3 shards)";
+  Support.note "smoke-scale stand-in for the fleet above: every request";
+  Support.note "crosses client -> router -> owning shard(s) -> merge.";
+  let module Server = Lt_net.Server in
+  let module Client = Lt_net.Client in
+  let open Lt_cluster in
+  let nodes =
+    List.init 3 (fun i ->
+        let db =
+          Littletable.Db.open_ ~vfs:(Lt_vfs.Vfs.memory ())
+            ~dir:(Printf.sprintf "shard%d" i) ()
+        in
+        Server.start ~maintenance_period_s:0.0 ~db ~port:0 ())
+  in
+  let obs = Lt_obs.Obs.create ~clock:Clock.system () in
+  let cluster =
+    Cluster_client.create ~obs
+      ~backends:
+        (List.map
+           (fun s -> { Cluster_client.host = "127.0.0.1"; port = Server.port s })
+           nodes)
+      ()
+  in
+  let placement =
+    Placement.create ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+  in
+  let router = Router.create ~obs ~placement ~cluster () in
+  let rserver = Server.start_custom ~backend:(Router.backend router) ~port:0 () in
+  let c = Client.connect ~port:(Server.port rserver) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c;
+      Server.stop rserver;
+      List.iter Server.stop nodes)
+    (fun () ->
+      let networks = 60 and devices = 5 and periods = 40 in
+      Client.create_table c "usage" (fleet_schema ()) ~ttl:None;
+      let open Littletable in
+      (* Inserts: one batch per period, each spanning every shard. *)
+      let insert_lat = ref [] in
+      let t0 = Support.wall () in
+      for ts = 1 to periods do
+        let batch =
+          List.concat_map
+            (fun net ->
+              List.map
+                (fun dev ->
+                  [| Value.Int64 (Int64.of_int net);
+                     Value.Int64 (Int64.of_int dev);
+                     Value.Timestamp (Int64.of_int ts);
+                     Value.Int64 (Int64.of_int ((net * 1000) + (dev * 10) + ts)) |])
+                (List.init devices (fun d -> d + 1)))
+            (List.init networks (fun n -> n + 1))
+        in
+        let b0 = Support.wall () in
+        Client.insert c "usage" batch;
+        insert_lat := (Support.wall () -. b0) :: !insert_lat
+      done;
+      let insert_s = Support.wall () -. t0 in
+      let total_rows = networks * devices * periods in
+      (* Queries: entity-pinned lookbacks (one shard) mixed with open
+         scans (full fan-out + merge), the Fig. 10 shape. *)
+      let query_lat = ref [] in
+      let q0 = Support.wall () in
+      let queries = 300 in
+      for i = 1 to queries do
+        let q =
+          if i mod 10 = 0 then Query.with_limit 50 Query.all
+          else
+            Query.between
+              ~ts_min:(Int64.of_int (periods - 7))
+              (Query.prefix [ Value.Int64 (Int64.of_int ((i mod networks) + 1)) ])
+        in
+        let b0 = Support.wall () in
+        ignore (Client.query_page c "usage" q);
+        query_lat := (Support.wall () -. b0) :: !query_lat
+      done;
+      let query_s = Support.wall () -. q0 in
+      let rows_per_s = Float.of_int total_rows /. insert_s in
+      let ip99 = percentile_ms !insert_lat 0.99 in
+      let qp99 = percentile_ms !query_lat 0.99 in
+      let fanout = Lt_obs.Obs.router_fanout_hist obs in
+      let mean_fanout =
+        let n = Lt_obs.Metrics.Histogram.count fanout in
+        if n = 0 then 0.0
+        else Lt_obs.Metrics.Histogram.sum fanout /. Float.of_int n
+      in
+      Printf.printf
+        "inserted %d rows in %.2f s (%.0f rows/s); p99 batch insert %.2f ms\n"
+        total_rows insert_s rows_per_s ip99;
+      Printf.printf
+        "%d queries in %.2f s (%.0f q/s); p99 query %.2f ms; mean fanout %.2f shards\n"
+        queries query_s
+        (Float.of_int queries /. query_s)
+        qp99 mean_fanout;
+      Support.metric ~name:"insert_rows_per_s" ~value:rows_per_s ~unit:"rows/s";
+      Support.metric ~name:"insert_p99_ms" ~value:ip99 ~unit:"ms";
+      Support.metric ~name:"query_p99_ms" ~value:qp99 ~unit:"ms";
+      Support.metric ~name:"query_mean_fanout" ~value:mean_fanout ~unit:"shards")

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- --json  also write BENCH_<name>.json
 
    Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-   tablet-bounds ablation-bloom ablation-cache ablation-obs
+   fleet tablet-bounds ablation-bloom ablation-cache ablation-obs
    ablation-parallel micro *)
 
 let mib = Support.mib
@@ -31,6 +31,7 @@ let experiments ~full =
     ("fig8", Fleet.fig8);
     ("fig9", Fig9.run);
     ("fig10", Fleet.fig10);
+    ("fleet", Fleet.router_smoke);
     ("tablet-bounds", Tablet_bounds.run);
     ("ablation-bloom", Ablation_bloom.run);
     ("ablation-cache", fun () -> Ablation_cache.run ~quick:(not full) ());

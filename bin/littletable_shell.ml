@@ -28,6 +28,26 @@ let show_slow client n =
   | exception Lt_net.Client.Remote_error msg ->
       Format.printf "server error: %s@." msg
 
+let show_cluster client =
+  match Lt_net.Client.placement client with
+  | { Lt_net.Protocol.pl_epoch; pl_policy; pl_backends } -> (
+      Format.printf "placement: %s (epoch %d)@." pl_policy pl_epoch;
+      match pl_backends with
+      | [] -> Format.printf "backends: none (single node)@."
+      | eps ->
+          List.iteri
+            (fun i (host, port) ->
+              Format.printf "  shard %d: %s:%d@." i host port)
+            eps)
+  | exception Lt_net.Client.Remote_error msg ->
+      Format.printf "server error: %s@." msg
+
+let do_flush client table ts =
+  match Lt_net.Client.flush_before client table ~ts with
+  | () -> Format.printf "flushed@."
+  | exception Lt_net.Client.Remote_error msg ->
+      Format.printf "server error: %s@." msg
+
 (* Dot commands: name, argument synopsis, help line, handler on the
    whitespace-separated arguments. *)
 let rec dot_commands =
@@ -58,6 +78,21 @@ let rec dot_commands =
            | Some n when n >= 0 -> show_slow client (Some n)
            | _ -> Format.printf "usage: .slow [n]@.")
        | _ -> Format.printf "usage: .slow [n]@.");
+    (".cluster", "", "placement policy, epoch, and backend shards",
+     fun client args ->
+       match args with
+       | [] -> show_cluster client
+       | _ -> Format.printf "usage: .cluster@.");
+    (".flush", "<table> [ts]",
+     "make rows with timestamp <= ts durable (default: all)",
+     fun client args ->
+       match args with
+       | [ table ] -> do_flush client table Int64.max_int
+       | [ table; ts ] -> (
+           match Int64.of_string_opt ts with
+           | Some ts -> do_flush client table ts
+           | None -> Format.printf "usage: .flush <table> [ts]@.")
+       | _ -> Format.printf "usage: .flush <table> [ts]@.");
     (".quit", "", "leave the shell", fun _ _ -> raise Exit);
     (".exit", "", "leave the shell", fun _ _ -> raise Exit) ]
 

@@ -1,0 +1,53 @@
+(** The router's view of the backend fleet: one {!Lt_net.Client} per
+    shard primary, plus an optional warm-spare replica per shard.
+
+    Connections are lazy — a handle is built without touching the
+    network, and each request (re-)establishes its connection on demand
+    through {!Lt_net.Client.reconnect}'s bounded backoff. A peer that
+    stays down through the backoff raises {!Unavailable}.
+
+    Reads fail over: when a shard's primary is unreachable and the
+    shard has a replica, the read is answered by the replica and the
+    shard is marked over, stickily, so later reads skip the dead
+    primary's backoff ([lt_router_failovers_total] counts the flips).
+    Writes never fail over — the spare is §3.5 continuous archival, not
+    a second writer; writing to it would fork history. *)
+
+exception Unavailable of string
+
+type endpoint = { host : string; port : int }
+
+type t
+
+(** [create ?obs ?connect_timeout ?replicas ~backends ()] — [backends]
+    in shard order; [replicas] maps shard index to its spare's
+    endpoint. No network I/O happens here.
+    @raise Invalid_argument on an empty backend list or an out-of-range
+    replica index. *)
+val create :
+  ?obs:Lt_obs.Obs.t ->
+  ?connect_timeout:float ->
+  ?replicas:(int * endpoint) list ->
+  backends:endpoint list ->
+  unit ->
+  t
+
+val shard_count : t -> int
+
+(** [(host, port)] per shard, in shard order. *)
+val endpoints : t -> (string * int) list
+
+(** Whether reads of shard [i] have failed over to its replica. *)
+val on_replica : t -> int -> bool
+
+(** One round trip to shard [i]'s primary.
+    @raise Unavailable when the primary stays down through the
+    reconnect backoff. *)
+val request_write : t -> int -> Lt_net.Protocol.request -> Lt_net.Protocol.response
+
+(** One round trip to shard [i]'s primary, failing over to its replica
+    (if any) when the primary is unreachable.
+    @raise Unavailable when no live peer remains. *)
+val request_read : t -> int -> Lt_net.Protocol.request -> Lt_net.Protocol.response
+
+val close : t -> unit

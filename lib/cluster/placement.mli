@@ -1,0 +1,72 @@
+(** Deterministic data placement for the sharded cluster.
+
+    The paper scales Dashboard by running many independent LittleTable
+    shards (§2.2). Placement maps a table's {e leading primary-key
+    column} (e.g. [network]) to one of N backend shards, so every row of
+    one entity lives on one shard and a query pinned to that entity
+    touches one backend.
+
+    Two base policies:
+    - {!Hash}: consistent hashing (FNV-1a 64 over the order-preserving
+      value encoding) on a ring of [shards * vnodes] virtual nodes;
+    - {!Range}: [shards - 1] sorted split points partition the leading
+      column's value order into contiguous runs — the natural choice
+      for prefix-partitioned tables, and the only policy under which an
+      open-ended key range maps to a contiguous subset of shards.
+
+    On top of either, per-value {e overrides} record rebalance
+    decisions (the §2.2 shard split): an override pins one leading
+    value to an explicit owner. Every override bumps the placement
+    {!epoch}, which the router reports via [Get_placement].
+
+    A placement is immutable; rebalancing installs a new one. *)
+
+open Littletable
+
+type policy =
+  | Hash of { vnodes : int }
+  | Range of Value.t list  (** [shards - 1] split points, strictly ascending *)
+
+type t
+
+(** @raise Invalid_argument on [shards < 1], [vnodes < 1], or a split
+    point list that is mis-sized or not strictly ascending in value
+    order. *)
+val create : shards:int -> policy:policy -> t
+
+val shards : t -> int
+
+(** Bumped by every {!with_override}; 0 at creation. *)
+val epoch : t -> int
+
+val policy : t -> policy
+
+(** Current overrides, newest first. *)
+val overrides : t -> (Value.t * int) list
+
+(** Human-readable policy, e.g. ["hash(vnodes=64)"] — the
+    [Get_placement] policy string. *)
+val describe : t -> string
+
+(** Owner of a leading-column value (overrides considered). *)
+val shard_of_value : t -> Value.t -> int
+
+(** Owner of a validated row: {!shard_of_value} of its leading
+    primary-key column. *)
+val shard_of_row : t -> Schema.t -> Value.t array -> int
+
+(** Pin [value] to [shard], superseding any previous override for it;
+    bumps the epoch.
+    @raise Invalid_argument if [shard] is out of range. *)
+val with_override : t -> value:Value.t -> shard:int -> t
+
+(** Owners of a key prefix: the empty prefix means every shard, a
+    non-empty one pins the leading value to its single owner. *)
+val shards_of_prefix : t -> Value.t list -> int list
+
+(** Owners of a query's bounding box, ascending, possibly
+    over-inclusive (never under-inclusive): a query whose key bounds
+    pin one leading value maps to that value's owner; otherwise Hash
+    fans out to every shard and Range to the contiguous span between
+    the bounds' base shards plus any override owners. *)
+val shards_of_query : t -> Query.t -> int list

@@ -1,0 +1,392 @@
+open Littletable
+module Obs = Lt_obs.Obs
+module Metrics = Lt_obs.Metrics
+module Trace = Lt_obs.Trace
+module Client = Lt_net.Client
+module Protocol = Lt_net.Protocol
+module Server = Lt_net.Server
+
+exception Rebalance_error of string
+
+(* Internal early exit carrying the error response to send. *)
+exception Routed of Protocol.response
+
+let err fmt =
+  Printf.ksprintf (fun msg -> raise (Routed (Protocol.Error msg))) fmt
+
+type t = {
+  cc : Cluster_client.t;
+  obs : Obs.t;
+  row_limit : int;
+  mutable placement : Placement.t;
+  schemas : (string, Schema.t) Hashtbl.t;
+  mutex : Mutex.t;
+      (** serializes placement changes against the writes they route:
+          inserts and prefix deletes read the placement under this lock,
+          and {!rebalance} holds it for the whole copy-flip-delete, so a
+          row can never land on a shard the flip just disowned *)
+}
+
+let create ?(obs = Obs.noop) ?row_limit ~placement ~cluster () =
+  if Placement.shards placement <> Cluster_client.shard_count cluster then
+    invalid_arg "Router.create: placement and cluster shard counts differ";
+  let row_limit =
+    match row_limit with
+    | Some n ->
+        if n < 1 then invalid_arg "Router.create: row_limit < 1";
+        n
+    | None -> Config.default.Config.server_row_limit
+  in
+  {
+    cc = cluster;
+    obs;
+    row_limit;
+    placement;
+    schemas = Hashtbl.create 8;
+    mutex = Mutex.create ();
+  }
+
+let placement t = t.placement
+
+let cluster t = t.cc
+
+let observe_fanout t n =
+  if Obs.enabled t.obs then
+    Metrics.Histogram.observe (Obs.router_fanout_hist t.obs) (float_of_int n)
+
+let schema_of t table =
+  match Hashtbl.find_opt t.schemas table with
+  | Some s -> s
+  | None -> (
+      match Cluster_client.request_read t.cc 0 (Protocol.Get_table table) with
+      | Protocol.Table_info { schema; _ } ->
+          Hashtbl.replace t.schemas table schema;
+          schema
+      | Protocol.Error msg -> err "%s" msg
+      | _ -> err "bad table info response")
+
+let is_error = function Protocol.Error _ -> true | _ -> false
+
+(* Fan a request to every shard; DDL and flushes must reach primaries
+   even during a failover, so they go through the write path. *)
+let fanout_all t ~write req =
+  let n = Cluster_client.shard_count t.cc in
+  observe_fanout t n;
+  let send = if write then Cluster_client.request_write else Cluster_client.request_read in
+  List.init n (fun i -> send t.cc i req)
+
+let first_error_else resps ok =
+  match List.find_opt is_error resps with Some e -> e | None -> ok
+
+(* ---- Inserts ----------------------------------------------------------- *)
+
+let route_insert t table rows =
+  let schema = schema_of t table in
+  let lead = (Schema.pkey schema).(0) in
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun row ->
+          if Array.length row <= lead then
+            err "row arity %d lacks the leading key column" (Array.length row);
+          let s = Placement.shard_of_value t.placement row.(lead) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups s) in
+          Hashtbl.replace groups s (row :: prev))
+        rows;
+      let shards =
+        List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) groups [])
+      in
+      observe_fanout t (max 1 (List.length shards));
+      let total = ref 0 in
+      List.iter
+        (fun s ->
+          let sub = List.rev (Hashtbl.find groups s) in
+          match
+            Cluster_client.request_write t.cc s
+              (Protocol.Insert { table; rows = sub })
+          with
+          | Protocol.Insert_ok n -> total := !total + n
+          | Protocol.Error msg -> err "%s" msg
+          | _ -> err "bad insert response")
+        shards;
+      Protocol.Insert_ok !total)
+
+(* ---- Queries ----------------------------------------------------------- *)
+
+(* A pull source over one shard's slice of the bounding box: pages
+   through capped [Row_batch]es with the adaptor's §3.5 resubmission
+   step, lazily — the merge pulls the next page only when needed. *)
+let shard_source t shard table schema q scanned =
+  let q = { q with Query.limit = None } in
+  let next_q = ref (Some q) in
+  let buf = ref [] in
+  let rec pull () =
+    match !buf with
+    | row :: rest ->
+        buf := rest;
+        Some (Key_codec.encode_key schema row, row)
+    | [] -> (
+        match !next_q with
+        | None -> None
+        | Some q -> (
+            match
+              Cluster_client.request_read t.cc shard
+                (Protocol.Query { table; query = q })
+            with
+            | Protocol.Row_batch { rows; more_available; scanned = s } ->
+                scanned := !scanned + s;
+                buf := rows;
+                next_q :=
+                  (if more_available then
+                     match List.rev rows with
+                     | last :: _ -> Some (Client.advance_past schema q last)
+                     | [] -> None
+                   else None);
+                if rows = [] && !next_q = None then None else pull ()
+            | Protocol.Error msg -> err "%s" msg
+            | _ -> err "bad query response"))
+  in
+  pull
+
+(* Recombine the owning shards' ordered streams with the same k-way
+   merge the engine uses for tablets, then re-apply the single-node row
+   cap: [cap = min(limit, row_limit)] rows, one extra pull to learn
+   whether more rows exist, and [more_available] only when the client's
+   own limit did not bind first — byte-identical to
+   [Table.query] on a single node holding all the rows, provided
+   [row_limit] equals that node's [server_row_limit]. *)
+let route_query t table q =
+  let schema = schema_of t table in
+  let shards = Placement.shards_of_query t.placement q in
+  observe_fanout t (List.length shards);
+  let scanned = ref 0 in
+  let sources =
+    List.map (fun s -> (s, shard_source t s table schema q scanned)) shards
+  in
+  let merged = Cursor.merge ~asc:(q.Query.direction = Query.Asc) sources in
+  let cap =
+    match q.Query.limit with
+    | None -> t.row_limit
+    | Some l -> min l t.row_limit
+  in
+  let rec collect acc n =
+    if n = 0 then (List.rev acc, merged () <> None)
+    else
+      match merged () with
+      | None -> (List.rev acc, false)
+      | Some (_, row) -> collect (row :: acc) (n - 1)
+  in
+  let rows, more = collect [] cap in
+  let more_available =
+    more
+    && (match q.Query.limit with None -> true | Some l -> l > t.row_limit)
+  in
+  Protocol.Row_batch { rows; more_available; scanned = !scanned }
+
+(* ---- Latest ------------------------------------------------------------ *)
+
+(* A non-empty prefix pins one owner; the empty prefix asks every shard
+   and keeps the single-node winner: max timestamp, ties to the larger
+   encoded key (the order [Table.latest]'s descending scan sees first). *)
+let route_latest t table prefix =
+  let schema = schema_of t table in
+  let shards = Placement.shards_of_prefix t.placement prefix in
+  observe_fanout t (List.length shards);
+  let best = ref None in
+  List.iter
+    (fun s ->
+      match
+        Cluster_client.request_read t.cc s (Protocol.Latest { table; prefix })
+      with
+      | Protocol.Latest_row None -> ()
+      | Protocol.Latest_row (Some row) ->
+          let key = Key_codec.encode_key schema row in
+          let ts = Key_codec.ts_of_key key in
+          (match !best with
+          | Some (bts, bkey, _)
+            when bts > ts || (bts = ts && String.compare bkey key >= 0) ->
+              ()
+          | _ -> best := Some (ts, key, row))
+      | Protocol.Error msg -> err "%s" msg
+      | _ -> err "bad latest response")
+    shards;
+  Protocol.Latest_row (Option.map (fun (_, _, row) -> row) !best)
+
+(* ---- Stats ------------------------------------------------------------- *)
+
+let route_stats t table =
+  let resps = fanout_all t ~write:false (Protocol.Get_stats table) in
+  match List.find_opt is_error resps with
+  | Some e -> e
+  | None -> (
+      let snaps =
+        List.map
+          (function
+            | Protocol.Stats_resp s -> s | _ -> err "bad stats response")
+          resps
+      in
+      match snaps with
+      | [] -> err "no shards"
+      | s :: rest -> Protocol.Stats_resp (List.fold_left Stats.add s rest))
+
+(* ---- Dispatch ---------------------------------------------------------- *)
+
+let invalidate t table = Hashtbl.remove t.schemas table
+
+let handle_inner t req =
+  match req with
+  | Protocol.Hello v ->
+      if v <> Protocol.version then
+        Protocol.Error (Printf.sprintf "unsupported protocol version %d" v)
+      else Protocol.Hello_ok Protocol.version
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Get_placement ->
+      Protocol.Placement_info
+        {
+          pl_epoch = Placement.epoch t.placement;
+          pl_policy = Placement.describe t.placement;
+          pl_backends = Cluster_client.endpoints t.cc;
+        }
+  | Protocol.List_tables -> Cluster_client.request_read t.cc 0 Protocol.List_tables
+  | Protocol.Get_table name -> (
+      match Cluster_client.request_read t.cc 0 (Protocol.Get_table name) with
+      | Protocol.Table_info { schema; _ } as resp ->
+          Hashtbl.replace t.schemas name schema;
+          resp
+      | resp -> resp)
+  | Protocol.Create_table { table; _ } ->
+      invalidate t table;
+      first_error_else (fanout_all t ~write:true req) Protocol.Ok
+  | Protocol.Drop_table table ->
+      invalidate t table;
+      first_error_else (fanout_all t ~write:true req) Protocol.Ok
+  | Protocol.Add_column { table; _ } | Protocol.Widen_column { table; _ }
+  | Protocol.Set_ttl { table; _ } ->
+      invalidate t table;
+      first_error_else (fanout_all t ~write:true req) Protocol.Ok
+  | Protocol.Flush_before _ ->
+      first_error_else (fanout_all t ~write:true req) Protocol.Ok
+  | Protocol.Insert { table; rows } -> route_insert t table rows
+  | Protocol.Query { table; query } -> route_query t table query
+  | Protocol.Latest { table; prefix } -> route_latest t table prefix
+  | Protocol.Get_stats table -> route_stats t table
+  | Protocol.Delete_prefix { table = _; prefix } ->
+      Lt_util.Mutexes.with_lock t.mutex (fun () ->
+          let shards = Placement.shards_of_prefix t.placement prefix in
+          observe_fanout t (List.length shards);
+          let total = ref 0 in
+          List.iter
+            (fun s ->
+              match Cluster_client.request_write t.cc s req with
+              | Protocol.Deleted n -> total := !total + n
+              | Protocol.Error msg -> err "%s" msg
+              | _ -> err "bad delete response")
+            shards;
+          Protocol.Deleted !total)
+  | Protocol.Get_metrics -> Protocol.Metrics_text (Obs.render t.obs)
+  | Protocol.Get_slow_ops n ->
+      Protocol.Slow_ops (Trace.slow ~n:(max 0 n) (Obs.trace t.obs))
+
+let handle t req =
+  try handle_inner t req with
+  | Routed resp -> resp
+  | Cluster_client.Unavailable msg ->
+      Protocol.Error ("backend unavailable: " ^ msg)
+  | Client.Remote_error msg -> Protocol.Error msg
+  | Schema.Invalid msg -> Protocol.Error msg
+  | Invalid_argument msg -> Protocol.Error msg
+
+(* ---- Rebalance (the §2.2 shard split) ---------------------------------- *)
+
+let reb fmt = Printf.ksprintf (fun msg -> raise (Rebalance_error msg)) fmt
+
+let rebalance t ~value ~to_shard =
+  if to_shard < 0 || to_shard >= Cluster_client.shard_count t.cc then
+    invalid_arg "Router.rebalance: shard out of range";
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let from_shard = Placement.shard_of_value t.placement value in
+      if from_shard = to_shard then 0
+      else begin
+        let tables =
+          match Cluster_client.request_read t.cc from_shard Protocol.List_tables with
+          | Protocol.Tables names -> names
+          | Protocol.Error msg -> reb "%s" msg
+          | _ -> reb "bad tables response"
+        in
+        let moved = ref 0 in
+        (* Phase 1: copy. Queries keep running — a key transiently on
+           both shards is deduplicated by the query merge. Inserts wait
+           on the mutex we hold, so the copy cannot miss rows. *)
+        List.iter
+          (fun table ->
+            let schema =
+              match
+                Cluster_client.request_read t.cc from_shard
+                  (Protocol.Get_table table)
+              with
+              | Protocol.Table_info { schema; _ } -> schema
+              | Protocol.Error msg -> reb "%s" msg
+              | _ -> reb "bad table info response"
+            in
+            (* Rows for [value] on the destination can only be debris of
+               an earlier aborted rebalance; clear them so re-inserting
+               the copy cannot hit duplicate-key errors. *)
+            (match
+               Cluster_client.request_write t.cc to_shard
+                 (Protocol.Delete_prefix { table; prefix = [ value ] })
+             with
+            | Protocol.Deleted _ -> ()
+            | Protocol.Error msg -> reb "%s" msg
+            | _ -> reb "bad delete response");
+            let q = ref (Query.prefix [ value ]) in
+            let continue_ = ref true in
+            while !continue_ do
+              match
+                Cluster_client.request_read t.cc from_shard
+                  (Protocol.Query { table; query = !q })
+              with
+              | Protocol.Row_batch { rows; more_available; _ } ->
+                  (if rows <> [] then
+                     match
+                       Cluster_client.request_write t.cc to_shard
+                         (Protocol.Insert { table; rows })
+                     with
+                     | Protocol.Insert_ok n -> moved := !moved + n
+                     | Protocol.Error msg -> reb "%s" msg
+                     | _ -> reb "bad insert response");
+                  if more_available then
+                    match List.rev rows with
+                    | last :: _ -> q := Client.advance_past schema !q last
+                    | [] -> continue_ := false
+                  else continue_ := false
+              | Protocol.Error msg -> reb "%s" msg
+              | _ -> reb "bad query response"
+            done)
+          tables;
+        (* Phase 2: flip ownership. From here new inserts for [value]
+           land on [to_shard]. *)
+        t.placement <- Placement.with_override t.placement ~value ~shard:to_shard;
+        (* Phase 3: bulk-delete the moved rows from the old owner (§7).
+           A failure here leaves harmless duplicates that queries dedup
+           and the next rebalance attempt clears. *)
+        List.iter
+          (fun table ->
+            match
+              Cluster_client.request_write t.cc from_shard
+                (Protocol.Delete_prefix { table; prefix = [ value ] })
+            with
+            | Protocol.Deleted _ -> ()
+            | Protocol.Error msg -> reb "%s" msg
+            | _ -> reb "bad delete response")
+          tables;
+        !moved
+      end)
+
+let backend t =
+  {
+    Server.b_handle = handle t;
+    b_obs = t.obs;
+    b_render = (fun () -> Obs.render t.obs);
+    b_maintenance = None;
+    b_on_stop = (fun () -> Cluster_client.close t.cc);
+  }

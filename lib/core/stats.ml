@@ -100,6 +100,38 @@ let read ?(cache = no_cache) (t : t) =
     cache;
   }
 
+(* Field-wise sum of two snapshots. Used by the cluster router to
+   aggregate per-shard table stats into one cluster-wide answer;
+   [cache_resident_bytes] is not monotonic but summing footprints of
+   disjoint caches is still the meaningful total. *)
+let add (a : snapshot) (b : snapshot) =
+  {
+    rows_inserted = a.rows_inserted + b.rows_inserted;
+    insert_batches = a.insert_batches + b.insert_batches;
+    rows_returned = a.rows_returned + b.rows_returned;
+    rows_scanned = a.rows_scanned + b.rows_scanned;
+    queries = a.queries + b.queries;
+    flushes = a.flushes + b.flushes;
+    flushed_bytes = a.flushed_bytes + b.flushed_bytes;
+    merges = a.merges + b.merges;
+    merged_bytes_in = a.merged_bytes_in + b.merged_bytes_in;
+    merged_bytes_out = a.merged_bytes_out + b.merged_bytes_out;
+    tablets_expired = a.tablets_expired + b.tablets_expired;
+    flush_retries = a.flush_retries + b.flush_retries;
+    tablets_quarantined = a.tablets_quarantined + b.tablets_quarantined;
+    bytes_written = a.bytes_written + b.bytes_written;
+    cache =
+      {
+        cache_hits = a.cache.cache_hits + b.cache.cache_hits;
+        cache_misses = a.cache.cache_misses + b.cache.cache_misses;
+        cache_evictions = a.cache.cache_evictions + b.cache.cache_evictions;
+        cache_inserted_bytes =
+          a.cache.cache_inserted_bytes + b.cache.cache_inserted_bytes;
+        cache_resident_bytes =
+          a.cache.cache_resident_bytes + b.cache.cache_resident_bytes;
+      };
+  }
+
 (* Guard only the denominator: a query that scanned rows but returned
    none is pure waste and must show up as a large ratio, not hide
    behind a 1.0 placeholder. *)

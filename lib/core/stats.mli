@@ -56,6 +56,10 @@ type snapshot = {
 (** Monotonic snapshot; [cache] defaults to {!no_cache}. *)
 val read : ?cache:cache_snapshot -> t -> snapshot
 
+(** Field-wise sum, for aggregating per-shard snapshots of one logical
+    table into a cluster-wide snapshot. *)
+val add : snapshot -> snapshot -> snapshot
+
 (** Rows scanned per row returned, computed as
     [scanned / max 1 returned] so pure-waste scans (rows scanned but
     none returned) report their full scan count instead of hiding

@@ -48,6 +48,10 @@ let rules_with_doc =
     ( "mli-coverage",
       "every module under lib/ keeps an interface so the public surface \
        is deliberate" );
+    ( "net-discipline",
+      "raw Unix socket calls only inside lib/net: every wire interaction \
+       goes through Protocol/Client/Server so framing, versioning, and \
+       reconnect policy stay in one place" );
   ]
 
 let rule_names = List.map fst rules_with_doc
@@ -109,6 +113,12 @@ let domain_applies path =
   | Lib _ | Bin | Bench -> true
   | Other -> false
 
+let net_applies path =
+  match context path with
+  | Lib ("net" :: _) -> false
+  | Lib _ | Bin | Bench -> true
+  | Other -> false
+
 let scanned path =
   match context path with Lib _ | Bin | Bench -> true | Other -> false
 
@@ -135,6 +145,11 @@ let vfs_stdlib =
 let vfs_channel =
   [ "open_bin"; "open_text"; "open_gen"; "with_open_bin"; "with_open_text";
     "with_open_gen" ]
+
+let net_unix =
+  [ "socket"; "socketpair"; "connect"; "bind"; "listen"; "accept";
+    "setsockopt"; "getsockopt"; "getsockname"; "getpeername"; "shutdown";
+    "recv"; "recvfrom"; "send"; "sendto"; "getaddrinfo"; "gethostbyname" ]
 
 let stdout_plain =
   [ "print_string"; "print_bytes"; "print_int"; "print_float"; "print_char";
@@ -179,6 +194,13 @@ let banned_ident path_parts =
         ( "lock-safety",
           Printf.sprintf
             "bare Mutex.%s; use the exception-safe Util.Mutexes.with_lock" f )
+  | [ "Unix"; f ] when mem f net_unix ->
+      Some
+        ( "net-discipline",
+          Printf.sprintf
+            "raw socket call Unix.%s outside lib/net; speak the wire \
+             through Lt_net.Client/Server"
+            f )
   | [ "Unix"; ("gettimeofday" | "time") as f ] ->
       Some
         ( "clock-discipline",
@@ -214,6 +236,7 @@ let rule_applies rule path =
   | "clock-discipline" -> clock_applies path
   | "no-stdout" -> stdout_applies path
   | "domain-discipline" -> domain_applies path
+  | "net-discipline" -> net_applies path
   | "lock-order" | "mli-coverage" -> scanned path
   | _ -> true
 

@@ -1,7 +1,7 @@
 (** Project-invariant static analyzer.
 
     Parses every [.ml]/[.mli] under the given roots with compiler-libs
-    and enforces the seven LittleTable invariants the type checker cannot
+    and enforces the eight LittleTable invariants the type checker cannot
     see (see DESIGN.md "Static analysis"):
 
     - [vfs-discipline]: no raw [Unix]/[Sys]/[Stdlib] filesystem calls
@@ -20,6 +20,10 @@
     - [domain-discipline]: [Domain.spawn]/[Domain.join] only inside
       [lib/exec] — worker domains come from the shared [Lt_exec.Pool].
     - [mli-coverage]: every module under [lib/] keeps an interface.
+    - [net-discipline]: raw [Unix] socket calls ([socket], [connect],
+      [bind], [accept], ...) only inside [lib/net] — every wire
+      interaction goes through [Protocol]/[Client]/[Server] so framing,
+      versioning, and reconnect policy stay in one place.
 
     A finding is suppressed only by an explicit
     [[@lint.allow "<rule>: <justification>"]] attribute on the
@@ -36,7 +40,7 @@ type finding = {
 }
 
 val rule_names : string list
-(** The seven enforceable rules, in reporting order. *)
+(** The eight enforceable rules, in reporting order. *)
 
 val rule_doc : string -> string
 (** One-line rationale for a rule name (for [--rules] listings). *)

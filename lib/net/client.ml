@@ -1,4 +1,6 @@
 open Littletable
+module Obs = Lt_obs.Obs
+module Metrics = Lt_obs.Metrics
 
 exception Remote_error of string
 
@@ -7,19 +9,44 @@ exception Disconnected
 type t = {
   host : string;
   port : int;
+  peer : string;
+  obs : Obs.t;
+  connect_timeout : float option;
   mutable fd : Unix.file_descr option;
   schemas : (string, Schema.t * int64 option) Hashtbl.t;
   mutex : Mutex.t;  (** one outstanding request per connection *)
 }
 
-let connect_fd host port =
+let peer t = t.peer
+
+let connect_error host port e =
+  Remote_error
+    (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+
+(* Plain blocking connect, or — when a timeout is set — a non-blocking
+   connect raced against select(2) so a black-holed backend cannot stall
+   the router for the kernel's full TCP timeout. *)
+let connect_fd ?timeout host port =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd addr
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise (Remote_error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))));
-  fd
+  try
+    (match timeout with
+    | None -> Unix.connect fd addr
+    | Some tmo ->
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+           match Unix.select [] [ fd ] [] tmo with
+           | _, _ :: _, _ -> (
+               match Unix.getsockopt_error fd with
+               | None -> ()
+               | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+           | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+        Unix.clear_nonblock fd);
+    fd
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (connect_error host port e)
 
 let drop_connection t =
   (match t.fd with
@@ -42,6 +69,8 @@ let roundtrip t req =
               drop_connection t;
               raise Disconnected))
 
+let request = roundtrip
+
 let expect_ok = function
   | Protocol.Ok -> ()
   | Protocol.Error msg -> raise (Remote_error msg)
@@ -53,27 +82,52 @@ let hello t =
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad hello response")
 
-let connect ?(host = "127.0.0.1") ~port () =
-  let t =
-    {
-      host;
-      port;
-      fd = Some (connect_fd host port);
-      schemas = Hashtbl.create 8;
-      mutex = Mutex.create ();
-    }
+let create ?(obs = Obs.noop) ?connect_timeout ?(host = "127.0.0.1") ~port () =
+  {
+    host;
+    port;
+    peer = Printf.sprintf "%s:%d" host port;
+    obs;
+    connect_timeout;
+    fd = None;
+    schemas = Hashtbl.create 8;
+    mutex = Mutex.create ();
+  }
+
+let connected t =
+  Lt_util.Mutexes.with_lock t.mutex (fun () -> t.fd <> None)
+
+(* Exponential backoff between attempts: 50 ms doubling to a 2 s cap.
+   The first attempt is immediate; with the default 5 attempts a dead
+   peer costs ~750 ms of sleep before [Remote_error] propagates. *)
+let backoff_delay k = Float.min 2.0 (0.05 *. Float.of_int (1 lsl k))
+
+let reconnect ?(max_attempts = 5) t =
+  if max_attempts < 1 then invalid_arg "Client.reconnect: max_attempts < 1";
+  let rec attempt k =
+    Lt_util.Mutexes.with_lock t.mutex (fun () -> drop_connection t);
+    Metrics.Counter.inc (Obs.client_reconnects t.obs ~peer:t.peer) 1;
+    match connect_fd ?timeout:t.connect_timeout t.host t.port with
+    | fd ->
+        Lt_util.Mutexes.with_lock t.mutex (fun () ->
+            t.fd <- Some fd;
+            Hashtbl.reset t.schemas);
+        hello t
+    | exception (Remote_error _ as e) ->
+        if k + 1 >= max_attempts then raise e
+        else begin
+          Thread.delay (backoff_delay k);
+          attempt (k + 1)
+        end
   in
-  hello t;
+  attempt 0
+
+let connect ?obs ?connect_timeout ?host ~port () =
+  let t = create ?obs ?connect_timeout ?host ~port () in
+  reconnect ~max_attempts:1 t;
   t
 
 let close t = Lt_util.Mutexes.with_lock t.mutex (fun () -> drop_connection t)
-
-let reconnect t =
-  Lt_util.Mutexes.with_lock t.mutex (fun () ->
-      drop_connection t;
-      t.fd <- Some (connect_fd t.host t.port);
-      Hashtbl.reset t.schemas);
-  hello t
 
 let ping t =
   match roundtrip t Protocol.Ping with
@@ -218,6 +272,12 @@ let slow_ops ?(n = 20) t =
   | Protocol.Slow_ops spans -> spans
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad slow ops response")
+
+let placement t =
+  match roundtrip t Protocol.Get_placement with
+  | Protocol.Placement_info info -> info
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad placement response")
 
 let sql_backend t =
   {

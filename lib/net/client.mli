@@ -20,13 +20,39 @@ exception Disconnected
 
 type t
 
-(** Connect and exchange hellos. *)
-val connect : ?host:string -> port:int -> unit -> t
+(** [create ?obs ?connect_timeout ?host ~port ()] builds a client
+    handle without touching the network — requests raise
+    {!Disconnected} until {!reconnect} succeeds. [obs] receives a
+    [lt_client_reconnects_total{peer="host:port"}] count of every
+    connection attempt; [connect_timeout] (seconds) bounds each TCP
+    connect instead of waiting out the kernel's timeout. *)
+val create :
+  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?host:string -> port:int ->
+  unit -> t
+
+(** Connect and exchange hellos ({!create} + one {!reconnect} attempt). *)
+val connect :
+  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?host:string -> port:int ->
+  unit -> t
 
 val close : t -> unit
 
-(** Re-establish the TCP connection after {!Disconnected}. *)
-val reconnect : t -> unit
+(** (Re-)establish the TCP connection and exchange hellos, retrying
+    with exponential backoff (50 ms doubling, capped at 2 s) up to
+    [max_attempts] times (default 5). Raises {!Remote_error} once the
+    attempts are exhausted. Each attempt increments
+    [lt_client_reconnects_total]. *)
+val reconnect : ?max_attempts:int -> t -> unit
+
+(** Whether a connection is currently established. *)
+val connected : t -> bool
+
+(** ["host:port"], for labeling metrics and error messages. *)
+val peer : t -> string
+
+(** One raw protocol round trip — no unwrapping, [Error] responses are
+    returned as values. The cluster router forwards requests with this. *)
+val request : t -> Protocol.request -> Protocol.response
 
 val ping : t -> unit
 
@@ -59,6 +85,11 @@ val query_all : t -> string -> Query.t -> Value.t array list
 (** Streaming variant of {!query_all}; fetches pages lazily. *)
 val query_iter : t -> string -> Query.t -> (unit -> Value.t array option)
 
+(** [advance_past schema q last_row] is the §3.5 resubmission step: the
+    query whose key bound excludes [last_row]'s full primary key, in
+    [q]'s direction. Exposed for the router's per-shard paging. *)
+val advance_past : Schema.t -> Query.t -> Value.t array -> Query.t
+
 val latest : t -> string -> Value.t list -> Value.t array option
 
 (** The §4.1.2 flush command: returns once every row with a timestamp
@@ -86,6 +117,10 @@ val metrics : t -> string
 (** The server's most recent slow-op spans, newest first; [n] caps the
     count (default 20). *)
 val slow_ops : ?n:int -> t -> Lt_obs.Trace.span list
+
+(** How the peer places data: a single-node server answers
+    [policy = "single"]; a router describes its shard set. *)
+val placement : t -> Protocol.placement_info
 
 (** {1 SQL} *)
 

@@ -5,7 +5,7 @@ exception Protocol_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
 
-let version = 1
+let version = 2
 
 let max_frame = 64 * 1024 * 1024
 
@@ -27,6 +27,13 @@ type request =
   | Set_ttl of { table : string; ttl : int64 option }
   | Get_metrics
   | Get_slow_ops of int  (** at most this many spans, newest first *)
+  | Get_placement
+
+type placement_info = {
+  pl_epoch : int;
+  pl_policy : string;
+  pl_backends : (string * int) list;
+}
 
 type response =
   | Hello_ok of int
@@ -42,6 +49,27 @@ type response =
   | Deleted of int
   | Metrics_text of string  (** Prometheus exposition *)
   | Slow_ops of Lt_obs.Trace.span list
+  | Placement_info of placement_info
+
+let request_kind = function
+  | Hello _ -> "hello"
+  | List_tables -> "list_tables"
+  | Get_table _ -> "get_table"
+  | Create_table _ -> "create_table"
+  | Drop_table _ -> "drop_table"
+  | Insert _ -> "insert"
+  | Query _ -> "query"
+  | Latest _ -> "latest"
+  | Flush_before _ -> "flush_before"
+  | Get_stats _ -> "get_stats"
+  | Ping -> "ping"
+  | Delete_prefix _ -> "delete_prefix"
+  | Add_column _ -> "add_column"
+  | Widen_column _ -> "widen_column"
+  | Set_ttl _ -> "set_ttl"
+  | Get_metrics -> "get_metrics"
+  | Get_slow_ops _ -> "get_slow_ops"
+  | Get_placement -> "get_placement"
 
 (* ---- Tagged values ---------------------------------------------------- *)
 
@@ -216,6 +244,7 @@ let write_request b = function
   | Get_slow_ops n ->
       Binio.put_u8 b 16;
       Binio.put_varint b n
+  | Get_placement -> Binio.put_u8 b 17
 
 let read_request cur =
   match Binio.get_u8 cur with
@@ -264,6 +293,7 @@ let read_request cur =
       Set_ttl { table; ttl }
   | 15 -> Get_metrics
   | 16 -> Get_slow_ops (Binio.get_varint cur)
+  | 17 -> Get_placement
   | n -> error "bad request tag %d" n
 
 (* ---- Responses ------------------------------------------------------------ *)
@@ -399,6 +429,16 @@ let write_response b = function
       Binio.put_u8 b 12;
       Binio.put_varint b (List.length spans);
       List.iter (put_span b) spans
+  | Placement_info { pl_epoch; pl_policy; pl_backends } ->
+      Binio.put_u8 b 13;
+      Binio.put_varint b pl_epoch;
+      Binio.put_string b pl_policy;
+      Binio.put_varint b (List.length pl_backends);
+      List.iter
+        (fun (host, port) ->
+          Binio.put_string b host;
+          Binio.put_varint b port)
+        pl_backends
 
 let read_response cur =
   match Binio.get_u8 cur with
@@ -430,6 +470,18 @@ let read_response cur =
   | 12 ->
       let n = Binio.get_varint cur in
       Slow_ops (List.init n (fun _ -> get_span cur))
+  | 13 ->
+      let pl_epoch = Binio.get_varint cur in
+      let pl_policy = Binio.get_string cur in
+      let n = Binio.get_varint cur in
+      if n < 0 || n > 65536 then error "implausible backend count %d" n;
+      let pl_backends =
+        List.init n (fun _ ->
+            let host = Binio.get_string cur in
+            let port = Binio.get_varint cur in
+            (host, port))
+      in
+      Placement_info { pl_epoch; pl_policy; pl_backends }
   | n -> error "bad response tag %d" n
 
 (* ---- Socket framing ------------------------------------------------------ *)

@@ -36,6 +36,18 @@ type request =
   | Set_ttl of { table : string; ttl : int64 option }
   | Get_metrics  (** Prometheus exposition of the server's registry *)
   | Get_slow_ops of int  (** at most this many slow spans, newest first *)
+  | Get_placement
+      (** ask how the serving process maps keys to backends; a plain
+          single-node server answers with policy ["single"] and no
+          backends, a router describes its shard set *)
+
+(** How the answering process places data, exposed for the shell's
+    [.cluster] command and cluster-aware clients. *)
+type placement_info = {
+  pl_epoch : int;  (** bumped by every rebalance *)
+  pl_policy : string;  (** e.g. ["single"], ["hash(vnodes=64)"] *)
+  pl_backends : (string * int) list;  (** shard order = shard index *)
+}
 
 type response =
   | Hello_ok of int
@@ -51,8 +63,13 @@ type response =
   | Deleted of int
   | Metrics_text of string
   | Slow_ops of Lt_obs.Trace.span list
+  | Placement_info of placement_info
 
 val version : int
+
+(** Stable short name of a request's constructor, used as the [kind]
+    label on request-duration metrics. *)
+val request_kind : request -> string
 
 (** {1 Framing} *)
 

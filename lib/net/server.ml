@@ -7,8 +7,19 @@ let log = Logs.Src.create "lt.server" ~doc:"LittleTable server"
 
 module Log = (val Logs.src_log log)
 
+(* What the connection loops need from whatever is behind them — a local
+   [Db.t] or a cluster router. Keeping the socket plumbing generic means
+   the router front-end is wire-identical to a single-node server. *)
+type backend = {
+  b_handle : Protocol.request -> Protocol.response;
+  b_obs : Obs.t;
+  b_render : unit -> string;  (** Prometheus exposition for the HTTP port *)
+  b_maintenance : (unit -> unit) option;
+  b_on_stop : unit -> unit;  (** final flush/teardown, runs once in [stop] *)
+}
+
 type t = {
-  db : Db.t;
+  backend : backend;
   listen_fd : Unix.file_descr;
   bound_port : int;
   metrics_fd : Unix.file_descr option;
@@ -26,26 +37,7 @@ let port t = t.bound_port
 
 let metrics_port t = t.metrics_bound_port
 
-let request_kind : Protocol.request -> string = function
-  | Hello _ -> "hello"
-  | List_tables -> "list_tables"
-  | Get_table _ -> "get_table"
-  | Create_table _ -> "create_table"
-  | Drop_table _ -> "drop_table"
-  | Insert _ -> "insert"
-  | Query _ -> "query"
-  | Latest _ -> "latest"
-  | Flush_before _ -> "flush_before"
-  | Get_stats _ -> "get_stats"
-  | Ping -> "ping"
-  | Delete_prefix _ -> "delete_prefix"
-  | Add_column _ -> "add_column"
-  | Widen_column _ -> "widen_column"
-  | Set_ttl _ -> "set_ttl"
-  | Get_metrics -> "get_metrics"
-  | Get_slow_ops _ -> "get_slow_ops"
-
-let handle_request db req =
+let handle db req =
   let open Protocol in
   match req with
   | Hello v ->
@@ -133,16 +125,27 @@ let handle_request db req =
   | Get_metrics -> Metrics_text (Obs.render (Db.obs db))
   | Get_slow_ops n ->
       Slow_ops (Trace.slow ~n:(max 0 n) (Obs.trace (Db.obs db)))
+  | Get_placement ->
+      Placement_info { pl_epoch = 0; pl_policy = "single"; pl_backends = [] }
+
+let db_backend db =
+  {
+    b_handle = handle db;
+    b_obs = Db.obs db;
+    b_render = (fun () -> Obs.render (Db.obs db));
+    b_maintenance = Some (fun () -> Db.maintenance db);
+    b_on_stop = (fun () -> Db.flush_all db);
+  }
 
 let client_loop t fd =
-  let obs = Db.obs t.db in
+  let obs = t.backend.b_obs in
   let finished = ref false in
   while t.running && not !finished do
     match Protocol.recv_request fd with
     | req ->
         let t0 = Obs.now_us obs in
         let resp =
-          try handle_request t.db req with
+          try t.backend.b_handle req with
           | Protocol.Protocol_error msg | Lt_util.Binio.Corrupt msg ->
               Protocol.Error msg
           | Lt_vfs.Vfs.Io_error msg -> Protocol.Error ("io error: " ^ msg)
@@ -150,7 +153,7 @@ let client_loop t fd =
         in
         if Obs.enabled obs then
           Metrics.Histogram.observe_us
-            (Obs.request_hist obs ~kind:(request_kind req))
+            (Obs.request_hist obs ~kind:(Protocol.request_kind req))
             (Int64.sub (Obs.now_us obs) t0);
         (try Protocol.send_response fd resp
          with Unix.Unix_error _ -> finished := true)
@@ -215,7 +218,7 @@ let handle_metrics_conn t fd =
         in
         let status, body =
           match path with
-          | "/metrics" | "/" -> ("200 OK", Obs.render (Db.obs t.db))
+          | "/metrics" | "/" -> ("200 OK", t.backend.b_render ())
           | _ -> ("404 Not Found", "not found\n")
         in
         write_string fd
@@ -244,7 +247,7 @@ let metrics_loop t fd =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let maintenance_loop t period =
+let maintenance_loop t period maintenance =
   while t.running do
     (* Sleep in small slices so [stop] is prompt. *)
     let slept = ref 0.0 in
@@ -253,7 +256,7 @@ let maintenance_loop t period =
       slept := !slept +. 0.05
     done;
     if t.running then
-      try Db.maintenance t.db
+      try maintenance ()
       with exn ->
         Log.err (fun m -> m "maintenance failed: %s" (Printexc.to_string exn))
   done
@@ -270,7 +273,8 @@ let listen_on port =
   in
   (fd, bound)
 
-let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
+let start_custom ?(maintenance_period_s = 1.0) ?metrics_port ~backend ~port ()
+    =
   let fd, bound_port = listen_on port in
   let metrics =
     match metrics_port with
@@ -284,7 +288,7 @@ let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
   in
   let t =
     {
-      db;
+      backend;
       listen_fd = fd;
       bound_port;
       metrics_fd = Option.map fst metrics;
@@ -299,12 +303,25 @@ let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
     }
   in
   t.accept_thread := Some (Thread.create accept_loop t);
-  if maintenance_period_s > 0.0 then
-    t.maint_thread := Some (Thread.create (fun () -> maintenance_loop t maintenance_period_s) ());
+  (match backend.b_maintenance with
+  | Some m when maintenance_period_s > 0.0 ->
+      t.maint_thread :=
+        Some (Thread.create (fun () -> maintenance_loop t maintenance_period_s m) ())
+  | _ -> ());
   (match t.metrics_fd with
   | Some mfd -> t.metrics_thread := Some (Thread.create (metrics_loop t) mfd)
   | None -> ());
   Log.info (fun m -> m "listening on 127.0.0.1:%d" bound_port);
+  (match t.metrics_bound_port with
+  | Some p -> Log.info (fun m -> m "metrics on http://127.0.0.1:%d/metrics" p)
+  | None -> ());
+  t
+
+let start ?maintenance_period_s ?metrics_port ~db ~port () =
+  let t =
+    start_custom ?maintenance_period_s ?metrics_port ~backend:(db_backend db)
+      ~port ()
+  in
   (match Db.scan_pool db with
   | Some pool ->
       Log.info (fun m ->
@@ -312,9 +329,6 @@ let start ?(maintenance_period_s = 1.0) ?metrics_port ~db ~port () =
             (Lt_exec.Pool.size pool)
             (if Lt_exec.Pool.size pool = 1 then "" else "s"))
   | None -> Log.info (fun m -> m "parallel scans disabled (query_domains=0)"));
-  (match t.metrics_bound_port with
-  | Some p -> Log.info (fun m -> m "metrics on http://127.0.0.1:%d/metrics" p)
-  | None -> ());
   t
 
 (* [stop] may run inside one of the server's own threads: OCaml signal
@@ -346,7 +360,7 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       threads;
     List.iter (fun (th, _) -> join_unless_self th) threads;
-    Db.flush_all t.db;
+    t.backend.b_on_stop ();
     Lt_util.Mutexes.with_lock t.mutex (fun () -> Condition.broadcast t.stopped)
   end
 

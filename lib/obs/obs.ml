@@ -96,4 +96,35 @@ let request_hist t ~kind =
     "Server-side latency of wire protocol requests."
     ~labels:[ ("kind", kind) ]
 
+(* ---- Cluster router / client instruments ------------------------------ *)
+
+let router_fanout_hist t =
+  Metrics.histogram t.o_registry
+    ~help:"Backends contacted per routed request."
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+    "lt_router_fanout"
+
+let backend_hist t ~backend =
+  duration_hist t "lt_router_backend_duration_seconds"
+    "Router-observed latency of one backend round trip."
+    ~labels:[ ("backend", backend) ]
+
+let backend_requests t ~backend ~kind =
+  Metrics.counter t.o_registry
+    ~help:"Requests the router forwarded to each backend."
+    ~labels:[ ("backend", backend); ("kind", kind) ]
+    "lt_router_backend_requests_total"
+
+let failovers t ~backend =
+  Metrics.counter t.o_registry
+    ~help:"Reads the router redirected to a shard's replica."
+    ~labels:[ ("backend", backend) ]
+    "lt_router_failovers_total"
+
+let client_reconnects t ~peer =
+  Metrics.counter t.o_registry
+    ~help:"Connection (re-)establishment attempts by the client adaptor."
+    ~labels:[ ("peer", peer) ]
+    "lt_client_reconnects_total"
+
 let render t = Metrics.render t.o_registry

@@ -73,5 +73,26 @@ val block_decompress_hist : t -> Metrics.Histogram.t
     request round-trip. *)
 val request_hist : t -> kind:string -> Metrics.Histogram.t
 
+(** {1 Cluster instruments} (used by [Lt_cluster] and {!Lt_net}) *)
+
+(** [lt_router_fanout] — backends contacted per routed request. *)
+val router_fanout_hist : t -> Metrics.Histogram.t
+
+(** [lt_router_backend_duration_seconds{backend="<host:port>"}] — one
+    backend round trip as observed by the router. *)
+val backend_hist : t -> backend:string -> Metrics.Histogram.t
+
+(** [lt_router_backend_requests_total{backend,kind}] — requests the
+    router forwarded to each backend. *)
+val backend_requests : t -> backend:string -> kind:string -> Metrics.Counter.t
+
+(** [lt_router_failovers_total{backend}] — reads redirected to a shard's
+    replica after its primary became unreachable. *)
+val failovers : t -> backend:string -> Metrics.Counter.t
+
+(** [lt_client_reconnects_total{peer="<host:port>"}] — connection
+    (re-)establishment attempts by {!Lt_net.Client}. *)
+val client_reconnects : t -> peer:string -> Metrics.Counter.t
+
 (** Render the registry as Prometheus text. *)
 val render : t -> string

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Multi-process sharding smoke test.
+#
+# Spawns, as real OS processes: three backend servers, one warm-spare
+# replica of backend 0, a router fronting all three, and a single-node
+# reference server. Drives identical SQL through the router and the
+# reference and requires byte-identical answers (the equality gate),
+# then SIGKILLs backend 0 and requires reads to fail over to the
+# replica, losing at most the rows that were never flushed+synced.
+#
+#   scripts/cluster_smoke.sh [workdir]
+#
+# Logs land in <workdir>/logs and are dumped on failure.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+WORK="${1:-$(mktemp -d /tmp/lt-cluster-smoke.XXXXXX)}"
+LOGS="$WORK/logs"
+mkdir -p "$LOGS"
+
+dune build bin/littletable_server.exe bin/littletable_shell.exe
+SERVER=_build/default/bin/littletable_server.exe
+SHELL_EXE=_build/default/bin/littletable_shell.exe
+
+BASE=$((20000 + RANDOM % 20000))
+P0=$BASE P1=$((BASE + 1)) P2=$((BASE + 2))
+PSPARE=$((BASE + 3)) PROUTER=$((BASE + 4)) PREF=$((BASE + 5))
+
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+}
+dump_logs() {
+  echo "=== cluster smoke FAILED; process logs follow ===" >&2
+  for f in "$LOGS"/*.log; do
+    echo "--- $f ---" >&2
+    cat "$f" >&2
+  done
+}
+trap cleanup EXIT
+trap dump_logs ERR
+
+start() { # name, args...
+  local name=$1
+  shift
+  "$SERVER" "$@" >"$LOGS/$name.log" 2>&1 &
+  PIDS+=($!)
+  disown $! # keep bash from reporting the deliberate SIGKILL later
+}
+
+wait_port() { # port
+  for _ in $(seq 1 50); do
+    if "$SHELL_EXE" --port "$1" -e ".cluster" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "server on port $1 never came up" >&2
+  return 1
+}
+
+sql() { # port, statement
+  "$SHELL_EXE" --port "$1" -e "$2"
+}
+
+start b0 --dir "$WORK/b0" --port "$P0" --maintenance-period 0.5
+start b1 --dir "$WORK/b1" --port "$P1" --maintenance-period 0.5
+start b2 --dir "$WORK/b2" --port "$P2" --maintenance-period 0.5
+start ref --dir "$WORK/ref" --port "$PREF" --maintenance-period 0.5
+for p in "$P0" "$P1" "$P2" "$PREF"; do wait_port "$p"; done
+BACKEND0_PID=${PIDS[0]}
+
+start spare --spare-of "$WORK/b0" --dir "$WORK/spare" --sync-period 1 --port "$PSPARE"
+start router --router \
+  --backends "127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2" \
+  --replicas "0=127.0.0.1:$PSPARE" --port "$PROUTER"
+wait_port "$PSPARE"
+wait_port "$PROUTER"
+
+echo "== router placement =="
+sql "$PROUTER" ".cluster"
+
+CREATE="CREATE TABLE usage (network INT64, device INT64, ts TIMESTAMP, bytes INT64 DEFAULT 0, PRIMARY KEY (network, device, ts));"
+sql "$PROUTER" "$CREATE"
+sql "$PREF" "$CREATE"
+
+# 60 rows spread over 6 networks: every shard owns some of them.
+for net in 1 2 3 4 5 6; do
+  VALUES=""
+  for dev in 1 2; do
+    for ts in 1 2 3 4 5; do
+      VALUES="$VALUES, ($net, $dev, $ts, $((net * 100 + dev * 10 + ts)))"
+    done
+  done
+  INSERT="INSERT INTO usage (network, device, ts, bytes) VALUES ${VALUES#, };"
+  sql "$PROUTER" "$INSERT"
+  sql "$PREF" "$INSERT"
+done
+
+echo "== equality gate: router vs single node =="
+sql "$PROUTER" "SELECT * FROM usage;" >"$WORK/router.rows"
+sql "$PREF" "SELECT * FROM usage;" >"$WORK/ref.rows"
+diff -u "$WORK/ref.rows" "$WORK/router.rows"
+sql "$PROUTER" "SELECT network, COUNT(*) FROM usage GROUP BY network;" >"$WORK/router.agg"
+sql "$PREF" "SELECT network, COUNT(*) FROM usage GROUP BY network;" >"$WORK/ref.agg"
+diff -u "$WORK/ref.agg" "$WORK/router.agg"
+echo "identical ($(wc -l <"$WORK/router.rows") lines)"
+
+# Make everything durable and give the spare a sync period to copy it.
+sql "$PROUTER" ".flush usage"
+sleep 3
+
+# Rows arriving after the sync are the §3.4.1 bounded-loss window.
+LATE="INSERT INTO usage (network, device, ts, bytes) VALUES (1, 9, 999, 1), (2, 9, 999, 1), (3, 9, 999, 1), (4, 9, 999, 1), (5, 9, 999, 1), (6, 9, 999, 1);"
+sql "$PROUTER" "$LATE"
+sql "$PREF" "$LATE"
+
+echo "== failover: SIGKILL backend 0 =="
+kill -9 "$BACKEND0_PID"
+
+# Reads must fail over to the replica; every flushed+synced row survives.
+sql "$PROUTER" "SELECT * FROM usage WHERE ts <= 100;" >"$WORK/router.after"
+sql "$PREF" "SELECT * FROM usage WHERE ts <= 100;" >"$WORK/ref.after"
+diff -u "$WORK/ref.after" "$WORK/router.after"
+sql "$PROUTER" ".cluster"
+
+echo "cluster smoke OK (work dir: $WORK)"

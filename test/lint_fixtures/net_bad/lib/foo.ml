@@ -1,0 +1,5 @@
+(* Raw socket traffic in generic lib code: both calls must be flagged. *)
+let dial port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd

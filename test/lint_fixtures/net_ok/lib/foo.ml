@@ -1,0 +1,2 @@
+(* Non-socket Unix use in lib code is out of this rule's scope. *)
+let pid () = Unix.getpid ()

@@ -1,0 +1,6 @@
+(* lib/net is the one place allowed to touch sockets. *)
+let listen port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  fd

@@ -22,6 +22,7 @@ let () =
       ("db", Test_db.suite);
       ("sql", Test_sql.suite);
       ("net", Test_net.suite);
+      ("cluster", Test_cluster.suite);
       ("obs", Test_obs.suite);
       ("apps", Test_apps.suite);
       ("shard", Test_shard.suite);

@@ -59,6 +59,11 @@ let ts_of_cell = function
   | Value.Timestamp v -> v
   | v -> Alcotest.failf "expected timestamp cell, got %s" (Value.to_string v)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let check_int = Alcotest.(check int)
 
 let check_bool = Alcotest.(check bool)

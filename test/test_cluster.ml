@@ -1,0 +1,409 @@
+open Littletable
+open Lt_cluster
+module Client = Lt_net.Client
+module Server = Lt_net.Server
+module P = Lt_net.Protocol
+
+(* ---- Placement units (pure) ------------------------------------------- *)
+
+let test_hash_placement () =
+  let p = Placement.create ~shards:4 ~policy:(Placement.Hash { vnodes = 64 }) in
+  let p' = Placement.create ~shards:4 ~policy:(Placement.Hash { vnodes = 64 }) in
+  let hits = Array.make 4 0 in
+  for i = 0 to 999 do
+    let v = Value.Int64 (Int64.of_int i) in
+    let s = Placement.shard_of_value p v in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "deterministic" s (Placement.shard_of_value p v);
+    Alcotest.(check int) "same across instances" s (Placement.shard_of_value p' v);
+    hits.(s) <- hits.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d gets traffic" i) true (n > 0))
+    hits;
+  (* Key-pinned queries route to one shard; open scans fan out. *)
+  Alcotest.(check int) "prefix pins one shard" 1
+    (List.length (Placement.shards_of_query p (Query.prefix [ Value.Int64 7L ])));
+  Alcotest.(check (list int)) "open scan fans out" [ 0; 1; 2; 3 ]
+    (Placement.shards_of_query p Query.all)
+
+let test_range_placement () =
+  let p =
+    Placement.create ~shards:3
+      ~policy:(Placement.Range [ Value.Int64 3L; Value.Int64 5L ])
+  in
+  let owner v = Placement.shard_of_value p (Value.Int64 v) in
+  Alcotest.(check (list int)) "split point ownership" [ 0; 0; 1; 1; 2; 2 ]
+    (List.map owner [ 1L; 2L; 3L; 4L; 5L; 6L ]);
+  Alcotest.(check (list int)) "pinned value" [ 1 ]
+    (Placement.shards_of_query p (Query.prefix [ Value.Int64 4L ]));
+  Alcotest.(check (list int)) "everything" [ 0; 1; 2 ]
+    (Placement.shards_of_query p Query.all);
+  (* A bounded leading-key range touches only the contiguous span. *)
+  let bounded =
+    { Query.all with
+      Query.key_low = Query.Incl [ Value.Int64 2L ];
+      key_high = Query.Incl [ Value.Int64 4L ] }
+  in
+  Alcotest.(check (list int)) "contiguous span" [ 0; 1 ]
+    (Placement.shards_of_query p bounded);
+  (* Validation. *)
+  (match
+     Placement.create ~shards:3
+       ~policy:(Placement.Range [ Value.Int64 5L; Value.Int64 3L ])
+   with
+  | (_ : Placement.t) -> Alcotest.fail "descending split points accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_placement_overrides () =
+  let p = Placement.create ~shards:3 ~policy:(Placement.Hash { vnodes = 16 }) in
+  let v = Value.Int64 42L in
+  let home = Placement.shard_of_value p v in
+  let target = (home + 1) mod 3 in
+  let p2 = Placement.with_override p ~value:v ~shard:target in
+  Alcotest.(check int) "epoch bumped" 1 (Placement.epoch p2);
+  Alcotest.(check int) "override wins" target (Placement.shard_of_value p2 v);
+  Alcotest.(check int) "original untouched" home (Placement.shard_of_value p v);
+  Alcotest.(check (list int)) "prefix follows override" [ target ]
+    (Placement.shards_of_prefix p2 [ v; Value.Int64 9L ]);
+  (* Re-overriding the same value replaces, not stacks. *)
+  let p3 = Placement.with_override p2 ~value:v ~shard:home in
+  Alcotest.(check int) "second override wins" home (Placement.shard_of_value p3 v);
+  Alcotest.(check int) "one override entry" 1 (List.length (Placement.overrides p3));
+  Alcotest.(check int) "epoch bumps again" 2 (Placement.epoch p3)
+
+(* ---- Multi-server fixtures -------------------------------------------- *)
+
+let row_limit = 8
+
+let node_config = Config.make ~server_row_limit:row_limit ()
+
+type node = { n_dir : string; n_server : Server.t }
+
+let temp_dir () =
+  let dir = Filename.temp_file "lt_cluster" "" in
+  Sys.remove dir;
+  dir
+
+let rm_rf dir =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+
+let start_node () =
+  let dir = temp_dir () in
+  let db = Db.open_ ~config:node_config ~dir () in
+  let server = Server.start ~maintenance_period_s:0.0 ~db ~port:0 () in
+  { n_dir = dir; n_server = server }
+
+let stop_node n =
+  (try Server.stop n.n_server with _ -> ());
+  rm_rf n.n_dir
+
+let endpoint_of n =
+  { Cluster_client.host = "127.0.0.1"; port = Server.port n.n_server }
+
+(* [with_cluster ~shards ~policy f] runs [f ~router ~rc ~sc ~nodes]: a
+   router (served over TCP) in front of [shards] fresh backends, plus a
+   single-node reference server; [rc]/[sc] are clients of each. The
+   equality gate drives identical traffic through both and expects
+   identical answers. *)
+let with_cluster ~shards ~policy f =
+  let nodes = List.init shards (fun _ -> start_node ()) in
+  let reference = start_node () in
+  let cleanup = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun g -> try g () with _ -> ()) !cleanup;
+      List.iter stop_node (reference :: nodes))
+    (fun () ->
+      let cluster =
+        Cluster_client.create ~backends:(List.map endpoint_of nodes) ()
+      in
+      let placement = Placement.create ~shards ~policy in
+      let router = Router.create ~row_limit ~placement ~cluster () in
+      let rserver = Server.start_custom ~backend:(Router.backend router) ~port:0 () in
+      cleanup := (fun () -> Server.stop rserver) :: !cleanup;
+      let rc = Client.connect ~port:(Server.port rserver) () in
+      let sc = Client.connect ~port:(Server.port reference.n_server) () in
+      cleanup := (fun () -> Client.close rc; Client.close sc) :: !cleanup;
+      f ~router ~rc ~sc ~nodes)
+
+(* Insert the standard dataset through both paths: 6 networks x 4
+   devices x 5 timestamps, batched so each batch spans shards. *)
+let load_dataset rc sc =
+  let schema = Support.usage_schema () in
+  Client.create_table rc "usage" schema ~ttl:None;
+  Client.create_table sc "usage" schema ~ttl:None;
+  for ts = 1 to 5 do
+    let batch =
+      List.concat_map
+        (fun net ->
+          List.map
+            (fun dev ->
+              Support.usage_row ~network:(Int64.of_int net)
+                ~device:(Int64.of_int dev) ~ts:(Int64.of_int ts)
+                ~bytes:(Int64.of_int ((net * 100) + (dev * 10) + ts))
+                ~rate:0.5)
+            [ 1; 2; 3; 4 ])
+        [ 1; 2; 3; 4; 5; 6 ]
+    in
+    Client.insert rc "usage" batch;
+    Client.insert sc "usage" batch
+  done
+
+(* The gate itself: one page and the fully-paged result must match the
+   single node byte for byte (rows, order, more_available). *)
+let check_query name ~rc ~sc q =
+  let pr = Client.query_page rc "usage" q in
+  let ps = Client.query_page sc "usage" q in
+  Alcotest.(check bool) (name ^ ": page rows identical") true
+    (pr.Client.rows = ps.Client.rows);
+  Alcotest.(check bool) (name ^ ": more_available identical")
+    ps.Client.more_available pr.Client.more_available;
+  Alcotest.(check bool) (name ^ ": paged-through rows identical") true
+    (Client.query_all rc "usage" q = Client.query_all sc "usage" q)
+
+let query_shapes =
+  let open Query in
+  [ ("all", all);
+    ("all desc", with_direction Desc all);
+    ("limit 1", with_limit 1 all);
+    ("limit 3 desc", with_limit 3 (with_direction Desc all));
+    ("limit 8 (= page)", with_limit 8 all);
+    ("limit 20 (> page)", with_limit 20 all);
+    ("limit 200 (> total)", with_limit 200 all);
+    ("prefix net", prefix [ Value.Int64 3L ]);
+    ("prefix net desc", with_direction Desc (prefix [ Value.Int64 3L ]));
+    ("prefix net+dev", prefix [ Value.Int64 3L; Value.Int64 2L ]);
+    ("prefix missing net", prefix [ Value.Int64 99L ]);
+    ("ts band", between ~ts_min:2L ~ts_max:4L all);
+    ("ts band desc limit", with_limit 5 (with_direction Desc (between ~ts_min:2L ~ts_max:4L all)));
+    ("prefix + ts band", between ~ts_min:3L (prefix [ Value.Int64 5L ]));
+    ("key range", { all with key_low = Incl [ Value.Int64 2L ];
+                    key_high = Excl [ Value.Int64 5L ] }) ]
+
+let check_latest name ~rc ~sc prefix =
+  Alcotest.(check bool) (name ^ ": latest identical") true
+    (Client.latest rc "usage" prefix = Client.latest sc "usage" prefix)
+
+let run_equality_gate ~router ~rc ~sc ~nodes:_ =
+  load_dataset rc sc;
+  List.iter (fun (name, q) -> check_query name ~rc ~sc q) query_shapes;
+  (* latest: pinned prefixes and the full fan-out (max-ts ties across
+     shards exercise the larger-key tie-break). *)
+  check_latest "latest net" ~rc ~sc [ Value.Int64 4L ];
+  check_latest "latest net+dev" ~rc ~sc [ Value.Int64 4L; Value.Int64 1L ];
+  check_latest "latest missing" ~rc ~sc [ Value.Int64 99L ];
+  check_latest "latest all (tie-break)" ~rc ~sc [];
+  (* stats are summed across shards. *)
+  let s = Client.stats rc "usage" in
+  Alcotest.(check int) "summed rows_inserted" 120 s.Stats.rows_inserted;
+  (* placement is visible over the wire. *)
+  let pl = Client.placement rc in
+  Alcotest.(check int) "backends listed"
+    (Placement.shards (Router.placement router))
+    (List.length pl.P.pl_backends);
+  (* bulk delete routes to the owner(s) and agrees on the count. *)
+  let dr = Client.delete_prefix rc "usage" [ Value.Int64 3L ] in
+  let ds = Client.delete_prefix sc "usage" [ Value.Int64 3L ] in
+  Alcotest.(check int) "delete count identical" ds dr;
+  Alcotest.(check int) "deleted a network" 20 dr;
+  check_query "post-delete all" ~rc ~sc Query.all;
+  check_query "post-delete gap prefix" ~rc ~sc (Query.prefix [ Value.Int64 3L ])
+
+let test_equality_hash () =
+  with_cluster ~shards:3 ~policy:(Placement.Hash { vnodes = 64 }) run_equality_gate
+
+let test_equality_range () =
+  with_cluster ~shards:3
+    ~policy:(Placement.Range [ Value.Int64 3L; Value.Int64 5L ])
+    run_equality_gate
+
+(* DDL fans out to every shard: schema evolution through the router
+   matches the single node. *)
+let test_ddl_fanout () =
+  with_cluster ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+    (fun ~router:_ ~rc ~sc ~nodes ->
+      load_dataset rc sc;
+      let col =
+        { Schema.name = "note"; ctype = Value.T_string;
+          default = Value.String "-" }
+      in
+      Client.add_column rc "usage" col;
+      Client.add_column sc "usage" col;
+      let (sch_r, _), (sch_s, _) =
+        (Client.table_info rc "usage", Client.table_info sc "usage")
+      in
+      Alcotest.(check bool) "schemas agree" true (Schema.equal sch_r sch_s);
+      (* Every backend really got the new column. *)
+      List.iter
+        (fun n ->
+          let c = Client.connect ~port:(Server.port n.n_server) () in
+          let sch, _ = Client.table_info c "usage" in
+          Alcotest.(check bool) "backend schema evolved" true
+            (Schema.equal sch sch_r);
+          Client.close c)
+        nodes;
+      check_query "post-ddl all" ~rc ~sc Query.all;
+      Client.drop_table rc "usage";
+      Client.drop_table sc "usage";
+      Alcotest.(check (list string)) "dropped everywhere" [] (Client.list_tables rc))
+
+(* Rebalance: move one network to another shard mid-flight; results stay
+   identical, the epoch bumps, and new inserts land on the new owner. *)
+let test_rebalance () =
+  with_cluster ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+    (fun ~router ~rc ~sc ~nodes ->
+      load_dataset rc sc;
+      let v = Value.Int64 2L in
+      let home = Placement.shard_of_value (Router.placement router) v in
+      let target = (home + 1) mod 3 in
+      let moved = Router.rebalance router ~value:v ~to_shard:target in
+      Alcotest.(check int) "whole network moved" 20 moved;
+      Alcotest.(check int) "epoch bumped" 1
+        (Placement.epoch (Router.placement router));
+      Alcotest.(check int) "idempotent: already home" 0
+        (Router.rebalance router ~value:v ~to_shard:target);
+      List.iter (fun (name, q) -> check_query name ~rc ~sc q) query_shapes;
+      (* The rows now physically live on the target shard only. *)
+      let on_shard i =
+        let c = Client.connect ~port:(Server.port (List.nth nodes i).n_server) () in
+        let rows = Client.query_all c "usage" (Query.prefix [ v ]) in
+        Client.close c;
+        List.length rows
+      in
+      Alcotest.(check int) "old owner emptied" 0 (on_shard home);
+      Alcotest.(check int) "new owner holds the network" 20 (on_shard target);
+      (* New inserts follow the override. *)
+      let row =
+        Support.usage_row ~network:2L ~device:9L ~ts:99L ~bytes:0L ~rate:0.0
+      in
+      Client.insert rc "usage" [ row ];
+      Client.insert sc "usage" [ row ];
+      Alcotest.(check int) "insert followed override" 21 (on_shard target);
+      check_query "post-rebalance-insert" ~rc ~sc (Query.prefix [ v ]))
+
+(* ---- Replica failover -------------------------------------------------- *)
+
+(* Kill the only backend; reads fail over to its warm spare and lose
+   exactly the rows that never reached durable storage before the last
+   sync (§3.4.1's bounded loss). *)
+let test_replica_failover () =
+  let primary = start_node () in
+  let spare_dir = temp_dir () in
+  let cleanup = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun g -> try g () with _ -> ()) !cleanup;
+      stop_node primary;
+      rm_rf spare_dir)
+    (fun () ->
+      let pc = Client.connect ~port:(Server.port primary.n_server) () in
+      Client.create_table pc "usage" (Support.usage_schema ()) ~ttl:None;
+      let row i =
+        Support.usage_row ~network:1L ~device:(Int64.of_int i)
+          ~ts:(Int64.of_int i) ~bytes:0L ~rate:0.0
+      in
+      Client.insert pc "usage" (List.init 6 (fun i -> row (i + 1)));
+      Client.flush_before pc "usage" ~ts:100L;
+      (* Spare syncs the durable state... *)
+      let replica =
+        Replica.start ~config:node_config ~period_s:0.0
+          ~vfs:(Lt_vfs.Vfs.real ()) ~primary_dir:primary.n_dir ~dir:spare_dir ()
+      in
+      cleanup := (fun () -> Replica.stop replica) :: !cleanup;
+      Replica.sync_now replica;
+      (* ...then the primary takes three more rows it never flushes. *)
+      Client.insert pc "usage" (List.init 3 (fun i -> row (i + 7)));
+      Client.close pc;
+      let rspare = Server.start_custom ~backend:(Replica.backend replica) ~port:0 () in
+      cleanup := (fun () -> Server.stop rspare) :: !cleanup;
+      (* Probing a spare's placement is metadata, not data: it must not
+         promote and end the sync loop. *)
+      let probe = Client.connect ~port:(Server.port rspare) () in
+      Alcotest.(check string) "spare answers placement probes" "spare"
+        (Client.placement probe).P.pl_policy;
+      Client.close probe;
+      Alcotest.(check bool) "probe did not promote" false
+        (Replica.promoted replica);
+      let obs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+      let cluster =
+        Cluster_client.create ~obs
+          ~replicas:[ (0, { Cluster_client.host = "127.0.0.1";
+                            port = Server.port rspare }) ]
+          ~backends:[ endpoint_of primary ] ()
+      in
+      let placement =
+        Placement.create ~shards:1 ~policy:(Placement.Hash { vnodes = 16 })
+      in
+      let router = Router.create ~obs ~row_limit ~placement ~cluster () in
+      let rserver = Server.start_custom ~backend:(Router.backend router) ~port:0 () in
+      cleanup := (fun () -> Server.stop rserver) :: !cleanup;
+      let rc = Client.connect ~port:(Server.port rserver) () in
+      cleanup := (fun () -> Client.close rc) :: !cleanup;
+      Alcotest.(check int) "all rows before the crash" 9
+        (List.length (Client.query_all rc "usage" Query.all));
+      (* Primary dies. Server.stop flushes, but the spare never resyncs:
+         it serves what the last completed sync captured. *)
+      let primary_peer = Printf.sprintf "127.0.0.1:%d" (Server.port primary.n_server) in
+      Server.stop primary.n_server;
+      let rows = Client.query_all rc "usage" Query.all in
+      Alcotest.(check int) "flushed+synced rows survive" 6 (List.length rows);
+      Alcotest.(check bool) "only un-synced rows lost" true
+        (List.map (fun r -> Support.int64_of_cell r.(1)) rows
+        = List.init 6 (fun i -> Int64.of_int (i + 1)));
+      Alcotest.(check bool) "shard marked over" true
+        (Cluster_client.on_replica cluster 0);
+      Alcotest.(check bool) "failover counted" true
+        (Lt_obs.Metrics.Counter.value
+           (Lt_obs.Obs.failovers obs ~backend:primary_peer)
+        >= 1);
+      Alcotest.(check bool) "spare promoted" true (Replica.promoted replica);
+      (* Sticky: the next read goes straight to the replica. *)
+      Alcotest.(check int) "reads keep working" 6
+        (List.length (Client.query_all rc "usage" Query.all)))
+
+(* ---- Client backoff ---------------------------------------------------- *)
+
+let dead_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let test_client_backoff () =
+  let port = dead_port () in
+  let obs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+  let c = Client.create ~obs ~connect_timeout:1.0 ~port () in
+  Alcotest.(check bool) "starts disconnected" false (Client.connected c);
+  (match Client.ping c with
+  | () -> Alcotest.fail "ping without a connection"
+  | exception Client.Disconnected -> ());
+  let t0 = Unix.gettimeofday () in
+  (match Client.reconnect ~max_attempts:3 c with
+  | () -> Alcotest.fail "connected to a dead port"
+  | exception Client.Remote_error _ -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "backoff slept between attempts" true (elapsed >= 0.14);
+  Alcotest.(check int) "every attempt counted" 3
+    (Lt_obs.Metrics.Counter.value
+       (Lt_obs.Obs.client_reconnects obs ~peer:(Client.peer c)));
+  Alcotest.(check bool) "still disconnected" false (Client.connected c)
+
+let suite =
+  [
+    ("hash placement", `Quick, test_hash_placement);
+    ("range placement", `Quick, test_range_placement);
+    ("placement overrides", `Quick, test_placement_overrides);
+    ("router equality gate (hash)", `Quick, test_equality_hash);
+    ("router equality gate (range)", `Quick, test_equality_range);
+    ("ddl fans out", `Quick, test_ddl_fanout);
+    ("rebalance", `Quick, test_rebalance);
+    ("replica failover", `Quick, test_replica_failover);
+    ("client reconnect backoff", `Quick, test_client_backoff);
+  ]

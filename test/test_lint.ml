@@ -73,6 +73,13 @@ let test_domain_discipline () =
   check_clean "lib/exec exemption clean"
     (run ~rules:[ "domain-discipline" ] "domain_ok")
 
+let test_net_discipline () =
+  let bad = run ~rules:[ "net-discipline" ] "net_bad" in
+  Alcotest.(check int) "socket and connect flagged" 2
+    (count "net-discipline" bad);
+  check_clean "lib/net exemption + non-socket Unix clean"
+    (run ~rules:[ "net-discipline" ] "net_ok")
+
 let test_mli_coverage () =
   let bad = run ~rules:[ "mli-coverage" ] "mli_bad" in
   Alcotest.(check int) "missing interface flagged" 1 (count "mli-coverage" bad);
@@ -107,7 +114,7 @@ let test_formats () =
     "::error file=lib/x/y.ml,line=12,col=5::no-stdout: boom" (Lint.to_github f)
 
 let test_rule_catalogue () =
-  Alcotest.(check int) "seven rules" 7 (List.length Lint.rule_names);
+  Alcotest.(check int) "eight rules" 8 (List.length Lint.rule_names);
   List.iter
     (fun r ->
       Alcotest.(check bool) ("doc for " ^ r) true
@@ -125,6 +132,7 @@ let suite =
     Alcotest.test_case "no-stdout" `Quick test_stdout;
     Alcotest.test_case "domain-discipline" `Quick test_domain_discipline;
     Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
+    Alcotest.test_case "net-discipline" `Quick test_net_discipline;
     Alcotest.test_case "allow is rule-scoped" `Quick test_allow_scoped;
     Alcotest.test_case "allow malformed" `Quick test_allow_malformed;
     Alcotest.test_case "allow floating" `Quick test_allow_floating;

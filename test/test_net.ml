@@ -51,6 +51,7 @@ let test_protocol_requests () =
       Protocol.Get_stats "t";
       Protocol.Get_metrics;
       Protocol.Get_slow_ops 25;
+      Protocol.Get_placement;
       Protocol.Ping;
     ]
   in
@@ -81,6 +82,14 @@ let test_protocol_responses () =
       Protocol.Latest_row (Some [| Value.Timestamp 5L |]);
       Protocol.Error "boom";
       Protocol.Pong;
+      Protocol.Placement_info
+        { pl_epoch = 0; pl_policy = "single"; pl_backends = [] };
+      Protocol.Placement_info
+        {
+          pl_epoch = 7;
+          pl_policy = "hash(vnodes=64)";
+          pl_backends = [ ("127.0.0.1", 7501); ("10.1.2.3", 7502) ];
+        };
       Protocol.Metrics_text "# TYPE lt_up gauge\nlt_up 1\n";
       Protocol.Slow_ops
         [
@@ -265,6 +274,41 @@ let test_reconnect_after_server_restart () =
       Client.close c;
       Server.stop server2)
 
+(* A v1 client hello against a v2 server must be refused at the door,
+   not half-served with messages it cannot decode. *)
+let test_mixed_version_hello_rejected () =
+  with_server (fun server ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+          Protocol.send_request fd (Protocol.Hello 1);
+          (match Protocol.recv_response fd with
+          | Protocol.Error msg ->
+              Alcotest.(check bool) "names the version" true
+                (Support.contains ~sub:"version" msg)
+          | _ -> Alcotest.fail "stale version accepted");
+          (* The current version still gets through on the same socket. *)
+          Protocol.send_request fd (Protocol.Hello Protocol.version);
+          match Protocol.recv_response fd with
+          | Protocol.Hello_ok v ->
+              Alcotest.(check int) "hello_ok echoes version" Protocol.version v
+          | _ -> Alcotest.fail "current version refused"))
+
+(* A plain single-node server still answers Get_placement: one implicit
+   shard, so router-aware clients degrade gracefully. *)
+let test_single_node_placement () =
+  with_server (fun server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      let pl = Client.placement c in
+      Alcotest.(check string) "policy" "single" pl.Protocol.pl_policy;
+      Alcotest.(check int) "epoch" 0 pl.Protocol.pl_epoch;
+      Alcotest.(check int) "no explicit backends" 0
+        (List.length pl.Protocol.pl_backends);
+      Client.close c)
+
 (* Fuzz: arbitrary bytes fed to the decoders either parse or raise a
    protocol/corruption error — never crash. *)
 let prop_decoders_total =
@@ -301,6 +345,8 @@ let suite =
     ("sql over the wire", `Quick, test_server_sql_over_wire);
     ("multiple concurrent clients", `Quick, test_multiple_clients);
     ("reconnect after restart", `Quick, test_reconnect_after_server_restart);
+    ("mixed-version hello rejected", `Quick, test_mixed_version_hello_rejected);
+    ("single-node placement", `Quick, test_single_node_placement);
     ("negative decode counts rejected", `Quick, test_negative_count_rejected);
     Support.qcheck prop_decoders_total;
   ]
