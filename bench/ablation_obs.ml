@@ -38,6 +38,73 @@ let best ~trials f =
   done;
   !t
 
+(* FNV-1a over the printed cells: order-sensitive, so any difference in
+   row content or ordering between the two runs changes the digest. *)
+let fnv_prime = 0x100000001b3L
+
+let fnv_add h s =
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  h := Int64.mul (Int64.logxor !h 0x1fL) fnv_prime
+
+(* The ?profile wire flag must not perturb results: run the same query
+   mix through a server twice, profiling off then on, and compare
+   digests of every returned row. *)
+let profile_identity () =
+  let config = Config.make ~obs_enabled:true () in
+  let db = Db.open_ ~config ~vfs:(Lt_vfs.Vfs.memory ()) ~dir:"ablation" () in
+  let server = Lt_net.Server.start ~maintenance_period_s:0.0 ~db ~port:0 () in
+  let c = Lt_net.Client.connect ~port:(Lt_net.Server.port server) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Lt_net.Client.close c;
+      Lt_net.Server.stop server)
+    (fun () ->
+      Lt_net.Client.create_table c "usage" (usage_schema_like ()) ~ttl:None;
+      let rng = Lt_util.Xorshift.create 99L in
+      for net = 1 to 8 do
+        let batch =
+          List.init 64 (fun i ->
+              [| Value.Int64 (Int64.of_int net);
+                 Value.Int64 (Int64.of_int (i mod 4));
+                 Value.Timestamp (Int64.of_int (i + 1));
+                 Value.Int64 (Lt_util.Xorshift.next rng);
+                 Value.Double (Lt_util.Xorshift.float rng) |])
+        in
+        Lt_net.Client.insert c "usage" batch
+      done;
+      let queries =
+        Query.all
+        :: Query.with_limit 17 Query.all
+        :: List.init 8 (fun i ->
+               Query.between ~ts_min:5L
+                 (Query.prefix [ Value.Int64 (Int64.of_int (i + 1)) ]))
+      in
+      let digest ~profile =
+        let h = ref 0xcbf29ce484222325L and rows = ref 0 in
+        List.iter
+          (fun q ->
+            let page = Lt_net.Client.query_page ~profile c "usage" q in
+            List.iter
+              (fun row ->
+                incr rows;
+                Array.iter (fun v -> fnv_add h (Value.to_string v)) row)
+              page.Lt_net.Client.rows)
+          queries;
+        (!h, !rows)
+      in
+      let d_off, n_off = digest ~profile:false in
+      let d_on, n_on = digest ~profile:true in
+      if d_off <> d_on || n_off <> n_on then
+        failwith
+          (Printf.sprintf
+             "profiling changed query results (rows %d vs %d, digest %Lx vs %Lx)"
+             n_off n_on d_off d_on);
+      note "profiling on/off byte-identity: %d rows, digest %016Lx on both sides."
+        n_off d_off;
+      n_off)
+
 let run ?(quick = true) () =
   header "Ablation: observability overhead on inserts (obs on vs off)";
   let batches = if quick then 128 else 1024 in
@@ -58,4 +125,7 @@ let run ?(quick = true) () =
     overhead_pct;
   metric ~name:"insert_rows_per_s_obs_off" ~value:(rate off_s) ~unit:"rows/s";
   metric ~name:"insert_rows_per_s_obs_on" ~value:(rate on_s) ~unit:"rows/s";
-  metric ~name:"obs_overhead_pct" ~value:overhead_pct ~unit:"%"
+  metric ~name:"obs_overhead_pct" ~value:overhead_pct ~unit:"%";
+  let identical_rows = profile_identity () in
+  metric ~name:"profile_identity_rows" ~value:(float_of_int identical_rows)
+    ~unit:"rows"

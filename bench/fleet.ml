@@ -142,14 +142,16 @@ let router_smoke () =
   let module Server = Lt_net.Server in
   let module Client = Lt_net.Client in
   let open Lt_cluster in
-  let nodes =
-    List.init 3 (fun i ->
+  let shards = 3 in
+  let backends =
+    List.init shards (fun i ->
         let db =
           Littletable.Db.open_ ~vfs:(Lt_vfs.Vfs.memory ())
             ~dir:(Printf.sprintf "shard%d" i) ()
         in
-        Server.start ~maintenance_period_s:0.0 ~db ~port:0 ())
+        (db, Server.start ~maintenance_period_s:0.0 ~db ~port:0 ()))
   in
+  let nodes = List.map snd backends in
   let obs = Lt_obs.Obs.create ~clock:Clock.system () in
   let cluster =
     Cluster_client.create ~obs
@@ -160,7 +162,7 @@ let router_smoke () =
       ()
   in
   let placement =
-    Placement.create ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+    Placement.create ~shards ~policy:(Placement.Hash { vnodes = 64 })
   in
   let router = Router.create ~obs ~placement ~cluster () in
   let rserver = Server.start_custom ~backend:(Router.backend router) ~port:0 () in
@@ -231,7 +233,75 @@ let router_smoke () =
         queries query_s
         (Float.of_int queries /. query_s)
         qp99 mean_fanout;
+      (* Per-stage breakdown, from the wire-level query profiles: where
+         a routed query's time goes (route planning, shard scans, merge
+         stalls, and the residual network + merge cost). *)
+      let module Profile = Lt_obs.Profile in
+      let prof_queries = 60 in
+      let profs = ref [] in
+      for i = 1 to prof_queries do
+        let q =
+          if i mod 10 = 0 then Query.with_limit 50 Query.all
+          else
+            Query.between
+              ~ts_min:(Int64.of_int (periods - 7))
+              (Query.prefix [ Value.Int64 (Int64.of_int ((i mod networks) + 1)) ])
+        in
+        match (Client.query_page ~profile:true c "usage" q).Client.profile with
+        | Some p -> profs := p :: !profs
+        | None -> ()
+      done;
+      let agg = Profile.aggregate !profs in
+      let n = Float.of_int (max 1 (List.length !profs)) in
+      let mean_ms v = Int64.to_float v /. 1000.0 /. n in
+      let plan_ms = mean_ms agg.Profile.p_plan_us in
+      let scan_ms = mean_ms agg.Profile.p_scan_us in
+      let stall_ms = mean_ms agg.Profile.p_stall_us in
+      let total_ms = mean_ms agg.Profile.p_total_us in
+      let route_ms =
+        Float.max 0.0 (total_ms -. plan_ms -. scan_ms -. stall_ms)
+      in
+      Printf.printf
+        "query stages (mean over %d profiled): plan %.3f ms, shard scan %.3f \
+         ms, merge stall %.3f ms, route+merge %.3f ms, total %.3f ms\n"
+        (List.length !profs) plan_ms scan_ms stall_ms route_ms total_ms;
+      (* Insert stages, from the backends' engine histograms: in-memory
+         append vs. flush work. *)
+      let sum_hist f =
+        List.fold_left
+          (fun (s, c) (db, _) ->
+            let h =
+              f
+                (Lt_obs.Obs.table_instruments (Littletable.Db.obs db)
+                   ~table:"usage")
+            in
+            ( s +. Lt_obs.Metrics.Histogram.sum h,
+              c + Lt_obs.Metrics.Histogram.count h ))
+          (0.0, 0) backends
+      in
+      let mean_stage_ms f =
+        let s, c = sum_hist f in
+        if c = 0 then 0.0 else s /. Float.of_int c *. 1000.0
+      in
+      let append_ms = mean_stage_ms (fun ti -> ti.Lt_obs.Obs.h_insert) in
+      let flush_ms = mean_stage_ms (fun ti -> ti.Lt_obs.Obs.h_flush) in
+      Printf.printf
+        "insert stages (mean per op): memtable append %.3f ms, flush %.3f ms\n"
+        append_ms flush_ms;
       Support.metric ~name:"insert_rows_per_s" ~value:rows_per_s ~unit:"rows/s";
       Support.metric ~name:"insert_p99_ms" ~value:ip99 ~unit:"ms";
       Support.metric ~name:"query_p99_ms" ~value:qp99 ~unit:"ms";
-      Support.metric ~name:"query_mean_fanout" ~value:mean_fanout ~unit:"shards")
+      Support.metric ~name:"query_mean_fanout" ~value:mean_fanout ~unit:"shards";
+      Support.metric ~name:"insert_append_ms_mean" ~value:append_ms ~unit:"ms";
+      Support.metric ~name:"insert_flush_ms_mean" ~value:flush_ms ~unit:"ms";
+      Support.metric ~name:"query_plan_ms_mean" ~value:plan_ms ~unit:"ms";
+      Support.metric ~name:"query_shard_scan_ms_mean" ~value:scan_ms ~unit:"ms";
+      Support.metric ~name:"query_merge_stall_ms_mean" ~value:stall_ms ~unit:"ms";
+      Support.metric ~name:"query_route_merge_ms_mean" ~value:route_ms ~unit:"ms";
+      Support.metric ~name:"query_profiled_total_ms_mean" ~value:total_ms
+        ~unit:"ms";
+      Support.metric ~name:"shards" ~value:(Float.of_int shards) ~unit:"shards";
+      Support.metric ~name:"query_domains"
+        ~value:
+          (Float.of_int Littletable.Config.default.Littletable.Config.query_domains)
+        ~unit:"domains")

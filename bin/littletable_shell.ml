@@ -48,6 +48,85 @@ let do_flush client table ts =
   | exception Lt_net.Client.Remote_error msg ->
       Format.printf "server error: %s@." msg
 
+(* Reassemble a distributed trace into a tree: spans are parented by
+   [cx_parent] span id; spans whose parent is absent from the fetched
+   set (or zero) render as roots. Offsets are relative to the earliest
+   span so the indented timeline reads top to bottom. *)
+let show_trace client arg =
+  let module Trace = Lt_obs.Trace in
+  let ids =
+    match arg with
+    | "last" -> Lt_net.Client.last_trace client
+    | s -> Trace.parse_trace_id s
+  in
+  match ids with
+  | None ->
+      Format.printf
+        "no trace id: expected a hex trace id or 'last' (run a query first)@."
+  | Some (hi, lo) -> (
+      match Lt_net.Client.trace client (hi, lo) with
+      | [] -> Format.printf "no spans recorded for trace %016Lx%016Lx@." hi lo
+      | spans ->
+          let span_ids = Hashtbl.create 32 in
+          List.iter
+            (fun sp ->
+              match sp.Trace.sp_ctx with
+              | Some c -> Hashtbl.replace span_ids c.Trace.cx_span ()
+              | None -> ())
+            spans;
+          let children = Hashtbl.create 32 in
+          let roots = ref [] in
+          List.iter
+            (fun sp ->
+              match sp.Trace.sp_ctx with
+              | None -> ()
+              | Some c ->
+                  if
+                    c.Trace.cx_parent <> 0L
+                    && Hashtbl.mem span_ids c.Trace.cx_parent
+                  then
+                    Hashtbl.replace children c.Trace.cx_parent
+                      (sp
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt children c.Trace.cx_parent))
+                  else roots := sp :: !roots)
+            spans;
+          let base =
+            List.fold_left
+              (fun acc sp -> Int64.min acc sp.Trace.sp_start_us)
+              Int64.max_int spans
+          in
+          let by_start l =
+            List.sort
+              (fun a b -> Int64.compare a.Trace.sp_start_us b.Trace.sp_start_us)
+              l
+          in
+          let rec emit depth sp =
+            Format.printf "%s%-8s %-14s +%.3fms %.3fms%s@."
+              (String.make (2 * depth) ' ')
+              (Trace.op_name sp.Trace.sp_op)
+              sp.Trace.sp_table
+              (Int64.to_float (Int64.sub sp.Trace.sp_start_us base) /. 1000.)
+              (Int64.to_float sp.Trace.sp_duration_us /. 1000.)
+              (if sp.Trace.sp_scanned > 0 || sp.Trace.sp_returned > 0 then
+                 Printf.sprintf " scanned=%d returned=%d" sp.Trace.sp_scanned
+                   sp.Trace.sp_returned
+               else "");
+            match sp.Trace.sp_ctx with
+            | None -> ()
+            | Some c ->
+                List.iter
+                  (emit (depth + 1))
+                  (by_start
+                     (Option.value ~default:[]
+                        (Hashtbl.find_opt children c.Trace.cx_span)))
+          in
+          Format.printf "trace %016Lx%016Lx (%d spans)@." hi lo
+            (List.length spans);
+          List.iter (emit 0) (by_start !roots)
+      | exception Lt_net.Client.Remote_error msg ->
+          Format.printf "server error: %s@." msg)
+
 (* Dot commands: name, argument synopsis, help line, handler on the
    whitespace-separated arguments. *)
 let rec dot_commands =
@@ -93,6 +172,24 @@ let rec dot_commands =
            | Some ts -> do_flush client table ts
            | None -> Format.printf "usage: .flush <table> [ts]@.")
        | _ -> Format.printf "usage: .flush <table> [ts]@.");
+    (".profile", "[on|off]", "per-query EXPLAIN ANALYZE breakdowns",
+     fun client args ->
+       match args with
+       | [ "on" ] ->
+           Lt_net.Client.set_profiling client true;
+           Format.printf "profiling on@."
+       | [ "off" ] ->
+           Lt_net.Client.set_profiling client false;
+           Format.printf "profiling off@."
+       | [] ->
+           Format.printf "profiling %s@."
+             (if Lt_net.Client.profiling client then "on" else "off")
+       | _ -> Format.printf "usage: .profile [on|off]@.");
+    (".trace", "<id>|last", "reassembled cross-process span tree",
+     fun client args ->
+       match args with
+       | [ arg ] -> show_trace client arg
+       | _ -> Format.printf "usage: .trace <id>|last@.");
     (".quit", "", "leave the shell", fun _ _ -> raise Exit);
     (".exit", "", "leave the shell", fun _ _ -> raise Exit) ]
 
@@ -119,7 +216,15 @@ let execute_line client line =
   | line when line.[0] = '.' -> run_dot_command client line
   | line -> (
       match Lt_net.Client.sql client line with
-      | result -> Format.printf "%a@." Lt_sql.Executor.pp_result result
+      | result -> (
+          Format.printf "%a@." Lt_sql.Executor.pp_result result;
+          (* With [.profile on], every query page carried a profile;
+             fold the statement's pages into one breakdown. *)
+          match Lt_net.Client.take_profiles client with
+          | [] -> ()
+          | ps ->
+              Format.printf "%a@." Lt_obs.Profile.pp
+                (Lt_obs.Profile.aggregate ps))
       | exception Lt_sql.Lexer.Syntax_error msg ->
           Format.printf "syntax error: %s@." msg
       | exception Lt_sql.Planner.Plan_error msg ->
@@ -141,7 +246,11 @@ let repl client =
   print_newline ()
 
 let run host port statement =
-  match Lt_net.Client.connect ~host ~port () with
+  (* An enabled obs makes the shell a trace origin: every request goes
+     out under a fresh root context, so [.trace last] can fetch the
+     cross-process tree the previous statement produced. *)
+  let obs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+  match Lt_net.Client.connect ~obs ~host ~port () with
   | client -> (
       match statement with
       | Some stmt ->

@@ -1,5 +1,6 @@
 module Obs = Lt_obs.Obs
 module Metrics = Lt_obs.Metrics
+module Trace = Lt_obs.Trace
 module Client = Lt_net.Client
 module Protocol = Lt_net.Protocol
 
@@ -94,11 +95,26 @@ let request_read t i req =
   | Some r -> (
       try attempt t sh.sh_primary req
       with Unavailable _ ->
+        let t0 = Obs.now_us t.obs in
         let resp = attempt t r req in
         sh.sh_on_replica <- true;
         Metrics.Counter.inc
           (Obs.failovers t.obs ~backend:(Client.peer sh.sh_primary))
           1;
+        (* Mark the redirect in the trace so a reassembled tree shows
+           where a read left the primary for the spare. *)
+        if Obs.enabled t.obs then
+          Trace.record (Obs.trace t.obs)
+            { Trace.sp_op = Trace.Failover;
+              sp_table = Client.peer sh.sh_primary;
+              sp_start_us = t0;
+              sp_duration_us = Int64.max 0L (Int64.sub (Obs.now_us t.obs) t0);
+              sp_scanned = 0;
+              sp_returned = 0;
+              sp_tablets = 0;
+              sp_cache_hits = 0;
+              sp_cache_misses = 0;
+              sp_ctx = Option.map Trace.child_of (Trace.current ()) };
         Log.warn (fun m ->
             m "shard %d primary %s unreachable; reading from replica %s" i
               (Client.peer sh.sh_primary) (Client.peer r));

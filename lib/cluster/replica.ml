@@ -124,6 +124,10 @@ let handler t req =
         { pl_epoch = 0; pl_policy = "spare"; pl_backends = [] }
   | Protocol.Get_metrics when not (promoted t) ->
       Protocol.Metrics_text "# spare: not promoted\n"
+  | Protocol.Get_metrics_snapshot when not (promoted t) ->
+      (* Observability probes, like metadata, must not promote. *)
+      Protocol.Metrics_snapshot []
+  | Protocol.Get_trace _ when not (promoted t) -> Protocol.Trace_spans []
   | req -> Server.handle (promote t) req
 
 let backend t =

@@ -2,6 +2,7 @@ open Littletable
 module Obs = Lt_obs.Obs
 module Metrics = Lt_obs.Metrics
 module Trace = Lt_obs.Trace
+module Profile = Lt_obs.Profile
 module Client = Lt_net.Client
 module Protocol = Lt_net.Protocol
 module Server = Lt_net.Server
@@ -115,8 +116,10 @@ let route_insert t table rows =
 
 (* A pull source over one shard's slice of the bounding box: pages
    through capped [Row_batch]es with the adaptor's §3.5 resubmission
-   step, lazily — the merge pulls the next page only when needed. *)
-let shard_source t shard table schema q scanned =
+   step, lazily — the merge pulls the next page only when needed. When
+   profiling, each page's backend profile is pushed onto [profs] under
+   this shard's index; [route_query] folds them per shard afterwards. *)
+let shard_source t shard table schema q ~profile ~profs scanned =
   let q = { q with Query.limit = None } in
   let next_q = ref (Some q) in
   let buf = ref [] in
@@ -131,10 +134,18 @@ let shard_source t shard table schema q scanned =
         | Some q -> (
             match
               Cluster_client.request_read t.cc shard
-                (Protocol.Query { table; query = q })
+                (Protocol.Query { table; query = q; profile })
             with
-            | Protocol.Row_batch { rows; more_available; scanned = s } ->
+            | Protocol.Row_batch { rows; more_available; scanned = s; profile = p }
+              ->
                 scanned := !scanned + s;
+                (match p with
+                | Some p ->
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt profs shard)
+                    in
+                    Hashtbl.replace profs shard (p :: prev)
+                | None -> ());
                 buf := rows;
                 next_q :=
                   (if more_available then
@@ -155,33 +166,96 @@ let shard_source t shard table schema q scanned =
    own limit did not bind first — byte-identical to
    [Table.query] on a single node holding all the rows, provided
    [row_limit] equals that node's [server_row_limit]. *)
-let route_query t table q =
-  let schema = schema_of t table in
-  let shards = Placement.shards_of_query t.placement q in
-  observe_fanout t (List.length shards);
-  let scanned = ref 0 in
-  let sources =
-    List.map (fun s -> (s, shard_source t s table schema q scanned)) shards
+let route_query t table q ~profile =
+  (* Profiling is an explicit per-query opt-in measured with the obs
+     clock directly, so it works even on a [noop] (disabled) obs. *)
+  let clock = Obs.clock t.obs in
+  let pt0 = if profile then Lt_util.Clock.now clock else 0L in
+  (* The fan-out runs under a fresh Route span so each backend round
+     trip's Backend span (recorded by the client adaptor) nests under
+     it rather than directly under the Request span. *)
+  let ctx =
+    if Obs.enabled t.obs then Option.map Trace.child_of (Trace.current ())
+    else None
   in
-  let merged = Cursor.merge ~asc:(q.Query.direction = Query.Asc) sources in
-  let cap =
-    match q.Query.limit with
-    | None -> t.row_limit
-    | Some l -> min l t.row_limit
+  let t0 = Obs.now_us t.obs in
+  let rows, more_available, scanned, prof =
+    Trace.with_ctx ctx (fun () ->
+        let schema = schema_of t table in
+        let shards = Placement.shards_of_query t.placement q in
+        observe_fanout t (List.length shards);
+        let scanned = ref 0 in
+        let profs = Hashtbl.create 8 in
+        let plan_done = if profile then Lt_util.Clock.now clock else 0L in
+        let sources =
+          List.map
+            (fun s ->
+              (s, shard_source t s table schema q ~profile ~profs scanned))
+            shards
+        in
+        let merged = Cursor.merge ~asc:(q.Query.direction = Query.Asc) sources in
+        let cap =
+          match q.Query.limit with
+          | None -> t.row_limit
+          | Some l -> min l t.row_limit
+        in
+        let rec collect acc n =
+          if n = 0 then (List.rev acc, merged () <> None)
+          else
+            match merged () with
+            | None -> (List.rev acc, false)
+            | Some (_, row) -> collect (row :: acc) (n - 1)
+        in
+        let rows, more = collect [] cap in
+        let more_available =
+          more
+          && (match q.Query.limit with None -> true | Some l -> l > t.row_limit)
+        in
+        let prof =
+          if not profile then None
+          else begin
+            (* Per-shard sub-profiles in shard order; the top level
+               aggregates their counts but reports the router's own wall
+               times (plan = placement + source setup; total = whole
+               routed query). *)
+            let shard_profs =
+              List.filter_map
+                (fun s ->
+                  match Hashtbl.find_opt profs s with
+                  | Some ps ->
+                      Some
+                        ( "shard" ^ string_of_int s,
+                          Profile.aggregate (List.rev ps) )
+                  | None -> None)
+                shards
+            in
+            let agg = Profile.aggregate (List.map snd shard_profs) in
+            Some
+              { agg with
+                Profile.p_plan_us = Int64.sub plan_done pt0;
+                p_total_us = Int64.sub (Lt_util.Clock.now clock) pt0;
+                p_rows_returned = List.length rows;
+                p_shards = shard_profs }
+          end
+        in
+        (rows, more_available, !scanned, prof))
   in
-  let rec collect acc n =
-    if n = 0 then (List.rev acc, merged () <> None)
-    else
-      match merged () with
-      | None -> (List.rev acc, false)
-      | Some (_, row) -> collect (row :: acc) (n - 1)
-  in
-  let rows, more = collect [] cap in
-  let more_available =
-    more
-    && (match q.Query.limit with None -> true | Some l -> l > t.row_limit)
-  in
-  Protocol.Row_batch { rows; more_available; scanned = !scanned }
+  (match ctx with
+  | Some c ->
+      let now = Obs.now_us t.obs in
+      Trace.record (Obs.trace t.obs)
+        { Trace.sp_op = Trace.Route;
+          sp_table = table;
+          sp_start_us = t0;
+          sp_duration_us = Int64.max 0L (Int64.sub now t0);
+          sp_scanned = scanned;
+          sp_returned = List.length rows;
+          sp_tablets = 0;
+          sp_cache_hits = 0;
+          sp_cache_misses = 0;
+          sp_ctx = Some c }
+  | None -> ());
+  Protocol.Row_batch { rows; more_available; scanned; profile = prof }
 
 (* ---- Latest ------------------------------------------------------------ *)
 
@@ -229,6 +303,68 @@ let route_stats t table =
       | [] -> err "no shards"
       | s :: rest -> Protocol.Stats_resp (List.fold_left Stats.add s rest))
 
+(* ---- Distributed observability ----------------------------------------- *)
+
+(* Cross-process trace reassembly: the router's own ring plus every
+   backend's matching spans, best effort — a dead shard loses its spans
+   but never fails the fetch. *)
+let route_trace t ~hi ~lo =
+  let own = Trace.find_trace (Obs.trace t.obs) ~hi ~lo in
+  let n = Cluster_client.shard_count t.cc in
+  let remote =
+    List.concat_map
+      (fun i ->
+        match
+          Cluster_client.request_read t.cc i (Protocol.Get_trace (hi, lo))
+        with
+        | Protocol.Trace_spans spans -> spans
+        | _ -> []
+        | exception Cluster_client.Unavailable _ -> []
+        | exception Client.Remote_error _ -> [])
+      (List.init n Fun.id)
+  in
+  Protocol.Trace_spans (own @ remote)
+
+(* Metrics federation: scrape one snapshot per backend, merge with the
+   router's own registry. Aggregate series first, then every source's
+   children again with a [shard] label; an unreachable shard degrades
+   to a comment rather than failing the scrape. *)
+let render_federated t =
+  let n = Cluster_client.shard_count t.cc in
+  let scraped =
+    List.map
+      (fun i ->
+        let label = string_of_int i in
+        match
+          Cluster_client.request_read t.cc i Protocol.Get_metrics_snapshot
+        with
+        | Protocol.Metrics_snapshot s -> (label, Ok s)
+        | Protocol.Error msg -> (label, Error msg)
+        | _ -> (label, Error "bad metrics snapshot response")
+        | exception Cluster_client.Unavailable msg ->
+            (label, Error ("unavailable: " ^ msg))
+        | exception Client.Remote_error msg -> (label, Error msg))
+      (List.init n Fun.id)
+  in
+  let ok =
+    List.filter_map
+      (fun (l, r) -> match r with Ok s -> Some (l, s) | Error _ -> None)
+      scraped
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (l, r) ->
+      match r with
+      | Error e ->
+          Buffer.add_string buf
+            (Printf.sprintf "# shard %s unavailable: %s\n" l e)
+      | Ok _ -> ())
+    scraped;
+  Buffer.add_string buf
+    (Metrics.render_federated
+       (("router", Metrics.snapshot (Obs.registry t.obs)) :: ok));
+  Buffer.contents buf
+
 (* ---- Dispatch ---------------------------------------------------------- *)
 
 let invalidate t table = Hashtbl.remove t.schemas table
@@ -267,7 +403,7 @@ let handle_inner t req =
   | Protocol.Flush_before _ ->
       first_error_else (fanout_all t ~write:true req) Protocol.Ok
   | Protocol.Insert { table; rows } -> route_insert t table rows
-  | Protocol.Query { table; query } -> route_query t table query
+  | Protocol.Query { table; query; profile } -> route_query t table query ~profile
   | Protocol.Latest { table; prefix } -> route_latest t table prefix
   | Protocol.Get_stats table -> route_stats t table
   | Protocol.Delete_prefix { table = _; prefix } ->
@@ -283,7 +419,10 @@ let handle_inner t req =
               | _ -> err "bad delete response")
             shards;
           Protocol.Deleted !total)
-  | Protocol.Get_metrics -> Protocol.Metrics_text (Obs.render t.obs)
+  | Protocol.Get_metrics -> Protocol.Metrics_text (render_federated t)
+  | Protocol.Get_metrics_snapshot ->
+      Protocol.Metrics_snapshot (Metrics.snapshot (Obs.registry t.obs))
+  | Protocol.Get_trace (hi, lo) -> route_trace t ~hi ~lo
   | Protocol.Get_slow_ops n ->
       Protocol.Slow_ops (Trace.slow ~n:(max 0 n) (Obs.trace t.obs))
 
@@ -343,7 +482,7 @@ let rebalance t ~value ~to_shard =
             while !continue_ do
               match
                 Cluster_client.request_read t.cc from_shard
-                  (Protocol.Query { table; query = !q })
+                  (Protocol.Query { table; query = !q; profile = false })
               with
               | Protocol.Row_batch { rows; more_available; _ } ->
                   (if rows <> [] then
@@ -386,7 +525,7 @@ let backend t =
   {
     Server.b_handle = handle t;
     b_obs = t.obs;
-    b_render = (fun () -> Obs.render t.obs);
+    b_render = (fun () -> render_federated t);
     b_maintenance = None;
     b_on_stop = (fun () -> Cluster_client.close t.cc);
   }

@@ -14,6 +14,7 @@ type t = {
   cache_bytes : int;
   obs_enabled : bool;
   slow_op_micros : int64;
+  trace_capacity : int;
   query_domains : int;
 }
 
@@ -32,6 +33,7 @@ let default =
     cache_bytes = 64 * 1024 * 1024;
     obs_enabled = true;
     slow_op_micros = Clock.msec 100;
+    trace_capacity = 1024;
     query_domains = Lt_exec.Pool.default_domains ();
   }
 
@@ -46,6 +48,7 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     ?(enforce_unique = default.enforce_unique)
     ?(cache_bytes = default.cache_bytes) ?(obs_enabled = default.obs_enabled)
     ?(slow_op_micros = default.slow_op_micros)
+    ?(trace_capacity = default.trace_capacity)
     ?(query_domains = default.query_domains) () =
   {
     block_size;
@@ -61,5 +64,6 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     cache_bytes;
     obs_enabled;
     slow_op_micros;
+    trace_capacity;
     query_domains;
   }

@@ -94,6 +94,7 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
   in
   let obs =
     Obs.create ~enabled:config.Config.obs_enabled
+      ~trace_capacity:config.Config.trace_capacity
       ~slow_op_micros:config.Config.slow_op_micros ~clock ()
   in
   (* [Pool.shared] keys process-wide pools by size, so opening many

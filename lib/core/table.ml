@@ -108,6 +108,25 @@ let obs_end t ~hist ~op ~t0 ~h0 ~m0 ?(scanned = 0) ?(returned = 0)
       ~tablets ~cache_hits:(h1 - h0) ~cache_misses:(m1 - m0) ()
   end
 
+(* Per-query profile accumulator ([query ~profile]). Parallel-scan
+   worker callbacks update it from pool domains, hence the mutex.
+   Timed with [t.clock] directly: profiling is an explicit per-query
+   opt-in and must work even when [Config.obs_enabled] is false. *)
+type prof_acc = {
+  pr_mutex : Mutex.t;
+  mutable pr_plan_us : int64;
+  mutable pr_scan_us : int64; (* summed worker busy time when staged *)
+  mutable pr_stall_us : int64;
+  mutable pr_staged : bool; (* parallel path taken *)
+}
+
+let prof_acc_create () =
+  { pr_mutex = Mutex.create ();
+    pr_plan_us = 0L;
+    pr_scan_us = 0L;
+    pr_stall_us = 0L;
+    pr_staged = false }
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -682,6 +701,7 @@ type scan = {
   sources : (int * Cursor.source) list;
   referenced : disk_tablet list;
   eff_ts_min : int64 option;
+  considered : int; (* disk tablets before range pruning *)
 }
 
 (* Select overlapping tablets and snapshot memtables. Takes refs on the
@@ -740,7 +760,10 @@ let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
             ))
           selected
       in
-      { sources = mem_sources @ disk_sources; referenced = selected; eff_ts_min })
+      { sources = mem_sources @ disk_sources;
+        referenced = selected;
+        eff_ts_min;
+        considered = List.length t.disk })
 
 let empty_source () = None
 
@@ -752,17 +775,27 @@ let empty_source () = None
    The returned finish function must run before the caller releases its
    tablet references; {!Pscan.stage} guarantees no producer task is
    still reading after it returns. *)
-let maybe_stage t ~has_disk sources =
+let maybe_stage ?prof t ~has_disk sources =
   match t.pool with
   | Some pool when has_disk && List.length sources > 1 ->
       let obs_on = Obs.enabled t.obs in
       if obs_on then
         Ometrics.Histogram.observe t.instr.Obs.h_fanout
           (float_of_int (List.length sources));
-      let now_us () = if obs_on then Clock.now t.clock else 0L in
+      (match prof with
+      | Some pr ->
+          Mutexes.with_lock pr.pr_mutex (fun () -> pr.pr_staged <- true)
+      | None -> ());
+      let timed = obs_on || prof <> None in
+      let now_us () = if timed then Clock.now t.clock else 0L in
       let on_worker ~busy_us ~rows:_ =
         if obs_on then
-          Ometrics.Histogram.observe_us t.instr.Obs.h_worker_scan busy_us
+          Ometrics.Histogram.observe_us t.instr.Obs.h_worker_scan busy_us;
+        match prof with
+        | Some pr ->
+            Mutexes.with_lock pr.pr_mutex (fun () ->
+                pr.pr_scan_us <- Int64.add pr.pr_scan_us busy_us)
+        | None -> ()
       in
       let on_stall dur =
         (* [record_op] both observes the histogram and records a span;
@@ -772,14 +805,20 @@ let maybe_stage t ~has_disk sources =
           Obs.record_op t.obs ~hist:t.instr.Obs.h_stall ~op:Otrace.Stall
             ~table:t.tname
             ~t0:(Int64.sub (Clock.now t.clock) dur)
-            ()
+            ();
+        match prof with
+        | Some pr ->
+            Mutexes.with_lock pr.pr_mutex (fun () ->
+                pr.pr_stall_us <- Int64.add pr.pr_stall_us dur)
+        | None -> ()
       in
       Pscan.stage pool ~now_us ~on_worker ~on_stall sources
   | _ -> (sources, fun () -> ())
 
-let query_raw t (q : Query.t) =
+let query_raw ?prof t (q : Query.t) =
+  let plan0 = match prof with Some _ -> Clock.now t.clock | None -> 0L in
   match Query.compile t.schema q with
-  | None -> (empty_source, (fun () -> ()), ref 0, 0)
+  | None -> (empty_source, (fun () -> ()), ref 0, 0, 0)
   | Some compiled ->
       let asc = q.Query.direction = Query.Asc in
       let scan =
@@ -787,8 +826,11 @@ let query_raw t (q : Query.t) =
       in
       let scanned = ref 0 in
       let staged, finish_stage =
-        maybe_stage t ~has_disk:(scan.referenced <> []) scan.sources
+        maybe_stage ?prof t ~has_disk:(scan.referenced <> []) scan.sources
       in
+      (match prof with
+      | Some pr -> pr.pr_plan_us <- Int64.sub (Clock.now t.clock) plan0
+      | None -> ());
       let merged = Cursor.merge ~asc staged in
       let filtered =
         Cursor.filter_ts ~scanned ?ts_min:scan.eff_ts_min ?ts_max:q.Query.ts_max
@@ -804,11 +846,15 @@ let query_raw t (q : Query.t) =
           release t scan.referenced
         end
       in
-      (filtered, release_once, scanned, List.length scan.referenced)
+      ( filtered,
+        release_once,
+        scanned,
+        List.length scan.referenced,
+        scan.considered - List.length scan.referenced )
 
 let query_iter t q =
   let t0, h0, m0 = obs_begin t in
-  let src, release_once, scanned, tablets = query_raw t q in
+  let src, release_once, scanned, tablets, _pruned = query_raw t q in
   let src =
     match q.Query.limit with None -> src | Some n -> Cursor.take n src
   in
@@ -834,11 +880,15 @@ type result = {
   rows : Value.t array list;
   more_available : bool;
   scanned : int;
+  profile : Lt_obs.Profile.t option;
 }
 
-let query t (q : Query.t) =
+let query ?(profile = false) t (q : Query.t) =
   let t0, h0, m0 = obs_begin t in
-  let src, release_once, scanned, tablets = query_raw t q in
+  let prof = if profile then Some (prof_acc_create ()) else None in
+  let pt0 = if profile then Clock.now t.clock else 0L in
+  let ph0, pm0 = if profile then cache_counts t else (0, 0) in
+  let src, release_once, scanned, tablets, pruned = query_raw ?prof t q in
   let server_cap = t.config.Config.server_row_limit in
   let cap =
     match q.Query.limit with
@@ -853,7 +903,9 @@ let query t (q : Query.t) =
       | Some (_, row) -> collect (row :: acc) (n - 1)
     end
   in
+  let scan0 = if profile then Clock.now t.clock else 0L in
   let rows, more = collect [] cap in
+  (* Joins in-flight producers, so worker busy totals are final. *)
   release_once ();
   let scanned = !scanned in
   Stats.note_query t.stats ~scanned ~returned:(List.length rows);
@@ -865,7 +917,34 @@ let query t (q : Query.t) =
   let more_available =
     more && (match q.Query.limit with None -> true | Some l -> l > server_cap)
   in
-  { rows; more_available; scanned }
+  let profile =
+    match prof with
+    | None -> None
+    | Some pr ->
+        let fin = Clock.now t.clock in
+        let h1, m1 = cache_counts t in
+        let scan_us, stall_us =
+          Mutexes.with_lock pr.pr_mutex (fun () ->
+              if pr.pr_staged then (pr.pr_scan_us, pr.pr_stall_us)
+              else (Int64.sub fin scan0, 0L))
+        in
+        Some
+          { Lt_obs.Profile.p_plan_us = pr.pr_plan_us;
+            p_scan_us = scan_us;
+            p_stall_us = stall_us;
+            p_total_us = Int64.sub fin pt0;
+            p_rows_scanned = scanned;
+            p_rows_returned = List.length rows;
+            p_tablets = tablets;
+            p_tablets_pruned = pruned;
+            (* Blooms serve only the [latest] point-lookup path (§3.4.5);
+               a range scan never consults them. *)
+            p_bloom_skips = 0;
+            p_cache_hits = h1 - ph0;
+            p_cache_misses = m1 - pm0;
+            p_shards = [] }
+  in
+  { rows; more_available; scanned; profile }
 
 (* ------------------------------------------------------------------ *)
 (* Latest row for a key prefix (§3.4.5)                                *)

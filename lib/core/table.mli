@@ -91,9 +91,16 @@ type result = {
       (** the server's own row limit was hit before the client's (§3.5);
           resubmit with the key bound advanced past the last row *)
   scanned : int;  (** rows examined, for the §5.2.4 efficiency metric *)
+  profile : Lt_obs.Profile.t option;
+      (** per-stage breakdown, present iff the query asked for one *)
 }
 
-val query : t -> Query.t -> result
+(** [query ?profile t q] — [~profile:true] additionally measures a
+    per-stage {!Lt_obs.Profile.t} (plan/scan/stall times, rows, tablet
+    pruning, cache deltas) using the table's own clock; it works even
+    when [Config.obs_enabled] is false and never changes the rows
+    returned. *)
+val query : ?profile:bool -> t -> Query.t -> result
 
 (** Streaming scan (no server row cap). The source holds references on
     the tablets it reads; they release when it is drained. *)

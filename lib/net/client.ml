@@ -15,6 +15,9 @@ type t = {
   mutable fd : Unix.file_descr option;
   schemas : (string, Schema.t * int64 option) Hashtbl.t;
   mutex : Mutex.t;  (** one outstanding request per connection *)
+  mutable profiling : bool;  (** ask for per-query profiles by default *)
+  mutable profiles : Lt_obs.Profile.t list;  (** newest first; see [take_profiles] *)
+  mutable last_trace : (int64 * int64) option;  (** newest wire trace id *)
 }
 
 let peer t = t.peer
@@ -54,20 +57,55 @@ let drop_connection t =
   | None -> ());
   t.fd <- None
 
+(* Every outbound request carries a trace context when this client's
+   observability is on: a child of the calling thread's ambient context
+   (one statement = one trace, even across resubmitted pages) or a fresh
+   root. The round trip is recorded as a [Backend] span in this
+   process's own ring — span only, no histogram, so the router's
+   backend-latency series (owned by [Cluster_client]) is not double
+   counted. *)
 let roundtrip t req =
-  Lt_util.Mutexes.with_lock t.mutex
-    (fun () ->
-      match t.fd with
-      | None -> raise Disconnected
-      | Some fd -> (
-          match
-            Protocol.send_request fd req;
-            Protocol.recv_response fd
-          with
-          | resp -> resp
-          | exception (End_of_file | Unix.Unix_error _) ->
-              drop_connection t;
-              raise Disconnected))
+  let ctx =
+    if Obs.enabled t.obs then
+      Some
+        (match Lt_obs.Trace.current () with
+        | Some c -> Lt_obs.Trace.child_of c
+        | None -> Lt_obs.Trace.new_root ~clock:(Obs.clock t.obs))
+    else None
+  in
+  let t0 = Obs.now_us t.obs in
+  let resp =
+    Lt_util.Mutexes.with_lock t.mutex
+      (fun () ->
+        match t.fd with
+        | None -> raise Disconnected
+        | Some fd -> (
+            match
+              Protocol.send_request ?ctx fd req;
+              Protocol.recv_response fd
+            with
+            | resp -> resp
+            | exception (End_of_file | Unix.Unix_error _) ->
+                drop_connection t;
+                raise Disconnected))
+  in
+  (match ctx with
+  | Some c ->
+      Lt_util.Mutexes.with_lock t.mutex (fun () ->
+          t.last_trace <- Some (c.Lt_obs.Trace.cx_trace_hi, c.cx_trace_lo));
+      Lt_obs.Trace.record (Obs.trace t.obs)
+        { Lt_obs.Trace.sp_op = Lt_obs.Trace.Backend;
+          sp_table = t.peer;
+          sp_start_us = t0;
+          sp_duration_us = Int64.max 0L (Int64.sub (Obs.now_us t.obs) t0);
+          sp_scanned = 0;
+          sp_returned = 0;
+          sp_tablets = 0;
+          sp_cache_hits = 0;
+          sp_cache_misses = 0;
+          sp_ctx = Some c }
+  | None -> ());
+  resp
 
 let request = roundtrip
 
@@ -92,6 +130,9 @@ let create ?(obs = Obs.noop) ?connect_timeout ?(host = "127.0.0.1") ~port () =
     fd = None;
     schemas = Hashtbl.create 8;
     mutex = Mutex.create ();
+    profiling = false;
+    profiles = [];
+    last_trace = None;
   }
 
 let connected t =
@@ -165,12 +206,39 @@ let insert t table rows =
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad insert response")
 
-type page = { rows : Value.t array list; more_available : bool; scanned : int }
+type page = {
+  rows : Value.t array list;
+  more_available : bool;
+  scanned : int;
+  profile : Lt_obs.Profile.t option;
+}
 
-let query_page t table query =
-  match roundtrip t (Protocol.Query { table; query }) with
-  | Protocol.Row_batch { rows; more_available; scanned } ->
-      { rows; more_available; scanned }
+let set_profiling t b = t.profiling <- b
+
+let profiling t = t.profiling
+
+let take_profiles t =
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let ps = t.profiles in
+      t.profiles <- [];
+      List.rev ps)
+
+let last_trace t = Lt_util.Mutexes.with_lock t.mutex (fun () -> t.last_trace)
+
+let query_page ?profile t table query =
+  (* Explicit [?profile] (the router) bypasses the sticky flag and the
+     accumulator — only implicit (shell-style) profiles are retained for
+     [take_profiles], so a router never accumulates unboundedly. *)
+  let implicit = profile = None in
+  let profile = Option.value profile ~default:t.profiling in
+  match roundtrip t (Protocol.Query { table; query; profile }) with
+  | Protocol.Row_batch { rows; more_available; scanned; profile = p } ->
+      (match p with
+      | Some prof when implicit ->
+          Lt_util.Mutexes.with_lock t.mutex (fun () ->
+              t.profiles <- prof :: t.profiles)
+      | _ -> ());
+      { rows; more_available; scanned; profile = p }
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad query response")
 
@@ -278,6 +346,18 @@ let placement t =
   | Protocol.Placement_info info -> info
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad placement response")
+
+let trace t (hi, lo) =
+  match roundtrip t (Protocol.Get_trace (hi, lo)) with
+  | Protocol.Trace_spans spans -> spans
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad trace response")
+
+let metrics_snapshot t =
+  match roundtrip t Protocol.Get_metrics_snapshot with
+  | Protocol.Metrics_snapshot snap -> snap
+  | Protocol.Error msg -> raise (Remote_error msg)
+  | _ -> raise (Remote_error "bad metrics snapshot response")
 
 let sql_backend t =
   {

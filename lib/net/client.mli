@@ -72,10 +72,18 @@ val drop_table : t -> string -> unit
 
 val insert : t -> string -> Value.t array list -> unit
 
-type page = { rows : Value.t array list; more_available : bool; scanned : int }
+type page = {
+  rows : Value.t array list;
+  more_available : bool;
+  scanned : int;
+  profile : Lt_obs.Profile.t option;
+}
 
-(** One server round trip; at most the server's row cap. *)
-val query_page : t -> string -> Query.t -> page
+(** One server round trip; at most the server's row cap. [?profile]
+    overrides the sticky {!set_profiling} flag for this page (explicit
+    profiles are returned but not accumulated for {!take_profiles} —
+    the router's mode). *)
+val query_page : ?profile:bool -> t -> string -> Query.t -> page
 
 (** Whole result set: pages through [more_available] by advancing the
     key bound past the last row received, exactly like the paper's
@@ -121,6 +129,30 @@ val slow_ops : ?n:int -> t -> Lt_obs.Trace.span list
 (** How the peer places data: a single-node server answers
     [policy = "single"]; a router describes its shard set. *)
 val placement : t -> Protocol.placement_info
+
+(** {1 Distributed observability} *)
+
+(** When on, every query page asks the server for a per-stage
+    {!Lt_obs.Profile.t}; profiles come back with the result pages and
+    are retained until {!take_profiles}. Off by default. *)
+val set_profiling : t -> bool -> unit
+
+val profiling : t -> bool
+
+(** Profiles accumulated since the last call, oldest first (one per
+    page; aggregate with {!Lt_obs.Profile.aggregate}). *)
+val take_profiles : t -> Lt_obs.Profile.t list
+
+(** Trace id of the most recent traced request, if this client's [obs]
+    is enabled — what the shell's [.trace last] resolves to. *)
+val last_trace : t -> (int64 * int64) option
+
+(** All spans the peer retains for one trace, oldest first; a router
+    answers with its own spans plus every backend's. *)
+val trace : t -> int64 * int64 -> Lt_obs.Trace.span list
+
+(** The peer's metrics registry as mergeable plain data. *)
+val metrics_snapshot : t -> Lt_obs.Metrics.snapshot
 
 (** {1 SQL} *)
 

@@ -5,7 +5,7 @@ exception Protocol_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
 
-let version = 2
+let version = 3
 
 let max_frame = 64 * 1024 * 1024
 
@@ -16,7 +16,7 @@ type request =
   | Create_table of { table : string; schema : Schema.t; ttl : int64 option }
   | Drop_table of string
   | Insert of { table : string; rows : Value.t array list }
-  | Query of { table : string; query : Query.t }
+  | Query of { table : string; query : Query.t; profile : bool }
   | Latest of { table : string; prefix : Value.t list }
   | Flush_before of { table : string; ts : int64 }
   | Get_stats of string
@@ -28,6 +28,8 @@ type request =
   | Get_metrics
   | Get_slow_ops of int  (** at most this many spans, newest first *)
   | Get_placement
+  | Get_trace of (int64 * int64)  (** all retained spans of one trace *)
+  | Get_metrics_snapshot  (** mergeable registry image for federation *)
 
 type placement_info = {
   pl_epoch : int;
@@ -41,7 +43,12 @@ type response =
   | Table_info of { schema : Schema.t; ttl : int64 option }
   | Ok
   | Insert_ok of int
-  | Row_batch of { rows : Value.t array list; more_available : bool; scanned : int }
+  | Row_batch of {
+      rows : Value.t array list;
+      more_available : bool;
+      scanned : int;
+      profile : Lt_obs.Profile.t option;
+    }
   | Latest_row of Value.t array option
   | Stats_resp of Stats.snapshot
   | Error of string
@@ -50,6 +57,8 @@ type response =
   | Metrics_text of string  (** Prometheus exposition *)
   | Slow_ops of Lt_obs.Trace.span list
   | Placement_info of placement_info
+  | Trace_spans of Lt_obs.Trace.span list
+  | Metrics_snapshot of Lt_obs.Metrics.snapshot
 
 let request_kind = function
   | Hello _ -> "hello"
@@ -70,6 +79,8 @@ let request_kind = function
   | Get_metrics -> "get_metrics"
   | Get_slow_ops _ -> "get_slow_ops"
   | Get_placement -> "get_placement"
+  | Get_trace _ -> "get_trace"
+  | Get_metrics_snapshot -> "get_metrics_snapshot"
 
 (* ---- Tagged values ---------------------------------------------------- *)
 
@@ -206,10 +217,11 @@ let write_request b = function
       Binio.put_u8 b 5;
       Binio.put_string b table;
       put_rows b rows
-  | Query { table; query } ->
+  | Query { table; query; profile } ->
       Binio.put_u8 b 6;
       Binio.put_string b table;
-      put_query b query
+      put_query b query;
+      Binio.put_u8 b (if profile then 1 else 0)
   | Latest { table; prefix } ->
       Binio.put_u8 b 7;
       Binio.put_string b table;
@@ -245,6 +257,11 @@ let write_request b = function
       Binio.put_u8 b 16;
       Binio.put_varint b n
   | Get_placement -> Binio.put_u8 b 17
+  | Get_trace (hi, lo) ->
+      Binio.put_u8 b 18;
+      Binio.put_i64 b hi;
+      Binio.put_i64 b lo
+  | Get_metrics_snapshot -> Binio.put_u8 b 19
 
 let read_request cur =
   match Binio.get_u8 cur with
@@ -264,7 +281,13 @@ let read_request cur =
   | 6 ->
       let table = Binio.get_string cur in
       let query = get_query cur in
-      Query { table; query }
+      let profile =
+        match Binio.get_u8 cur with
+        | 0 -> false
+        | 1 -> true
+        | n -> error "bad profile flag %d" n
+      in
+      Query { table; query; profile }
   | 7 ->
       let table = Binio.get_string cur in
       let n = Binio.get_varint cur in
@@ -294,6 +317,11 @@ let read_request cur =
   | 15 -> Get_metrics
   | 16 -> Get_slow_ops (Binio.get_varint cur)
   | 17 -> Get_placement
+  | 18 ->
+      let hi = Binio.get_i64 cur in
+      let lo = Binio.get_i64 cur in
+      Get_trace (hi, lo)
+  | 19 -> Get_metrics_snapshot
   | n -> error "bad request tag %d" n
 
 (* ---- Responses ------------------------------------------------------------ *)
@@ -351,6 +379,10 @@ let span_op_tag = function
   | Lt_obs.Trace.Flush -> 3
   | Lt_obs.Trace.Merge -> 4
   | Lt_obs.Trace.Stall -> 5
+  | Lt_obs.Trace.Request -> 6
+  | Lt_obs.Trace.Route -> 7
+  | Lt_obs.Trace.Backend -> 8
+  | Lt_obs.Trace.Failover -> 9
 
 let span_op_of_tag = function
   | 0 -> Lt_obs.Trace.Insert
@@ -359,7 +391,36 @@ let span_op_of_tag = function
   | 3 -> Lt_obs.Trace.Flush
   | 4 -> Lt_obs.Trace.Merge
   | 5 -> Lt_obs.Trace.Stall
+  | 6 -> Lt_obs.Trace.Request
+  | 7 -> Lt_obs.Trace.Route
+  | 8 -> Lt_obs.Trace.Backend
+  | 9 -> Lt_obs.Trace.Failover
   | n -> error "bad span op tag %d" n
+
+let put_ctx b (c : Lt_obs.Trace.ctx) =
+  Binio.put_i64 b c.Lt_obs.Trace.cx_trace_hi;
+  Binio.put_i64 b c.cx_trace_lo;
+  Binio.put_i64 b c.cx_span;
+  Binio.put_i64 b c.cx_parent
+
+let get_ctx cur =
+  let cx_trace_hi = Binio.get_i64 cur in
+  let cx_trace_lo = Binio.get_i64 cur in
+  let cx_span = Binio.get_i64 cur in
+  let cx_parent = Binio.get_i64 cur in
+  { Lt_obs.Trace.cx_trace_hi; cx_trace_lo; cx_span; cx_parent }
+
+let put_opt_ctx b = function
+  | None -> Binio.put_u8 b 0
+  | Some c ->
+      Binio.put_u8 b 1;
+      put_ctx b c
+
+let get_opt_ctx cur =
+  match Binio.get_u8 cur with
+  | 0 -> None
+  | 1 -> Some (get_ctx cur)
+  | n -> error "bad ctx tag %d" n
 
 let put_span b (sp : Lt_obs.Trace.span) =
   Binio.put_u8 b (span_op_tag sp.Lt_obs.Trace.sp_op);
@@ -368,7 +429,8 @@ let put_span b (sp : Lt_obs.Trace.span) =
   Binio.put_i64 b sp.sp_duration_us;
   List.iter (Binio.put_varint b)
     [ sp.sp_scanned; sp.sp_returned; sp.sp_tablets; sp.sp_cache_hits;
-      sp.sp_cache_misses ]
+      sp.sp_cache_misses ];
+  put_opt_ctx b sp.sp_ctx
 
 let get_span cur =
   let sp_op = span_op_of_tag (Binio.get_u8 cur) in
@@ -381,8 +443,143 @@ let get_span cur =
   let sp_tablets = v () in
   let sp_cache_hits = v () in
   let sp_cache_misses = v () in
+  let sp_ctx = get_opt_ctx cur in
   { Lt_obs.Trace.sp_op; sp_table; sp_start_us; sp_duration_us; sp_scanned;
-    sp_returned; sp_tablets; sp_cache_hits; sp_cache_misses }
+    sp_returned; sp_tablets; sp_cache_hits; sp_cache_misses; sp_ctx }
+
+(* ---- Query profiles ---------------------------------------------------- *)
+
+(* Shard sub-profiles recurse; a decoder bound keeps hostile input from
+   stack-diving (real nesting is router -> backend, depth 2). *)
+let max_profile_depth = 4
+
+let rec put_profile b (p : Lt_obs.Profile.t) =
+  Binio.put_i64 b p.Lt_obs.Profile.p_plan_us;
+  Binio.put_i64 b p.p_scan_us;
+  Binio.put_i64 b p.p_stall_us;
+  Binio.put_i64 b p.p_total_us;
+  List.iter (Binio.put_varint b)
+    [ p.p_rows_scanned; p.p_rows_returned; p.p_tablets; p.p_tablets_pruned;
+      p.p_bloom_skips; p.p_cache_hits; p.p_cache_misses ];
+  Binio.put_varint b (List.length p.p_shards);
+  List.iter
+    (fun (label, sub) ->
+      Binio.put_string b label;
+      put_profile b sub)
+    p.p_shards
+
+let rec get_profile ?(depth = 0) cur =
+  if depth > max_profile_depth then error "profile nesting too deep";
+  let p_plan_us = Binio.get_i64 cur in
+  let p_scan_us = Binio.get_i64 cur in
+  let p_stall_us = Binio.get_i64 cur in
+  let p_total_us = Binio.get_i64 cur in
+  let v () = Binio.get_varint cur in
+  let p_rows_scanned = v () in
+  let p_rows_returned = v () in
+  let p_tablets = v () in
+  let p_tablets_pruned = v () in
+  let p_bloom_skips = v () in
+  let p_cache_hits = v () in
+  let p_cache_misses = v () in
+  let n = Binio.get_varint cur in
+  if n < 0 || n > 4096 then error "implausible shard profile count %d" n;
+  let p_shards =
+    List.init n (fun _ ->
+        let label = Binio.get_string cur in
+        let sub = get_profile ~depth:(depth + 1) cur in
+        (label, sub))
+  in
+  { Lt_obs.Profile.p_plan_us; p_scan_us; p_stall_us; p_total_us;
+    p_rows_scanned; p_rows_returned; p_tablets; p_tablets_pruned;
+    p_bloom_skips; p_cache_hits; p_cache_misses; p_shards }
+
+let put_opt_profile b = function
+  | None -> Binio.put_u8 b 0
+  | Some p ->
+      Binio.put_u8 b 1;
+      put_profile b p
+
+let get_opt_profile cur =
+  match Binio.get_u8 cur with
+  | 0 -> None
+  | 1 -> Some (get_profile cur)
+  | n -> error "bad profile tag %d" n
+
+(* ---- Metrics snapshots ------------------------------------------------- *)
+
+let snap_kind_tag = function
+  | Lt_obs.Metrics.K_counter -> 0
+  | Lt_obs.Metrics.K_gauge -> 1
+  | Lt_obs.Metrics.K_histogram -> 2
+
+let snap_kind_of_tag = function
+  | 0 -> Lt_obs.Metrics.K_counter
+  | 1 -> Lt_obs.Metrics.K_gauge
+  | 2 -> Lt_obs.Metrics.K_histogram
+  | n -> error "bad metric kind tag %d" n
+
+let put_snapshot b (snap : Lt_obs.Metrics.snapshot) =
+  Binio.put_varint b (List.length snap);
+  List.iter
+    (fun (f : Lt_obs.Metrics.snap_family) ->
+      Binio.put_string b f.Lt_obs.Metrics.sn_name;
+      Binio.put_string b f.sn_help;
+      Binio.put_u8 b (snap_kind_tag f.sn_kind);
+      Binio.put_varint b (Array.length f.sn_bounds);
+      Array.iter (Binio.put_double b) f.sn_bounds;
+      Binio.put_varint b (List.length f.sn_children);
+      List.iter
+        (fun (c : Lt_obs.Metrics.snap_child) ->
+          Binio.put_varint b (List.length c.Lt_obs.Metrics.sn_labels);
+          List.iter
+            (fun (k, v) ->
+              Binio.put_string b k;
+              Binio.put_string b v)
+            c.sn_labels;
+          Binio.put_varint b c.sn_count;
+          Binio.put_double b c.sn_fval;
+          Binio.put_double b c.sn_max;
+          Binio.put_varint b (Array.length c.sn_buckets);
+          Array.iter (Binio.put_varint b) c.sn_buckets)
+        f.sn_children)
+    snap
+
+let get_snapshot cur =
+  let nfam = Binio.get_varint cur in
+  if nfam < 0 || nfam > 65536 then error "implausible family count %d" nfam;
+  List.init nfam (fun _ ->
+      let sn_name = Binio.get_string cur in
+      let sn_help = Binio.get_string cur in
+      let sn_kind = snap_kind_of_tag (Binio.get_u8 cur) in
+      let nbounds = Binio.get_varint cur in
+      if nbounds < 0 || nbounds > 1024 then
+        error "implausible bound count %d" nbounds;
+      let sn_bounds = Array.init nbounds (fun _ -> Binio.get_double cur) in
+      let nchildren = Binio.get_varint cur in
+      if nchildren < 0 || nchildren > 1_000_000 then
+        error "implausible child count %d" nchildren;
+      let sn_children =
+        List.init nchildren (fun _ ->
+            let nlabels = Binio.get_varint cur in
+            if nlabels < 0 || nlabels > 64 then
+              error "implausible label count %d" nlabels;
+            let sn_labels =
+              List.init nlabels (fun _ ->
+                  let k = Binio.get_string cur in
+                  let v = Binio.get_string cur in
+                  (k, v))
+            in
+            let sn_count = Binio.get_varint cur in
+            let sn_fval = Binio.get_double cur in
+            let sn_max = Binio.get_double cur in
+            let nbuckets = Binio.get_varint cur in
+            if nbuckets < 0 || nbuckets > 1025 then
+              error "implausible bucket count %d" nbuckets;
+            let sn_buckets = Array.init nbuckets (fun _ -> Binio.get_varint cur) in
+            { Lt_obs.Metrics.sn_labels; sn_count; sn_fval; sn_max; sn_buckets })
+      in
+      { Lt_obs.Metrics.sn_name; sn_help; sn_kind; sn_bounds; sn_children })
 
 let write_response b = function
   | Hello_ok v ->
@@ -400,11 +597,12 @@ let write_response b = function
   | Insert_ok n ->
       Binio.put_u8 b 4;
       Binio.put_varint b n
-  | Row_batch { rows; more_available; scanned } ->
+  | Row_batch { rows; more_available; scanned; profile } ->
       Binio.put_u8 b 5;
       put_rows b rows;
       Binio.put_u8 b (if more_available then 1 else 0);
-      Binio.put_varint b scanned
+      Binio.put_varint b scanned;
+      put_opt_profile b profile
   | Latest_row None ->
       Binio.put_u8 b 6;
       Binio.put_u8 b 0
@@ -439,6 +637,13 @@ let write_response b = function
           Binio.put_string b host;
           Binio.put_varint b port)
         pl_backends
+  | Trace_spans spans ->
+      Binio.put_u8 b 14;
+      Binio.put_varint b (List.length spans);
+      List.iter (put_span b) spans
+  | Metrics_snapshot snap ->
+      Binio.put_u8 b 15;
+      put_snapshot b snap
 
 let read_response cur =
   match Binio.get_u8 cur with
@@ -456,7 +661,8 @@ let read_response cur =
       let rows = get_rows cur in
       let more_available = Binio.get_u8 cur = 1 in
       let scanned = Binio.get_varint cur in
-      Row_batch { rows; more_available; scanned }
+      let profile = get_opt_profile cur in
+      Row_batch { rows; more_available; scanned; profile }
   | 6 -> (
       match Binio.get_u8 cur with
       | 0 -> Latest_row None
@@ -482,6 +688,11 @@ let read_response cur =
             (host, port))
       in
       Placement_info { pl_epoch; pl_policy; pl_backends }
+  | 14 ->
+      let n = Binio.get_varint cur in
+      if n < 0 || n > 1_000_000 then error "implausible span count %d" n;
+      Trace_spans (List.init n (fun _ -> get_span cur))
+  | 15 -> Metrics_snapshot (get_snapshot cur)
   | n -> error "bad response tag %d" n
 
 (* ---- Socket framing ------------------------------------------------------ *)
@@ -516,16 +727,21 @@ let recv_frame fd =
   if len > max_frame then error "frame of %d bytes exceeds limit" len;
   read_exact fd len
 
-let send_request fd req =
+(* Requests carry an optional trace context as a frame-level prefix —
+   one flag byte plus four i64s when present — so propagation needs no
+   per-request-tag changes and costs one byte when tracing is off. *)
+let send_request ?ctx fd req =
   let b = Buffer.create 256 in
+  put_opt_ctx b ctx;
   write_request b req;
   send_frame fd (Buffer.contents b)
 
 let recv_request fd =
   let cur = Binio.cursor (recv_frame fd) in
+  let ctx = get_opt_ctx cur in
   let req = read_request cur in
   Binio.expect_end cur;
-  req
+  (ctx, req)
 
 let send_response fd resp =
   let b = Buffer.create 256 in

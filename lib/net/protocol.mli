@@ -23,7 +23,9 @@ type request =
   | Create_table of { table : string; schema : Schema.t; ttl : int64 option }
   | Drop_table of string
   | Insert of { table : string; rows : Value.t array list }
-  | Query of { table : string; query : Query.t }
+  | Query of { table : string; query : Query.t; profile : bool }
+      (** [profile] asks for a per-stage {!Lt_obs.Profile.t} with the
+          batch — EXPLAIN ANALYZE, off by default *)
   | Latest of { table : string; prefix : Value.t list }
   | Flush_before of { table : string; ts : int64 }
       (** the §4.1.2 proposed flush command *)
@@ -40,6 +42,13 @@ type request =
       (** ask how the serving process maps keys to backends; a plain
           single-node server answers with policy ["single"] and no
           backends, a router describes its shard set *)
+  | Get_trace of (int64 * int64)
+      (** all retained spans of the trace [(hi, lo)]; a router also
+          pulls each backend's matching spans, so the answer is the
+          whole cross-process tree *)
+  | Get_metrics_snapshot
+      (** the registry as mergeable plain data ({!Lt_obs.Metrics.snapshot});
+          how a router federates backend metrics *)
 
 (** How the answering process places data, exposed for the shell's
     [.cluster] command and cluster-aware clients. *)
@@ -55,7 +64,12 @@ type response =
   | Table_info of { schema : Schema.t; ttl : int64 option }
   | Ok
   | Insert_ok of int
-  | Row_batch of { rows : Value.t array list; more_available : bool; scanned : int }
+  | Row_batch of {
+      rows : Value.t array list;
+      more_available : bool;
+      scanned : int;
+      profile : Lt_obs.Profile.t option;  (** present iff requested *)
+    }
   | Latest_row of Value.t array option
   | Stats_resp of Stats.snapshot
   | Error of string
@@ -64,6 +78,8 @@ type response =
   | Metrics_text of string
   | Slow_ops of Lt_obs.Trace.span list
   | Placement_info of placement_info
+  | Trace_spans of Lt_obs.Trace.span list  (** oldest first *)
+  | Metrics_snapshot of Lt_obs.Metrics.snapshot
 
 val version : int
 
@@ -78,6 +94,15 @@ val read_request : Lt_util.Binio.cursor -> request
 val write_response : Buffer.t -> response -> unit
 val read_response : Lt_util.Binio.cursor -> response
 
+(** Trace-context codec (exposed for protocol tests). On the wire a
+    request frame is: one presence byte, four i64s when present, then
+    the tagged request body. *)
+
+val put_ctx : Buffer.t -> Lt_obs.Trace.ctx -> unit
+val get_ctx : Lt_util.Binio.cursor -> Lt_obs.Trace.ctx
+val put_opt_ctx : Buffer.t -> Lt_obs.Trace.ctx option -> unit
+val get_opt_ctx : Lt_util.Binio.cursor -> Lt_obs.Trace.ctx option
+
 (** {1 Socket helpers} (blocking, thread-safe per direction) *)
 
 val send_frame : Unix.file_descr -> string -> unit
@@ -86,7 +111,11 @@ val send_frame : Unix.file_descr -> string -> unit
     {!Protocol_error} on oversized or malformed frames. *)
 val recv_frame : Unix.file_descr -> string
 
-val send_request : Unix.file_descr -> request -> unit
-val recv_request : Unix.file_descr -> request
+(** [send_request ?ctx fd req] prefixes the frame with the trace
+    context, if any. *)
+val send_request : ?ctx:Lt_obs.Trace.ctx -> Unix.file_descr -> request -> unit
+
+(** The incoming context (if the peer sent one) plus the request. *)
+val recv_request : Unix.file_descr -> Lt_obs.Trace.ctx option * request
 val send_response : Unix.file_descr -> response -> unit
 val recv_response : Unix.file_descr -> response

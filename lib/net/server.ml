@@ -67,16 +67,17 @@ let handle db req =
           | exception Table.Duplicate_key k ->
               Error (Printf.sprintf "duplicate key (%s)" k)
           | exception Schema.Invalid msg -> Error msg))
-  | Query { table; query } -> (
+  | Query { table; query; profile } -> (
       match Db.find_table db table with
       | None -> Error (Printf.sprintf "no such table %S" table)
       | Some tbl ->
-          let r = Table.query tbl query in
+          let r = Table.query ~profile tbl query in
           Row_batch
             {
               rows = r.Table.rows;
               more_available = r.Table.more_available;
               scanned = r.Table.scanned;
+              profile = r.Table.profile;
             })
   | Latest { table; prefix } -> (
       match Db.find_table db table with
@@ -127,6 +128,10 @@ let handle db req =
       Slow_ops (Trace.slow ~n:(max 0 n) (Obs.trace (Db.obs db)))
   | Get_placement ->
       Placement_info { pl_epoch = 0; pl_policy = "single"; pl_backends = [] }
+  | Get_trace (hi, lo) ->
+      Trace_spans (Trace.find_trace (Obs.trace (Db.obs db)) ~hi ~lo)
+  | Get_metrics_snapshot ->
+      Metrics_snapshot (Metrics.snapshot (Obs.registry (Db.obs db)))
 
 let db_backend db =
   {
@@ -142,19 +147,35 @@ let client_loop t fd =
   let finished = ref false in
   while t.running && not !finished do
     match Protocol.recv_request fd with
-    | req ->
+    | incoming_ctx, req ->
         let t0 = Obs.now_us obs in
-        let resp =
-          try t.backend.b_handle req with
-          | Protocol.Protocol_error msg | Lt_util.Binio.Corrupt msg ->
-              Protocol.Error msg
-          | Lt_vfs.Vfs.Io_error msg -> Protocol.Error ("io error: " ^ msg)
-          | Invalid_argument msg -> Protocol.Error msg
+        (* The request span: child of the caller's context when one came
+           over the wire, a fresh root otherwise. Handler-side engine
+           spans attach under it via the thread's ambient context. *)
+        let ctx =
+          if Obs.enabled obs then
+            Some
+              (match incoming_ctx with
+              | Some c -> Trace.child_of c
+              | None -> Trace.new_root ~clock:(Obs.clock obs))
+          else None
         in
-        if Obs.enabled obs then
-          Metrics.Histogram.observe_us
-            (Obs.request_hist obs ~kind:(Protocol.request_kind req))
-            (Int64.sub (Obs.now_us obs) t0);
+        let resp =
+          Trace.with_ctx ctx (fun () ->
+              try t.backend.b_handle req with
+              | Protocol.Protocol_error msg | Lt_util.Binio.Corrupt msg ->
+                  Protocol.Error msg
+              | Lt_vfs.Vfs.Io_error msg -> Protocol.Error ("io error: " ^ msg)
+              | Invalid_argument msg -> Protocol.Error msg)
+        in
+        (match ctx with
+        | Some c ->
+            Obs.record_op obs
+              ~hist:(Obs.request_hist obs ~kind:(Protocol.request_kind req))
+              ~op:Trace.Request
+              ~table:(Protocol.request_kind req)
+              ~t0 ~ctx:c ()
+        | None -> ());
         (try Protocol.send_response fd resp
          with Unix.Unix_error _ -> finished := true)
     | exception (End_of_file | Unix.Unix_error _) -> finished := true

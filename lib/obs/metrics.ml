@@ -321,6 +321,207 @@ let render_child buf f (c : child) =
       render_sample buf (f.f_name ^ "_sum") labels (fmt_float fval);
       render_sample buf (f.f_name ^ "_count") labels (string_of_int count)
 
+(* ---- Snapshots and federation ----------------------------------------- *)
+
+type snap_child = {
+  sn_labels : (string * string) list; (* sorted by label name *)
+  sn_count : int; (* histogram observation count *)
+  sn_fval : float; (* counter/gauge value / histogram sum *)
+  sn_max : float;
+  sn_buckets : int array; (* per-bucket counts incl. +Inf; [||] otherwise *)
+}
+
+type snap_family = {
+  sn_name : string;
+  sn_help : string;
+  sn_kind : kind;
+  sn_bounds : float array;
+  sn_children : snap_child list;
+}
+
+type snapshot = snap_family list
+
+let snapshot r =
+  let families, collectors =
+    with_lock r.r_mutex (fun () ->
+        let fs = Hashtbl.fold (fun _ f acc -> f :: acc) r.r_families [] in
+        (fs, List.rev r.r_collectors))
+  in
+  let snap_of_family f =
+    let children =
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) f.f_children []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (_, c) ->
+             let labels, count, fval, mx, buckets =
+               with_lock c.c_mutex (fun () ->
+                   ( c.c_labels, c.c_count, c.c_fval, c.c_max,
+                     Array.copy c.c_bucket_counts ))
+             in
+             let fval =
+               (* Counters keep their value in c_count; surface it as the
+                  float so federation sums one field per kind. *)
+               if f.f_kind = K_counter then float_of_int count else fval
+             in
+             { sn_labels = labels;
+               sn_count = count;
+               sn_fval = fval;
+               sn_max = mx;
+               sn_buckets = buckets })
+    in
+    { sn_name = f.f_name;
+      sn_help = f.f_help;
+      sn_kind = f.f_kind;
+      sn_bounds = Array.copy f.f_bounds;
+      sn_children = children }
+  in
+  let direct = List.map snap_of_family families in
+  (* Collector samples (Stats counters etc.) become synthetic families so
+     a snapshot covers everything a text scrape would. *)
+  let samples = List.concat_map (fun fn -> fn ()) collectors in
+  let by_name : (string, sample list ref) Hashtbl.t = Hashtbl.create 16 in
+  let names = ref [] in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_name s.s_name with
+      | Some l -> l := s :: !l
+      | None ->
+          Hashtbl.add by_name s.s_name (ref [ s ]);
+          names := s.s_name :: !names)
+    samples;
+  let collected =
+    List.rev_map
+      (fun name ->
+        let ss = List.rev !(Hashtbl.find by_name name) in
+        let first = List.hd ss in
+        { sn_name = name;
+          sn_help = first.s_help;
+          sn_kind =
+            (match first.s_kind with
+            | `Counter -> K_counter
+            | `Gauge -> K_gauge);
+          sn_bounds = [||];
+          sn_children =
+            List.map
+              (fun s ->
+                { sn_labels = sort_labels s.s_labels;
+                  sn_count = 0;
+                  sn_fval = s.s_value;
+                  sn_max = 0.0;
+                  sn_buckets = [||] })
+              ss })
+      !names
+  in
+  List.sort
+    (fun a b -> String.compare a.sn_name b.sn_name)
+    (direct @ collected)
+
+let render_snap_child buf name kind bounds ?(extra = []) c =
+  match kind with
+  | K_counter | K_gauge ->
+      render_sample buf name ~extra c.sn_labels (fmt_float c.sn_fval)
+  | K_histogram ->
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + c.sn_buckets.(i);
+          render_sample buf (name ^ "_bucket")
+            ~extra:(("le", fmt_float bound) :: extra)
+            c.sn_labels (string_of_int !cum))
+        bounds;
+      render_sample buf (name ^ "_bucket")
+        ~extra:(("le", "+Inf") :: extra)
+        c.sn_labels (string_of_int c.sn_count);
+      render_sample buf (name ^ "_sum") ~extra c.sn_labels (fmt_float c.sn_fval);
+      render_sample buf (name ^ "_count") ~extra c.sn_labels
+        (string_of_int c.sn_count)
+
+let merge_snap_children children =
+  let tbl : (string, snap_child ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun c ->
+      let key = label_key c.sn_labels in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add tbl key (ref { c with sn_buckets = Array.copy c.sn_buckets })
+      | Some acc ->
+          let a = !acc in
+          let buckets =
+            if Array.length a.sn_buckets = Array.length c.sn_buckets then begin
+              let b = Array.copy a.sn_buckets in
+              Array.iteri (fun i v -> b.(i) <- b.(i) + v) c.sn_buckets;
+              b
+            end
+            else a.sn_buckets
+          in
+          acc :=
+            { a with
+              sn_count = a.sn_count + c.sn_count;
+              sn_fval = a.sn_fval +. c.sn_fval;
+              sn_max = Float.max a.sn_max c.sn_max;
+              sn_buckets = buckets })
+    children;
+  List.rev_map (fun key -> !(Hashtbl.find tbl key)) !order
+  |> List.sort (fun a b ->
+         String.compare (label_key a.sn_labels) (label_key b.sn_labels))
+
+(* Federated exposition: for every family present in any source, emit
+   (a) aggregate children merged across sources — cluster-wide totals
+   and mergeable histograms — and (b) each source's children again with
+   a [shard=<label>] label for the per-shard breakdown. Sources whose
+   kind or histogram bounds disagree with the first occurrence are
+   skipped for that family (federation never guesses at semantics). *)
+let render_federated sources =
+  let tbl :
+      (string, snap_family * (string * snap_family) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let names = ref [] in
+  List.iter
+    (fun (shard, snap) ->
+      List.iter
+        (fun fam ->
+          match Hashtbl.find_opt tbl fam.sn_name with
+          | None ->
+              names := fam.sn_name :: !names;
+              Hashtbl.add tbl fam.sn_name (fam, ref [ (shard, fam) ])
+          | Some (proto, acc) ->
+              if proto.sn_kind = fam.sn_kind && proto.sn_bounds = fam.sn_bounds
+              then acc := (shard, fam) :: !acc)
+        snap)
+    sources;
+  let names = List.sort String.compare !names in
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun name ->
+      let proto, acc = Hashtbl.find tbl name in
+      let occurrences = List.rev !acc in
+      let typ =
+        match proto.sn_kind with
+        | K_counter -> "counter"
+        | K_gauge -> "gauge"
+        | K_histogram -> "histogram"
+      in
+      render_header buf name proto.sn_help typ;
+      let all_children =
+        List.concat_map (fun (_, fam) -> fam.sn_children) occurrences
+      in
+      List.iter
+        (fun c -> render_snap_child buf name proto.sn_kind proto.sn_bounds c)
+        (merge_snap_children all_children);
+      List.iter
+        (fun (shard, fam) ->
+          List.iter
+            (fun c ->
+              render_snap_child buf name proto.sn_kind proto.sn_bounds
+                ~extra:[ ("shard", shard) ]
+                c)
+            fam.sn_children)
+        occurrences)
+    names;
+  Buffer.contents buf
+
 let render r =
   let families, collectors =
     with_lock r.r_mutex (fun () ->

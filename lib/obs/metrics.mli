@@ -125,3 +125,44 @@ val register_collector : registry -> (unit -> sample list) -> unit
     sorted by name, children sorted by label set, histograms as
     [_bucket]/[_sum]/[_count] series with cumulative [le] buckets. *)
 val render : registry -> string
+
+(** {1 Snapshots and federation}
+
+    A snapshot is a plain-data image of a registry — families, label
+    sets, counts, sums, raw (non-cumulative) bucket arrays — that can
+    cross the wire ([Get_metrics_snapshot]) and be merged elsewhere.
+    The router federates its backends by scraping one snapshot each and
+    rendering the merge. *)
+
+type kind = K_counter | K_gauge | K_histogram
+
+type snap_child = {
+  sn_labels : (string * string) list; (* sorted by label name *)
+  sn_count : int; (* histogram observation count *)
+  sn_fval : float; (* counter/gauge value / histogram sum *)
+  sn_max : float;
+  sn_buckets : int array; (* per-bucket counts incl. +Inf; [||] otherwise *)
+}
+
+type snap_family = {
+  sn_name : string;
+  sn_help : string;
+  sn_kind : kind;
+  sn_bounds : float array; (* histogram upper bounds, no +Inf *)
+  sn_children : snap_child list;
+}
+
+type snapshot = snap_family list
+
+(** Image of the registry now, collector samples included, families
+    sorted by name. Works on a disabled registry (all zeros). *)
+val snapshot : registry -> snapshot
+
+(** [render_federated sources] — [sources] pairs a shard label with that
+    source's snapshot. For each family: first the {e aggregate} children
+    (counters/gauges summed, histogram buckets merged across sources,
+    grouped by the original label set), then every source's children
+    re-emitted with an added [shard="<label>"] label. Families whose
+    kind or histogram bounds disagree with the family's first occurrence
+    are skipped for the disagreeing source. *)
+val render_federated : (string * snapshot) list -> string

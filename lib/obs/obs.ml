@@ -20,12 +20,20 @@ let clock t = t.o_clock
 let enabled t = Metrics.enabled t.o_registry
 let now_us t = if enabled t then Clock.now t.o_clock else 0L
 
-let record_op t ~hist ~op ~table ~t0 ?(scanned = 0) ?(returned = 0)
+let record_op t ~hist ~op ~table ~t0 ?ctx ?(scanned = 0) ?(returned = 0)
     ?(tablets = 0) ?(cache_hits = 0) ?(cache_misses = 0) () =
   if enabled t then begin
     let now = Clock.now t.o_clock in
     let duration = Int64.max 0L (Int64.sub now t0) in
     Metrics.Histogram.observe_us hist duration;
+    let sp_ctx =
+      match ctx with
+      | Some _ as c -> c
+      | None ->
+          (* Attach to the ambient request context, if any, as a child
+             span — this is how Table/Pscan spans join a wire trace. *)
+          Option.map Trace.child_of (Trace.current ())
+    in
     Trace.record t.o_trace
       { Trace.sp_op = op;
         sp_table = table;
@@ -35,8 +43,13 @@ let record_op t ~hist ~op ~table ~t0 ?(scanned = 0) ?(returned = 0)
         sp_returned = returned;
         sp_tablets = tablets;
         sp_cache_hits = cache_hits;
-        sp_cache_misses = cache_misses }
+        sp_cache_misses = cache_misses;
+        sp_ctx }
   end
+
+(* Fresh root context for an outbound request, or [None] when disabled
+   so tracing-off stays a boolean load. *)
+let root_ctx t = if enabled t then Some (Trace.new_root ~clock:t.o_clock) else None
 
 type table_instruments = {
   h_insert : Metrics.Histogram.t;

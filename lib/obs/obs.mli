@@ -37,11 +37,18 @@ val now_us : t -> int64
 (** [record_op t ~hist ~op ~table ~t0 ... ()] — close the span opened
     at [t0] (a {!now_us} result): observe the duration on [hist],
     push a {!Trace.span} onto the ring (logging it if slow). No-op
-    when disabled. *)
+    when disabled. When [ctx] is omitted the span attaches to the
+    calling thread's ambient {!Trace.ctx} (if any) as a fresh child;
+    pass [ctx] to pin an exact context (servers recording the request
+    span itself). *)
 val record_op :
   t -> hist:Metrics.Histogram.t -> op:Trace.op -> table:string ->
-  t0:int64 -> ?scanned:int -> ?returned:int -> ?tablets:int ->
-  ?cache_hits:int -> ?cache_misses:int -> unit -> unit
+  t0:int64 -> ?ctx:Trace.ctx -> ?scanned:int -> ?returned:int ->
+  ?tablets:int -> ?cache_hits:int -> ?cache_misses:int -> unit -> unit
+
+(** Fresh root {!Trace.ctx} for an outbound request, [None] when
+    disabled. *)
+val root_ctx : t -> Trace.ctx option
 
 (** Per-table histograms for the engine operations plus the
     parallel-scan instruments, all labeled [{table="<name>"}]. *)

@@ -1,0 +1,38 @@
+(** Per-query execution profile — an EXPLAIN ANALYZE for the LittleTable
+    data path. Opt-in via the wire [Query]'s [q_profile] flag (shell
+    [.profile on]); when requested the server attaches one [t] per
+    result page and the client aggregates pages with {!aggregate}.
+
+    Profiles are measured with the table's own clock and work even when
+    [Config.obs_enabled = false] — the flag is an explicit per-query
+    opt-in, not ambient instrumentation. Results are byte-identical with
+    profiling on and off; only the extra payload differs.
+
+    A router answering a profiled query nests each backend's profile
+    under {!p_shards} keyed by ["host:port"], so one profile shows where
+    a fan-out spent its time shard by shard. *)
+
+type t = {
+  p_plan_us : int64;  (** tablet selection + scan setup *)
+  p_scan_us : int64;  (** cursor scan time (sum over parallel workers) *)
+  p_stall_us : int64;  (** merge waited on a parallel worker *)
+  p_total_us : int64;  (** whole call, first row to exhaustion *)
+  p_rows_scanned : int;
+  p_rows_returned : int;
+  p_tablets : int;  (** tablets actually scanned *)
+  p_tablets_pruned : int;  (** disk tablets skipped by range overlap *)
+  p_bloom_skips : int;  (** tablets skipped by bloom filter (latest) *)
+  p_cache_hits : int;
+  p_cache_misses : int;
+  p_shards : (string * t) list;  (** router: per-backend sub-profiles *)
+}
+
+val empty : t
+
+(** Field-wise sum; [p_shards] entries are merged by label (first-seen
+    label order), so per-page profiles of one query aggregate stably. *)
+val aggregate : t list -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,4 +1,21 @@
-type op = Insert | Query | Latest | Flush | Merge | Stall
+type op =
+  | Insert
+  | Query
+  | Latest
+  | Flush
+  | Merge
+  | Stall
+  | Request
+  | Route
+  | Backend
+  | Failover
+
+type ctx = {
+  cx_trace_hi : int64;
+  cx_trace_lo : int64;
+  cx_span : int64;
+  cx_parent : int64;
+}
 
 type span = {
   sp_op : op;
@@ -10,6 +27,7 @@ type span = {
   sp_tablets : int;
   sp_cache_hits : int;
   sp_cache_misses : int;
+  sp_ctx : ctx option;
 }
 
 type t = {
@@ -22,6 +40,107 @@ type t = {
 let log_src = Logs.Src.create "lt.slowop" ~doc:"LittleTable slow operations"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ---- Trace/span id generation ----------------------------------------- *)
+
+(* One process-wide generator, lazily seeded from the clock of the first
+   [new_root] caller. Under a manual clock the seed — and therefore every
+   id — is deterministic, which keeps torture [--replay] byte-stable.
+   Never [Random]: the clock-discipline lint forbids it, and it would
+   desynchronize replays. *)
+let id_state : Lt_util.Xorshift.t option ref = ref None
+
+let id_mutex = Mutex.create ()
+
+let seed_ids seed =
+  Lt_util.Mutexes.with_lock id_mutex (fun () ->
+      id_state := Some (Lt_util.Xorshift.create seed))
+
+(* Ids must be non-zero: 0 is reserved for "no parent". *)
+let rec nonzero rng =
+  let v = Lt_util.Xorshift.next rng in
+  if v = 0L then nonzero rng else v
+
+let fresh_ids ~clock n =
+  Lt_util.Mutexes.with_lock id_mutex (fun () ->
+      let rng =
+        match !id_state with
+        | Some rng -> rng
+        | None ->
+            let rng = Lt_util.Xorshift.create (Lt_util.Clock.now clock) in
+            id_state := Some rng;
+            rng
+      in
+      List.init n (fun _ -> nonzero rng))
+
+let new_root ~clock =
+  match fresh_ids ~clock 3 with
+  | [ hi; lo; sp ] ->
+      { cx_trace_hi = hi; cx_trace_lo = lo; cx_span = sp; cx_parent = 0L }
+  | _ -> assert false
+
+let child_of parent =
+  match fresh_ids ~clock:Lt_util.Clock.system 1 with
+  | [ sp ] ->
+      { cx_trace_hi = parent.cx_trace_hi;
+        cx_trace_lo = parent.cx_trace_lo;
+        cx_span = sp;
+        cx_parent = parent.cx_span }
+  | _ -> assert false
+
+let same_trace ~hi ~lo c = c.cx_trace_hi = hi && c.cx_trace_lo = lo
+
+let trace_id_hex c = Printf.sprintf "%016Lx%016Lx" c.cx_trace_hi c.cx_trace_lo
+
+let parse_trace_id s =
+  let s = String.trim s in
+  let hex_i64 sub =
+    (* [Int64.of_string] with 0x accepts the full unsigned range. *)
+    Int64.of_string ("0x" ^ sub)
+  in
+  if String.length s = 32 then
+    match (hex_i64 (String.sub s 0 16), hex_i64 (String.sub s 16 16)) with
+    | hi, lo -> Some (hi, lo)
+    | exception _ -> None
+  else if String.length s > 0 && String.length s <= 16 then
+    match hex_i64 s with lo -> Some (0L, lo) | exception _ -> None
+  else None
+
+(* ---- Ambient (per-thread) context ------------------------------------- *)
+
+(* Keyed by [Thread.id] rather than a domain-local: threads, not domains,
+   carry requests in this codebase, and the lint confines [Domain.*] to
+   [lib/exec]. Entries are removed on scope exit so the table stays
+   bounded by live, in-scope threads. *)
+let ambient : (int, ctx) Hashtbl.t = Hashtbl.create 16
+
+let ambient_mutex = Mutex.create ()
+
+let current () =
+  let key = Thread.id (Thread.self ()) in
+  Lt_util.Mutexes.with_lock ambient_mutex (fun () ->
+      Hashtbl.find_opt ambient key)
+
+let with_ctx ctx f =
+  match ctx with
+  | None -> f ()
+  | Some c ->
+      let key = Thread.id (Thread.self ()) in
+      let prev =
+        Lt_util.Mutexes.with_lock ambient_mutex (fun () ->
+            let prev = Hashtbl.find_opt ambient key in
+            Hashtbl.replace ambient key c;
+            prev)
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Lt_util.Mutexes.with_lock ambient_mutex (fun () ->
+              match prev with
+              | Some p -> Hashtbl.replace ambient key p
+              | None -> Hashtbl.remove ambient key))
+        f
+
+(* ---- Ring ------------------------------------------------------------- *)
 
 let create ?(capacity = 256) ~slow_us () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
@@ -42,13 +161,23 @@ let op_name = function
   | Flush -> "flush"
   | Merge -> "merge"
   | Stall -> "stall"
+  | Request -> "request"
+  | Route -> "route"
+  | Backend -> "backend"
+  | Failover -> "failover"
 
 let pp_span ppf sp =
+  let ids =
+    match sp.sp_ctx with
+    | None -> ""
+    | Some c -> Printf.sprintf "  trace=%s" (trace_id_hex c)
+  in
   Format.fprintf ppf
-    "%-6s %-16s %8Ld us  scanned=%d returned=%d tablets=%d cache=%d/%d"
+    "%-8s %-16s %8Ld us  scanned=%d returned=%d tablets=%d cache=%d/%d%s"
     (op_name sp.sp_op) sp.sp_table sp.sp_duration_us sp.sp_scanned
     sp.sp_returned sp.sp_tablets sp.sp_cache_hits
     (sp.sp_cache_hits + sp.sp_cache_misses)
+    ids
 
 let record t sp =
   let slow =
@@ -81,11 +210,25 @@ let take n l =
   in
   go n l
 
-let recent ?n t =
-  let all = fold_recent t (fun _ -> true) in
+let table_matches table sp =
+  match table with None -> true | Some tbl -> sp.sp_table = tbl
+
+let recent ?n ?table t =
+  let all = fold_recent t (table_matches table) in
   match n with None -> all | Some n -> take n all
 
-let slow ?n t =
+let slow ?n ?table t =
   let threshold = t.slow_us in
-  let all = fold_recent t (fun sp -> sp.sp_duration_us >= threshold) in
+  let all =
+    fold_recent t (fun sp ->
+        sp.sp_duration_us >= threshold && table_matches table sp)
+  in
   match n with None -> all | Some n -> take n all
+
+(* Spans of one trace, oldest first — ready for tree assembly. *)
+let find_trace t ~hi ~lo =
+  List.rev
+    (fold_recent t (fun sp ->
+         match sp.sp_ctx with
+         | Some c -> same_trace ~hi ~lo c
+         | None -> false))

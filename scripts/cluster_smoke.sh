@@ -28,6 +28,7 @@ SHELL_EXE=_build/default/bin/littletable_shell.exe
 BASE=$((20000 + RANDOM % 20000))
 P0=$BASE P1=$((BASE + 1)) P2=$((BASE + 2))
 PSPARE=$((BASE + 3)) PROUTER=$((BASE + 4)) PREF=$((BASE + 5))
+PMETRICS=$((BASE + 6))
 
 PIDS=()
 cleanup() {
@@ -74,7 +75,8 @@ BACKEND0_PID=${PIDS[0]}
 start spare --spare-of "$WORK/b0" --dir "$WORK/spare" --sync-period 1 --port "$PSPARE"
 start router --router \
   --backends "127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2" \
-  --replicas "0=127.0.0.1:$PSPARE" --port "$PROUTER"
+  --replicas "0=127.0.0.1:$PSPARE" --port "$PROUTER" \
+  --metrics-port "$PMETRICS"
 wait_port "$PSPARE"
 wait_port "$PROUTER"
 
@@ -106,6 +108,29 @@ sql "$PROUTER" "SELECT network, COUNT(*) FROM usage GROUP BY network;" >"$WORK/r
 sql "$PREF" "SELECT network, COUNT(*) FROM usage GROUP BY network;" >"$WORK/ref.agg"
 diff -u "$WORK/ref.agg" "$WORK/router.agg"
 echo "identical ($(wc -l <"$WORK/router.rows") lines)"
+
+echo "== federated metrics: router /metrics merges every shard =="
+curl -sf "http://127.0.0.1:$PMETRICS/metrics" >"$LOGS/federated.metrics"
+for s in 0 1 2 router; do
+  grep -q "shard=\"$s\"" "$LOGS/federated.metrics" ||
+    { echo "missing shard=\"$s\" series in federated /metrics" >&2; false; }
+done
+grep -q 'lt_rows_inserted_total{table="usage"} 60' "$LOGS/federated.metrics" ||
+  { echo "federated insert counter did not sum to 60" >&2; false; }
+echo "per-shard + aggregate series present ($(wc -l <"$LOGS/federated.metrics") lines)"
+
+echo "== distributed trace: fan-out query profiled and reassembled =="
+printf '.profile on\nSELECT * FROM usage WHERE ts <= 3;\n.trace last\n' |
+  "$SHELL_EXE" --port "$PROUTER" >"$LOGS/trace.log" 2>&1
+grep -q 'profile: total' "$LOGS/trace.log" ||
+  { echo "no per-query profile in shell output" >&2; false; }
+grep -q 'trace [0-9a-f]' "$LOGS/trace.log" ||
+  { echo "no trace header from .trace last" >&2; false; }
+for op in request route backend query; do
+  grep -q "$op" "$LOGS/trace.log" ||
+    { echo "trace tree is missing a '$op' span" >&2; false; }
+done
+echo "trace tree spans: $(grep -cE '\+[0-9]+\.[0-9]+ms' "$LOGS/trace.log")"
 
 # Make everything durable and give the spare a sync period to copy it.
 sql "$PROUTER" ".flush usage"

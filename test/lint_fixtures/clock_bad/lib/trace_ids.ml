@@ -1,0 +1,4 @@
+(* Trace-id generation from ambient randomness: --replay can never
+   reproduce these ids, so the rule must flag both draws. *)
+let fresh_trace_id () =
+  (Random.int64 Int64.max_int, Random.int64 Int64.max_int)

@@ -1,0 +1,4 @@
+(* Trace ids from an injected, clock-seeded PRNG replay deterministically. *)
+let fresh_trace_id rng = (Xorshift.next rng, Xorshift.next rng)
+
+let seeded clock = Xorshift.create (Clock.now clock)

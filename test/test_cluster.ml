@@ -363,6 +363,172 @@ let test_replica_failover () =
       Alcotest.(check int) "reads keep working" 6
         (List.length (Client.query_all rc "usage" Query.all)))
 
+(* ---- Distributed observability ----------------------------------------- *)
+
+(* Sum every series value in a Prometheus text whose line starts with
+   [prefix] (values here are integer counts). *)
+let sum_series text ~prefix =
+  let plen = String.length prefix in
+  String.split_on_char '\n' text
+  |> List.fold_left
+       (fun acc line ->
+         if String.length line > plen && String.sub line 0 plen = prefix then
+           match String.rindex_opt line ' ' with
+           | Some i ->
+               acc
+               + int_of_float
+                   (float_of_string
+                      (String.sub line (i + 1) (String.length line - i - 1)))
+           | None -> acc
+         else acc)
+       0
+
+(* An obs-enabled router + client over three obs-enabled backends: a
+   fan-out query yields (a) one reassembled trace tree via Get_trace,
+   (b) a profile whose per-shard breakdown sums to the totals, and (c)
+   a federated /metrics document whose aggregate series equal the sum
+   of the shard-labeled ones. *)
+let test_distributed_observability () =
+  let shards = 3 in
+  let nodes = List.init shards (fun _ -> start_node ()) in
+  let cleanup = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun g -> try g () with _ -> ()) !cleanup;
+      List.iter stop_node nodes)
+    (fun () ->
+      let robs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+      let cluster =
+        Cluster_client.create ~obs:robs
+          ~backends:(List.map endpoint_of nodes) ()
+      in
+      let placement =
+        Placement.create ~shards ~policy:(Placement.Hash { vnodes = 64 })
+      in
+      let router = Router.create ~obs:robs ~row_limit ~placement ~cluster () in
+      let rserver =
+        Server.start_custom ~backend:(Router.backend router) ~port:0 ()
+      in
+      cleanup := (fun () -> Server.stop rserver) :: !cleanup;
+      let cobs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+      let rc = Client.connect ~obs:cobs ~port:(Server.port rserver) () in
+      cleanup := (fun () -> Client.close rc) :: !cleanup;
+      Client.create_table rc "usage" (Support.usage_schema ()) ~ttl:None;
+      for ts = 1 to 5 do
+        Client.insert rc "usage"
+          (List.concat_map
+             (fun net ->
+               List.map
+                 (fun dev ->
+                   Support.usage_row ~network:(Int64.of_int net)
+                     ~device:(Int64.of_int dev) ~ts:(Int64.of_int ts)
+                     ~bytes:(Int64.of_int ((net * 100) + (dev * 10) + ts))
+                     ~rate:0.5)
+                 [ 1; 2; 3; 4 ])
+             [ 1; 2; 3; 4; 5; 6 ])
+      done;
+      (* (b) Profiled fan-out query: the k-way merge pulls a first page
+         from every shard, so the breakdown covers all of them. *)
+      let page = Client.query_page ~profile:true rc "usage" Query.all in
+      let module Profile = Lt_obs.Profile in
+      (match page.Client.profile with
+      | None -> Alcotest.fail "routed query must honour the profile flag"
+      | Some p ->
+          Alcotest.(check int) "profile covers every shard" shards
+            (List.length p.Profile.p_shards);
+          Alcotest.(check int) "profiled returned = page rows"
+            (List.length page.Client.rows) p.Profile.p_rows_returned;
+          Alcotest.(check int) "shard scans sum to the total"
+            p.Profile.p_rows_scanned
+            (List.fold_left
+               (fun acc (_, s) -> acc + s.Profile.p_rows_scanned)
+               0 p.Profile.p_shards);
+          Alcotest.(check bool) "total spans the stages" true
+            (p.Profile.p_total_us >= 0L
+            && p.Profile.p_plan_us >= 0L
+            && p.Profile.p_scan_us >= 0L));
+      (* (a) The same request's trace, reassembled across processes into
+         a single tree: exactly one root (the router's Request span —
+         its parent, the client's root span, lives client-side), with
+         Route, Backend, and the backends' Request spans beneath it. *)
+      let module Trace = Lt_obs.Trace in
+      (match Client.last_trace rc with
+      | None -> Alcotest.fail "an obs-enabled client records its trace id"
+      | Some (hi, lo) ->
+          let spans = Client.trace rc (hi, lo) in
+          Alcotest.(check bool) "every span belongs to the trace" true
+            (spans <> []
+            && List.for_all
+                 (fun sp ->
+                   match sp.Trace.sp_ctx with
+                   | Some cx -> Trace.same_trace ~hi ~lo cx
+                   | None -> false)
+                 spans);
+          let has op = List.exists (fun sp -> sp.Trace.sp_op = op) spans in
+          Alcotest.(check bool) "router Route span present" true (has Trace.Route);
+          Alcotest.(check bool) "backend round trips spanned" true
+            (has Trace.Backend);
+          let count op =
+            List.length (List.filter (fun sp -> sp.Trace.sp_op = op) spans)
+          in
+          (* One Request span per backend round trip (each Backend span
+             pairs with the backend's own Request span), plus the
+             router's own; every shard was pulled at least once. *)
+          Alcotest.(check int) "request spans: router + backend round trips"
+            (count Trace.Backend + 1)
+            (count Trace.Request);
+          Alcotest.(check bool) "at least one round trip per shard" true
+            (count Trace.Backend >= shards);
+          let ids = Hashtbl.create 32 in
+          List.iter
+            (fun sp ->
+              match sp.Trace.sp_ctx with
+              | Some cx -> Hashtbl.replace ids cx.Trace.cx_span ()
+              | None -> ())
+            spans;
+          let roots =
+            List.filter
+              (fun sp ->
+                match sp.Trace.sp_ctx with
+                | Some cx -> not (Hashtbl.mem ids cx.Trace.cx_parent)
+                | None -> true)
+              spans
+          in
+          (match roots with
+          | [ root ] ->
+              Alcotest.(check bool) "the tree's root is the router request"
+                true
+                (root.Trace.sp_op = Trace.Request)
+          | _ ->
+              Alcotest.failf "expected one trace root, got %d"
+                (List.length roots)));
+      (* (c) Federated metrics through the router: shard labels present,
+         counters aggregate, and for histograms the merged _count equals
+         the sum of the per-shard _counts. *)
+      let text = Client.metrics rc in
+      let contains sub = Support.contains ~sub text in
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d labeled" i)
+            true
+            (contains (Printf.sprintf "shard=\"%d\"" i)))
+        (List.init shards Fun.id);
+      Alcotest.(check bool) "router's own series labeled" true
+        (contains "shard=\"router\"");
+      Alcotest.(check int) "counter aggregate sums the fleet" 120
+        (sum_series text ~prefix:"lt_rows_inserted_total{table=\"usage\"} ");
+      let agg =
+        sum_series text
+          ~prefix:"lt_insert_duration_seconds_count{table=\"usage\"} "
+      in
+      let per_shard =
+        sum_series text
+          ~prefix:"lt_insert_duration_seconds_count{table=\"usage\",shard="
+      in
+      Alcotest.(check bool) "insert histograms observed" true (agg > 0);
+      Alcotest.(check int) "federated histogram merge equals sum" agg per_shard)
+
 (* ---- Client backoff ---------------------------------------------------- *)
 
 let dead_port () =
@@ -405,5 +571,6 @@ let suite =
     ("ddl fans out", `Quick, test_ddl_fanout);
     ("rebalance", `Quick, test_rebalance);
     ("replica failover", `Quick, test_replica_failover);
+    ("distributed observability", `Quick, test_distributed_observability);
     ("client reconnect backoff", `Quick, test_client_backoff);
   ]

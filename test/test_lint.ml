@@ -55,9 +55,10 @@ let test_lock_order_consistent () =
 
 let test_clock () =
   let bad = run ~rules:[ "clock-discipline" ] "clock_bad" in
-  Alcotest.(check int) "gettimeofday and Random flagged" 2
+  Alcotest.(check int) "gettimeofday, jitter and trace-id Randoms flagged" 4
     (count "clock-discipline" bad);
-  check_clean "clock_ok clean" (run ~rules:[ "clock-discipline" ] "clock_ok")
+  check_clean "clock_ok clean (incl. seeded trace-id generator)"
+    (run ~rules:[ "clock-discipline" ] "clock_ok")
 
 let test_stdout () =
   let bad = run ~rules:[ "no-stdout" ] "stdout_bad" in

@@ -45,11 +45,15 @@ let test_protocol_requests () =
               (Query.with_direction Query.Desc
                  (Query.between ~ts_min:1L ~ts_max:2L
                     (Query.prefix [ Value.Int64 5L ])));
+          profile = false;
         };
+      Protocol.Query { table = "t"; query = Query.all; profile = true };
       Protocol.Latest { table = "t"; prefix = [ Value.Int64 1L; Value.String "d" ] };
       Protocol.Flush_before { table = "t"; ts = 123L };
       Protocol.Get_stats "t";
       Protocol.Get_metrics;
+      Protocol.Get_metrics_snapshot;
+      Protocol.Get_trace (0x0123456789abcdefL, -1L);
       Protocol.Get_slow_ops 25;
       Protocol.Get_placement;
       Protocol.Ping;
@@ -65,6 +69,34 @@ let test_protocol_requests () =
       | a, b -> Alcotest.(check bool) "request roundtrip" true (a = b))
     reqs
 
+let sample_ctx =
+  {
+    Lt_obs.Trace.cx_trace_hi = 0x0123456789abcdefL;
+    cx_trace_lo = -2L;
+    cx_span = 77L;
+    cx_parent = 3L;
+  }
+
+let sample_profile =
+  {
+    Lt_obs.Profile.p_plan_us = 12L;
+    p_scan_us = 340L;
+    p_stall_us = 5L;
+    p_total_us = 400L;
+    p_rows_scanned = 512;
+    p_rows_returned = 8;
+    p_tablets = 3;
+    p_tablets_pruned = 2;
+    p_bloom_skips = 0;
+    p_cache_hits = 7;
+    p_cache_misses = 1;
+    p_shards =
+      [
+        ("shard0", { Lt_obs.Profile.empty with Lt_obs.Profile.p_scan_us = 100L });
+        ("shard1", { Lt_obs.Profile.empty with Lt_obs.Profile.p_rows_scanned = 9 });
+      ];
+  }
+
 let test_protocol_responses () =
   let resps =
     [
@@ -77,6 +109,14 @@ let test_protocol_responses () =
           rows = [ [| Value.Int64 1L |]; [| Value.String "s" |] ];
           more_available = true;
           scanned = 99;
+          profile = None;
+        };
+      Protocol.Row_batch
+        {
+          rows = [];
+          more_available = false;
+          scanned = 0;
+          profile = Some sample_profile;
         };
       Protocol.Latest_row None;
       Protocol.Latest_row (Some [| Value.Timestamp 5L |]);
@@ -103,6 +143,7 @@ let test_protocol_responses () =
             sp_tablets = 4;
             sp_cache_hits = 9;
             sp_cache_misses = 2;
+            sp_ctx = Some sample_ctx;
           };
           {
             Lt_obs.Trace.sp_op = Lt_obs.Trace.Merge;
@@ -114,6 +155,59 @@ let test_protocol_responses () =
             sp_tablets = 0;
             sp_cache_hits = 0;
             sp_cache_misses = 0;
+            sp_ctx = None;
+          };
+        ];
+      Protocol.Trace_spans
+        [
+          {
+            Lt_obs.Trace.sp_op = Lt_obs.Trace.Request;
+            sp_table = "query";
+            sp_start_us = 5L;
+            sp_duration_us = 9L;
+            sp_scanned = 1;
+            sp_returned = 1;
+            sp_tablets = 0;
+            sp_cache_hits = 0;
+            sp_cache_misses = 0;
+            sp_ctx = Some sample_ctx;
+          };
+        ];
+      Protocol.Trace_spans [];
+      Protocol.Metrics_snapshot [];
+      Protocol.Metrics_snapshot
+        [
+          {
+            Lt_obs.Metrics.sn_name = "lt_rows_total";
+            sn_help = "Rows.";
+            sn_kind = Lt_obs.Metrics.K_counter;
+            sn_bounds = [||];
+            sn_children =
+              [
+                {
+                  Lt_obs.Metrics.sn_labels = [ ("table", "usage") ];
+                  sn_count = 0;
+                  sn_fval = 42.;
+                  sn_max = 0.;
+                  sn_buckets = [||];
+                };
+              ];
+          };
+          {
+            Lt_obs.Metrics.sn_name = "lt_q_seconds";
+            sn_help = "Latency.";
+            sn_kind = Lt_obs.Metrics.K_histogram;
+            sn_bounds = [| 0.1; 1.0 |];
+            sn_children =
+              [
+                {
+                  Lt_obs.Metrics.sn_labels = [];
+                  sn_count = 3;
+                  sn_fval = 1.25;
+                  sn_max = 1.0;
+                  sn_buckets = [| 1; 1; 1 |];
+                };
+              ];
           };
         ];
     ]
@@ -129,6 +223,26 @@ let test_protocol_rejects_garbage () =
   match Protocol.read_response (Lt_util.Binio.cursor "\xee") with
   | (_ : Protocol.response) -> Alcotest.fail "bad tag accepted"
   | exception Protocol.Protocol_error _ -> ()
+
+(* The trace context travels as a frame-level prefix ahead of the
+   tagged request body, so any request type carries it unchanged and
+   its absence decodes as [None]. *)
+let test_ctx_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      Protocol.send_request ~ctx:sample_ctx a Protocol.Ping;
+      (match Protocol.recv_request b with
+      | Some c, Protocol.Ping ->
+          Alcotest.(check bool) "ctx carried" true (c = sample_ctx)
+      | _ -> Alcotest.fail "ctx lost in framing");
+      Protocol.send_request a (Protocol.Get_table "t");
+      match Protocol.recv_request b with
+      | None, Protocol.Get_table t when t = "t" -> ()
+      | _ -> Alcotest.fail "absent ctx must decode as None")
 
 (* ---- End-to-end over TCP ----------------------------------------------- *)
 
@@ -297,6 +411,74 @@ let test_mixed_version_hello_rejected () =
               Alcotest.(check int) "hello_ok echoes version" Protocol.version v
           | _ -> Alcotest.fail "current version refused"))
 
+(* Per-query profiles over the wire: explicit opt-in returns a
+   breakdown, the default stays bare, and rows are identical either
+   way; the sticky client-side flag accumulates for [take_profiles]. *)
+let test_query_profile_over_wire () =
+  with_server (fun server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      let rows =
+        List.init 20 (fun i ->
+            Support.usage_row ~network:1L ~device:(Int64.of_int i)
+              ~ts:(Int64.of_int (i + 1)) ~bytes:0L ~rate:0.0)
+      in
+      Client.insert c "usage" rows;
+      Client.flush_before c "usage" ~ts:100L;
+      let page = Client.query_page ~profile:true c "usage" Query.all in
+      (match page.Client.profile with
+      | Some p ->
+          Alcotest.(check int) "profiled rows returned" 8
+            p.Lt_obs.Profile.p_rows_returned;
+          Alcotest.(check bool) "profiled rows scanned" true
+            (p.Lt_obs.Profile.p_rows_scanned >= 8)
+      | None -> Alcotest.fail "profile requested but absent");
+      let plain = Client.query_page c "usage" Query.all in
+      Alcotest.(check bool) "no profile by default" true
+        (plain.Client.profile = None);
+      Alcotest.(check bool) "profiling leaves rows identical" true
+        (plain.Client.rows = page.Client.rows);
+      Client.set_profiling c true;
+      let (_ : Value.t array list) = Client.query_all c "usage" Query.all in
+      let ps = Client.take_profiles c in
+      Alcotest.(check bool) "sticky profiling accumulates" true
+        (List.length ps >= 1);
+      Alcotest.(check int) "take_profiles drains" 0
+        (List.length (Client.take_profiles c));
+      Client.close c)
+
+(* An obs-enabled client originates a trace per request; Get_trace on
+   the server returns that request's spans — the single-node half of
+   the cross-process trace tree. *)
+let test_trace_fetch_over_wire () =
+  with_server (fun server ->
+      let obs = Lt_obs.Obs.create ~clock:Lt_util.Clock.system () in
+      let c = Client.connect ~obs ~port:(Server.port server) () in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      Client.insert c "usage"
+        [ Support.usage_row ~network:1L ~device:1L ~ts:1L ~bytes:0L ~rate:0.0 ];
+      let (_ : Value.t array list) = Client.query_all c "usage" Query.all in
+      match Client.last_trace c with
+      | None -> Alcotest.fail "an obs-enabled client must record its trace id"
+      | Some (hi, lo) ->
+          let spans = Client.trace c (hi, lo) in
+          Alcotest.(check bool) "request span present" true
+            (List.exists
+               (fun sp -> sp.Lt_obs.Trace.sp_op = Lt_obs.Trace.Request)
+               spans);
+          Alcotest.(check bool) "engine query span joined the trace" true
+            (List.exists
+               (fun sp -> sp.Lt_obs.Trace.sp_op = Lt_obs.Trace.Query)
+               spans);
+          Alcotest.(check bool) "every span belongs to the trace" true
+            (List.for_all
+               (fun sp ->
+                 match sp.Lt_obs.Trace.sp_ctx with
+                 | Some cx -> Lt_obs.Trace.same_trace ~hi ~lo cx
+                 | None -> false)
+               spans);
+          Client.close c)
+
 (* A plain single-node server still answers Get_placement: one implicit
    shard, so router-aware clients degrade gracefully. *)
 let test_single_node_placement () =
@@ -341,7 +523,10 @@ let suite =
     ("protocol request roundtrips", `Quick, test_protocol_requests);
     ("protocol response roundtrips", `Quick, test_protocol_responses);
     ("protocol rejects garbage", `Quick, test_protocol_rejects_garbage);
+    ("trace ctx framing", `Quick, test_ctx_framing);
     ("server end-to-end", `Quick, test_server_end_to_end);
+    ("query profile over the wire", `Quick, test_query_profile_over_wire);
+    ("trace fetch over the wire", `Quick, test_trace_fetch_over_wire);
     ("sql over the wire", `Quick, test_server_sql_over_wire);
     ("multiple concurrent clients", `Quick, test_multiple_clients);
     ("reconnect after restart", `Quick, test_reconnect_after_server_restart);

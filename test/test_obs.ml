@@ -167,6 +167,7 @@ let span ~op ~dur_us i =
     sp_tablets = 1;
     sp_cache_hits = 0;
     sp_cache_misses = 0;
+    sp_ctx = None;
   }
 
 let test_ring_wraparound () =
@@ -182,6 +183,190 @@ let test_ring_wraparound () =
   Alcotest.(check (list int)) "slow filters by threshold" [ 9; 8; 7 ]
     (List.map (fun sp -> sp.Trace.sp_scanned) (Trace.slow t));
   check_int "slow respects n" 1 (List.length (Trace.slow ~n:1 t))
+
+(* ---- Trace contexts ---------------------------------------------------- *)
+
+let test_trace_ctx_ids () =
+  (* Seeded ids are deterministic (replay) and never zero. *)
+  Trace.seed_ids 42L;
+  let a = Trace.new_root ~clock:Clock.system in
+  Trace.seed_ids 42L;
+  let b = Trace.new_root ~clock:Clock.system in
+  check_bool "seeded roots repeat" true (a = b);
+  check_bool "trace hi nonzero" true (a.Trace.cx_trace_hi <> 0L);
+  check_bool "span nonzero" true (a.Trace.cx_span <> 0L);
+  check_int "root has no parent" 0 (Int64.to_int a.Trace.cx_parent);
+  let c = Trace.child_of a in
+  check_bool "child keeps trace id" true
+    (Trace.same_trace ~hi:a.Trace.cx_trace_hi ~lo:a.Trace.cx_trace_lo c);
+  check_bool "child parented on span" true
+    (c.Trace.cx_parent = a.Trace.cx_span);
+  check_bool "child gets fresh span" true (c.Trace.cx_span <> a.Trace.cx_span);
+  (* Hex id roundtrip, both full and short forms. *)
+  let hex = Trace.trace_id_hex a in
+  check_int "hex width" 32 (String.length hex);
+  (match Trace.parse_trace_id hex with
+  | Some (hi, lo) ->
+      check_bool "parse roundtrip" true
+        (hi = a.Trace.cx_trace_hi && lo = a.Trace.cx_trace_lo)
+  | None -> Alcotest.fail "full hex id must parse");
+  (match Trace.parse_trace_id "deadbeef" with
+  | Some (hi, lo) ->
+      check_bool "short id fills low word" true (hi = 0L && lo = 0xdeadbeefL)
+  | None -> Alcotest.fail "short hex id must parse");
+  check_bool "malformed id rejected" true (Trace.parse_trace_id "xyz" = None);
+  check_bool "empty id rejected" true (Trace.parse_trace_id "" = None)
+
+let test_ambient_ctx () =
+  Trace.seed_ids 7L;
+  check_bool "no ambient by default" true (Trace.current () = None);
+  let root = Trace.new_root ~clock:Clock.system in
+  let seen =
+    Trace.with_ctx (Some root) (fun () ->
+        let inner = Trace.current () in
+        (* Nested scopes replace and restore. *)
+        let child = Trace.child_of root in
+        Trace.with_ctx (Some child) (fun () ->
+            check_bool "nested scope wins" true (Trace.current () = Some child));
+        check_bool "outer scope restored" true (Trace.current () = Some root);
+        inner)
+  in
+  check_bool "ambient visible in scope" true (seen = Some root);
+  check_bool "ambient cleared after scope" true (Trace.current () = None);
+  (* [with_ctx None] is transparent. *)
+  Trace.with_ctx None (fun () ->
+      check_bool "none installs nothing" true (Trace.current () = None))
+
+let test_trace_filters () =
+  Trace.seed_ids 9L;
+  let t = Trace.create ~capacity:16 ~slow_us:0L () in
+  let ra = Trace.new_root ~clock:Clock.system in
+  let rb = Trace.new_root ~clock:Clock.system in
+  let mk ~tbl ~ctx i =
+    { (span ~op:Trace.Query ~dur_us:10L i) with
+      Trace.sp_table = tbl;
+      sp_ctx = ctx }
+  in
+  Trace.record t (mk ~tbl:"usage" ~ctx:(Some ra) 0);
+  Trace.record t (mk ~tbl:"events" ~ctx:(Some (Trace.child_of ra)) 1);
+  Trace.record t (mk ~tbl:"usage" ~ctx:(Some rb) 2);
+  Trace.record t (mk ~tbl:"usage" ~ctx:None 3);
+  check_int "table filter (recent)" 3
+    (List.length (Trace.recent ~table:"usage" t));
+  check_int "table filter (slow)" 1
+    (List.length (Trace.slow ~table:"events" t));
+  let found =
+    Trace.find_trace t ~hi:ra.Trace.cx_trace_hi ~lo:ra.Trace.cx_trace_lo
+  in
+  check_int "find_trace matches both spans" 2 (List.length found);
+  Alcotest.(check (list int)) "find_trace is oldest first" [ 0; 1 ]
+    (List.map (fun sp -> sp.Trace.sp_scanned) found);
+  check_int "other trace isolated" 1
+    (List.length
+       (Trace.find_trace t ~hi:rb.Trace.cx_trace_hi ~lo:rb.Trace.cx_trace_lo))
+
+(* record_op with no explicit ctx attaches a child of the ambient one. *)
+let test_record_op_ambient () =
+  Trace.seed_ids 11L;
+  let clock = Clock.manual ~start:0L () in
+  let obs = Obs.create ~clock () in
+  let root = Trace.new_root ~clock in
+  let h = Metrics.histogram (Obs.registry obs) "lt_test_seconds" in
+  Trace.with_ctx (Some root) (fun () ->
+      Obs.record_op obs ~hist:h ~op:Trace.Query ~table:"t" ~t0:0L ());
+  (match Trace.recent (Obs.trace obs) with
+  | [ sp ] -> (
+      match sp.Trace.sp_ctx with
+      | Some c ->
+          check_bool "span joins ambient trace" true
+            (Trace.same_trace ~hi:root.Trace.cx_trace_hi
+               ~lo:root.Trace.cx_trace_lo c);
+          check_bool "span is a child of ambient" true
+            (c.Trace.cx_parent = root.Trace.cx_span)
+      | None -> Alcotest.fail "span must carry a ctx")
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans));
+  check_bool "trace_capacity knob is wired" true
+    (Trace.capacity
+       (Obs.trace
+          (Obs.create ~trace_capacity:Config.default.Config.trace_capacity
+             ~clock ()))
+    = Config.default.Config.trace_capacity)
+
+(* ---- Profiles ---------------------------------------------------------- *)
+
+let test_profile_aggregate () =
+  let module Profile = Lt_obs.Profile in
+  let p1 =
+    { Profile.empty with
+      Profile.p_plan_us = 10L;
+      p_scan_us = 100L;
+      p_total_us = 120L;
+      p_rows_scanned = 5;
+      p_rows_returned = 2;
+      p_cache_hits = 3;
+      p_shards = [ ("shard0", { Profile.empty with Profile.p_scan_us = 100L }) ]
+    }
+  in
+  let p2 =
+    { Profile.empty with
+      Profile.p_plan_us = 5L;
+      p_scan_us = 50L;
+      p_total_us = 60L;
+      p_rows_scanned = 7;
+      p_rows_returned = 1;
+      p_cache_misses = 4;
+      p_shards =
+        [ ("shard0", { Profile.empty with Profile.p_scan_us = 50L });
+          ("shard1", { Profile.empty with Profile.p_rows_scanned = 7 }) ]
+    }
+  in
+  let a = Profile.aggregate [ p1; p2 ] in
+  check_bool "plan sums" true (a.Profile.p_plan_us = 15L);
+  check_bool "scan sums" true (a.Profile.p_scan_us = 150L);
+  check_int "rows scanned sums" 12 a.Profile.p_rows_scanned;
+  check_int "rows returned sums" 3 a.Profile.p_rows_returned;
+  check_int "cache hits sum" 3 a.Profile.p_cache_hits;
+  check_int "cache misses sum" 4 a.Profile.p_cache_misses;
+  check_int "shards merged by label" 2 (List.length a.Profile.p_shards);
+  (match List.assoc_opt "shard0" a.Profile.p_shards with
+  | Some s -> check_bool "shard sub-profiles sum" true (s.Profile.p_scan_us = 150L)
+  | None -> Alcotest.fail "shard0 must survive the merge");
+  check_bool "aggregate of nothing is empty" true
+    (Profile.aggregate [] = Profile.empty);
+  (* The renderer mentions the shard breakdown. *)
+  check_bool "pp shows shards" true
+    (contains (Profile.to_string a) "shard1")
+
+(* ---- Snapshots and federation ------------------------------------------ *)
+
+let test_snapshot_federation () =
+  let mk_source label n =
+    let r = Metrics.create_registry () in
+    let c = Metrics.counter r ~labels:[ ("table", "usage") ] "lt_rows_total" in
+    Metrics.Counter.inc c n;
+    let h = Metrics.histogram r ~buckets:[| 0.1; 1.0 |] "lt_q_seconds" in
+    Metrics.Histogram.observe h 0.05;
+    Metrics.Histogram.observe h (0.2 *. float_of_int n);
+    (label, Metrics.snapshot r)
+  in
+  let sources = [ mk_source "0" 10; mk_source "1" 20 ] in
+  let text = Metrics.render_federated sources in
+  (* Aggregate first: counters sum across sources... *)
+  check_bool "counter aggregate" true
+    (contains text "lt_rows_total{table=\"usage\"} 30");
+  (* ...then the per-shard breakdown, labeled. *)
+  check_bool "shard 0 breakdown" true
+    (contains text "lt_rows_total{table=\"usage\",shard=\"0\"} 10");
+  check_bool "shard 1 breakdown" true
+    (contains text "lt_rows_total{table=\"usage\",shard=\"1\"} 20");
+  (* Histogram merge: the aggregate _count equals the sum of the
+     per-shard _counts, bucket by bucket. *)
+  check_bool "histogram aggregate count" true
+    (contains text "lt_q_seconds_count 4");
+  check_bool "histogram aggregate buckets" true
+    (contains text "lt_q_seconds_bucket{le=\"0.1\"} 2");
+  check_bool "histogram shard count" true
+    (contains text "lt_q_seconds_count{shard=\"1\"} 2")
 
 (* ---- Stats ratios ------------------------------------------------------ *)
 
@@ -328,6 +513,13 @@ let suite =
     Alcotest.test_case "disabled registry" `Quick test_disabled_registry;
     Alcotest.test_case "golden prometheus render" `Quick test_golden_render;
     Alcotest.test_case "trace ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "trace context ids" `Quick test_trace_ctx_ids;
+    Alcotest.test_case "ambient trace context" `Quick test_ambient_ctx;
+    Alcotest.test_case "trace ring filters" `Quick test_trace_filters;
+    Alcotest.test_case "record_op joins ambient trace" `Quick
+      test_record_op_ambient;
+    Alcotest.test_case "profile aggregation" `Quick test_profile_aggregate;
+    Alcotest.test_case "snapshot federation" `Quick test_snapshot_federation;
     Alcotest.test_case "stats ratios" `Quick test_stats_ratios;
     Alcotest.test_case "slow query traced end to end" `Quick test_slow_query_e2e;
     Alcotest.test_case "disabled obs still renders stats" `Quick
