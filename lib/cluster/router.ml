@@ -81,36 +81,204 @@ let first_error_else resps ok =
 
 (* ---- Inserts ----------------------------------------------------------- *)
 
-let route_insert t table rows =
-  let schema = schema_of t table in
-  let lead = (Schema.pkey schema).(0) in
-  Lt_util.Mutexes.with_lock t.mutex (fun () ->
-      let groups = Hashtbl.create 8 in
+(* Split every group's rows by owning shard (stable within a group), so
+   each shard receives one [Insert_batch] holding its slice of every
+   group. Returns the slices in shard order. *)
+let split_by_shard t groups =
+  let per_shard = Hashtbl.create 8 in
+  List.iter
+    (fun (table, rows) ->
+      let schema = schema_of t table in
+      let lead = (Schema.pkey schema).(0) in
+      let buckets = Hashtbl.create 4 in
+      let order = ref [] in
       List.iter
         (fun row ->
           if Array.length row <= lead then
             err "row arity %d lacks the leading key column" (Array.length row);
           let s = Placement.shard_of_value t.placement row.(lead) in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt groups s) in
-          Hashtbl.replace groups s (row :: prev))
+          match Hashtbl.find_opt buckets s with
+          | Some r -> r := row :: !r
+          | None ->
+              Hashtbl.add buckets s (ref [ row ]);
+              order := s :: !order)
         rows;
-      let shards =
-        List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) groups [])
-      in
-      observe_fanout t (max 1 (List.length shards));
-      let total = ref 0 in
       List.iter
         (fun s ->
-          let sub = List.rev (Hashtbl.find groups s) in
-          match
-            Cluster_client.request_write t.cc s
-              (Protocol.Insert { table; rows = sub })
-          with
-          | Protocol.Insert_ok n -> total := !total + n
-          | Protocol.Error msg -> err "%s" msg
-          | _ -> err "bad insert response")
-        shards;
-      Protocol.Insert_ok !total)
+          let sub = List.rev !(Hashtbl.find buckets s) in
+          match Hashtbl.find_opt per_shard s with
+          | Some r -> r := (table, sub) :: !r
+          | None -> Hashtbl.add per_shard s (ref [ (table, sub) ]))
+        (List.rev !order))
+    groups;
+  Hashtbl.fold (fun s r acc -> (s, List.rev !r) :: acc) per_shard []
+  |> List.sort compare
+
+(* Zero-copy variant of {!split_by_shard} over a still-undecoded
+   [Insert_batch] payload: one scan that decodes only each row's
+   leading key value (for placement) and blits the row's wire bytes
+   straight into its owner's outgoing sub-payload. Forwarded columns
+   are never boxed or re-encoded — the per-row router cost is a hash
+   and a memcpy. Returns, per owning shard, the sub-payload (already in
+   wire format) and its per-table expected row counts. *)
+let split_raw t payload =
+  let module B = Lt_util.Binio in
+  let cur = B.cursor payload in
+  let ngroups = B.get_varint cur in
+  if ngroups < 0 || ngroups > 65536 then
+    err "implausible group count %d" ngroups;
+  (* Per shard: groups in arrival order, each (table, count, row bytes). *)
+  let per_shard : (int, (string * int ref * Buffer.t) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  for _ = 1 to ngroups do
+    let table = B.get_string cur in
+    let schema = schema_of t table in
+    let lead = (Schema.pkey schema).(0) in
+    let nrows = B.get_varint cur in
+    if nrows < 0 then err "implausible row count %d" nrows;
+    (* This group's slice on each shard, created on first row. *)
+    let slices = Hashtbl.create 4 in
+    for _ = 1 to nrows do
+      let start = cur.B.pos in
+      let arity = B.get_varint cur in
+      if arity < 0 || arity > 65536 then err "implausible row arity %d" arity;
+      if arity <= lead then
+        err "row arity %d lacks the leading key column" arity;
+      let lead_v = ref (Value.Int64 0L) in
+      for i = 0 to arity - 1 do
+        if i = lead then lead_v := Protocol.get_value cur
+        else Protocol.skip_value cur
+      done;
+      let stop = cur.B.pos in
+      let s = Placement.shard_of_value t.placement !lead_v in
+      let count, buf =
+        match Hashtbl.find_opt slices s with
+        | Some cb -> cb
+        | None ->
+            let cb = (ref 0, Buffer.create 512) in
+            Hashtbl.add slices s cb;
+            let count, buf = cb in
+            (match Hashtbl.find_opt per_shard s with
+            | Some r -> r := (table, count, buf) :: !r
+            | None -> Hashtbl.add per_shard s (ref [ (table, count, buf) ]));
+            cb
+      in
+      incr count;
+      Buffer.add_substring buf payload start (stop - start)
+    done
+  done;
+  Hashtbl.fold
+    (fun s r acc ->
+      let module B = Lt_util.Binio in
+      let groups = List.rev !r in
+      let b = Buffer.create 1024 in
+      B.put_varint b (List.length groups);
+      List.iter
+        (fun (table, count, rows) ->
+          B.put_string b table;
+          B.put_varint b !count;
+          Buffer.add_buffer b rows)
+        groups;
+      ( s,
+        List.map (fun (tbl, count, _) -> (tbl, !count)) groups,
+        Buffer.contents b )
+      :: acc)
+    per_shard []
+  |> List.sort compare
+
+(* One outcome per shard: which rows of its sub-batch landed, and the
+   failure message if not all of them did. A shard that answers a plain
+   [Error] committed nothing (the server only does that when zero rows
+   landed); an unreachable shard is reported the same way. *)
+type shard_insert = { si_landed : (string * int) list; si_fail : string option }
+
+(* [expected] is the sub-batch's per-table row counts — what "all
+   landed" means for this shard. *)
+let send_shard_batch t s ~expected req =
+  let none = List.map (fun (tbl, _) -> (tbl, 0)) expected in
+  match Cluster_client.request_write t.cc s req with
+  | Protocol.Insert_ok _ -> { si_landed = expected; si_fail = None }
+  | Protocol.Insert_partial { landed; message } ->
+      { si_landed = landed; si_fail = Some message }
+  | Protocol.Error msg -> { si_landed = none; si_fail = Some msg }
+  | _ -> { si_landed = none; si_fail = Some "bad insert response" }
+  | exception Cluster_client.Unavailable msg ->
+      { si_landed = none; si_fail = Some ("backend unavailable: " ^ msg) }
+  | exception Client.Remote_error msg ->
+      { si_landed = none; si_fail = Some msg }
+
+(* Batched per-shard forwarding, shared by [Insert] and [Insert_batch].
+   Sub-batches go to their shards concurrently (each shard has its own
+   connection); per-shard outcomes are then folded into one answer.
+
+   The old code answered [Insert_ok (length rows)] even when a later
+   shard failed after earlier shards had committed — the client then
+   believed everything was in, or (on the error path) nothing was. Now
+   any failure yields [Insert_partial] naming, per ["shard<i>/<table>"]
+   label, exactly how many rows are in on each shard.
+
+   [plan] is one (shard, expected counts, request) triple per owning
+   shard, from either split. *)
+(* Shard sends run sequentially in shard-index order, unlike the query
+   fan-out's thread-per-shard: a batch send is short and bounded (no
+   scan to wait out), per-flush thread churn costs more than it hides,
+   and ordered commits make the partial-failure report deterministic —
+   when shard [i] fails, every shard's landed count is a prefix of its
+   own sub-batch and lower-indexed shards have already answered. *)
+let route_insert_plan t plan =
+  observe_fanout t (max 1 (List.length plan));
+  let results =
+    Array.make (List.length plan) { si_landed = []; si_fail = None }
+  in
+  List.iteri
+    (fun i (s, expected, req) ->
+      results.(i) <- send_shard_batch t s ~expected req)
+    plan;
+  let failed = Array.to_list results |> List.filter_map (fun r -> r.si_fail) in
+  match failed with
+  | [] ->
+      Protocol.Insert_ok
+        (Array.to_list results
+        |> List.concat_map (fun r -> r.si_landed)
+        |> List.fold_left (fun acc (_, n) -> acc + n) 0)
+  | msg :: _ ->
+      let landed =
+        List.map2
+          (fun (s, _, _) r ->
+            List.map
+              (fun (tbl, n) -> (Printf.sprintf "shard%d/%s" s tbl, n))
+              r.si_landed)
+          plan
+          (Array.to_list results)
+        |> List.concat
+      in
+      if List.for_all (fun (_, n) -> n = 0) landed then Protocol.Error msg
+      else Protocol.Insert_partial { landed; message = msg }
+
+let route_insert_batch t groups =
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let plan =
+        List.map
+          (fun (s, sub) ->
+            ( s,
+              List.map (fun (tbl, rows) -> (tbl, List.length rows)) sub,
+              Protocol.Insert_batch { groups = Protocol.Groups sub } ))
+          (split_by_shard t groups)
+      in
+      route_insert_plan t plan)
+
+let route_insert_raw t payload =
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      let plan =
+        List.map
+          (fun (s, expected, sub) ->
+            ( s,
+              expected,
+              Protocol.Insert_batch { groups = Protocol.Raw sub } ))
+          (split_raw t payload)
+      in
+      route_insert_plan t plan)
 
 (* ---- Queries ----------------------------------------------------------- *)
 
@@ -402,7 +570,11 @@ let handle_inner t req =
       first_error_else (fanout_all t ~write:true req) Protocol.Ok
   | Protocol.Flush_before _ ->
       first_error_else (fanout_all t ~write:true req) Protocol.Ok
-  | Protocol.Insert { table; rows } -> route_insert t table rows
+  | Protocol.Insert { table; rows } -> route_insert_batch t [ (table, rows) ]
+  | Protocol.Insert_batch { groups = Protocol.Groups gs } ->
+      route_insert_batch t gs
+  | Protocol.Insert_batch { groups = Protocol.Raw payload } ->
+      route_insert_raw t payload
   | Protocol.Query { table; query; profile } -> route_query t table query ~profile
   | Protocol.Latest { table; prefix } -> route_latest t table prefix
   | Protocol.Get_stats table -> route_stats t table
@@ -434,6 +606,10 @@ let handle t req =
   | Client.Remote_error msg -> Protocol.Error msg
   | Schema.Invalid msg -> Protocol.Error msg
   | Invalid_argument msg -> Protocol.Error msg
+  (* A malformed raw batch payload surfaces during the span scan, not
+     at frame decode. *)
+  | Protocol.Protocol_error msg -> Protocol.Error msg
+  | Lt_util.Binio.Corrupt msg -> Protocol.Error msg
 
 (* ---- Rebalance (the §2.2 shard split) ---------------------------------- *)
 
@@ -491,6 +667,8 @@ let rebalance t ~value ~to_shard =
                          (Protocol.Insert { table; rows })
                      with
                      | Protocol.Insert_ok n -> moved := !moved + n
+                     | Protocol.Insert_partial { message; _ } ->
+                         reb "%s" message
                      | Protocol.Error msg -> reb "%s" msg
                      | _ -> reb "bad insert response");
                   if more_available then

@@ -2,61 +2,60 @@ open Lt_util
 
 type entry = { key : string; value : string }
 
+(* The payload is built incrementally in one buffer so callers can encode
+   row values straight into it ({!add_enc}) instead of materializing a
+   per-row value string first. *)
 type builder = {
-  mutable entries : entry list;  (** reversed *)
+  payload : Buffer.t;
+  mutable offsets : int list;  (** reversed *)
   mutable count : int;
-  mutable payload_bytes : int;
   mutable first : string option;
   mutable last : string option;
 }
 
 let builder () =
-  { entries = []; count = 0; payload_bytes = 0; first = None; last = None }
+  { payload = Buffer.create 4096;
+    offsets = [];
+    count = 0;
+    first = None;
+    last = None }
 
-(* Upper bound on a varint length prefix for block-sized strings. *)
-let len_overhead n = if n < 0x80 then 1 else if n < 0x4000 then 2 else 3
-
-let add b ~key ~value =
+let add_enc b ~key ~value_size ~encode =
   (match b.last with
   | Some last when String.compare key last <= 0 ->
       invalid_arg "Block.add: keys must be strictly ascending"
   | _ -> ());
-  b.entries <- { key; value } :: b.entries;
+  b.offsets <- Buffer.length b.payload :: b.offsets;
   b.count <- b.count + 1;
-  b.payload_bytes <-
-    b.payload_bytes + String.length key + String.length value
-    + len_overhead (String.length key)
-    + len_overhead (String.length value);
+  Binio.put_string b.payload key;
+  Binio.put_varint b.payload value_size;
+  let before = Buffer.length b.payload in
+  encode b.payload;
+  if Buffer.length b.payload - before <> value_size then
+    invalid_arg "Block.add_enc: encoder wrote a different size than declared";
   if b.first = None then b.first <- Some key;
   b.last <- Some key
 
+let add b ~key ~value =
+  add_enc b ~key ~value_size:(String.length value) ~encode:(fun buf ->
+      Buffer.add_string buf value)
+
 let entry_count b = b.count
 
-let raw_size b = b.payload_bytes + (4 * b.count) + 5
+let raw_size b = Buffer.length b.payload + (4 * b.count) + 5
 
 let last_key b = b.last
 
 let first_key b = b.first
 
 let finish b =
-  let entries = List.rev b.entries in
-  let payload = Buffer.create b.payload_bytes in
-  let offsets =
-    List.map
-      (fun e ->
-        let off = Buffer.length payload in
-        Binio.put_string payload e.key;
-        Binio.put_string payload e.value;
-        off)
-      entries
-  in
   let out = Buffer.create (raw_size b) in
   Binio.put_varint out b.count;
-  List.iter (fun off -> Binio.put_u32 out off) offsets;
-  Buffer.add_buffer out payload;
-  b.entries <- [];
+  List.iter (fun off -> Binio.put_u32 out off) (List.rev b.offsets);
+  Buffer.add_buffer out b.payload;
+  Buffer.clear b.payload;
+  b.offsets <- [];
   b.count <- 0;
-  b.payload_bytes <- 0;
   b.first <- None;
   b.last <- None;
   Buffer.contents out
@@ -82,6 +81,19 @@ let entry t i =
 let key t i =
   let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
   Binio.get_string cur
+
+let data t = t.data
+
+let value_span t i =
+  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
+  let key_len = Binio.get_varint cur in
+  if Binio.remaining cur < key_len then
+    raise (Binio.Corrupt "block: truncated key");
+  cur.Binio.pos <- cur.Binio.pos + key_len;
+  let len = Binio.get_varint cur in
+  if Binio.remaining cur < len then
+    raise (Binio.Corrupt "block: truncated value");
+  (cur.Binio.pos, len)
 
 let search_geq t k =
   let lo = ref 0 and hi = ref (count t) in

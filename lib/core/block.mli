@@ -22,6 +22,14 @@ val builder : unit -> builder
 (** Keys must be added in strictly ascending order (checked). *)
 val add : builder -> key:string -> value:string -> unit
 
+(** [add_enc b ~key ~value_size ~encode] is {!add} without the value
+    string: [encode] appends the value encoding (exactly [value_size]
+    bytes, checked) straight into the block payload. This is how the
+    flush path writes memtable rows without a per-row intermediate
+    string. *)
+val add_enc :
+  builder -> key:string -> value_size:int -> encode:(Buffer.t -> unit) -> unit
+
 val entry_count : builder -> int
 
 (** Bytes the block will occupy before compression. *)
@@ -45,6 +53,15 @@ val count : t -> int
 val entry : t -> int -> entry
 
 val key : t -> int -> string
+
+(** The decoded block's backing bytes — pair with {!value_span} for
+    copy-free value access. *)
+val data : t -> string
+
+(** [value_span t i] is the [(offset, length)] window of entry [i]'s
+    value encoding within {!data}, so scans can decode rows straight out
+    of the block without allocating a value string per row. *)
+val value_span : t -> int -> int * int
 
 (** [search_geq t k] is the smallest index whose key is [>= k], or
     [count t] when every key is smaller. *)

@@ -69,6 +69,21 @@ let encode_value buf = function
   | Value.String s -> encode_string buf s
   | Value.Blob s -> encode_string buf s
 
+(* Exact size of [encode_value]'s output, without producing it: strings
+   pay one extra byte per escaped 0x00/0x01 plus the terminator. *)
+let encoded_size = function
+  | Value.Int32 _ -> 4
+  | Value.Int64 _ | Value.Timestamp _ | Value.Double _ -> 8
+  | Value.String s | Value.Blob s ->
+      let esc = ref 0 in
+      String.iter (fun c -> if c = '\x00' || c = '\x01' then incr esc) s;
+      String.length s + !esc + 1
+
+let key_size schema row =
+  Array.fold_left
+    (fun acc i -> acc + encoded_size row.(i))
+    0 (Schema.pkey schema)
+
 let decode_value ctype cur =
   match ctype with
   | Value.T_int32 ->

@@ -25,6 +25,12 @@ val encode_value : Buffer.t -> Value.t -> unit
 (** [decode_value ctype cur] inverts {!encode_value}. *)
 val decode_value : Value.ctype -> Lt_util.Binio.cursor -> Value.t
 
+(** Exact byte length {!encode_value} would produce, allocation-free. *)
+val encoded_size : Value.t -> int
+
+(** Exact byte length of {!encode_key}, allocation-free. *)
+val key_size : Schema.t -> Value.t array -> int
+
 (** Full primary key of a validated row. *)
 val encode_key : Schema.t -> Value.t array -> string
 

@@ -1,18 +1,23 @@
 open Lt_util
 
-let encode_value schema row =
-  let buf = Buffer.create 32 in
+let encode_value_into buf schema row =
   Array.iteri
     (fun i v -> if not (Schema.is_pkey schema i) then Value.encode buf v)
-    row;
+    row
+
+let encode_value schema row =
+  let buf = Buffer.create 32 in
+  encode_value_into buf schema row;
   Buffer.contents buf
 
-let decode schema ~key ~value =
+(* Decode the non-key columns from a bounded cursor; the cursor's window
+   is the value encoding, whether it is a whole string or a slice of a
+   block payload. *)
+let decode_cursor schema ~key cur =
   let cols = Schema.columns schema in
   let row = Array.make (Array.length cols) (Value.Int32 0l) in
   let kvs = Key_codec.decode_key schema key in
   Array.iteri (fun ki col -> row.(col) <- kvs.(ki)) (Schema.pkey schema);
-  let cur = Binio.cursor value in
   Array.iteri
     (fun i col ->
       if not (Schema.is_pkey schema i) then
@@ -21,13 +26,36 @@ let decode schema ~key ~value =
   Binio.expect_end cur;
   row
 
-let decode_translated ~from ~into ~key ~value =
-  if Schema.version from = Schema.version into then decode into ~key ~value
+let decode schema ~key ~value = decode_cursor schema ~key (Binio.cursor value)
+
+let decode_slice schema ~key ~data ~off ~len =
+  decode_cursor schema ~key (Binio.cursor ~pos:off ~len data)
+
+let decode_translated_cursor ~from ~into ~key cur =
+  if Schema.version from = Schema.version into then
+    decode_cursor into ~key cur
   else begin
-    let row = decode from ~key ~value in
+    let row = decode_cursor from ~key cur in
     Schema.translate_row ~from ~into row
   end
 
+let decode_translated ~from ~into ~key ~value =
+  decode_translated_cursor ~from ~into ~key (Binio.cursor value)
+
+let decode_translated_slice ~from ~into ~key ~data ~off ~len =
+  decode_translated_cursor ~from ~into ~key (Binio.cursor ~pos:off ~len data)
+
+(* Exact encoding sizes without materializing either part (the memtable
+   accounts bytes per insert; re-running both encoders here doubled the
+   hot path's allocation). Exactness against the real encoders is
+   asserted in the model-oracle suite. *)
+let value_size schema row =
+  let n = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if not (Schema.is_pkey schema i) then n := !n + Value.encoded_size v)
+    row;
+  !n
+
 let stored_size schema row =
-  String.length (Key_codec.encode_key schema row)
-  + String.length (encode_value schema row)
+  Key_codec.key_size schema row + value_size schema row

@@ -37,6 +37,15 @@ type t = {
       (** consecutive failed flush attempts; guarded by [writer_lock] *)
   mutable flush_retry_at : int64;
       (** no background flush retry before this time; guarded by [writer_lock] *)
+  mutable commit_seq : int;
+      (** bumped per acked insert batch; guarded by [state] *)
+  mutable durable_seq : int;
+      (** highest [commit_seq] covered by a completed explicit flush
+          round; guarded by [state] *)
+  mutable commit_round_active : bool;
+      (** an explicit flush round is in flight; guarded by [state] *)
+  commit_cond : Condition.t;
+      (** waits on [state]; broadcast when a flush round ends *)
   state : Mutex.t;  (** guards all mutable fields above *)
   writer_lock : Mutex.t;  (** serializes inserts, flushes, schema changes *)
   maint_lock : Mutex.t;  (** serializes merges and expiry *)
@@ -182,6 +191,10 @@ let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs ~pool =
     max_ts_seen;
     flush_failures = 0;
     flush_retry_at = 0L;
+    commit_seq = 0;
+    durable_seq = 0;
+    commit_round_active = false;
+    commit_cond = Condition.create ();
     state = Mutex.create ();
     writer_lock = Mutex.create ();
     maint_lock = Mutex.create ();
@@ -403,9 +416,10 @@ let write_memtable t mt =
         | None -> ()
         | Some (key, row) ->
             let _, prefixes = Key_codec.encode_key_with_prefixes schema row in
-            Tablet.add writer ~key ~key_prefixes:prefixes
+            Tablet.add_enc writer ~key ~key_prefixes:prefixes
               ~ts:(Key_codec.ts_of_key key)
-              ~value:(Row_codec.encode_value schema row);
+              ~value_size:(Row_codec.value_size schema row)
+              ~encode:(fun buf -> Row_codec.encode_value_into buf schema row);
             go ()
       in
       go ();
@@ -560,37 +574,62 @@ let flush_frozen_backlog ?(swallow = false) t ~limit =
   in
   go ()
 
-let flush_all t =
-  Mutexes.with_lock t.writer_lock (fun () ->
-      Mutexes.with_lock t.state (fun () -> List.iter (freeze_locked t) t.filling);
-      flush_frozen_backlog t ~limit:1)
-
-let flush_before t ~ts =
-  Mutexes.with_lock t.writer_lock (fun () ->
-      Mutexes.with_lock t.state (fun () ->
-          List.iter
-            (fun m ->
-              match Memtable.ts_range m with
-              | Some (min_ts, _) when min_ts <= ts -> freeze_locked t m
-              | _ -> ())
-            t.filling);
-      let rec go () =
-        let next =
+(* Group commit: concurrent explicit-durability callers ([flush_all],
+   [flush_before]) share one flush round — and so one set of fsyncs —
+   instead of queueing N identical rounds on [writer_lock]. A caller
+   whose insert batches are already covered returns without touching
+   the writer lock; one arriving while a round is in flight waits for
+   that round and rechecks; otherwise it leads a round itself. A led
+   round freezes everything filling and drains the frozen backlog, so
+   it covers every batch acked before its freeze point. *)
+let rec commit_rounds t =
+  let role =
+    Mutexes.with_lock t.state (fun () ->
+        let target = t.commit_seq in
+        if t.durable_seq >= target then `Covered
+        else if t.commit_round_active then begin
+          while t.commit_round_active do
+            Condition.wait t.commit_cond t.state
+          done;
+          if t.durable_seq >= target then `Joined else `Retry
+        end
+        else begin
+          t.commit_round_active <- true;
+          `Lead
+        end)
+  in
+  let count mode =
+    if Obs.enabled t.obs then
+      Ometrics.Counter.inc (Obs.group_commit t.obs ~table:t.tname ~mode) 1
+  in
+  match role with
+  | `Covered -> ()
+  | `Joined -> count "joined"
+  | `Retry -> commit_rounds t
+  | `Lead ->
+      count "led";
+      Fun.protect
+        ~finally:(fun () ->
           Mutexes.with_lock t.state (fun () ->
-              List.find_opt
-                (fun m ->
-                  match Memtable.ts_range m with
-                  | Some (min_ts, _) -> min_ts <= ts
-                  | None -> false)
-                t.frozen)
-        in
-        match next with
-        | None -> ()
-        | Some m ->
-            flush_closure t m;
-            go ()
-      in
-      go ())
+              t.commit_round_active <- false;
+              Condition.broadcast t.commit_cond))
+        (fun () ->
+          Mutexes.with_lock t.writer_lock (fun () ->
+              let covered =
+                Mutexes.with_lock t.state (fun () ->
+                    List.iter (freeze_locked t) t.filling;
+                    t.commit_seq)
+              in
+              flush_frozen_backlog t ~limit:1;
+              Mutexes.with_lock t.state (fun () ->
+                  if covered > t.durable_seq then t.durable_seq <- covered)))
+
+let flush_all t = commit_rounds t
+
+(* Anything inserted before the call with any timestamp — including
+   every row with ts [<= ts] — is covered by a full round, so the §4.1.2
+   flush-before-timestamp command rides the same group commit. *)
+let flush_before t ~ts:_ = commit_rounds t
 
 (* ------------------------------------------------------------------ *)
 (* Inserts                                                             *)
@@ -602,92 +641,202 @@ let pp_key schema key =
       String.concat ", " (Array.to_list (Array.map Value.to_string vs))
   | exception _ -> "<undecodable>"
 
-(* Uniqueness check (§3.4.4). Fast paths avoid disk: a timestamp newer
-   than everything seen, then per-candidate max-key and Bloom checks;
-   only surviving candidates cost a point read. Caller holds
-   [writer_lock], so no new rows can appear concurrently. *)
-let check_unique t ~key ~ts =
-  let candidates =
-    Mutexes.with_lock t.state (fun () ->
-        match t.max_ts_seen with
-        | Some mts when ts > mts -> `Unique
+(* Uniqueness verdict (§3.4.4) that can be reached without touching
+   disk, under [t.state]. Fast paths: a timestamp newer than everything
+   seen is provably fresh, and the [target] memtable — the one the row
+   is about to land in — is skipped because [Memtable.insert] detects
+   its own duplicates, so checking it here would traverse the tree
+   twice. [`Check cands] means only a point read can decide; the
+   candidates' refcounts are bumped so the caller can read them with
+   the lock released. Caller holds [writer_lock], so no new rows can
+   appear concurrently. *)
+let classify_unique_locked t ~key ~ts ~target =
+  match t.max_ts_seen with
+  | Some mts when ts > mts -> `Unique
+  | _ ->
+      let other m =
+        (match target with
+        | Some tgt -> Memtable.id m <> Memtable.id tgt
+        | None -> true)
+        && Memtable.mem m key
+      in
+      if List.exists other t.filling
+         || List.exists (fun m -> Memtable.mem m key) t.frozen
+      then `Duplicate
+      else begin
+        let cands =
+          List.filter
+            (fun dt ->
+              let m = dt.meta in
+              ts >= m.Descriptor.min_ts && ts <= m.Descriptor.max_ts
+              && String.compare key m.Descriptor.min_key >= 0
+              && String.compare key m.Descriptor.max_key <= 0)
+            t.disk
+        in
+        match cands with
+        | [] -> `Unique
         | _ ->
-            let in_memtable m = Memtable.mem m key in
-            if List.exists in_memtable t.filling
-               || List.exists in_memtable t.frozen
-            then `Duplicate
-            else begin
-              let cands =
-                List.filter
-                  (fun dt ->
-                    let m = dt.meta in
-                    ts >= m.Descriptor.min_ts && ts <= m.Descriptor.max_ts
-                    && String.compare key m.Descriptor.min_key >= 0
-                    && String.compare key m.Descriptor.max_key <= 0)
-                  t.disk
-              in
-              List.iter (fun dt -> dt.refs <- dt.refs + 1) cands;
-              `Check cands
-            end)
-  in
-  match candidates with
-  | `Unique -> ()
-  | `Duplicate -> raise (Duplicate_key (pp_key t.schema key))
-  | `Check cands ->
-      let dup =
-        Fun.protect
-          ~finally:(fun () -> release t cands)
-          (fun () ->
-            List.exists
-              (fun dt ->
-                let r = Mutexes.with_lock t.state (fun () -> get_reader_locked t dt) in
-                Tablet.mem r key)
-              cands)
-      in
-      if dup then raise (Duplicate_key (pp_key t.schema key))
+            List.iter (fun dt -> dt.refs <- dt.refs + 1) cands;
+            `Check cands
+      end
 
-let insert_one t row =
-  Schema.validate_row t.schema row;
-  let ts = Schema.row_ts t.schema row in
-  let key = Key_codec.encode_key t.schema row in
-  if t.config.Config.enforce_unique then check_unique t ~key ~ts;
-  Mutexes.with_lock t.state (fun () ->
-      let n = now t in
-      let bin = Period.bin ~now:n ts in
-      let mt =
-        match
-          List.find_opt (fun m -> Memtable.period m = bin) t.filling
-        with
-        | Some m -> m
-        | None ->
-            let id = t.next_id in
-            t.next_id <- t.next_id + 1;
-            let m = Memtable.create ~id ~period:bin ~created_at:n in
-            t.filling <- m :: t.filling;
-            m
-      in
-      (match t.last_insert_tablet with
-      | Some prev when prev <> Memtable.id mt ->
-          Flush_graph.add_edge t.graph ~before:prev ~after:(Memtable.id mt)
-      | _ -> ());
-      t.last_insert_tablet <- Some (Memtable.id mt);
-      (match Memtable.insert mt ~key ~ts row with
-      | `Ok -> Memtable.add_bytes mt (Row_codec.stored_size t.schema row)
-      | `Duplicate -> raise (Duplicate_key (pp_key t.schema key)));
-      (match t.max_ts_seen with
-      | Some v when v >= ts -> ()
-      | _ -> t.max_ts_seen <- Some ts);
-      if Memtable.byte_size mt >= t.config.Config.flush_size then
-        freeze_locked t mt)
+(* Caller holds [t.state]. *)
+let create_memtable_locked t ~now:n bin =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let m = Memtable.create ~id ~period:bin ~created_at:n in
+  t.filling <- m :: t.filling;
+  m
+
+(* Land one validated row in [mt]. Caller holds [t.state]. Returns
+   [true] when the insert pushed [mt] over the flush threshold and it
+   was frozen out of [t.filling]. *)
+let insert_into_locked t mt ~key ~ts row =
+  (match t.last_insert_tablet with
+  | Some prev when prev <> Memtable.id mt ->
+      Flush_graph.add_edge t.graph ~before:prev ~after:(Memtable.id mt)
+  | _ -> ());
+  t.last_insert_tablet <- Some (Memtable.id mt);
+  (match Memtable.insert mt ~key ~ts row with
+  | `Ok -> Memtable.add_bytes mt (Row_codec.stored_size t.schema row)
+  | `Duplicate -> raise (Duplicate_key (pp_key t.schema key)));
+  (match t.max_ts_seen with
+  | Some v when v >= ts -> ()
+  | _ -> t.max_ts_seen <- Some ts);
+  if Memtable.byte_size mt >= t.config.Config.flush_size then begin
+    freeze_locked t mt;
+    true
+  end
+  else false
+
+(* The batched insert driver: runs of rows share one [t.state]
+   acquisition (capped at [max_run] so concurrent readers interleave
+   with a large batch), so a B-row batch costs O(B / max_run) lock
+   round trips instead of two per row. A row whose uniqueness needs a
+   disk point read (rare: its ts and key fall inside a flushed
+   tablet's bounds) ends the run, reads with the lock released, and
+   the loop resumes. Caller holds [writer_lock]. *)
+let insert_rows_locked t rows ~landed =
+  let max_run = 512 in
+  let pending = ref rows in
+  while !pending <> [] do
+    let deferred =
+      Mutexes.with_lock t.state (fun () ->
+          let n = now t in
+          let run = ref 0 in
+          let defer = ref None in
+          (* Memtable cache: with [n] fixed for the chunk, every ts
+             inside the cached bin's half-open window provably maps to
+             the same filling memtable, so consecutive rows of one
+             period skip the bin computation and the filling scan.
+             Invalidated when the target freezes out of [t.filling]. *)
+          let cache = ref None in
+          while Option.is_none !defer && !pending <> [] && !run < max_run do
+            (match !pending with
+            | [] -> assert false
+            | row :: rest ->
+                Schema.validate_row t.schema row;
+                let ts = Schema.row_ts t.schema row in
+                let key = Key_codec.encode_key t.schema row in
+                let target, bin =
+                  match !cache with
+                  | Some (b0, b1, mt) when ts >= b0 && ts < b1 ->
+                      (Some mt, None)
+                  | _ ->
+                      let b = Period.bin ~now:n ts in
+                      ( List.find_opt
+                          (fun m -> Memtable.period m = b)
+                          t.filling,
+                        Some b )
+                in
+                let verdict =
+                  if t.config.Config.enforce_unique then
+                    classify_unique_locked t ~key ~ts ~target
+                  else `Unique
+                in
+                (match verdict with
+                | `Duplicate -> raise (Duplicate_key (pp_key t.schema key))
+                | `Check cands -> defer := Some (row, key, ts, cands)
+                | `Unique ->
+                    let mt =
+                      match target with
+                      | Some m -> m
+                      | None -> create_memtable_locked t ~now:n (Option.get bin)
+                    in
+                    (match bin with
+                    | Some b ->
+                        cache := Some (b.Period.start, Period.stop b, mt)
+                    | None -> ());
+                    if insert_into_locked t mt ~key ~ts row then cache := None;
+                    incr landed;
+                    pending := rest));
+            incr run
+          done;
+          !defer)
+    in
+    match deferred with
+    | None -> ()
+    | Some (row, key, ts, cands) ->
+        let dup =
+          Fun.protect
+            ~finally:(fun () -> release t cands)
+            (fun () ->
+              List.exists
+                (fun dt ->
+                  let r =
+                    Mutexes.with_lock t.state (fun () -> get_reader_locked t dt)
+                  in
+                  Tablet.mem r key)
+                cands)
+        in
+        if dup then raise (Duplicate_key (pp_key t.schema key));
+        Mutexes.with_lock t.state (fun () ->
+            let n = now t in
+            let bin = Period.bin ~now:n ts in
+            let mt =
+              match
+                List.find_opt (fun m -> Memtable.period m = bin) t.filling
+              with
+              | Some m -> m
+              | None -> create_memtable_locked t ~now:n bin
+            in
+            ignore (insert_into_locked t mt ~key ~ts row));
+        incr landed;
+        (match !pending with _ :: rest -> pending := rest | [] -> ())
+  done
+
+(* [insert_report] is [insert] that reports a mid-batch uniqueness
+   violation as data instead of an exception: [Error (landed, msg)]
+   says exactly how many leading rows committed before the duplicate
+   (they stay inserted — §3.4.4 checks row by row), so a caller can
+   retry only the remainder instead of double-sending. *)
+let insert_report t rows =
+  let t0, h0, m0 = obs_begin t in
+  let landed = ref 0 in
+  let result =
+    Mutexes.with_lock t.writer_lock (fun () ->
+        let res =
+          try
+            insert_rows_locked t rows ~landed;
+            Ok ()
+          with Duplicate_key msg -> Error (!landed, msg)
+        in
+        if !landed > 0 then begin
+          Stats.note_insert t.stats ~rows:!landed;
+          Mutexes.with_lock t.state (fun () ->
+              t.commit_seq <- t.commit_seq + 1)
+        end;
+        flush_frozen_backlog ~swallow:true t ~limit:t.config.Config.flush_backlog;
+        res)
+  in
+  obs_end t ~hist:t.instr.Obs.h_insert ~op:Otrace.Insert ~t0 ~h0 ~m0
+    ~returned:!landed ();
+  result
 
 let insert t rows =
-  let t0, h0, m0 = obs_begin t in
-  Mutexes.with_lock t.writer_lock (fun () ->
-      List.iter (insert_one t) rows;
-      Stats.note_insert t.stats ~rows:(List.length rows);
-      flush_frozen_backlog ~swallow:true t ~limit:t.config.Config.flush_backlog);
-  obs_end t ~hist:t.instr.Obs.h_insert ~op:Otrace.Insert ~t0 ~h0 ~m0
-    ~returned:(List.length rows) ()
+  match insert_report t rows with
+  | Ok () -> ()
+  | Error (_, msg) -> raise (Duplicate_key msg)
 
 let insert_row t row = insert t [ row ]
 
@@ -1183,9 +1332,11 @@ let merge_step_unlocked t =
                     let _, prefixes =
                       Key_codec.encode_key_with_prefixes schema row
                     in
-                    Tablet.add writer ~key ~key_prefixes:prefixes
+                    Tablet.add_enc writer ~key ~key_prefixes:prefixes
                       ~ts:(Key_codec.ts_of_key key)
-                      ~value:(Row_codec.encode_value schema row);
+                      ~value_size:(Row_codec.value_size schema row)
+                      ~encode:(fun buf ->
+                        Row_codec.encode_value_into buf schema row);
                     copy ()
               in
               copy ();
@@ -1436,9 +1587,11 @@ let delete_prefix t prefix_values =
                              let _, prefixes =
                                Key_codec.encode_key_with_prefixes schema row
                              in
-                             Tablet.add writer ~key ~key_prefixes:prefixes
+                             Tablet.add_enc writer ~key ~key_prefixes:prefixes
                                ~ts:(Key_codec.ts_of_key key)
-                               ~value:(Row_codec.encode_value schema row)
+                               ~value_size:(Row_codec.value_size schema row)
+                               ~encode:(fun buf ->
+                                 Row_codec.encode_value_into buf schema row)
                            end;
                            copy ()
                      in

@@ -81,6 +81,12 @@ val widen_column : t -> string -> unit
     uniqueness violation (rows earlier in the batch stay inserted). *)
 val insert : t -> Value.t array list -> unit
 
+(** [insert_report t rows] is {!insert} reporting a mid-batch
+    uniqueness violation as data: [Error (landed, msg)] says exactly
+    how many leading rows committed before the duplicate (they stay
+    inserted), so wire servers can tell clients what not to re-send. *)
+val insert_report : t -> Value.t array list -> (unit, int * string) result
+
 val insert_row : t -> Value.t array -> unit
 
 (** {1 Queries} *)
@@ -117,12 +123,19 @@ val max_ts : t -> int64 option
 
 (** {1 Maintenance} *)
 
-(** Freeze and flush every memtable (with dependency closures). *)
+(** Freeze and flush every memtable (with dependency closures).
+
+    Explicit durability is group-committed: concurrent [flush_all] /
+    {!flush_before} callers share one flush round — and its fsyncs —
+    instead of queueing identical rounds; a caller whose inserts are
+    already covered by a completed round returns immediately. Led and
+    joined commits are counted as [lt_group_commit_total{mode}]. *)
 val flush_all : t -> unit
 
-(** The §4.1.2 proposed extension: flush every memtable holding any row
-    with timestamp [<= ts], so aggregators can know their source data is
-    durable. *)
+(** The §4.1.2 proposed extension: returns once every row with
+    timestamp [<= ts] inserted before the call is durable. Rides the
+    same group-commit round as {!flush_all} (which covers every
+    timestamp, so the guarantee holds a fortiori). *)
 val flush_before : t -> ts:int64 -> unit
 
 (** One merge per the policy; [true] if a merge happened. *)

@@ -229,7 +229,7 @@ let bloom_add w key =
         end
   end
 
-let add w ~key ~key_prefixes ~ts ~value =
+let add_enc w ~key ~key_prefixes ~ts ~value_size ~encode =
   (match w.w_min_key with None -> w.w_min_key <- Some key | Some _ -> ());
   w.w_max_key <- key;
   w.w_rows <- w.w_rows + 1;
@@ -237,8 +237,12 @@ let add w ~key ~key_prefixes ~ts ~value =
   if ts > w.w_max_ts then w.w_max_ts <- ts;
   bloom_add w key;
   if w.bloom_bits_per_key > 0 then List.iter (bloom_add w) key_prefixes;
-  Block.add w.builder ~key ~value;
+  Block.add_enc w.builder ~key ~value_size ~encode;
   if Block.raw_size w.builder >= w.block_size then flush_block w
+
+let add w ~key ~key_prefixes ~ts ~value =
+  add_enc w ~key ~key_prefixes ~ts ~value_size:(String.length value)
+    ~encode:(fun buf -> Buffer.add_string buf value)
 
 let finish w =
   if w.w_rows = 0 then invalid_arg "Tablet.finish: empty tablet";
@@ -426,10 +430,14 @@ let mem r key =
   &&
   let block = load_block r bi in
   let i = Block.search_geq block key in
-  i < Block.count block && (Block.entry block i).Block.key = key
+  i < Block.count block && Block.key block i = key
 
-let translate r ~key ~value =
-  Row_codec.decode_translated ~from:r.footer.schema ~into:r.target ~key ~value
+(* Decode a row straight out of the block's backing bytes: no per-row
+   value string, just a (offset, length) window into the block data. *)
+let translate_at r b i ~key =
+  let off, len = Block.value_span b i in
+  Row_codec.decode_translated_slice ~from:r.footer.schema ~into:r.target ~key
+    ~data:(Block.data b) ~off ~len
 
 let iter r ~asc ?lo ?hi () =
   let nblocks = block_count r in
@@ -456,15 +464,16 @@ let iter r ~asc ?lo ?hi () =
             next ()
           end
           else begin
-            let e = Block.entry b !pos in
+            let i = !pos in
+            let key = Block.key b i in
             incr pos;
-            if not (in_hi e.Block.key) then begin
+            if not (in_hi key) then begin
               (* Sorted: nothing further can qualify. *)
               bi := nblocks;
               block := None;
               None
             end
-            else Some (e.Block.key, translate r ~key:e.Block.key ~value:e.Block.value)
+            else Some (key, translate_at r b i ~key)
           end
     in
     next
@@ -504,15 +513,15 @@ let iter r ~asc ?lo ?hi () =
               next ()
             end
             else begin
-              let e = Block.entry b !pos in
+              let i = !pos in
+              let key = Block.key b i in
               decr pos;
-              if not (in_lo e.Block.key) then begin
+              if not (in_lo key) then begin
                 bi := -1;
                 block := None;
                 None
               end
-              else
-                Some (e.Block.key, translate r ~key:e.Block.key ~value:e.Block.value)
+              else Some (key, translate_at r b i ~key)
             end
       end
     in

@@ -56,6 +56,15 @@ val writer :
 val add :
   writer -> key:string -> key_prefixes:string list -> ts:int64 -> value:string -> unit
 
+(** {!add} without the value string: [encode] appends the row's value
+    encoding (exactly [value_size] bytes) straight into the current
+    block's payload buffer. The flush and merge paths use this so a
+    memtable row goes from {!Value.t array} to block bytes with no
+    intermediate string. *)
+val add_enc :
+  writer -> key:string -> key_prefixes:string list -> ts:int64 ->
+  value_size:int -> encode:(Buffer.t -> unit) -> unit
+
 (** Flush remaining rows, write footer and trailer, [fsync], close.
     @raise Invalid_argument if no rows were added — empty tablets are
     never written. *)

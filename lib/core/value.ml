@@ -85,6 +85,13 @@ let encode buf = function
   | String s -> Binio.put_string buf s
   | Blob s -> Binio.put_string buf s
 
+let encoded_size = function
+  | Int32 _ -> 4
+  | Int64 _ | Double _ | Timestamp _ -> 8
+  | String s | Blob s ->
+      let n = String.length s in
+      Binio.varint_size n + n
+
 let decode ctype cur =
   match ctype with
   | T_int32 -> Int32 (Binio.get_i32 cur)

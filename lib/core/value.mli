@@ -54,4 +54,7 @@ val to_string : t -> string
 
 val encode : Buffer.t -> t -> unit
 
+(** Exact byte length {!encode} would produce, allocation-free. *)
+val encoded_size : t -> int
+
 val decode : ctype -> Lt_util.Binio.cursor -> t

@@ -6,18 +6,32 @@ exception Remote_error of string
 
 exception Disconnected
 
+exception Partial_insert of (string * int) list * string
+
 type t = {
   host : string;
   port : int;
   peer : string;
   obs : Obs.t;
   connect_timeout : float option;
+  clock : Lt_util.Clock.t;  (** times the buffer's flush interval *)
+  batch_rows : int;
+  batch_interval_us : int64;
   mutable fd : Unix.file_descr option;
   schemas : (string, Schema.t * int64 option) Hashtbl.t;
   mutex : Mutex.t;  (** one outstanding request per connection *)
   mutable profiling : bool;  (** ask for per-query profiles by default *)
   mutable profiles : Lt_obs.Profile.t list;  (** newest first; see [take_profiles] *)
   mutable last_trace : (int64 * int64) option;  (** newest wire trace id *)
+  mutable buf_groups : (string * int ref * Buffer.t) list;
+      (** pending buffered inserts, per table, newest group first, each
+          already in wire encoding — [buffered_insert] encodes rows as
+          they arrive, so [flush] assembles the frame by concatenation
+          instead of re-walking the rows. Every row here is
+          not-yet-sent — [flush] removes rows from the buffer before
+          the wire write, so nothing is ever replayed *)
+  mutable buf_count : int;
+  mutable buf_deadline : int64;  (** flush due once [Clock.now >= this] *)
 }
 
 let peer t = t.peer
@@ -46,6 +60,10 @@ let connect_fd ?timeout host port =
                | Some e -> raise (Unix.Unix_error (e, "connect", "")))
            | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
         Unix.clear_nonblock fd);
+    (* The protocol is strict request/response and frames leave in one
+       write; Nagle would hold each frame's final partial segment until
+       the peer ACKs, adding a round trip of idle latency per message. *)
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
     fd
   with Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -120,19 +138,100 @@ let hello t =
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad hello response")
 
-let create ?(obs = Obs.noop) ?connect_timeout ?(host = "127.0.0.1") ~port () =
+(* Take every pending buffered row out, oldest first. Removing rows
+   [before] the wire write is the no-replay guarantee: whatever happens
+   to the send, the buffer never holds a row the server might already
+   have, so a later flush or reconnect cannot double-insert. *)
+(* Assemble the pending groups into a finished [Insert_batch] payload
+   (the groups section in wire order) and empty the buffer, in one
+   locked step. Returns [None] when nothing is pending. *)
+let take_pending t =
+  Lt_util.Mutexes.with_lock t.mutex (fun () ->
+      match t.buf_groups with
+      | [] -> None
+      | newest_first ->
+          let groups = List.rev newest_first in
+          let b = Buffer.create 4096 in
+          Lt_util.Binio.put_varint b (List.length groups);
+          List.iter
+            (fun (tbl, count, rows) ->
+              Lt_util.Binio.put_string b tbl;
+              Lt_util.Binio.put_varint b !count;
+              Buffer.add_buffer b rows)
+            groups;
+          t.buf_groups <- [];
+          t.buf_count <- 0;
+          t.buf_deadline <- Int64.max_int;
+          Some (Buffer.contents b))
+
+let flush t =
+  match take_pending t with
+  | None -> ()
+  | Some payload -> (
+      match
+        roundtrip t (Protocol.Insert_batch { groups = Protocol.Raw payload })
+      with
+      | Protocol.Insert_ok _ -> ()
+      | Protocol.Insert_partial { landed; message } ->
+          raise (Partial_insert (landed, message))
+      | Protocol.Error msg -> raise (Remote_error msg)
+      | _ -> raise (Remote_error "bad insert response"))
+
+let buffered_insert t table rows =
+  if rows <> [] then begin
+    let due =
+      Lt_util.Mutexes.with_lock t.mutex (fun () ->
+          let was_empty = t.buf_count = 0 in
+          let count, gbuf =
+            match t.buf_groups with
+            | (tbl, count, gbuf) :: _ when String.equal tbl table ->
+                (count, gbuf)
+            | _ ->
+                let count = ref 0 and gbuf = Buffer.create 1024 in
+                t.buf_groups <- (table, count, gbuf) :: t.buf_groups;
+                (count, gbuf)
+          in
+          List.iter
+            (fun row ->
+              Protocol.put_row gbuf row;
+              incr count;
+              t.buf_count <- t.buf_count + 1)
+            rows;
+          if was_empty then
+            t.buf_deadline <-
+              Int64.add (Lt_util.Clock.now t.clock) t.batch_interval_us;
+          t.buf_count >= t.batch_rows
+          || Lt_util.Clock.now t.clock >= t.buf_deadline)
+    in
+    if due then flush t
+  end
+
+let pending t = Lt_util.Mutexes.with_lock t.mutex (fun () -> t.buf_count)
+
+let create ?(obs = Obs.noop) ?connect_timeout ?(clock = Lt_util.Clock.system)
+    ?(batch_rows = 256) ?(batch_interval_ms = 50) ?(host = "127.0.0.1") ~port
+    () =
+  if batch_rows < 1 then invalid_arg "Client.create: batch_rows < 1";
+  if batch_interval_ms < 0 then
+    invalid_arg "Client.create: batch_interval_ms < 0";
   {
     host;
     port;
     peer = Printf.sprintf "%s:%d" host port;
     obs;
     connect_timeout;
+    clock;
+    batch_rows;
+    batch_interval_us = Lt_util.Clock.msec batch_interval_ms;
     fd = None;
     schemas = Hashtbl.create 8;
     mutex = Mutex.create ();
     profiling = false;
     profiles = [];
     last_trace = None;
+    buf_groups = [];
+    buf_count = 0;
+    buf_deadline = Int64.max_int;
   }
 
 let connected t =
@@ -153,7 +252,12 @@ let reconnect ?(max_attempts = 5) t =
         Lt_util.Mutexes.with_lock t.mutex (fun () ->
             t.fd <- Some fd;
             Hashtbl.reset t.schemas);
-        hello t
+        hello t;
+        (* Deliver rows buffered across the outage — they were never
+           sent (flush empties the buffer before each wire write), so
+           this is flush-or-fail, never a replay and never a silent
+           drop. A failure here propagates to the caller. *)
+        flush t
     | exception (Remote_error _ as e) ->
         if k + 1 >= max_attempts then raise e
         else begin
@@ -163,8 +267,12 @@ let reconnect ?(max_attempts = 5) t =
   in
   attempt 0
 
-let connect ?obs ?connect_timeout ?host ~port () =
-  let t = create ?obs ?connect_timeout ?host ~port () in
+let connect ?obs ?connect_timeout ?clock ?batch_rows ?batch_interval_ms ?host
+    ~port () =
+  let t =
+    create ?obs ?connect_timeout ?clock ?batch_rows ?batch_interval_ms ?host
+      ~port ()
+  in
   reconnect ~max_attempts:1 t;
   t
 
@@ -203,6 +311,8 @@ let drop_table t name =
 let insert t table rows =
   match roundtrip t (Protocol.Insert { table; rows }) with
   | Protocol.Insert_ok _ -> ()
+  | Protocol.Insert_partial { landed; message } ->
+      raise (Partial_insert (landed, message))
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad insert response")
 

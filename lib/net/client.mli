@@ -18,6 +18,12 @@ exception Remote_error of string
 
 exception Disconnected
 
+(** An insert landed some rows and then failed. The payload is the
+    server's accounting: per group label, how many leading rows are
+    committed — resend only the rest. Raised by {!insert},
+    {!buffered_insert} and {!flush}. *)
+exception Partial_insert of (string * int) list * string
+
 type t
 
 (** [create ?obs ?connect_timeout ?host ~port ()] builds a client
@@ -25,14 +31,20 @@ type t
     {!Disconnected} until {!reconnect} succeeds. [obs] receives a
     [lt_client_reconnects_total{peer="host:port"}] count of every
     connection attempt; [connect_timeout] (seconds) bounds each TCP
-    connect instead of waiting out the kernel's timeout. *)
+    connect instead of waiting out the kernel's timeout.
+
+    [batch_rows] (default 256) and [batch_interval_ms] (default 50) are
+    the {!buffered_insert} flush thresholds; [clock] times the interval
+    (tests pass a manual clock). *)
 val create :
-  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?host:string -> port:int ->
+  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?clock:Lt_util.Clock.t ->
+  ?batch_rows:int -> ?batch_interval_ms:int -> ?host:string -> port:int ->
   unit -> t
 
 (** Connect and exchange hellos ({!create} + one {!reconnect} attempt). *)
 val connect :
-  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?host:string -> port:int ->
+  ?obs:Lt_obs.Obs.t -> ?connect_timeout:float -> ?clock:Lt_util.Clock.t ->
+  ?batch_rows:int -> ?batch_interval_ms:int -> ?host:string -> port:int ->
   unit -> t
 
 val close : t -> unit
@@ -41,7 +53,13 @@ val close : t -> unit
     with exponential backoff (50 ms doubling, capped at 2 s) up to
     [max_attempts] times (default 5). Raises {!Remote_error} once the
     attempts are exhausted. Each attempt increments
-    [lt_client_reconnects_total]. *)
+    [lt_client_reconnects_total].
+
+    Rows still buffered by {!buffered_insert} are flushed once the new
+    connection is up — flush-or-fail, deterministically: the buffer only
+    ever holds rows that were never written to a socket, so the flush
+    cannot replay anything, and a flush failure propagates rather than
+    dropping rows silently. *)
 val reconnect : ?max_attempts:int -> t -> unit
 
 (** Whether a connection is currently established. *)
@@ -70,7 +88,30 @@ val drop_table : t -> string -> unit
 
 (** {1 Data} *)
 
+(** Immediate (unbuffered) insert: one round trip.
+    @raise Partial_insert when a mid-batch uniqueness violation left a
+    prefix of the rows committed. *)
 val insert : t -> string -> Value.t array list -> unit
+
+(** {2 Buffered inserts — the batched hot path}
+
+    [buffered_insert t table rows] appends to a client-side buffer
+    instead of performing a round trip; the buffer is sent as one
+    [Insert_batch] frame when it reaches [batch_rows] rows or the
+    oldest buffered row is [batch_interval_ms] old (checked on each
+    call against the client's [clock]). Rows for several tables may be
+    buffered together; arrival order is preserved. *)
+val buffered_insert : t -> string -> Value.t array list -> unit
+
+(** Send every buffered row now. No-op on an empty buffer.
+    @raise Partial_insert naming what landed when the batch failed
+    part-way; @raise Remote_error when nothing landed. Either way the
+    buffer is left empty — the caller owns retries, so nothing is ever
+    resent implicitly. *)
+val flush : t -> unit
+
+(** Rows currently buffered. *)
+val pending : t -> int
 
 type page = {
   rows : Value.t array list;

@@ -5,9 +5,18 @@ exception Protocol_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Protocol_error s)) fmt
 
-let version = 3
+let version = 4
 
 let max_frame = 64 * 1024 * 1024
+
+(* A batch's groups travel either structured (the sender has rows in
+   hand) or raw (the receiver captured the wire bytes without decoding
+   them). Both spellings share one wire format; [read_request] always
+   returns [Raw] so a router can forward row spans without boxing a
+   single value, and [groups_of_payload] decodes on first need. *)
+type batch_payload =
+  | Groups of (string * Value.t array list) list
+  | Raw of string
 
 type request =
   | Hello of int
@@ -30,6 +39,8 @@ type request =
   | Get_placement
   | Get_trace of (int64 * int64)  (** all retained spans of one trace *)
   | Get_metrics_snapshot  (** mergeable registry image for federation *)
+  | Insert_batch of { groups : batch_payload }
+      (** buffered inserts, possibly for several tables, in one frame *)
 
 type placement_info = {
   pl_epoch : int;
@@ -59,6 +70,9 @@ type response =
   | Placement_info of placement_info
   | Trace_spans of Lt_obs.Trace.span list
   | Metrics_snapshot of Lt_obs.Metrics.snapshot
+  | Insert_partial of { landed : (string * int) list; message : string }
+      (** some rows committed before a failure; [landed] names, per
+          group label (table or shard), how many rows are in *)
 
 let request_kind = function
   | Hello _ -> "hello"
@@ -81,6 +95,7 @@ let request_kind = function
   | Get_placement -> "get_placement"
   | Get_trace _ -> "get_trace"
   | Get_metrics_snapshot -> "get_metrics_snapshot"
+  | Insert_batch _ -> "insert_batch"
 
 (* ---- Tagged values ---------------------------------------------------- *)
 
@@ -127,6 +142,40 @@ let get_rows cur =
   let n = Binio.get_varint cur in
   if n < 0 then error "implausible row count %d" n;
   List.init n (fun _ -> get_row cur)
+
+(* Step over one tagged value without constructing it: the zero-copy
+   side of {!get_value}, used by span scans that only need offsets. *)
+let skip_value cur =
+  match Binio.get_u8 cur with
+  | 0 -> Binio.skip cur 4
+  | 1 | 2 | 3 -> Binio.skip cur 8
+  | 4 | 5 -> Binio.skip cur (Binio.get_varint cur)
+  | n -> error "bad value tag %d" n
+
+let put_groups b groups =
+  Binio.put_varint b (List.length groups);
+  List.iter
+    (fun (table, rows) ->
+      Binio.put_string b table;
+      put_rows b rows)
+    groups
+
+let decode_groups payload =
+  let cur = Binio.cursor payload in
+  let n = Binio.get_varint cur in
+  if n < 0 || n > 65536 then error "implausible group count %d" n;
+  let groups =
+    List.init n (fun _ ->
+        let table = Binio.get_string cur in
+        let rows = get_rows cur in
+        (table, rows))
+  in
+  Binio.expect_end cur;
+  groups
+
+let groups_of_payload = function
+  | Groups gs -> gs
+  | Raw payload -> decode_groups payload
 
 let put_opt_i64 b = function
   | None -> Binio.put_u8 b 0
@@ -262,6 +311,11 @@ let write_request b = function
       Binio.put_i64 b hi;
       Binio.put_i64 b lo
   | Get_metrics_snapshot -> Binio.put_u8 b 19
+  | Insert_batch { groups } -> (
+      Binio.put_u8 b 20;
+      match groups with
+      | Groups gs -> put_groups b gs
+      | Raw payload -> Buffer.add_string b payload)
 
 let read_request cur =
   match Binio.get_u8 cur with
@@ -322,6 +376,11 @@ let read_request cur =
       let lo = Binio.get_i64 cur in
       Get_trace (hi, lo)
   | 19 -> Get_metrics_snapshot
+  | 20 ->
+      (* Captured undecoded: the single-node server decodes once via
+         [groups_of_payload]; the router never decodes forwarded
+         columns at all (it scans spans, see Router.split_raw). *)
+      Insert_batch { groups = Raw (Binio.rest cur) }
   | n -> error "bad request tag %d" n
 
 (* ---- Responses ------------------------------------------------------------ *)
@@ -644,6 +703,15 @@ let write_response b = function
   | Metrics_snapshot snap ->
       Binio.put_u8 b 15;
       put_snapshot b snap
+  | Insert_partial { landed; message } ->
+      Binio.put_u8 b 16;
+      Binio.put_varint b (List.length landed);
+      List.iter
+        (fun (label, n) ->
+          Binio.put_string b label;
+          Binio.put_varint b n)
+        landed;
+      Binio.put_string b message
 
 let read_response cur =
   match Binio.get_u8 cur with
@@ -693,12 +761,22 @@ let read_response cur =
       if n < 0 || n > 1_000_000 then error "implausible span count %d" n;
       Trace_spans (List.init n (fun _ -> get_span cur))
   | 15 -> Metrics_snapshot (get_snapshot cur)
+  | 16 ->
+      let n = Binio.get_varint cur in
+      if n < 0 || n > 65536 then error "implausible landed count %d" n;
+      let landed =
+        List.init n (fun _ ->
+            let label = Binio.get_string cur in
+            let count = Binio.get_varint cur in
+            (label, count))
+      in
+      let message = Binio.get_string cur in
+      Insert_partial { landed; message }
   | n -> error "bad response tag %d" n
 
 (* ---- Socket framing ------------------------------------------------------ *)
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
+let write_all_bytes fd b =
   let len = Bytes.length b in
   let off = ref 0 in
   while !off < len do
@@ -716,10 +794,27 @@ let read_exact fd n =
   done;
   Bytes.unsafe_to_string b
 
+(* Writev-style gathered output: a message is encoded directly after
+   four reserved length bytes, the length is patched in place, and the
+   whole frame leaves in one [Unix.write] — so a batch of N rows costs
+   one syscall and one buffer-to-bytes copy, not a header write plus a
+   header^payload concatenation per message. *)
+let frame_buffer () =
+  let b = Buffer.create 256 in
+  Binio.put_u32 b 0;
+  b
+
+let send_buffer fd b =
+  let len = Buffer.length b - 4 in
+  if len > max_frame then error "frame of %d bytes exceeds limit" len;
+  let bytes = Buffer.to_bytes b in
+  Bytes.set_int32_le bytes 0 (Int32.of_int len);
+  write_all_bytes fd bytes
+
 let send_frame fd payload =
-  let hdr = Buffer.create 4 in
-  Binio.put_u32 hdr (String.length payload);
-  write_all fd (Buffer.contents hdr ^ payload)
+  let b = frame_buffer () in
+  Buffer.add_string b payload;
+  send_buffer fd b
 
 let recv_frame fd =
   let hdr = read_exact fd 4 in
@@ -731,10 +826,10 @@ let recv_frame fd =
    one flag byte plus four i64s when present — so propagation needs no
    per-request-tag changes and costs one byte when tracing is off. *)
 let send_request ?ctx fd req =
-  let b = Buffer.create 256 in
+  let b = frame_buffer () in
   put_opt_ctx b ctx;
   write_request b req;
-  send_frame fd (Buffer.contents b)
+  send_buffer fd b
 
 let recv_request fd =
   let cur = Binio.cursor (recv_frame fd) in
@@ -744,9 +839,9 @@ let recv_request fd =
   (ctx, req)
 
 let send_response fd resp =
-  let b = Buffer.create 256 in
+  let b = frame_buffer () in
   write_response b resp;
-  send_frame fd (Buffer.contents b)
+  send_buffer fd b
 
 let recv_response fd =
   let cur = Binio.cursor (recv_frame fd) in

@@ -16,6 +16,17 @@ open Littletable
 
 exception Protocol_error of string
 
+(** A batch's groups, either structured (the sender holds rows in hand)
+    or raw: the undecoded wire bytes of the groups section, as captured
+    by {!read_request}. Both spellings share one wire format. Raw is
+    the zero-copy half — a router can scan the payload for each row's
+    leading key and forward the row's byte span verbatim, never boxing
+    the other columns; {!groups_of_payload} decodes when a receiver
+    finally needs the rows. *)
+type batch_payload =
+  | Groups of (string * Value.t array list) list
+  | Raw of string
+
 type request =
   | Hello of int  (** protocol version *)
   | List_tables
@@ -49,6 +60,11 @@ type request =
   | Get_metrics_snapshot
       (** the registry as mergeable plain data ({!Lt_obs.Metrics.snapshot});
           how a router federates backend metrics *)
+  | Insert_batch of { groups : batch_payload }
+      (** client-buffered inserts, possibly for several tables, in one
+          frame — the batched hot path. Groups execute in order; the
+          answer is [Insert_ok total] or [Insert_partial] naming how
+          many rows of each group landed before a failure *)
 
 (** How the answering process places data, exposed for the shell's
     [.cluster] command and cluster-aware clients. *)
@@ -80,12 +96,37 @@ type response =
   | Placement_info of placement_info
   | Trace_spans of Lt_obs.Trace.span list  (** oldest first *)
   | Metrics_snapshot of Lt_obs.Metrics.snapshot
+  | Insert_partial of { landed : (string * int) list; message : string }
+      (** an insert failed after some rows had already committed.
+          [landed] names, per group label (a table name on a
+          single-node answer, a ["shard<i>/<table>"] label on a routed
+          one), how many leading rows of that group are in — so a
+          client retries only the remainder instead of double-sending *)
 
 val version : int
 
 (** Stable short name of a request's constructor, used as the [kind]
     label on request-duration metrics. *)
 val request_kind : request -> string
+
+(** {1 Batch payloads} *)
+
+(** Decode a payload's groups (a no-op on [Groups]).
+    @raise Protocol_error or {!Lt_util.Binio.Corrupt} on malformed raw
+    bytes — deferred from {!read_request}, which no longer validates
+    the groups section it captures. *)
+val groups_of_payload : batch_payload -> (string * Value.t array list) list
+
+(** Read one tagged value / step over one without constructing it — the
+    primitives of a raw-payload span scan. *)
+
+val get_value : Lt_util.Binio.cursor -> Value.t
+val skip_value : Lt_util.Binio.cursor -> unit
+
+(** Append one row (arity varint, then each value tagged) — what a
+    buffering client uses to encode rows as they arrive, so its flush
+    is a concatenation rather than a re-walk of the rows. *)
+val put_row : Buffer.t -> Value.t array -> unit
 
 (** {1 Framing} *)
 
@@ -103,7 +144,12 @@ val get_ctx : Lt_util.Binio.cursor -> Lt_obs.Trace.ctx
 val put_opt_ctx : Buffer.t -> Lt_obs.Trace.ctx option -> unit
 val get_opt_ctx : Lt_util.Binio.cursor -> Lt_obs.Trace.ctx option
 
-(** {1 Socket helpers} (blocking, thread-safe per direction) *)
+(** {1 Socket helpers} (blocking, thread-safe per direction)
+
+    Frames go out writev-style: the length header and the message body
+    are gathered into one buffer (the length patched over four reserved
+    bytes) and leave in a single write, so a batch costs one syscall
+    rather than per-message header writes. *)
 
 val send_frame : Unix.file_descr -> string -> unit
 

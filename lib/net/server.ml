@@ -62,11 +62,59 @@ let handle db req =
       match Db.find_table db table with
       | None -> Error (Printf.sprintf "no such table %S" table)
       | Some tbl -> (
-          match Table.insert tbl rows with
-          | () -> Insert_ok (List.length rows)
-          | exception Table.Duplicate_key k ->
-              Error (Printf.sprintf "duplicate key (%s)" k)
+          match Table.insert_report tbl rows with
+          | Result.Ok () -> Insert_ok (List.length rows)
+          | Result.Error (0, key) ->
+              Error (Printf.sprintf "duplicate key (%s)" key)
+          | Result.Error (landed, key) ->
+              (* Rows before the duplicate are committed and stay; the
+                 old [Error]-only answer left clients unable to tell, so
+                 a retry double-sent the prefix. *)
+              Insert_partial
+                {
+                  landed = [ (table, landed) ];
+                  message = Printf.sprintf "duplicate key (%s)" key;
+                }
           | exception Schema.Invalid msg -> Error msg))
+  | Insert_batch { groups = payload } -> (
+      (* Groups run in order; on a failure the answer names how many
+         rows of every attempted group are in, so the client resends
+         only the remainder. The payload arrives raw (undecoded) from
+         the frame reader; a malformed one surfaces here. *)
+      match Protocol.groups_of_payload payload with
+      | exception Protocol.Protocol_error msg -> Error msg
+      | exception Lt_util.Binio.Corrupt msg -> Error msg
+      | groups -> (
+      let landed = ref [] in
+      let failure = ref None in
+      (try
+         List.iter
+           (fun (table, rows) ->
+             match Db.find_table db table with
+             | None ->
+                 failure := Some (Printf.sprintf "no such table %S" table);
+                 raise Exit
+             | Some tbl -> (
+                 match Table.insert_report tbl rows with
+                 | Result.Ok () ->
+                     landed := (table, List.length rows) :: !landed
+                 | Result.Error (n, key) ->
+                     landed := (table, n) :: !landed;
+                     failure :=
+                       Some (Printf.sprintf "duplicate key (%s)" key);
+                     raise Exit
+                 | exception Schema.Invalid msg ->
+                     landed := (table, 0) :: !landed;
+                     failure := Some msg;
+                     raise Exit))
+           groups
+       with Exit -> ());
+      match !failure with
+      | None ->
+          Insert_ok (List.fold_left (fun acc (_, n) -> acc + n) 0 !landed)
+      | Some msg ->
+          if List.for_all (fun (_, n) -> n = 0) !landed then Error msg
+          else Insert_partial { landed = List.rev !landed; message = msg }))
   | Query { table; query; profile } -> (
       match Db.find_table db table with
       | None -> Error (Printf.sprintf "no such table %S" table)
@@ -195,6 +243,9 @@ let accept_loop t =
     | _ :: _, _, _ -> (
         match Unix.accept t.listen_fd with
         | fd, _ ->
+            (* Mirror of the client side: responses are single gathered
+               writes, so Nagle only adds latency. *)
+            Unix.setsockopt fd Unix.TCP_NODELAY true;
             Lt_util.Mutexes.with_lock t.mutex (fun () ->
                 t.threads <- (Thread.create (client_loop t) fd, fd) :: t.threads)
         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()

@@ -104,6 +104,14 @@ let block_decompress_hist t =
   duration_hist t "lt_block_stage_duration_seconds"
     "Latency of tablet block read stages." ~labels:[ ("stage", "decompress") ]
 
+let group_commit t ~table ~mode =
+  Metrics.counter t.o_registry
+    ~help:
+      "Explicit durability commits, by whether the caller led the flush \
+       round or joined one in flight."
+    ~labels:[ ("table", table); ("mode", mode) ]
+    "lt_group_commit_total"
+
 let request_hist t ~kind =
   duration_hist t "lt_request_duration_seconds"
     "Server-side latency of wire protocol requests."

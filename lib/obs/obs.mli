@@ -76,6 +76,12 @@ val block_read_hist : t -> Metrics.Histogram.t
     decode + block decompression. *)
 val block_decompress_hist : t -> Metrics.Histogram.t
 
+(** [lt_group_commit_total{table,mode}] — explicit durability commits
+    ([Table.flush_all] / [flush_before]), [mode="led"] when the caller
+    ran the flush round itself, [mode="joined"] when it shared a round
+    (and its fsyncs) already in flight. *)
+val group_commit : t -> table:string -> mode:string -> Metrics.Counter.t
+
 (** [lt_request_duration_seconds{kind="<request>"}] — server-side wire
     request round-trip. *)
 val request_hist : t -> kind:string -> Metrics.Histogram.t

@@ -1,10 +1,16 @@
 exception Corrupt of string
 
-type cursor = { data : string; mutable pos : int }
+type cursor = { data : string; mutable pos : int; limit : int }
 
-let cursor ?(pos = 0) data = { data; pos }
+let cursor ?(pos = 0) ?len data =
+  let limit =
+    match len with None -> String.length data | Some n -> pos + n
+  in
+  if limit > String.length data then
+    invalid_arg "Binio.cursor: window past end of data";
+  { data; pos; limit }
 
-let remaining c = String.length c.data - c.pos
+let remaining c = c.limit - c.pos
 
 let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
 
@@ -12,6 +18,16 @@ let need c n =
   if remaining c < n then
     corrupt "unexpected end of input: need %d bytes at offset %d, have %d" n
       c.pos (remaining c)
+
+let skip c n =
+  if n < 0 then corrupt "skip: negative count %d" n;
+  need c n;
+  c.pos <- c.pos + n
+
+let rest c =
+  let s = String.sub c.data c.pos (remaining c) in
+  c.pos <- c.limit;
+  s
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
@@ -66,6 +82,11 @@ let put_varint b v =
     end
   in
   go v
+
+let varint_size v =
+  if v < 0 then corrupt "varint_size: negative %d" v;
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go v 1
 
 let get_varint c =
   let rec go shift acc =

@@ -8,12 +8,29 @@
 
 exception Corrupt of string
 
-(** A read cursor over an immutable string. *)
-type cursor = { data : string; mutable pos : int }
+(** A read cursor over an immutable string, bounded by [limit] so a
+    decoder can be confined to a slice of a larger buffer (a block
+    payload, a frame) without copying the slice out first. *)
+type cursor = { data : string; mutable pos : int; limit : int }
 
-val cursor : ?pos:int -> string -> cursor
+(** [cursor ?pos ?len data] reads [data] from [pos] (default 0) for
+    [len] bytes (default: to the end). {!expect_end} and {!remaining}
+    are relative to the window, so slice decoders keep the same
+    trailing-garbage checks as whole-string decoders. *)
+val cursor : ?pos:int -> ?len:int -> string -> cursor
 
 val remaining : cursor -> int
+
+(** [skip c n] advances past [n] bytes without decoding them — the
+    zero-copy scan primitive: a reader that only needs a row's byte
+    span steps over the values it does not care about. *)
+val skip : cursor -> int -> unit
+
+(** [rest c] returns everything from the cursor to its limit and leaves
+    the cursor at the limit. One copy of the window, no per-item cost:
+    how a frame's undecoded tail is captured for later (or remote)
+    decoding. *)
+val rest : cursor -> string
 
 (** {1 Fixed-width encoders} *)
 
@@ -39,6 +56,9 @@ val get_double : cursor -> float
 
 val put_varint : Buffer.t -> int -> unit
 val get_varint : cursor -> int
+
+(** Bytes {!put_varint} would emit — for allocation-free size math. *)
+val varint_size : int -> int
 
 (** {1 Length-prefixed byte strings} *)
 

@@ -1,0 +1,4 @@
+(* A client-side insert buffer whose flush interval is timed off the
+   ambient wall clock: tests cannot fake time to trip the deadline, so
+   the rule must flag the draw. *)
+let deadline interval_us = Unix.gettimeofday () +. interval_us

@@ -1,0 +1,3 @@
+(* The insert buffer's flush deadline comes from an injected clock, so
+   a manual clock can trip (or hold back) the interval deterministically. *)
+let deadline clock interval_us = Int64.add (Clock.now clock) interval_us

@@ -283,6 +283,123 @@ let test_rebalance () =
       Alcotest.(check int) "insert followed override" 21 (on_shard target);
       check_query "post-rebalance-insert" ~rc ~sc (Query.prefix [ v ]))
 
+(* ---- Insert partial failure across shards ------------------------------ *)
+
+(* Regression: the router used to answer [Insert_ok (List.length rows)]
+   for any fan-out whose first shard succeeded, even when a later
+   shard's sub-batch failed after earlier shards had already committed.
+   Now a mid-batch duplicate on one shard must surface as
+   [Partial_insert] naming per-shard landed counts, and retrying just
+   the un-landed remainder must converge to the single-node state. *)
+let test_router_partial_failure () =
+  with_cluster ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+    (fun ~router ~rc ~sc ~nodes:_ ->
+      let schema = Support.usage_schema () in
+      Client.create_table rc "usage" schema ~ttl:None;
+      Client.create_table sc "usage" schema ~ttl:None;
+      (* Two networks owned by different shards, so the batch fans out. *)
+      let shard_of net =
+        Placement.shard_of_value (Router.placement router) (Value.Int64 net)
+      in
+      let net_a = 1L in
+      let sa = shard_of net_a in
+      let net_b =
+        let rec find n =
+          if shard_of n <> sa then n else find (Int64.add n 1L)
+        in
+        find 2L
+      in
+      let sb = shard_of net_b in
+      let row net dev ts =
+        Support.usage_row ~network:net ~device:dev ~ts ~bytes:0L ~rate:0.0
+      in
+      (* Pre-existing row on shard [sb]: the batch below collides with it. *)
+      let dup = row net_b 1L 1L in
+      Client.insert rc "usage" [ dup ];
+      Client.insert sc "usage" [ dup ];
+      (* Arrival order matters: the single node stops at the duplicate
+         (index 3), the router commits each shard's prefix. *)
+      let batch =
+        [ row net_a 1L 1L; row net_a 2L 1L; row net_b 9L 5L; dup;
+          row net_b 3L 2L; row net_a 3L 1L ]
+      in
+      let landed_r =
+        match Client.insert rc "usage" batch with
+        | () -> Alcotest.fail "router reported Insert_ok for a partial batch"
+        | exception Client.Partial_insert (landed, msg) ->
+            Alcotest.(check bool) "router names the duplicate" true
+              (Support.contains ~sub:"duplicate" msg);
+            landed
+      in
+      (* Per-shard accounting: all of shard A's sub-batch committed, and
+         shard B's prefix before the duplicate. *)
+      let label s = Printf.sprintf "shard%d/usage" s in
+      Alcotest.(check int) "shard A rows all landed" 3
+        (List.assoc (label sa) landed_r);
+      Alcotest.(check int) "shard B landed its prefix" 1
+        (List.assoc (label sb) landed_r);
+      Alcotest.(check int) "no other shards reported" 2 (List.length landed_r);
+      (* Single node: same batch stops at the duplicate. *)
+      let landed_s =
+        match Client.insert sc "usage" batch with
+        | () -> Alcotest.fail "single node accepted a duplicate"
+        | exception Client.Partial_insert (landed, _) -> landed
+      in
+      Alcotest.(check int) "single node landed the prefix" 3
+        (List.assoc "usage" landed_s);
+      (* Each side retries exactly its un-landed remainder (minus the
+         duplicate itself); the two states must then be identical. *)
+      Client.insert rc "usage" [ row net_b 3L 2L ];
+      Client.insert sc "usage" [ row net_b 3L 2L; row net_a 3L 1L ];
+      Alcotest.(check int) "converged row count" 6
+        (List.length (Client.query_all rc "usage" Query.all));
+      check_query "post-partial all" ~rc ~sc Query.all;
+      check_query "post-partial net A" ~rc ~sc (Query.prefix [ Value.Int64 net_a ]);
+      check_query "post-partial net B" ~rc ~sc (Query.prefix [ Value.Int64 net_b ]);
+      (* An all-duplicate batch lands nothing anywhere: plain error, so
+         the whole batch is safe to retry. *)
+      (match Client.insert rc "usage" [ dup ] with
+      | () -> Alcotest.fail "duplicate re-insert accepted"
+      | exception Client.Remote_error msg ->
+          Alcotest.(check bool) "zero-landed is a plain error" true
+            (Support.contains ~sub:"duplicate" msg)))
+
+(* Batched ingest through the router answers queries identically to
+   row-at-a-time ingest on a single node: the client-side buffer plus
+   [Insert_batch] fan-out change only the wire shape, never the data. *)
+let test_router_batched_equality () =
+  with_cluster ~shards:3 ~policy:(Placement.Hash { vnodes = 64 })
+    (fun ~router:_ ~rc ~sc ~nodes:_ ->
+      let schema = Support.usage_schema () in
+      Client.create_table rc "usage" schema ~ttl:None;
+      Client.create_table sc "usage" schema ~ttl:None;
+      for ts = 1 to 5 do
+        List.iter
+          (fun net ->
+            List.iter
+              (fun dev ->
+                let r =
+                  Support.usage_row ~network:(Int64.of_int net)
+                    ~device:(Int64.of_int dev) ~ts:(Int64.of_int ts)
+                    ~bytes:(Int64.of_int ((net * 100) + (dev * 10) + ts))
+                    ~rate:0.5
+                in
+                (* Routed side buffers; reference side goes row by row. *)
+                Client.buffered_insert rc "usage" [ r ];
+                Client.insert sc "usage" [ r ])
+              [ 1; 2; 3; 4 ])
+          [ 1; 2; 3; 4; 5; 6 ];
+        (* Flush mid-stream on some rounds so batches of several sizes
+           cross the wire, with a straggler buffer left for the end. *)
+        if ts mod 2 = 0 then Client.flush rc
+      done;
+      Client.flush rc;
+      Alcotest.(check int) "buffer drained" 0 (Client.pending rc);
+      List.iter (fun (name, q) -> check_query name ~rc ~sc q) query_shapes;
+      check_latest "latest net" ~rc ~sc [ Value.Int64 4L ];
+      let s = Client.stats rc "usage" in
+      Alcotest.(check int) "all rows inserted" 120 s.Stats.rows_inserted)
+
 (* ---- Replica failover -------------------------------------------------- *)
 
 (* Kill the only backend; reads fail over to its warm spare and lose
@@ -570,6 +687,9 @@ let suite =
     ("router equality gate (range)", `Quick, test_equality_range);
     ("ddl fans out", `Quick, test_ddl_fanout);
     ("rebalance", `Quick, test_rebalance);
+    ("router partial failure reports per-shard landed rows", `Quick,
+      test_router_partial_failure);
+    ("router batched ingest equality", `Quick, test_router_batched_equality);
     ("replica failover", `Quick, test_replica_failover);
     ("distributed observability", `Quick, test_distributed_observability);
     ("client reconnect backoff", `Quick, test_client_backoff);

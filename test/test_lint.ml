@@ -55,9 +55,10 @@ let test_lock_order_consistent () =
 
 let test_clock () =
   let bad = run ~rules:[ "clock-discipline" ] "clock_bad" in
-  Alcotest.(check int) "gettimeofday, jitter and trace-id Randoms flagged" 4
+  Alcotest.(check int)
+    "gettimeofday, jitter, trace-id Randoms and buffer deadline flagged" 5
     (count "clock-discipline" bad);
-  check_clean "clock_ok clean (incl. seeded trace-id generator)"
+  check_clean "clock_ok clean (incl. trace ids and buffer deadline)"
     (run ~rules:[ "clock-discipline" ] "clock_ok")
 
 let test_stdout () =

@@ -181,6 +181,13 @@ let run_case ~domains ~with_ttl seed =
               ~rate:(float_of_int (X.int rng 1000) /. 8.)
           in
           let key = Key_codec.encode_key schema row in
+          (* stored_size must be exact against the real encoders — the
+             block builder trusts it to pre-declare value lengths. *)
+          Alcotest.(check int)
+            (ctx ^ ": stored_size exact")
+            (String.length key
+            + String.length (Row_codec.encode_value schema row))
+            (Row_codec.stored_size schema row);
           if not (with_ttl && Hashtbl.mem used key) then begin
             Hashtbl.replace used key ();
             let want = model_insert model key row in
@@ -242,10 +249,109 @@ let oracle_cases ~with_ttl seeds () =
       run_case ~domains:2 ~with_ttl seed)
     seeds
 
+(* ---- Batched vs row-at-a-time equality -------------------------------- *)
+
+(* Two tables driven through the same seeded stream of insert batches —
+   one ingesting each batch atomically-up-to-the-duplicate via
+   [insert_report], the other row by row stopping at the first
+   duplicate (the same semantics §3.4.4 gives a batch) — must answer
+   every query identically. Batches deliberately embed repeats of
+   already-used keys, so mid-batch partial commits are exercised on
+   every seed. *)
+let run_batched_vs_rows ~domains seed =
+  let config =
+    Config.make ~query_domains:domains ~server_row_limit:server_cap ()
+  in
+  let db_b, clock_b, _ = Support.fresh_db ~config () in
+  let db_r, clock_r, _ = Support.fresh_db ~config () in
+  Fun.protect
+    ~finally:(fun () ->
+      Db.close db_b;
+      Db.close db_r)
+  @@ fun () ->
+  let schema = Support.usage_schema () in
+  let batched = Db.create_table db_b "usage" schema ~ttl:None in
+  let rowwise = Db.create_table db_r "usage" schema ~ttl:None in
+  let rng = X.create (Int64.of_int (0xba7c + (seed * 104729))) in
+  let used = ref [] in
+  let n_used = ref 0 in
+  let gen_row () =
+    (* ~1 in 5 rows repeats an already-inserted key: a duplicate that
+       cuts the batch short on both sides. *)
+    if !n_used > 0 && X.int rng 5 = 0 then
+      List.nth !used (X.int rng !n_used)
+    else begin
+      let now = Clock.now clock_b in
+      let row =
+        Support.usage_row
+          ~network:(Int64.of_int (X.int rng 4))
+          ~device:(Int64.of_int (X.int rng 6))
+          ~ts:(Int64.sub now (Int64.of_int (X.int rng 10_000)))
+          ~bytes:(Int64.of_int (X.int rng 1_000_000))
+          ~rate:(float_of_int (X.int rng 1000) /. 8.)
+      in
+      used := row :: !used;
+      incr n_used;
+      row
+    end
+  in
+  let check ctx =
+    let mq = gen_query rng ~now:(Clock.now clock_b) in
+    let got_b = Table.query batched (to_query mq) in
+    let got_r = Table.query rowwise (to_query mq) in
+    Alcotest.(check int)
+      (ctx ^ ": row counts equal")
+      (List.length got_r.Table.rows)
+      (List.length got_b.Table.rows);
+    List.iteri
+      (fun i (r, b) ->
+        if not (r = b) then
+          Alcotest.failf "%s: row %d differs (row-wise vs batched)" ctx i)
+      (List.combine got_r.Table.rows got_b.Table.rows);
+    Alcotest.(check bool)
+      (ctx ^ ": more_available equal")
+      got_r.Table.more_available got_b.Table.more_available
+  in
+  for op = 1 to 80 do
+    let ctx = Printf.sprintf "batched-vs-rows seed=%d domains=%d op=%d" seed domains op in
+    (match X.int rng 100 with
+    | r when r < 60 ->
+        let batch = List.init (1 + X.int rng 7) (fun _ -> gen_row ()) in
+        (match Table.insert_report batched batch with
+        | Ok () | Error _ -> ());
+        (try List.iter (Table.insert_row rowwise) batch
+         with Table.Duplicate_key _ -> ())
+    | r when r < 75 ->
+        Table.flush_all batched;
+        Table.flush_all rowwise
+    | r when r < 85 ->
+        ignore (Table.merge_step batched);
+        ignore (Table.merge_step rowwise)
+    | _ ->
+        let d = Int64.of_int (1 + X.int rng (Int64.to_int Clock.minute)) in
+        Clock.advance clock_b d;
+        Clock.advance clock_r d);
+    if op mod 6 = 0 then check ctx
+  done;
+  Table.flush_all batched;
+  Table.flush_all rowwise;
+  for k = 1 to 20 do
+    check (Printf.sprintf "batched-vs-rows seed=%d domains=%d final=%d" seed domains k)
+  done
+
+let batched_cases seeds () =
+  List.iter
+    (fun seed ->
+      run_batched_vs_rows ~domains:0 seed;
+      run_batched_vs_rows ~domains:2 seed)
+    seeds
+
 let suite =
   [
     Alcotest.test_case "oracle: ops + duplicates + delete_prefix" `Quick
       (oracle_cases ~with_ttl:false [ 1; 2; 3; 4; 5; 6 ]);
     Alcotest.test_case "oracle: TTL expiry" `Quick
       (oracle_cases ~with_ttl:true [ 7; 8; 9; 10 ]);
+    Alcotest.test_case "oracle: batched = row-at-a-time" `Quick
+      (batched_cases [ 11; 12; 13; 14 ]);
   ]

@@ -57,6 +57,21 @@ let test_protocol_requests () =
       Protocol.Get_slow_ops 25;
       Protocol.Get_placement;
       Protocol.Ping;
+      Protocol.Insert_batch { groups = Protocol.Groups [] };
+      Protocol.Insert_batch
+        {
+          groups =
+            Protocol.Groups
+              [
+                ( "usage",
+                  [
+                    [| Value.Int64 1L; Value.Timestamp 2L |];
+                    [| Value.Int64 3L; Value.Timestamp 4L |];
+                  ] );
+                ("events", [ [| Value.String "x\x00y"; Value.Blob "\xff" |] ]);
+                ("empty", []);
+              ];
+        };
     ]
   in
   List.iter
@@ -66,6 +81,15 @@ let test_protocol_requests () =
           Protocol.Create_table { table = t2; schema = s2; ttl = l2 } ) ->
           Alcotest.(check bool) "create" true
             (t1 = t2 && Schema.equal s1 s2 && l1 = l2)
+      | ( Protocol.Insert_batch { groups = g1 },
+          Protocol.Insert_batch { groups = g2 } ) ->
+          (* The reader deliberately captures the groups section raw
+             (undecoded, for zero-copy forwarding); decoded groups must
+             still match what was written. *)
+          Alcotest.(check bool) "batch read back raw" true
+            (match g2 with Protocol.Raw _ -> true | _ -> false);
+          Alcotest.(check bool) "batch groups roundtrip" true
+            (Protocol.groups_of_payload g1 = Protocol.groups_of_payload g2)
       | a, b -> Alcotest.(check bool) "request roundtrip" true (a = b))
     reqs
 
@@ -120,6 +144,12 @@ let test_protocol_responses () =
         };
       Protocol.Latest_row None;
       Protocol.Latest_row (Some [| Value.Timestamp 5L |]);
+      Protocol.Insert_partial { landed = []; message = "m" };
+      Protocol.Insert_partial
+        {
+          landed = [ ("usage", 12); ("shard1/events", 0) ];
+          message = "duplicate key (net=1)";
+        };
       Protocol.Error "boom";
       Protocol.Pong;
       Protocol.Placement_info
@@ -491,6 +521,200 @@ let test_single_node_placement () =
         (List.length pl.Protocol.pl_backends);
       Client.close c)
 
+(* ---- Batched / buffered inserts ---------------------------------------- *)
+
+let urow i =
+  Support.usage_row ~network:1L ~device:(Int64.of_int i)
+    ~ts:(Int64.of_int (i + 1)) ~bytes:(Int64.of_int i) ~rate:0.0
+
+(* Client-side buffering: rows accumulate without a round trip and go
+   out as one [Insert_batch] when the row threshold trips; an explicit
+   [flush] drains the remainder. *)
+let test_buffered_insert_flush_on_size () =
+  with_server (fun server ->
+      let c =
+        Client.connect ~batch_rows:10 ~batch_interval_ms:60_000
+          ~port:(Server.port server) ()
+      in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      for i = 0 to 24 do
+        Client.buffered_insert c "usage" [ urow i ]
+      done;
+      (* Thresholds tripped at rows 10 and 20; five rows still pending. *)
+      Alcotest.(check int) "pending below threshold" 5 (Client.pending c);
+      Alcotest.(check int) "two batches landed" 20
+        (List.length (Client.query_all c "usage" Query.all));
+      Client.flush c;
+      Alcotest.(check int) "drained" 0 (Client.pending c);
+      Client.flush c (* no-op on empty *);
+      Alcotest.(check int) "all rows in" 25
+        (List.length (Client.query_all c "usage" Query.all));
+      Client.close c)
+
+(* Flush-on-interval, timed by the injected clock (never the ambient
+   wall clock): the deadline is set when the buffer becomes non-empty
+   and checked on each call. *)
+let test_buffered_insert_flush_on_interval () =
+  with_server (fun server ->
+      let clock = Lt_util.Clock.manual () in
+      let c =
+        Client.connect ~clock ~batch_rows:1_000 ~batch_interval_ms:50
+          ~port:(Server.port server) ()
+      in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      Client.buffered_insert c "usage" [ urow 0 ];
+      Client.buffered_insert c "usage" [ urow 1 ];
+      Alcotest.(check int) "interval not up" 2 (Client.pending c);
+      Lt_util.Clock.advance clock (Lt_util.Clock.msec 60);
+      Client.buffered_insert c "usage" [ urow 2 ];
+      Alcotest.(check int) "interval flush" 0 (Client.pending c);
+      Alcotest.(check int) "all three in" 3
+        (List.length (Client.query_all c "usage" Query.all));
+      Client.close c)
+
+(* The single-node partial-commit bugfix: a mid-batch duplicate leaves
+   the leading rows committed, and the answer must say how many —
+   previously a plain [Error] left the client unable to tell what to
+   resend. *)
+let test_partial_insert_reports_landed () =
+  with_server (fun server ->
+      let c = Client.connect ~port:(Server.port server) () in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      Client.insert c "usage" [ urow 0; urow 1; urow 2 ];
+      (match Client.insert c "usage" [ urow 3; urow 4; urow 1; urow 5 ] with
+      | () -> Alcotest.fail "mid-batch duplicate accepted"
+      | exception Client.Partial_insert (landed, msg) ->
+          Alcotest.(check (list (pair string int)))
+            "landed prefix named" [ ("usage", 2) ] landed;
+          Alcotest.(check bool) "names the duplicate" true
+            (Support.contains ~sub:"duplicate" msg));
+      Alcotest.(check int) "prefix committed, remainder not" 5
+        (List.length (Client.query_all c "usage" Query.all));
+      (* The client resends only the remainder past the duplicate. *)
+      Client.insert c "usage" [ urow 5 ];
+      Alcotest.(check int) "remainder landed once" 6
+        (List.length (Client.query_all c "usage" Query.all));
+      (* An all-duplicate batch commits nothing: plain error. *)
+      (match Client.insert c "usage" [ urow 0 ] with
+      | () -> Alcotest.fail "duplicate accepted"
+      | exception Client.Remote_error _ -> ());
+      Client.close c)
+
+(* A buffered flush hitting a mid-batch duplicate surfaces the same
+   accounting and leaves the buffer empty — retries are the caller's,
+   never implicit. *)
+let test_buffered_flush_partial () =
+  with_server (fun server ->
+      let c =
+        Client.connect ~batch_rows:1_000 ~batch_interval_ms:60_000
+          ~port:(Server.port server) ()
+      in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      Client.insert c "usage" [ urow 1 ];
+      Client.buffered_insert c "usage" [ urow 2; urow 3; urow 1; urow 4 ];
+      (match Client.flush c with
+      | () -> Alcotest.fail "flush over a duplicate must fail"
+      | exception Client.Partial_insert (landed, _) ->
+          Alcotest.(check (list (pair string int)))
+            "landed prefix named" [ ("usage", 2) ] landed);
+      Alcotest.(check int) "failed flush empties the buffer" 0
+        (Client.pending c);
+      Client.close c)
+
+(* The reconnect-buffer regression (SIGKILL edition): rows buffered when
+   the backend dies stay in the buffer — they were never written to a
+   socket — and [reconnect] delivers them exactly once; nothing is
+   silently dropped, nothing replayed. The backend is the real server
+   executable in its own process, so a real SIGKILL takes it down with
+   no graceful shutdown. (Unix.fork is unavailable here: the test
+   runner has live domains from the parallel-scan suites.) *)
+let test_buffered_rows_survive_sigkill_reconnect () =
+  let dir = Filename.temp_file "lt_net_test" "" in
+  Sys.remove dir;
+  let pidfile = Filename.temp_file "lt_net_pid" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      (match int_of_string_opt (String.trim (In_channel.with_open_text pidfile In_channel.input_all)) with
+      | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | None | (exception Sys_error _) -> ());
+      Sys.remove pidfile;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () ->
+      (* Reserve an ephemeral port, then hand it to the child. *)
+      let probe = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt probe Unix.SO_REUSEADDR true;
+      Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      let port =
+        match Unix.getsockname probe with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      Unix.close probe;
+      let rc =
+        Sys.command
+          (Printf.sprintf
+             "%s --dir %s --port %d --log-level quiet --query-domains 0 \
+              >/dev/null 2>&1 & echo $! > %s"
+             (Filename.quote "../bin/littletable_server.exe")
+             (Filename.quote dir) port (Filename.quote pidfile))
+      in
+      Alcotest.(check int) "backend spawned" 0 rc;
+      let pid =
+        int_of_string
+          (String.trim (In_channel.with_open_text pidfile In_channel.input_all))
+      in
+      let rec wait_up tries =
+        match
+          Client.connect ~batch_rows:1_000 ~batch_interval_ms:600_000 ~port ()
+        with
+        | c -> c
+        | exception Client.Remote_error _ when tries > 0 ->
+            Thread.delay 0.05;
+            wait_up (tries - 1)
+      in
+      let c = wait_up 200 in
+      Client.create_table c "usage" (Support.usage_schema ()) ~ttl:None;
+      for i = 0 to 29 do
+        Client.buffered_insert c "usage" [ urow i ]
+      done;
+      Alcotest.(check int) "all rows buffered, none sent" 30 (Client.pending c);
+      Unix.kill pid Sys.sigkill;
+      let rec wait_down tries =
+        match Client.ping c with
+        | () when tries > 0 ->
+            Thread.delay 0.05;
+            wait_down (tries - 1)
+        | () -> Alcotest.fail "server survived SIGKILL"
+        | exception Client.Disconnected -> ()
+      in
+      wait_down 200;
+      Alcotest.(check int) "outage does not drop the buffer" 30
+        (Client.pending c);
+      (* Backend comes back on the same port with empty data (the
+         SIGKILL flushed nothing; only the table descriptor reached
+         disk). Reconnect must flush the pending rows exactly once.
+         The client-visible disconnect can precede the kernel finishing
+         teardown of the dead child's listen socket on a loaded host, so
+         retry the rebind briefly instead of failing on EADDRINUSE. *)
+      let db2 = Db.open_ ~dir () in
+      let rec restart tries =
+        match Server.start ~maintenance_period_s:0.0 ~db:db2 ~port () with
+        | s -> s
+        | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) when tries > 0 ->
+            Thread.delay 0.05;
+            restart (tries - 1)
+      in
+      let server2 = restart 200 in
+      Client.reconnect c;
+      Alcotest.(check int) "reconnect flushed the buffer" 0 (Client.pending c);
+      let rows = Client.query_all c "usage" Query.all in
+      Alcotest.(check int) "each row exactly once" 30 (List.length rows);
+      Alcotest.(check bool) "no duplicates, no losses" true
+        (List.map (fun r -> Support.int64_of_cell r.(1)) rows
+        = List.init 30 Int64.of_int);
+      Client.close c;
+      Server.stop server2)
+
 (* Fuzz: arbitrary bytes fed to the decoders either parse or raise a
    protocol/corruption error — never crash. *)
 let prop_decoders_total =
@@ -532,6 +756,13 @@ let suite =
     ("reconnect after restart", `Quick, test_reconnect_after_server_restart);
     ("mixed-version hello rejected", `Quick, test_mixed_version_hello_rejected);
     ("single-node placement", `Quick, test_single_node_placement);
+    ("buffered insert: flush on size", `Quick, test_buffered_insert_flush_on_size);
+    ("buffered insert: flush on interval", `Quick, test_buffered_insert_flush_on_interval);
+    ("partial insert reports landed rows", `Quick, test_partial_insert_reports_landed);
+    ("buffered flush partial failure", `Quick, test_buffered_flush_partial);
+    ( "buffered rows survive SIGKILL + reconnect",
+      `Quick,
+      test_buffered_rows_survive_sigkill_reconnect );
     ("negative decode counts rejected", `Quick, test_negative_count_rejected);
     Support.qcheck prop_decoders_total;
   ]

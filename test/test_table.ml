@@ -346,6 +346,50 @@ let test_flush_before () =
   Alcotest.(check bool) "covers old ts" true
     (List.exists (fun m -> m.Descriptor.min_ts <= old && old <= m.Descriptor.max_ts) metas)
 
+(* Explicit durability is group-committed: a caller already covered by
+   a completed round returns without flushing anything, and concurrent
+   committers share one round's fsyncs instead of queueing identical
+   rounds. Led/joined rounds are counted per table. *)
+let test_group_commit () =
+  let db, _, _, t = fresh () in
+  let obs = Db.obs db in
+  let commits mode =
+    Lt_obs.Metrics.Counter.value
+      (Lt_obs.Obs.group_commit obs ~table:"usage" ~mode)
+  in
+  Table.insert t (List.init 20 (fun i -> row 1L (Int64.of_int i) (Int64.of_int i)));
+  Table.flush_all t;
+  Alcotest.(check int) "first commit leads a round" 1 (commits "led");
+  (* Nothing new since the round: covered callers flush nothing. *)
+  Table.flush_all t;
+  Table.flush_before t ~ts:5L;
+  Table.flush_all t;
+  Alcotest.(check int) "covered calls lead no round" 1 (commits "led");
+  Alcotest.(check int) "covered calls join no round" 0 (commits "joined");
+  let tablets_after_first = Table.tablet_count t in
+  Alcotest.(check int) "covered calls write no tablets" tablets_after_first
+    (Table.tablet_count t);
+  (* New data un-covers the table; flush_before rides a fresh round. *)
+  Table.insert_row t (row 9L 9L 99L);
+  Table.flush_before t ~ts:99L;
+  Alcotest.(check int) "new data leads a new round" 2 (commits "led");
+  (* Concurrent committers: each call leads, joins an in-flight round,
+     or rides a completed one; all rows are durable at the end. *)
+  let n = 8 in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            Table.insert_row t (row 50L (Int64.of_int i) (Int64.of_int i));
+            Table.flush_all t)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "everything durable" 0 (Table.memtable_count t);
+  Alcotest.(check bool) "rounds bounded by callers" true
+    (commits "led" + commits "joined" <= 2 + n);
+  Alcotest.(check int) "no rows lost" (21 + n) (List.length (all_rows t))
+
 let test_out_of_order_inserts_bin_correctly () =
   let _, clock, _, t = fresh ~config:(Config.make ~flush_size:(1 lsl 20) ()) () in
   let now = Clock.now clock in
@@ -537,6 +581,7 @@ let suite =
     ("reopen from descriptor", `Quick, test_reopen_from_descriptor);
     ("flush by age", `Quick, test_flush_by_age);
     ("flush_before (proposed extension)", `Quick, test_flush_before);
+    ("group commit shares flush rounds", `Quick, test_group_commit);
     ("out-of-order inserts bin correctly", `Quick, test_out_of_order_inserts_bin_correctly);
     ("drop and recreate", `Quick, test_drop_and_recreate_via_db);
     ("stats scan ratio", `Quick, test_stats_scan_ratio);
