@@ -1,11 +1,57 @@
-(* littletable_lint — run the project-invariant analyzer over source
-   roots and exit non-zero on any finding. See lib/lint/lint.mli. *)
+[@@@lint.allow
+  "vfs-discipline: the linter writes its findings report straight into \
+   the workspace for CI to upload; it is a build tool, not database \
+   code, so Vfs interception does not apply"]
 
-let usage = "littletable_lint [--format=plain|github] [--rules r1,r2] DIR..."
+(* littletable_lint — run the project-invariant analyzer over source
+   roots and exit non-zero on any finding. See lib/lint/lint.mli.
+
+   A root may carry its own rule restriction as [path:rule1,rule2] —
+   the CI invocation lints test/ for clock-discipline and no-stdout
+   only, while lib/bin/bench get the full catalogue. *)
+
+let usage =
+  "littletable_lint [--typed] [--format=plain|github] [--only r1,r2]\n\
+  \                 [--out FILE] [--rules] [--explain RULE] \
+   DIR[:r1,r2]..."
+
+let explain rule =
+  match List.assoc_opt rule Lt_lint.Lint.rules_with_doc with
+  | None ->
+      Printf.eprintf "littletable_lint: unknown rule %S\n" rule;
+      exit 2
+  | Some doc ->
+      Printf.printf "%s\n  %s\n" rule doc;
+      (match Lt_lint.Lint.rule_example rule with
+      | None -> ()
+      | Some (bad, good) ->
+          let indent s =
+            String.split_on_char '\n' s
+            |> List.map (fun l -> "    " ^ l)
+            |> String.concat "\n"
+          in
+          Printf.printf "\n  bad:\n%s\n\n  good:\n%s\n" (indent bad)
+            (indent good));
+      exit 0
+
+let parse_root spec =
+  match String.index_opt spec ':' with
+  | None -> Lt_lint.Lint.root spec
+  | Some i ->
+      let path = String.sub spec 0 i in
+      let rules =
+        String.sub spec (i + 1) (String.length spec - i - 1)
+        |> String.split_on_char ','
+        |> List.map String.trim
+        |> List.filter (fun r -> r <> "")
+      in
+      Lt_lint.Lint.root ~only:rules path
 
 let () =
   let format = ref `Plain in
-  let rules = ref None in
+  let only = ref None in
+  let typed = ref false in
+  let out = ref None in
   let list_rules = ref false in
   let roots = ref [] in
   let spec =
@@ -15,22 +61,33 @@ let () =
           ( [ "plain"; "github" ],
             fun s -> format := if s = "github" then `Github else `Plain ),
         " output format (default plain)" );
-      ( "--rules",
+      ( "--only",
         Arg.String
           (fun s ->
-            rules := Some (String.split_on_char ',' s |> List.map String.trim)),
+            only := Some (String.split_on_char ',' s |> List.map String.trim)),
         "r1,r2 restrict to a comma-separated subset of rules" );
-      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+      ( "--typed",
+        Arg.Set typed,
+        " also run the cmt-based rules (domain-race, blocking-under-lock, \
+         atomic-discipline); needs the cmts built, e.g. dune build @check" );
+      ( "--out",
+        Arg.String (fun s -> out := Some s),
+        "FILE also write the findings to FILE (for CI artifacts)" );
+      ("--rules", Arg.Set list_rules, " print the rule catalogue and exit");
+      ("--list-rules", Arg.Set list_rules, " alias of --rules");
+      ( "--explain",
+        Arg.String explain,
+        "RULE print the rule's doc and a minimal bad/good example" );
     ]
   in
   Arg.parse spec (fun dir -> roots := dir :: !roots) usage;
   if !list_rules then begin
     List.iter
-      (fun r -> Printf.printf "%-16s %s\n" r (Lt_lint.Lint.rule_doc r))
-      Lt_lint.Lint.rule_names;
+      (fun (r, doc) -> Printf.printf "%-20s %s\n" r doc)
+      Lt_lint.Lint.rules_with_doc;
     exit 0
   end;
-  (match !rules with
+  (match !only with
   | Some rs ->
       List.iter
         (fun r ->
@@ -40,15 +97,28 @@ let () =
           end)
         rs
   | None -> ());
-  let roots = match List.rev !roots with [] -> [ "lib"; "bin"; "bench" ] | rs -> rs in
-  let findings = Lt_lint.Lint.run ?rules:!rules ~roots () in
-  List.iter
-    (fun f ->
-      print_endline
-        (match !format with
-        | `Plain -> Lt_lint.Lint.to_plain f
-        | `Github -> Lt_lint.Lint.to_github f))
-    findings;
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench" ]
+    | rs -> rs
+  in
+  let roots = List.map parse_root roots in
+  let findings =
+    Lt_lint.Lint.run ?rules:!only ~typed:!typed ~roots ()
+  in
+  let render f =
+    match !format with
+    | `Plain -> Lt_lint.Lint.to_plain f
+    | `Github -> Lt_lint.Lint.to_github f
+  in
+  List.iter (fun f -> print_endline (render f)) findings;
+  (match !out with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          List.iter
+            (fun f -> Out_channel.output_string oc (Lt_lint.Lint.to_plain f ^ "\n"))
+            findings));
   match findings with
   | [] -> ()
   | fs ->

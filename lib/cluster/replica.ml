@@ -14,16 +14,16 @@ type t = {
   config : Config.t option;
   clock : Lt_util.Clock.t option;
   period_s : float;
-  mutable running : bool;
-  mutable db : Db.t option;
+  running : bool Atomic.t;
+  db : Db.t option Atomic.t;
   mutable thread : Thread.t option;
   mutex : Mutex.t;  (** guards promotion *)
   sync_mutex : Mutex.t;  (** serializes sync passes *)
 }
 
-let promoted t = t.db <> None
+let promoted t = Atomic.get t.db <> None
 
-let db t = t.db
+let db t = Atomic.get t.db
 
 (* One rsync-until-stable of the primary's directory tree (§3.5). The
    primary may be mid-write or already dead: a failed pass is logged and
@@ -40,11 +40,11 @@ let sync_now t =
             Log.warn (fun m -> m "sync pass failed: %s" msg))
 
 let sync_loop t =
-  while t.running do
+  while Atomic.get t.running do
     sync_now t;
     (* Sleep in small slices so promotion and stop are prompt. *)
     let slept = ref 0.0 in
-    while t.running && !slept < t.period_s do
+    while Atomic.get t.running && !slept < t.period_s do
       Thread.delay 0.05;
       slept := !slept +. 0.05
     done
@@ -60,10 +60,10 @@ let join_unless_self th =
    data loss of §3.4.1. Idempotent. *)
 let promote t =
   Lt_util.Mutexes.with_lock t.mutex (fun () ->
-      match t.db with
+      match Atomic.get t.db with
       | Some db -> db
       | None ->
-          t.running <- false;
+          Atomic.set t.running false;
           (match t.thread with
           | Some th ->
               join_unless_self th;
@@ -74,7 +74,7 @@ let promote t =
           let db =
             Db.open_ ?config:t.config ?clock:t.clock ~vfs:t.vfs ~dir:t.dir ()
           in
-          t.db <- Some db;
+          Atomic.set t.db (Some db);
           db)
 
 let start ?config ?clock ?(period_s = 10.0) ~vfs ~primary_dir ~dir () =
@@ -86,8 +86,8 @@ let start ?config ?clock ?(period_s = 10.0) ~vfs ~primary_dir ~dir () =
       config;
       clock;
       period_s;
-      running = true;
-      db = None;
+      running = Atomic.make true;
+      db = Atomic.make None;
       thread = None;
       mutex = Mutex.create ();
       sync_mutex = Mutex.create ();
@@ -98,13 +98,13 @@ let start ?config ?clock ?(period_s = 10.0) ~vfs ~primary_dir ~dir () =
 
 let stop t =
   Lt_util.Mutexes.with_lock t.mutex (fun () ->
-      t.running <- false;
+      Atomic.set t.running false;
       (match t.thread with
       | Some th ->
           join_unless_self th;
           t.thread <- None
       | None -> ());
-      match t.db with Some db -> Db.flush_all db | None -> ())
+      match Atomic.get t.db with Some db -> Db.flush_all db | None -> ())
 
 (* Serve the wire protocol: handshakes work in spare mode, but the first
    data request promotes — the router only ever contacts the spare after
@@ -133,15 +133,15 @@ let handler t req =
 let backend t =
   {
     Server.b_handle = handler t;
-    b_obs = (match t.db with Some db -> Db.obs db | None -> Lt_obs.Obs.noop);
+    b_obs = (match Atomic.get t.db with Some db -> Db.obs db | None -> Lt_obs.Obs.noop);
     b_render =
       (fun () ->
-        match t.db with
+        match Atomic.get t.db with
         | Some db -> Lt_obs.Obs.render (Db.obs db)
         | None -> "# spare: not promoted\n");
     b_maintenance =
       Some
         (fun () ->
-          match t.db with Some db -> Db.maintenance db | None -> ());
+          match Atomic.get t.db with Some db -> Db.maintenance db | None -> ());
     b_on_stop = (fun () -> stop t);
   }

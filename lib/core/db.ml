@@ -118,15 +118,19 @@ let open_ ?(config = Config.default) ?(clock = Clock.system)
       mutex = Mutex.create ();
     }
   in
-  Metrics.register_collector (Obs.registry obs) (fun () -> stats_samples t);
   let entries = try Vfs.readdir vfs dir with Vfs.Io_error _ -> [] in
   List.iter
     (fun name ->
       let tdir = table_dir t name in
-      if Descriptor.exists vfs ~dir:tdir then
-        Hashtbl.replace t.tables name
-          (Table.open_ ?cache ~obs ?pool vfs ~clock ~config ~dir:tdir ~name))
+      if Descriptor.exists vfs ~dir:tdir then begin
+        let tbl = Table.open_ ?cache ~obs ?pool vfs ~clock ~config ~dir:tdir ~name in
+        Mutexes.with_lock t.mutex (fun () -> Hashtbl.replace t.tables name tbl)
+      end)
     entries;
+  (* Register only once the table map is populated: the registry is
+     process-wide, so a scrape from another thread may run the collector
+     as soon as it is visible there. *)
+  Metrics.register_collector (Obs.registry obs) (fun () -> stats_samples t);
   t
 
 let config t = t.config

@@ -1,4 +1,10 @@
 type t = {
+  (* One private lock per counter block: [note_*] callers already hold
+     assorted table locks, but [read] and [reset] run from exporter and
+     bench threads that hold none of them. The mutex is uncontended on
+     the hot path and makes snapshots coherent instead of merely
+     field-wise monotonic. *)
+  m : Mutex.t;
   mutable rows_inserted : int;
   mutable insert_batches : int;
   mutable rows_returned : int;
@@ -51,6 +57,7 @@ type snapshot = {
 
 let create () =
   {
+    m = Mutex.create ();
     rows_inserted = 0;
     insert_batches = 0;
     rows_returned = 0;
@@ -67,38 +74,40 @@ let create () =
   }
 
 let reset (t : t) =
-  t.rows_inserted <- 0;
-  t.insert_batches <- 0;
-  t.rows_returned <- 0;
-  t.rows_scanned <- 0;
-  t.queries <- 0;
-  t.flushes <- 0;
-  t.flushed_bytes <- 0;
-  t.merges <- 0;
-  t.merged_bytes_in <- 0;
-  t.merged_bytes_out <- 0;
-  t.tablets_expired <- 0;
-  t.flush_retries <- 0;
-  t.tablets_quarantined <- 0
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.rows_inserted <- 0;
+      t.insert_batches <- 0;
+      t.rows_returned <- 0;
+      t.rows_scanned <- 0;
+      t.queries <- 0;
+      t.flushes <- 0;
+      t.flushed_bytes <- 0;
+      t.merges <- 0;
+      t.merged_bytes_in <- 0;
+      t.merged_bytes_out <- 0;
+      t.tablets_expired <- 0;
+      t.flush_retries <- 0;
+      t.tablets_quarantined <- 0)
 
 let read ?(cache = no_cache) (t : t) =
-  {
-    rows_inserted = t.rows_inserted;
-    insert_batches = t.insert_batches;
-    rows_returned = t.rows_returned;
-    rows_scanned = t.rows_scanned;
-    queries = t.queries;
-    flushes = t.flushes;
-    flushed_bytes = t.flushed_bytes;
-    merges = t.merges;
-    merged_bytes_in = t.merged_bytes_in;
-    merged_bytes_out = t.merged_bytes_out;
-    tablets_expired = t.tablets_expired;
-    flush_retries = t.flush_retries;
-    tablets_quarantined = t.tablets_quarantined;
-    bytes_written = t.flushed_bytes + t.merged_bytes_out;
-    cache;
-  }
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      {
+        rows_inserted = t.rows_inserted;
+        insert_batches = t.insert_batches;
+        rows_returned = t.rows_returned;
+        rows_scanned = t.rows_scanned;
+        queries = t.queries;
+        flushes = t.flushes;
+        flushed_bytes = t.flushed_bytes;
+        merges = t.merges;
+        merged_bytes_in = t.merged_bytes_in;
+        merged_bytes_out = t.merged_bytes_out;
+        tablets_expired = t.tablets_expired;
+        flush_retries = t.flush_retries;
+        tablets_quarantined = t.tablets_quarantined;
+        bytes_written = t.flushed_bytes + t.merged_bytes_out;
+        cache;
+      })
 
 (* Field-wise sum of two snapshots. Used by the cluster router to
    aggregate per-shard table stats into one cluster-wide answer;
@@ -154,30 +163,38 @@ let bump v delta =
   v + delta
 
 let note_insert (t : t) ~rows =
-  t.rows_inserted <- bump t.rows_inserted rows;
-  t.insert_batches <- bump t.insert_batches 1
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.rows_inserted <- bump t.rows_inserted rows;
+      t.insert_batches <- bump t.insert_batches 1)
 
 let note_query (t : t) ~scanned ~returned =
-  t.queries <- bump t.queries 1;
-  t.rows_scanned <- bump t.rows_scanned scanned;
-  t.rows_returned <- bump t.rows_returned returned
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.queries <- bump t.queries 1;
+      t.rows_scanned <- bump t.rows_scanned scanned;
+      t.rows_returned <- bump t.rows_returned returned)
 
 let note_flush (t : t) ~bytes =
-  t.flushes <- bump t.flushes 1;
-  t.flushed_bytes <- bump t.flushed_bytes bytes
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.flushes <- bump t.flushes 1;
+      t.flushed_bytes <- bump t.flushed_bytes bytes)
 
 let note_merge (t : t) ~bytes_in ~bytes_out =
-  t.merges <- bump t.merges 1;
-  t.merged_bytes_in <- bump t.merged_bytes_in bytes_in;
-  t.merged_bytes_out <- bump t.merged_bytes_out bytes_out
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.merges <- bump t.merges 1;
+      t.merged_bytes_in <- bump t.merged_bytes_in bytes_in;
+      t.merged_bytes_out <- bump t.merged_bytes_out bytes_out)
 
 let note_expired (t : t) ~tablets =
-  t.tablets_expired <- bump t.tablets_expired tablets
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.tablets_expired <- bump t.tablets_expired tablets)
 
-let note_flush_retry (t : t) = t.flush_retries <- bump t.flush_retries 1
+let note_flush_retry (t : t) =
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.flush_retries <- bump t.flush_retries 1)
 
 let note_quarantined (t : t) ~tablets =
-  t.tablets_quarantined <- bump t.tablets_quarantined tablets
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.tablets_quarantined <- bump t.tablets_quarantined tablets)
 
 let pp ppf s =
   Format.fprintf ppf

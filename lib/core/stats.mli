@@ -4,12 +4,14 @@
     returned (Figure 9, §5.2.4), insert/query rates (§5.2.3), flush and
     merge activity, and write amplification (§5.1.3).
 
-    Counters are updated under the owning table's locks and are strictly
-    monotonic (every [note_*] adds a non-negative delta, asserted in the
-    implementation): of any two {!snapshot}s of the same table, the
-    later dominates the earlier field by field, so rates may be computed
-    by differencing snapshots. Benchmarks that need a clean slate should
-    {!reset} rather than recreate the table. *)
+    Counters are guarded by a private leaf mutex (so {!read} is a
+    coherent snapshot even against concurrent writers holding only
+    table locks) and are strictly monotonic (every [note_*] adds a
+    non-negative delta, asserted in the implementation): of any two
+    {!snapshot}s of the same table, the later dominates the earlier
+    field by field, so rates may be computed by differencing snapshots.
+    Benchmarks that need a clean slate should {!reset} rather than
+    recreate the table. *)
 
 type t
 

@@ -30,6 +30,11 @@ type t = {
   mutable filling : Memtable.t list;  (** one per active period bin *)
   mutable frozen : Memtable.t list;  (** oldest frozen first *)
   mutable disk : disk_tablet list;  (** timespan order *)
+  mutable doomed_paths : string list;
+      (** unreferenced tablet files awaiting deletion; guarded by
+          [state]. Unlinking is blocking VFS work, so doomed files are
+          only queued under the lock and actually deleted by
+          [drain_doomed] outside every lock region. *)
   graph : Flush_graph.t;
   mutable last_insert_tablet : int option;
   mutable max_ts_seen : int64 option;
@@ -186,6 +191,7 @@ let make vfs ~clock ~config ~dir ~name ~desc ~cache ~obs ~pool =
     filling = [];
     frozen = [];
     disk;
+    doomed_paths = [];
     graph = Flush_graph.create ();
     last_insert_tablet = None;
     max_ts_seen;
@@ -299,26 +305,43 @@ let get_reader_locked t dt =
       dt.reader <- Some r;
       r
 
-let destroy_tablet t dt =
+(* Must be called with [state] held: closes the reader and queues the
+   file for [drain_doomed]. The durable descriptor no longer references
+   the tablet, so the unlink can wait until no lock is held. *)
+let destroy_tablet_locked t dt =
   (match dt.reader with Some r -> Tablet.close r | None -> ());
   dt.reader <- None;
-  let path = tablet_path t dt.meta.Descriptor.file in
-  (* Best-effort: the durable descriptor no longer references this
-     tablet, so a failed delete merely leaks a file that the hygiene
-     sweep at the next [open_] reclaims. It must not fail the operation
-     whose commit already succeeded. *)
-  try if Vfs.exists t.vfs path then Vfs.delete t.vfs path
-  with Vfs.Io_error _ -> ()
+  t.doomed_paths <- tablet_path t dt.meta.Descriptor.file :: t.doomed_paths
+
+(* Unlink every queued doomed file. Must be called with no table lock
+   held: deletion is blocking VFS work. Best-effort — a failed delete
+   merely leaks a file that the hygiene sweep at the next [open_]
+   reclaims. It must not fail the operation whose commit already
+   succeeded. *)
+let drain_doomed t =
+  let paths =
+    Mutexes.with_lock t.state (fun () ->
+        let ps = t.doomed_paths in
+        t.doomed_paths <- [];
+        ps)
+  in
+  List.iter
+    (fun path ->
+      try if Vfs.exists t.vfs path then Vfs.delete t.vfs path
+      with Vfs.Io_error _ -> ())
+    paths
 
 (* Must be called with [state] held. *)
 let release_locked t dts =
   List.iter
     (fun dt ->
       dt.refs <- dt.refs - 1;
-      if dt.doomed && dt.refs = 0 then destroy_tablet t dt)
+      if dt.doomed && dt.refs = 0 then destroy_tablet_locked t dt)
     dts
 
-let release t dts = Mutexes.with_lock t.state (fun () -> release_locked t dts)
+let release t dts =
+  Mutexes.with_lock t.state (fun () -> release_locked t dts);
+  drain_doomed t
 
 let close t =
   Mutexes.with_lock t.state (fun () ->
@@ -513,8 +536,8 @@ let flush_closure t mt =
           t.disk <- saved_disk;
           List.iter
             (fun (_, meta) ->
-              try Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
-              with Vfs.Io_error _ -> ())
+              t.doomed_paths <-
+                tablet_path t meta.Descriptor.file :: t.doomed_paths)
             metas;
           raise e);
       List.iter
@@ -779,7 +802,11 @@ let insert_rows_locked t rows ~landed =
     | Some (row, key, ts, cands) ->
         let dup =
           Fun.protect
-            ~finally:(fun () -> release t cands)
+            ~finally:(fun () ->
+              (* [writer_lock] is held on this path: release without
+                 draining; the next lock-free [drain_doomed] (any query
+                 release or maintenance pass) unlinks the files. *)
+              Mutexes.with_lock t.state (fun () -> release_locked t cands))
             (fun () ->
               List.exists
                 (fun dt ->
@@ -1404,9 +1431,9 @@ let merge_step_unlocked t =
               | exception e ->
                   t.disk <- saved_disk;
                   (match new_meta with
-                  | Some meta -> (
-                      try Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
-                      with Vfs.Io_error _ -> ())
+                  | Some meta ->
+                      t.doomed_paths <-
+                        tablet_path t meta.Descriptor.file :: t.doomed_paths
                   | None -> ());
                   raise e);
               List.iter (fun dt -> dt.doomed <- true) sources;
@@ -1425,7 +1452,10 @@ let merge_step_unlocked t =
           ok := true);
       !ok
 
-let merge_step t = Mutexes.with_lock t.maint_lock (fun () -> merge_step_unlocked t)
+let merge_step t =
+  Fun.protect
+    ~finally:(fun () -> drain_doomed t)
+    (fun () -> Mutexes.with_lock t.maint_lock (fun () -> merge_step_unlocked t))
 
 (* ------------------------------------------------------------------ *)
 (* Expiry (§3.3)                                                       *)
@@ -1456,14 +1486,17 @@ let expire_unlocked t =
             List.iter
               (fun dt ->
                 dt.doomed <- true;
-                if dt.refs = 0 then destroy_tablet t dt)
+                if dt.refs = 0 then destroy_tablet_locked t dt)
               expired;
             let n = List.length expired in
             Stats.note_expired t.stats ~tablets:n;
             n
           end)
 
-let expire t = Mutexes.with_lock t.maint_lock (fun () -> expire_unlocked t)
+let expire t =
+  Fun.protect
+    ~finally:(fun () -> drain_doomed t)
+    (fun () -> Mutexes.with_lock t.maint_lock (fun () -> expire_unlocked t))
 
 (* ------------------------------------------------------------------ *)
 (* Bulk delete (§7's planned privacy-compliance feature)               *)
@@ -1476,6 +1509,7 @@ let delete_prefix t prefix_values =
     String.compare key lo >= 0
     && match hi_opt with None -> true | Some hi -> String.compare key hi < 0
   in
+  Fun.protect ~finally:(fun () -> drain_doomed t) @@ fun () ->
   Mutexes.with_lock t.writer_lock (fun () ->
       Mutexes.with_lock t.maint_lock (fun () ->
           let deleted = ref 0 in
@@ -1677,10 +1711,9 @@ let delete_prefix t prefix_values =
                     (fun (_, repl) ->
                       match repl with
                       | None -> ()
-                      | Some meta -> (
-                          try
-                            Vfs.delete t.vfs (tablet_path t meta.Descriptor.file)
-                          with Vfs.Io_error _ -> ()))
+                      | Some meta ->
+                          t.doomed_paths <-
+                            tablet_path t meta.Descriptor.file :: t.doomed_paths)
                     replacements;
                   release_locked t (List.map fst replacements);
                   raise e);
@@ -1706,7 +1739,8 @@ let maintenance t =
       while merge_step_unlocked t do
         ()
       done;
-      ignore (expire_unlocked t))
+      ignore (expire_unlocked t));
+  drain_doomed t
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

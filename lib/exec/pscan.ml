@@ -81,8 +81,18 @@ let rec producer t b =
       pull ()
     with e -> `Failed (e, Printexc.get_raw_backtrace ())
   in
-  b.busy_us <- Int64.add b.busy_us (Int64.sub (t.now_us ()) t0);
-  b.rows <- b.rows + !n;
+  (b.busy_us <- Int64.add b.busy_us (Int64.sub (t.now_us ()) t0))
+  [@lint.allow
+    "domain-race: only the single self-rescheduling producer task writes \
+     the accumulators, and the consumer reads them in [report] strictly \
+     after the terminal [reported] transition under [b_mutex], which \
+     orders every write before the read"];
+  (b.rows <- b.rows + !n)
+  [@lint.allow
+    "domain-race: only the single self-rescheduling producer task writes \
+     the accumulators, and the consumer reads them in [report] strictly \
+     after the terminal [reported] transition under [b_mutex], which \
+     orders every write before the read"];
   let chunk = if !n = 0 then [||] else Array.of_list (List.rev !out) in
   let action =
     Mutexes.with_lock b.b_mutex (fun () ->

@@ -1,0 +1,76 @@
+[@@@lint.allow
+  "vfs-discipline: the linter is a build-time tool that walks _build for \
+   the cmt files dune emitted; it never touches database state, so the \
+   torture harness has nothing to intercept here"]
+
+(* See cmt_load.mli. *)
+
+type unit_ = {
+  u_source : string;
+  u_structure : Typedtree.structure;
+}
+
+let find_cmts roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if entry <> "_build" then walk (Filename.concat path entry))
+        (Sys.readdir path)
+    else if Filename.extension path = ".cmt" then acc := path :: !acc
+  in
+  List.iter
+    (fun root ->
+      let before = List.length !acc in
+      if Sys.file_exists root then walk root;
+      if List.length !acc = before then begin
+        (* Source checkout: the cmts live under _build/default. *)
+        let built = Filename.concat (Filename.concat "_build" "default") root in
+        if Sys.file_exists built then walk built
+      end)
+    roots;
+  List.sort compare !acc
+
+(* [suffix_matches ~path s]: do the trailing path components of [path]
+   equal the components of [s]?  "lint_fixtures/x/lib/foo.ml" matches
+   "lib/foo.ml" but not "b/foo.ml". *)
+let suffix_matches ~path s =
+  let split p = String.split_on_char '/' p in
+  let rec ends_with rev_p rev_s =
+    match (rev_p, rev_s) with
+    | _, [] -> true
+    | [], _ -> false
+    | p :: ps, q :: qs -> p = q && ends_with ps qs
+  in
+  ends_with (List.rev (split path)) (List.rev (split s))
+
+let load ~sources cmts =
+  let rebase recorded =
+    (* Exact scanned path first, then unique suffix match. *)
+    if List.mem recorded sources then Some recorded
+    else
+      match List.filter (fun p -> suffix_matches ~path:p recorded) sources with
+      | [ p ] -> Some p
+      | _ -> None
+  in
+  let seen = Hashtbl.create 32 in
+  let units =
+    List.filter_map
+      (fun cmt ->
+        match Cmt_format.read_cmt cmt with
+        | exception _ -> None
+        | infos -> (
+            match (infos.Cmt_format.cmt_sourcefile, infos.Cmt_format.cmt_annots)
+            with
+            | Some src, Cmt_format.Implementation str
+              when Filename.extension src = ".ml" -> (
+                match rebase src with
+                | Some source when not (Hashtbl.mem seen source) ->
+                    Hashtbl.add seen source ();
+                    Some { u_source = source; u_structure = str }
+                | _ -> None)
+            | _ -> None))
+      cmts
+  in
+  List.sort (fun a b -> compare a.u_source b.u_source) units

@@ -1,0 +1,33 @@
+(** Loading [.cmt] files for the type-aware lint pass.
+
+    The parse-only pass reads sources; the typed rules ([domain-race],
+    [blocking-under-lock], [atomic-discipline]) need the [Typedtree],
+    which the compiler saves next to each object file when [-bin-annot]
+    is set (dune always sets it). This module finds those [.cmt] files
+    under a set of roots — descending into dune's dot-directories
+    ([.objs], [.eobjs]) that the source walker skips — reads them with
+    [Cmt_format], and pairs each typedtree with the source path the
+    compiler recorded, rebased onto the scanned source list so findings,
+    suppression ranges, and path-based rule applicability all speak the
+    same paths. *)
+
+type unit_ = {
+  u_source : string;  (** rebased source path, e.g. [lib/exec/pool.ml] *)
+  u_structure : Typedtree.structure;
+}
+
+val find_cmts : string list -> string list
+(** Every [*.cmt] under the given roots (files or directories), sorted.
+    Unlike the source walker this descends into dot-directories, so it
+    sees dune's [.objs]/[.eobjs] layout. For each root that contains no
+    [.cmt] at all, [_build/default/<root>] is tried as a fallback, so
+    the linter works both from inside the build tree (the [@lint] rule)
+    and from a source checkout after [dune build @check]. *)
+
+val load : sources:string list -> string list -> unit_ list
+(** [load ~sources cmts] reads each [.cmt], keeps only implementation
+    units whose recorded source path suffix-matches one of [sources]
+    (dropping alias stubs, [.ml-gen] files, and stale cmts for deleted
+    sources), rebases the path onto the matching source entry, dedupes
+    by source path, and returns the units sorted by source path.
+    Unreadable or version-mismatched cmts are skipped. *)

@@ -1,0 +1,520 @@
+(* See escape.mli. One Tast_iterator pass per compilation unit. *)
+
+open Typedtree
+
+type site = { s_file : string; s_line : int; s_col : int; s_cnum : int }
+
+type kind = Read | Write
+
+type sort = Field | Ref | Container
+
+type access = {
+  ac_cell : string;
+  ac_sort : sort;
+  ac_kind : kind;
+  ac_counter : bool;
+  ac_locks : string list;
+  ac_crossing : bool;
+  ac_owned : bool;
+  ac_site : site;
+}
+
+type callee = { ce_base : string; ce_name : string; ce_line : int; ce_col : int }
+
+type call = {
+  cl_callee : callee;
+  cl_locks : string list;
+  cl_crossing : bool;
+  cl_value : bool;
+}
+
+type acquire = {
+  aq_class : string;
+  aq_base : string;
+  aq_locks : string list;
+  aq_site : site;
+}
+
+type block_op = { bo_what : string; bo_locks : string list; bo_site : site }
+
+type fn_info = {
+  fn_key : string;
+  fn_file : string;
+  fn_base : string;
+  mutable fn_root_crossing : bool;
+  mutable fn_accesses : access list;
+  mutable fn_calls : call list;
+  mutable fn_acquires : acquire list;
+  mutable fn_blocking : block_op list;
+}
+
+type facts = {
+  fa_file : string;
+  fa_fns : fn_info list;
+  fa_defs : (int * int, string) Hashtbl.t;
+}
+
+let base_of file = Filename.remove_extension (Filename.basename file)
+
+(* ------------------------------------------------------------------ *)
+(* Recognizer tables (decl-file base * value name)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Calls whose function arguments run on another domain (or a thread
+   that outlives the call). *)
+let crossing_prims =
+  [
+    ("pool", [ "submit"; "submit_task"; "map"; "run" ]);
+    ("pscan", [ "stage" ]);
+    ("domain", [ "spawn" ]);
+    ("thread", [ "create" ]);
+  ]
+
+let is_crossing_prim dbase name =
+  match List.assoc_opt dbase crossing_prims with
+  | Some names -> List.mem name names
+  | None -> false
+
+(* Potentially blocking operations for [blocking-under-lock]: VFS I/O,
+   sleeps, socket ops, joins on other workers. [Condition.wait] is
+   deliberately absent — it releases the mutex it waits on. *)
+let blocking_ops =
+  [
+    ( "vfs",
+      [ "open_read"; "create"; "pread"; "append"; "fsync"; "close"; "rename";
+        "delete"; "exists"; "readdir"; "mkdir_p"; "sync_dir"; "read_all";
+        "file_size" ],
+      "Vfs" );
+    ( "unix",
+      [ "sleep"; "sleepf"; "select"; "connect"; "accept"; "recv"; "recvfrom";
+        "send"; "sendto"; "read"; "write"; "waitpid" ],
+      "Unix" );
+    ("thread", [ "delay"; "join" ], "Thread");
+    ("domain", [ "join" ], "Domain");
+    ("pool", [ "await" ], "Pool");
+  ]
+
+let blocking_op dbase name =
+  List.find_map
+    (fun (b, names, label) ->
+      if b = dbase && List.mem name names then Some (label ^ "." ^ name)
+      else None)
+    blocking_ops
+
+(* Mutating / reading operations on shared mutable containers:
+   (decl base, op) -> (argument index of the container, access kind). *)
+let container_ops =
+  [
+    (("hashtbl", "add"), (0, Write)); (("hashtbl", "replace"), (0, Write));
+    (("hashtbl", "remove"), (0, Write)); (("hashtbl", "reset"), (0, Write));
+    (("hashtbl", "clear"), (0, Write)); (("hashtbl", "find"), (0, Read));
+    (("hashtbl", "find_opt"), (0, Read)); (("hashtbl", "find_all"), (0, Read));
+    (("hashtbl", "mem"), (0, Read)); (("hashtbl", "iter"), (1, Read));
+    (("hashtbl", "fold"), (1, Read)); (("hashtbl", "length"), (0, Read));
+    (("queue", "push"), (1, Write)); (("queue", "add"), (1, Write));
+    (("queue", "pop"), (0, Write)); (("queue", "take"), (0, Write));
+    (("queue", "take_opt"), (0, Write)); (("queue", "peek"), (0, Read));
+    (("queue", "peek_opt"), (0, Read)); (("queue", "clear"), (0, Write));
+    (("queue", "is_empty"), (0, Read)); (("queue", "length"), (0, Read));
+    (("buffer", "add_string"), (0, Write)); (("buffer", "add_char"), (0, Write));
+    (("buffer", "add_bytes"), (0, Write));
+    (("buffer", "add_subbytes"), (0, Write));
+    (("buffer", "add_substring"), (0, Write));
+    (("buffer", "add_buffer"), (0, Write)); (("buffer", "clear"), (0, Write));
+    (("buffer", "reset"), (0, Write)); (("buffer", "contents"), (0, Read));
+    (("buffer", "length"), (0, Read)); (("buffer", "to_bytes"), (0, Read));
+    (("buffer", "sub"), (0, Read));
+    (("bytes", "set"), (0, Write)); (("bytes", "unsafe_set"), (0, Write));
+    (("bytes", "fill"), (0, Write)); (("bytes", "blit"), (2, Write));
+    (("bytes", "blit_string"), (2, Write)); (("bytes", "get"), (0, Read));
+    (("bytes", "unsafe_get"), (0, Read));
+    (("array", "set"), (0, Write)); (("array", "unsafe_set"), (0, Write));
+    (("array", "fill"), (0, Write)); (("array", "blit"), (2, Write));
+    (("array", "get"), (0, Read)); (("array", "unsafe_get"), (0, Read));
+  ]
+
+(* Allocation heads: a local [let x = <alloc> in ...] makes [x] owned by
+   the current function until it escapes into a crossing closure. *)
+let alloc_fns =
+  [
+    ("stdlib", "ref"); ("hashtbl", "create"); ("queue", "create");
+    ("buffer", "create"); ("bytes", "create"); ("bytes", "make");
+    ("bytes", "of_string"); ("array", "make"); ("array", "init");
+    ("array", "copy"); ("array", "of_list"); ("mutex", "create");
+    ("condition", "create"); ("atomic", "make");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pass                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let collect ~path str =
+  let base = base_of path in
+  let defs : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
+  let fns : (string, fn_info) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let get_fn key =
+    match Hashtbl.find_opt fns key with
+    | Some f -> f
+    | None ->
+        let f =
+          { fn_key = key; fn_file = path; fn_base = base;
+            fn_root_crossing = false; fn_accesses = []; fn_calls = [];
+            fn_acquires = []; fn_blocking = [] }
+        in
+        Hashtbl.add fns key f;
+        order := key :: !order;
+        f
+  in
+  let cur = ref (get_fn (base ^ ".<init>")) in
+  let held : string list ref = ref [] in
+  let crossing = ref false in
+  let fresh : (string, unit) Hashtbl.t ref = ref (Hashtbl.create 8) in
+  let toplevel = ref true in
+  let site (loc : Location.t) =
+    { s_file = path;
+      s_line = loc.loc_start.pos_lnum;
+      s_col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+      s_cnum = loc.loc_start.pos_cnum }
+  in
+  let pos_of (loc : Location.t) =
+    (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+  in
+  let decl_of (vd : Types.value_description) =
+    let loc = vd.Types.val_loc in
+    let l, c = pos_of loc in
+    (loc.Location.loc_start.pos_fname, l, c)
+  in
+  (* The canonical key of a value referenced by [path]: same-file
+     declarations resolve through [defs] (so locals and params keep
+     their [@line] suffix), everything else is [<declbase>.<name>]. *)
+  let ident_key (p : Path.t) (vd : Types.value_description) =
+    let file, l, c = decl_of vd in
+    let name = Path.last p in
+    if file = "" || file = "_none_" then ("anon." ^ name, "anon")
+    else
+      let b = base_of file in
+      if file = path then
+        match Hashtbl.find_opt defs (l, c) with
+        | Some key -> (key, b)
+        | None -> (b ^ "." ^ name ^ Printf.sprintf "@%d" l, b)
+      else (b ^ "." ^ name, b)
+  in
+  let field_cell (ld : Types.label_description) =
+    let file = ld.Types.lbl_loc.Location.loc_start.pos_fname in
+    let b = if file = "" || file = "_none_" then "anon" else base_of file in
+    let tname =
+      match Types.get_desc ld.Types.lbl_res with
+      | Types.Tconstr (p, _, _) -> Path.last p
+      | _ -> "_"
+    in
+    (b ^ "." ^ tname ^ "." ^ ld.Types.lbl_name, b)
+  in
+  let is_fresh_ident e =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+        Hashtbl.mem !fresh (Ident.unique_name id)
+    | _ -> false
+  in
+  (* Identity of a ref/container/mutex expression. *)
+  let cell_of e =
+    match e.exp_desc with
+    | Texp_ident (p, _, vd) -> ident_key p vd
+    | Texp_field (_, _, ld) -> field_cell ld
+    | _ ->
+        let l, c = pos_of e.exp_loc in
+        (Printf.sprintf "anon.%s:%d:%d" base l c, "anon")
+  in
+  let add_access ?(counter = false) ~sort ~kind ~owned cell loc =
+    let f = !cur in
+    f.fn_accesses <-
+      { ac_cell = cell; ac_sort = sort; ac_kind = kind; ac_counter = counter;
+        ac_locks = List.sort_uniq compare !held; ac_crossing = !crossing;
+        ac_owned = owned; ac_site = site loc }
+      :: f.fn_accesses
+  in
+  let add_call ?(value = false) (p : Path.t) (vd : Types.value_description)
+      ~locks =
+    let file, l, c = decl_of vd in
+    if file <> "" && file <> "_none_" then begin
+      let f = !cur in
+      f.fn_calls <-
+        { cl_callee =
+            { ce_base = base_of file; ce_name = Path.last p; ce_line = l;
+              ce_col = c };
+          cl_locks = List.sort_uniq compare locks;
+          cl_crossing = !crossing;
+          cl_value = value }
+        :: f.fn_calls
+    end
+  in
+  let is_arrow (vd : Types.value_description) =
+    match Types.get_desc vd.Types.val_type with
+    | Types.Tarrow _ -> true
+    | Types.Tpoly (ty, _) -> (
+        match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false)
+    | _ -> false
+  in
+  let head_ident e =
+    match e.exp_desc with
+    | Texp_ident (p, _, vd) -> Some (p, vd)
+    | _ -> None
+  in
+  let is_alloc e =
+    match e.exp_desc with
+    | Texp_record { extended_expression = None; _ } | Texp_array _ -> true
+    | Texp_apply (f, _) -> (
+        match head_ident f with
+        | Some (p, vd) ->
+            let file, _, _ = decl_of vd in
+            List.mem (base_of file, Path.last p) alloc_fns
+        | None -> false)
+    | _ -> false
+  in
+  let super = Tast_iterator.default_iterator in
+  let rec walk_expr sub (e : expression) =
+    match e.exp_desc with
+    | Texp_field (b, _, ld) ->
+        (if ld.Types.lbl_name = "contents" then begin
+           (* [r.contents] is a ref read under another spelling. *)
+           let cell, _ = cell_of b in
+           add_access ~sort:Ref ~kind:Read ~owned:(is_fresh_ident b) cell
+             e.exp_loc
+         end
+         else if ld.Types.lbl_mut = Asttypes.Mutable then
+           let cell, _ = field_cell ld in
+           add_access ~sort:Field ~kind:Read ~owned:(is_fresh_ident b) cell
+             e.exp_loc);
+        sub.Tast_iterator.expr sub b
+    | Texp_setfield (b, _, ld, v) ->
+        (if ld.Types.lbl_name = "contents" then begin
+           let cell, _ = cell_of b in
+           add_access ~sort:Ref ~kind:Write ~owned:(is_fresh_ident b) cell
+             e.exp_loc
+         end
+         else
+           let cell, _ = field_cell ld in
+           add_access ~sort:Field ~kind:Write ~owned:(is_fresh_ident b) cell
+             e.exp_loc);
+        sub.Tast_iterator.expr sub b;
+        sub.Tast_iterator.expr sub v
+    | Texp_apply (f, args) -> walk_apply sub e f args
+    | Texp_ident (p, _, vd) when is_arrow vd ->
+        (* A function mentioned outside call position escapes as a
+           value: it may be called from anywhere later, so the ambient
+           must-lockset analysis gives it no locks. *)
+        add_call ~value:true p vd ~locks:[]
+    | _ -> super.expr sub e
+  and walk_args sub args =
+    List.iter
+      (fun (_, a) -> match a with Some a -> sub.Tast_iterator.expr sub a | None -> ())
+      args
+  and nolabel_args args =
+    List.filter_map
+      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+      args
+  (* Does [e] read [cell] via [!]/[.contents]? Used to classify
+     [x := !x + 1]-shaped counter updates. *)
+  and reads_cell cell e =
+    let found = ref false in
+    let expr sub (e : expression) =
+      (match e.exp_desc with
+       | Texp_apply (f, args) -> (
+           match (head_ident f, nolabel_args args) with
+           | Some (p, _), a :: _ when Path.last p = "!" ->
+               if fst (cell_of a) = cell then found := true
+           | _ -> ())
+       | Texp_field (b, _, ld) when ld.Types.lbl_name = "contents" ->
+           if fst (cell_of b) = cell then found := true
+       | _ -> ());
+      super.expr sub e
+    in
+    let it = { super with expr } in
+    it.expr it e;
+    !found
+  and walk_crossing sub e =
+    let saved_cross = !crossing and saved_held = !held in
+    let saved_fresh = !fresh in
+    crossing := true;
+    held := [];
+    fresh := Hashtbl.create 8;
+    sub.Tast_iterator.expr sub e;
+    crossing := saved_cross;
+    held := saved_held;
+    fresh := saved_fresh
+  and walk_apply sub e f args =
+    match head_ident f with
+    | None ->
+        sub.Tast_iterator.expr sub f;
+        walk_args sub args
+    | Some (p, vd) -> (
+        let name = Path.last p in
+        let dfile, _, _ = decl_of vd in
+        let dbase = base_of dfile in
+        if name = "with_lock" then begin
+          match nolabel_args args with
+          | m :: body :: rest ->
+              let cls, cbase = cell_of m in
+              !cur.fn_acquires <-
+                { aq_class = cls; aq_base = cbase;
+                  aq_locks = List.sort_uniq compare !held; aq_site = site e.exp_loc }
+                :: !cur.fn_acquires;
+              sub.Tast_iterator.expr sub m;
+              (match body.exp_desc with
+              | Texp_function { cases = [ c ]; _ } ->
+                  held := cls :: !held;
+                  sub.Tast_iterator.expr sub c.c_rhs;
+                  held := List.tl !held
+              | Texp_ident (bp, _, bvd) -> add_call bp bvd ~locks:(cls :: !held)
+              | _ ->
+                  held := cls :: !held;
+                  sub.Tast_iterator.expr sub body;
+                  held := List.tl !held);
+              List.iter (fun a -> sub.Tast_iterator.expr sub a) rest
+          | _ ->
+              sub.Tast_iterator.expr sub f;
+              walk_args sub args
+        end
+        else if is_crossing_prim dbase name then begin
+          add_call p vd ~locks:!held;
+          (* Everything passed to a crossing primitive runs (or may run)
+             on another domain: closures lose held locks and ownership;
+             functions passed by name become crossing roots via a
+             crossing call edge. *)
+          List.iter
+            (fun (_, a) ->
+              match a with
+              | Some a -> (
+                  match head_ident a with
+                  | Some (ap, avd) when is_arrow avd ->
+                      let saved = !crossing in
+                      crossing := true;
+                      add_call ap avd ~locks:[];
+                      crossing := saved
+                  | _ -> walk_crossing sub a)
+              | None -> ())
+            args
+        end
+        else begin
+          (match blocking_op dbase name with
+          | Some what ->
+              !cur.fn_blocking <-
+                { bo_what = what; bo_locks = List.sort_uniq compare !held;
+                  bo_site = site e.exp_loc }
+                :: !cur.fn_blocking
+          | None -> ());
+          (match (dbase, name, nolabel_args args) with
+          | "stdlib", "!", r :: _ ->
+              let cell, _ = cell_of r in
+              add_access ~sort:Ref ~kind:Read ~owned:(is_fresh_ident r) cell
+                e.exp_loc
+          | "stdlib", ":=", r :: v :: _ ->
+              let cell, _ = cell_of r in
+              add_access
+                ~counter:(reads_cell cell v)
+                ~sort:Ref ~kind:Write ~owned:(is_fresh_ident r) cell e.exp_loc
+          | "stdlib", ("incr" | "decr"), r :: _ ->
+              let cell, _ = cell_of r in
+              add_access ~counter:true ~sort:Ref ~kind:Write
+                ~owned:(is_fresh_ident r) cell e.exp_loc
+          | _, _, nargs -> (
+              if dbase <> "atomic" then
+                match List.assoc_opt (dbase, name) container_ops with
+                | Some (idx, kind) when List.length nargs > idx ->
+                    let arg = List.nth nargs idx in
+                    let cell, _ = cell_of arg in
+                    add_access ~sort:Container ~kind ~owned:(is_fresh_ident arg)
+                      cell e.exp_loc
+                | _ -> ()));
+          add_call p vd ~locks:!held;
+          (* A function passed by name to an ordinary call (List.map,
+             with_lock-free HOFs, ...) is treated like a lambda literal:
+             assumed applied under the locks held here. Only bare
+             references outside any application (record fields, returned
+             values) escape lock-free. *)
+          List.iter
+            (fun (_, a) ->
+              match a with
+              | Some a -> (
+                  match a.exp_desc with
+                  | Texp_ident (ap, _, avd) when is_arrow avd ->
+                      add_call ap avd ~locks:!held
+                  | _ -> sub.Tast_iterator.expr sub a)
+              | None -> ())
+            args
+        end)
+  in
+  let value_binding sub (vb : value_binding) =
+    let was_top = !toplevel in
+    toplevel := false;
+    (match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) ->
+        let name = Ident.name id in
+        let l, c = pos_of vb.vb_pat.pat_loc in
+        let key =
+          if was_top then base ^ "." ^ name
+          else Printf.sprintf "%s.%s@%d" base name l
+        in
+        Hashtbl.replace defs (l, c) key;
+        let is_fn =
+          match vb.vb_expr.exp_desc with Texp_function _ -> true | _ -> false
+        in
+        if is_fn || was_top then begin
+          let saved_cur = !cur and saved_held = !held in
+          let saved_cross = !crossing and saved_fresh = !fresh in
+          cur := get_fn key;
+          held := [];
+          crossing := false;
+          (* A nested named function closes over the enclosing
+             invocation's locals and (unless it escapes by name, which
+             the crossing propagation catches) runs on the same domain:
+             it keeps the parent's ownership view.  Toplevel bindings
+             start clean. *)
+          if was_top then fresh := Hashtbl.create 8;
+          sub.Tast_iterator.expr sub vb.vb_expr;
+          cur := saved_cur;
+          held := saved_held;
+          crossing := saved_cross;
+          fresh := saved_fresh
+        end
+        else begin
+          if is_alloc vb.vb_expr then
+            Hashtbl.replace !fresh (Ident.unique_name id) ();
+          sub.Tast_iterator.expr sub vb.vb_expr
+        end
+    | _ ->
+        sub.Tast_iterator.pat sub vb.vb_pat;
+        sub.Tast_iterator.expr sub vb.vb_expr);
+    toplevel := was_top
+  in
+  (* Register every pattern variable (function params, match bindings)
+     as a local definition so same-named module-level cells are not
+     conflated with them. The binding variable of a [let] is registered
+     first by [value_binding] and wins. *)
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) ->
+        let l, c = pos_of p.pat_loc in
+        if not (Hashtbl.mem defs (l, c)) then
+          Hashtbl.replace defs (l, c)
+            (Printf.sprintf "%s.%s@%d" base (Ident.name id) l)
+    | _ -> ());
+    super.pat sub p
+  in
+  let structure_item sub (si : structure_item) =
+    toplevel := true;
+    super.structure_item sub si;
+    toplevel := true
+  in
+  let iter =
+    { super with expr = walk_expr; value_binding; structure_item; pat }
+  in
+  iter.structure iter str;
+  { fa_file = path;
+    fa_fns =
+      List.rev_map (fun k -> Hashtbl.find fns k) !order
+      |> List.filter (fun f ->
+             f.fn_accesses <> [] || f.fn_calls <> [] || f.fn_acquires <> []
+             || f.fn_blocking <> []);
+    fa_defs = defs }

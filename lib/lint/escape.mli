@@ -1,0 +1,101 @@
+(** Domain-escape and lock-region fact collection over a [Typedtree].
+
+    One pass per compilation unit producing per-function summaries —
+    the raw material {!Lockset} turns into [domain-race],
+    [blocking-under-lock], and [atomic-discipline] findings:
+
+    - which closures {e cross a domain boundary} (arguments to
+      [Exec.Pool.submit]/[submit_task]/[map], [Pscan.stage],
+      [Domain.spawn], [Thread.create]), and which let-bound functions
+      escape into such a call by name;
+    - every read/write of a {e mutable cell} — [mutable] record field,
+      [ref], [Hashtbl], [Queue], [Buffer], [Bytes] — with the set of
+      [with_lock] regions lexically held at the site;
+    - every lock acquisition and potentially blocking call (VFS I/O,
+      [Unix.sleep*], [Thread.delay], socket ops) with held locks.
+
+    Identity is canonical by {e declaration site}: a function is
+    [<declfile>.<name>] (nested bindings get [@<line>]), a record field
+    is [<declfile-of-type>.<type>.<field>], so the same cell or callee
+    referenced from different modules (via [.ml] or [.mli]) resolves to
+    one key.
+
+    Approximations, shared with the RacerD lineage: locks are tracked
+    lexically and persist into non-escaping lambdas (a closure built
+    under a lock but run later is assumed run under it — fine for the
+    immediately-applied HOF callbacks that dominate this codebase);
+    values freshly allocated in a function are {e owned} and their
+    field writes are not accesses (constructor initialization), unless
+    the cell also escapes into a crossing closure. *)
+
+type site = { s_file : string; s_line : int; s_col : int; s_cnum : int }
+
+type kind = Read | Write
+
+(** How a cell is referenced, for rule selection and messages. *)
+type sort = Field | Ref | Container
+
+type access = {
+  ac_cell : string;
+  ac_sort : sort;
+  ac_kind : kind;
+  ac_counter : bool;  (** [incr]/[decr]/[x := !x + _]-shaped write *)
+  ac_locks : string list;  (** lock classes held lexically, sorted *)
+  ac_crossing : bool;  (** inside a domain-crossing closure literal *)
+  ac_owned : bool;  (** base value freshly allocated in this function *)
+  ac_site : site;
+}
+
+(** An unresolved call site: declaration file base + name + exact
+    declaration position, resolved against the global definition map by
+    {!Lockset}. *)
+type callee = {
+  ce_base : string;  (** basename (no ext) of the callee's decl file *)
+  ce_name : string;
+  ce_line : int;
+  ce_col : int;
+}
+
+type call = {
+  cl_callee : callee;
+  cl_locks : string list;
+  cl_crossing : bool;
+  cl_value : bool;
+      (** bare reference outside call position — the function escapes
+          as a value, so its future call sites are unknown and it gets
+          no ambient locks *)
+}
+
+type acquire = {
+  aq_class : string;  (** lock class acquired *)
+  aq_base : string;  (** decl-file base of the acquired mutex *)
+  aq_locks : string list;  (** locks already held at the site *)
+  aq_site : site;
+}
+
+type block_op = {
+  bo_what : string;  (** e.g. ["Vfs.fsync"], ["Thread.delay"] *)
+  bo_locks : string list;
+  bo_site : site;
+}
+
+type fn_info = {
+  fn_key : string;
+  fn_file : string;
+  fn_base : string;  (** module base, e.g. ["pool"] *)
+  mutable fn_root_crossing : bool;
+      (** body passed by name to a crossing primitive *)
+  mutable fn_accesses : access list;
+  mutable fn_calls : call list;
+  mutable fn_acquires : acquire list;
+  mutable fn_blocking : block_op list;
+}
+
+type facts = {
+  fa_file : string;
+  fa_fns : fn_info list;
+  fa_defs : (int * int, string) Hashtbl.t;
+      (** (line, col) of a value binding in this file -> canonical key *)
+}
+
+val collect : path:string -> Typedtree.structure -> facts

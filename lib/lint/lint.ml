@@ -52,6 +52,20 @@ let rules_with_doc =
       "raw Unix socket calls only inside lib/net: every wire interaction \
        goes through Protocol/Client/Server so framing, versioning, and \
        reconnect policy stay in one place" );
+    ( "domain-race",
+      "[typed] every mutable cell (record field, ref, Hashtbl, Buffer, \
+       Bytes) reachable from a domain-crossing closure must be protected \
+       by one statically-resolved with_lock region at every access, or \
+       be Atomic.t; inferred per-cell, RacerD-style, from .cmt files" );
+    ( "blocking-under-lock",
+      "[typed] no VFS I/O, sleeps, socket ops, or cross-module lock \
+       acquisition while holding a hot-path mutex (Table.state, \
+       Table.writer_lock, cache shard locks): a blocked writer stalls \
+       the whole batched ingest path" );
+    ( "atomic-discipline",
+      "[typed] plain refs used as counters from multiple domains lose \
+       increments; make them Atomic.t (catches metric/stat counters \
+       that dodge the registry)" );
   ]
 
 let rule_names = List.map fst rules_with_doc
@@ -61,14 +75,70 @@ let rule_doc name =
   | Some doc -> doc
   | None -> "unknown rule"
 
+let typed_rules = [ "domain-race"; "blocking-under-lock"; "atomic-discipline" ]
+
+(* Minimal bad/good example pairs for [--explain]. *)
+let rule_example name =
+  match name with
+  | "vfs-discipline" ->
+      Some
+        ( "let fd = Unix.openfile path [ Unix.O_RDONLY ] 0",
+          "let h = Vfs.open_read vfs path" )
+  | "lock-safety" ->
+      Some
+        ( "Mutex.lock t.state; work t; Mutex.unlock t.state",
+          "Mutexes.with_lock t.state (fun () -> work t)" )
+  | "lock-order" ->
+      Some
+        ( "(* a.ml *) with_lock a (fun () -> B.f ())  where B.f takes b\n\
+           (* b.ml *) with_lock b (fun () -> A.g ())  where A.g takes a",
+          "order the classes: both paths take a before b" )
+  | "clock-discipline" ->
+      Some
+        ( "let now = Unix.gettimeofday ()",
+          "let now = Util.Clock.now clock  (* injected *)" )
+  | "no-stdout" ->
+      Some
+        ( "print_endline (\"flushed \" ^ string_of_int n)",
+          "Logs.info (fun m -> m \"flushed %d\" n)" )
+  | "domain-discipline" ->
+      Some
+        ( "let d = Domain.spawn (fun () -> compact t)",
+          "Pool.submit pool (fun () -> compact t)" )
+  | "mli-coverage" ->
+      Some ("lib/core/foo.ml with no lib/core/foo.mli", "write the interface")
+  | "net-discipline" ->
+      Some
+        ( "let s = Unix.socket PF_INET SOCK_STREAM 0",
+          "let conn = Lt_net.Client.connect ~host ~port" )
+  | "domain-race" ->
+      Some
+        ( "let t = { mutable hits : int; mutex : Mutex.t }\n\
+           Pool.submit pool (fun () -> t.hits <- t.hits + 1)  (* no lock *)\n\
+           ... with_lock t.mutex (fun () -> t.hits)           (* locked *)",
+          "Pool.submit pool (fun () ->\n\
+          \  Mutexes.with_lock t.mutex (fun () -> t.hits <- t.hits + 1))" )
+  | "blocking-under-lock" ->
+      Some
+        ( "with_lock t.writer_lock (fun () -> Vfs.fsync vfs wal)",
+          "let job = with_lock t.writer_lock (fun () -> seal t) in\n\
+           Vfs.fsync vfs job  (* I/O outside the region *)" )
+  | "atomic-discipline" ->
+      Some
+        ( "let served = ref 0\n\
+           Pool.submit pool (fun () -> incr served)",
+          "let served = Atomic.make 0\n\
+           Pool.submit pool (fun () -> Atomic.incr served)" )
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Paths                                                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Where a file sits in the project layout, from the *last* lib/bin/
-   bench segment of its path — so fixture trees like
+   bench/test segment of its path — so fixture trees like
    test/lint_fixtures/case/lib/foo.ml classify as lib code too. *)
-type ctx = Lib of string list | Bin | Bench | Other
+type ctx = Lib of string list | Bin | Bench | Test | Other
 
 let context path =
   let rec go acc = function
@@ -76,6 +146,7 @@ let context path =
     | "lib" :: rest -> go (Lib rest) rest
     | "bin" :: rest -> go Bin rest
     | "bench" :: rest -> go Bench rest
+    | "test" :: rest -> go Test rest
     | _ :: rest -> go acc rest
   in
   go Other (String.split_on_char '/' path)
@@ -90,37 +161,41 @@ let vfs_applies path =
   match context path with
   | Lib ("vfs" :: _) -> false
   | Lib _ | Bin | Bench -> true
-  | Other -> false
+  | Test | Other -> false
 
 let lock_safety_applies path =
   match context path with
   | Lib [ "util"; "mutexes.ml" ] -> false
   | Lib _ | Bin | Bench -> true
-  | Other -> false
+  | Test | Other -> false
 
 let clock_applies path =
   match context path with
   | Lib [ "util"; "clock.ml" ] -> false
-  | Lib _ | Bin | Bench -> true
+  | Lib _ | Bin | Bench | Test -> true
   | Other -> false
 
 let stdout_applies path =
-  match context path with Lib _ -> true | Bin | Bench | Other -> false
+  match context path with
+  | Lib _ | Test -> true
+  | Bin | Bench | Other -> false
 
 let domain_applies path =
   match context path with
   | Lib ("exec" :: _) -> false
   | Lib _ | Bin | Bench -> true
-  | Other -> false
+  | Test | Other -> false
 
 let net_applies path =
   match context path with
   | Lib ("net" :: _) -> false
   | Lib _ | Bin | Bench -> true
-  | Other -> false
+  | Test | Other -> false
 
 let scanned path =
-  match context path with Lib _ | Bin | Bench -> true | Other -> false
+  match context path with
+  | Lib _ | Bin | Bench -> true
+  | Test | Other -> false
 
 (* ------------------------------------------------------------------ *)
 (* Banned identifiers                                                  *)
@@ -238,6 +313,8 @@ let rule_applies rule path =
   | "domain-discipline" -> domain_applies path
   | "net-discipline" -> net_applies path
   | "lock-order" | "mli-coverage" -> scanned path
+  | "domain-race" | "blocking-under-lock" | "atomic-discipline" ->
+      scanned path
   | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -628,26 +705,43 @@ let lock_order_findings locks =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type root = { root_path : string; root_rules : string list option }
+
+let root ?only root_path = { root_path; root_rules = only }
+
 let list_files roots =
   let acc = ref [] in
-  let rec walk path =
+  let rec walk rules path =
     if Sys.is_directory path then
       Array.iter
         (fun entry ->
+          (* [lint_fixtures] holds deliberately-bad corpora for the
+             linter's own tests; it is only scanned when a root points
+             inside it explicitly (as the golden tests do). *)
           if
-            entry <> "_build"
+            entry <> "_build" && entry <> "lint_fixtures"
             && not (String.length entry > 0 && entry.[0] = '.')
-          then walk (Filename.concat path entry))
+          then walk rules (Filename.concat path entry))
         (Sys.readdir path)
     else
       match Filename.extension path with
-      | ".ml" | ".mli" -> acc := path :: !acc
+      | ".ml" | ".mli" -> acc := (path, rules) :: !acc
       | _ -> ()
   in
   List.iter
-    (fun root -> if Sys.file_exists root then walk root)
+    (fun r -> if Sys.file_exists r.root_path then walk r.root_rules r.root_path)
     roots;
-  List.sort compare !acc
+  (* First root wins when roots overlap. *)
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (p, _) ->
+      if Hashtbl.mem seen p then false
+      else begin
+        Hashtbl.add seen p ();
+        true
+      end)
+    (List.rev !acc)
+  |> List.sort compare
 
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
@@ -656,8 +750,13 @@ let parse_findings path msg =
   { i_f = { f_file = path; f_line = 1; f_col = 0; f_rule = "parse"; f_msg = msg };
     i_cnum = 0 }
 
-let run ?rules ~roots () =
+let run ?rules ?(typed = false) ?cmt_roots ~roots () =
   let files = list_files roots in
+  let root_rules : (string, string list option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter (fun (p, rs) -> Hashtbl.replace root_rules p rs) files;
+  let files = List.map fst files in
   let locks = lock_acc_create () in
   let findings = ref [] in
   let allows : (string, allow list) Hashtbl.t = Hashtbl.create 32 in
@@ -717,7 +816,52 @@ let run ?rules ~roots () =
         if rule_applies "lock-order" f.i_f.f_file then Some f else None)
       (lock_order_findings locks)
     @ !findings;
-  (* Restrict to the requested rules (lint-allow/parse always report). *)
+  (* Typed pass: load the cmts dune emitted for the scanned sources,
+     collect escape/lock facts, infer protection contracts. *)
+  if typed then begin
+    let sources =
+      List.filter (fun p -> Filename.extension p = ".ml") files
+    in
+    let croots =
+      match cmt_roots with
+      | Some r -> r
+      | None -> List.map (fun r -> r.root_path) roots
+    in
+    let units = Cmt_load.load ~sources (Cmt_load.find_cmts croots) in
+    (* Bench and test drivers are single-threaded harnesses: letting
+       their raw, lock-free calls into lib feed the must-lockset
+       intersection would dissolve every protection contract they
+       exercise. Only lib and bin code witnesses concurrency. *)
+    let units =
+      List.filter
+        (fun u ->
+          match context u.Cmt_load.u_source with
+          | Lib _ | Bin -> true
+          | Bench | Test | Other -> false)
+        units
+    in
+    let facts =
+      List.map
+        (fun u -> Escape.collect ~path:u.Cmt_load.u_source u.Cmt_load.u_structure)
+        units
+    in
+    List.iter
+      (fun (tf : Lockset.finding) ->
+        let s = tf.Lockset.f_site in
+        if rule_applies tf.Lockset.f_rule s.Escape.s_file then
+          findings :=
+            { i_f =
+                { f_file = s.Escape.s_file;
+                  f_line = s.Escape.s_line;
+                  f_col = s.Escape.s_col;
+                  f_rule = tf.Lockset.f_rule;
+                  f_msg = tf.Lockset.f_msg };
+              i_cnum = s.Escape.s_cnum }
+            :: !findings)
+      (Lockset.analyze facts)
+  end;
+  (* Restrict to the requested rules (lint-allow/parse always report),
+     then to each file's root restriction. *)
   let findings =
     match rules with
     | None -> !findings
@@ -728,6 +872,17 @@ let run ?rules ~roots () =
             || f.i_f.f_rule = "lint-allow"
             || f.i_f.f_rule = "parse")
           !findings
+  in
+  let findings =
+    List.filter
+      (fun f ->
+        match Hashtbl.find_opt root_rules f.i_f.f_file with
+        | Some (Some keep) ->
+            List.mem f.i_f.f_rule keep
+            || f.i_f.f_rule = "lint-allow"
+            || f.i_f.f_rule = "parse"
+        | Some None | None -> true)
+      findings
   in
   (* Suppression: a finding dies only under an allow range for its own
      rule in its own file. *)

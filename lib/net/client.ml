@@ -291,12 +291,19 @@ let list_tables t =
   | _ -> raise (Remote_error "bad tables response")
 
 let table_info t name =
-  match Hashtbl.find_opt t.schemas name with
+  let cached =
+    Lt_util.Mutexes.with_lock t.mutex (fun () ->
+        Hashtbl.find_opt t.schemas name)
+  in
+  match cached with
   | Some info -> info
   | None -> (
+      (* The roundtrip stays outside the mutex: it blocks on the wire,
+         and a concurrent miss merely repeats an idempotent fetch. *)
       match roundtrip t (Protocol.Get_table name) with
       | Protocol.Table_info { schema; ttl } ->
-          Hashtbl.replace t.schemas name (schema, ttl);
+          Lt_util.Mutexes.with_lock t.mutex (fun () ->
+              Hashtbl.replace t.schemas name (schema, ttl));
           (schema, ttl)
       | Protocol.Error msg -> raise (Remote_error msg)
       | _ -> raise (Remote_error "bad table info response"))
@@ -305,7 +312,7 @@ let create_table t name schema ~ttl =
   expect_ok (roundtrip t (Protocol.Create_table { table = name; schema; ttl }))
 
 let drop_table t name =
-  Hashtbl.remove t.schemas name;
+  Lt_util.Mutexes.with_lock t.mutex (fun () -> Hashtbl.remove t.schemas name);
   expect_ok (roundtrip t (Protocol.Drop_table name))
 
 let insert t table rows =
@@ -419,7 +426,8 @@ let delete_prefix t table prefix =
   | Protocol.Error msg -> raise (Remote_error msg)
   | _ -> raise (Remote_error "bad delete response")
 
-let invalidate_schema t table = Hashtbl.remove t.schemas table
+let invalidate_schema t table =
+  Lt_util.Mutexes.with_lock t.mutex (fun () -> Hashtbl.remove t.schemas table)
 
 let add_column t table column =
   invalidate_schema t table;

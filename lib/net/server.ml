@@ -24,7 +24,7 @@ type t = {
   bound_port : int;
   metrics_fd : Unix.file_descr option;
   metrics_bound_port : int option;
-  mutable running : bool;
+  running : bool Atomic.t;
   mutable threads : (Thread.t * Unix.file_descr) list;
   accept_thread : Thread.t option ref;
   maint_thread : Thread.t option ref;
@@ -193,7 +193,7 @@ let db_backend db =
 let client_loop t fd =
   let obs = t.backend.b_obs in
   let finished = ref false in
-  while t.running && not !finished do
+  while Atomic.get t.running && not !finished do
     match Protocol.recv_request fd with
     | incoming_ctx, req ->
         let t0 = Obs.now_us obs in
@@ -237,7 +237,7 @@ let accept_loop t =
   (* Poll with a timeout rather than blocking in accept: a thread stuck
      in accept(2) is not reliably woken when another thread closes the
      listening socket, so [stop] could hang on the join. *)
-  while t.running do
+  while Atomic.get t.running do
     match Unix.select [ t.listen_fd ] [] [] 0.1 with
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
@@ -307,7 +307,7 @@ let handle_metrics_conn t fd =
 let metrics_loop t fd =
   (* Same select-with-timeout pattern as [accept_loop], for the same
      reason: [stop] must be able to join this thread. *)
-  while t.running do
+  while Atomic.get t.running do
     match Unix.select [ fd ] [] [] 0.1 with
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
@@ -320,14 +320,14 @@ let metrics_loop t fd =
   done
 
 let maintenance_loop t period maintenance =
-  while t.running do
+  while Atomic.get t.running do
     (* Sleep in small slices so [stop] is prompt. *)
     let slept = ref 0.0 in
-    while t.running && !slept < period do
+    while Atomic.get t.running && !slept < period do
       Thread.delay 0.05;
       slept := !slept +. 0.05
     done;
-    if t.running then
+    if Atomic.get t.running then
       try maintenance ()
       with exn ->
         Log.err (fun m -> m "maintenance failed: %s" (Printexc.to_string exn))
@@ -365,7 +365,7 @@ let start_custom ?(maintenance_period_s = 1.0) ?metrics_port ~backend ~port ()
       bound_port;
       metrics_fd = Option.map fst metrics;
       metrics_bound_port = Option.map snd metrics;
-      running = true;
+      running = Atomic.make true;
       threads = [];
       accept_thread = ref None;
       maint_thread = ref None;
@@ -411,8 +411,8 @@ let join_unless_self th =
   if Thread.id th <> Thread.id (Thread.self ()) then Thread.join th
 
 let stop t =
-  if t.running then begin
-    t.running <- false;
+  if Atomic.get t.running then begin
+    Atomic.set t.running false;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.metrics_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
@@ -438,6 +438,6 @@ let stop t =
 
 let wait t =
   Lt_util.Mutexes.with_lock t.mutex (fun () ->
-      while t.running do
+      while Atomic.get t.running do
         Condition.wait t.stopped t.mutex
       done)

@@ -150,9 +150,13 @@ let create ?(capacity = 256) ~slow_us () =
     mutex = Mutex.create () }
 
 let capacity t = Array.length t.ring
-let slow_us t = t.slow_us
-let set_slow_us t v = t.slow_us <- v
-let recorded t = t.next
+
+let slow_us t = Lt_util.Mutexes.with_lock t.mutex (fun () -> t.slow_us)
+
+let set_slow_us t v =
+  Lt_util.Mutexes.with_lock t.mutex (fun () -> t.slow_us <- v)
+
+let recorded t = Lt_util.Mutexes.with_lock t.mutex (fun () -> t.next)
 
 let op_name = function
   | Insert -> "insert"

@@ -1,0 +1,7 @@
+(* A plain ref bumped from a pool task and read outside: counters
+   shared across domains must be Atomic.t. *)
+let total = ref 0
+
+let run () =
+  Pool.submit (fun () -> incr total);
+  !total

@@ -1,0 +1,6 @@
+(* The atomic version of tatomic_bad. *)
+let total = Atomic.make 0
+
+let run () =
+  Pool.submit (fun () -> Atomic.incr total);
+  Atomic.get total

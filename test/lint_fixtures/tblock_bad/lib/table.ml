@@ -1,0 +1,4 @@
+(* Blocking VFS work inside a hot-lock region. *)
+type t = { writer_lock : Mutex.t; vfs : Vfs.t }
+
+let bad t = Mutexes.with_lock t.writer_lock (fun () -> Vfs.fsync t.vfs)

@@ -1,0 +1,6 @@
+(* The fsync hoisted out of the hot-lock region. *)
+type t = { writer_lock : Mutex.t; mutable dirty : bool; vfs : Vfs.t }
+
+let good t =
+  Mutexes.with_lock t.writer_lock (fun () -> t.dirty <- false);
+  Vfs.fsync t.vfs

@@ -1,0 +1,3 @@
+type t = unit
+
+let fsync (_ : t) = ()

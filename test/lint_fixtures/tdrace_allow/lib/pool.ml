@@ -1,0 +1,1 @@
+let submit f = ignore (f ())

@@ -1,0 +1,10 @@
+(* tdrace_bad with a justified suppression at the racy write. *)
+type t = { mutable count : int }
+
+let run t =
+  Pool.submit (fun () ->
+      (t.count <- t.count + 1)
+      [@lint.allow
+        "domain-race: the single producer task is joined before the \
+         submitting domain reads the counter"]);
+  t.count

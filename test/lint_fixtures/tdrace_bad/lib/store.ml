@@ -1,0 +1,7 @@
+(* A field written from a pool task and read from the submitting
+   domain, with no common lock: the canonical domain-race. *)
+type t = { mutable count : int }
+
+let run t =
+  Pool.submit (fun () -> t.count <- t.count + 1);
+  t.count

@@ -1,0 +1,7 @@
+(* Same shape as tdrace_bad, but every access holds the same mutex. *)
+type t = { m : Mutex.t; mutable count : int }
+
+let run t =
+  Pool.submit (fun () ->
+      Mutexes.with_lock t.m (fun () -> t.count <- t.count + 1));
+  Mutexes.with_lock t.m (fun () -> t.count)

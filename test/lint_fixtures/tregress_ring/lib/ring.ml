@@ -1,0 +1,8 @@
+(* Regression: mirrors the trace-ring threshold field that shipped with
+   an unlocked setter beside a mutex-guarded reader (lib/obs/trace.ml,
+   [slow_us]) — mixed lock discipline on one cell. *)
+type t = { mutex : Mutex.t; mutable slow_us : int }
+
+let set t v = t.slow_us <- v
+
+let record t = Mutexes.with_lock t.mutex (fun () -> t.slow_us)

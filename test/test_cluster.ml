@@ -667,12 +667,14 @@ let test_client_backoff () =
   (match Client.ping c with
   | () -> Alcotest.fail "ping without a connection"
   | exception Client.Disconnected -> ());
-  let t0 = Unix.gettimeofday () in
+  let clock = Lt_util.Clock.system in
+  let t0 = Lt_util.Clock.now clock in
   (match Client.reconnect ~max_attempts:3 c with
   | () -> Alcotest.fail "connected to a dead port"
   | exception Client.Remote_error _ -> ());
-  let elapsed = Unix.gettimeofday () -. t0 in
-  Alcotest.(check bool) "backoff slept between attempts" true (elapsed >= 0.14);
+  let elapsed_us = Int64.sub (Lt_util.Clock.now clock) t0 in
+  Alcotest.(check bool)
+    "backoff slept between attempts" true (elapsed_us >= 140_000L);
   Alcotest.(check int) "every attempt counted" 3
     (Lt_obs.Metrics.Counter.value
        (Lt_obs.Obs.client_reconnects obs ~peer:(Client.peer c)));

@@ -5,7 +5,9 @@
 module Lint = Lt_lint.Lint
 
 let run ?rules case =
-  Lint.run ?rules ~roots:[ Filename.concat "lint_fixtures" case ] ()
+  Lint.run ?rules
+    ~roots:[ Lint.root (Filename.concat "lint_fixtures" case) ]
+    ()
 
 let rules_of findings = List.map (fun f -> f.Lint.f_rule) findings
 
@@ -115,8 +117,106 @@ let test_formats () =
   Alcotest.(check string) "github"
     "::error file=lib/x/y.ml,line=12,col=5::no-stdout: boom" (Lint.to_github f)
 
+(* ---- typed rules --------------------------------------------------- *)
+(* The cmt-based rules need typed trees: each fixture is compiled in
+   place with ocamlc -bin-annot (dependency order matters), then the
+   linter loads the cmts it finds under the fixture root. *)
+
+let compiled : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let compile_typed case files =
+  if not (Hashtbl.mem compiled case) then begin
+    let dir = Filename.concat (Filename.concat "lint_fixtures" case) "lib" in
+    let cmd =
+      Printf.sprintf "cd %s && ocamlc -bin-annot -c %s 2>/dev/null"
+        (Filename.quote dir)
+        (String.concat " " files)
+    in
+    Alcotest.(check int) ("compile fixture " ^ case) 0 (Sys.command cmd);
+    Hashtbl.add compiled case ()
+  end
+
+let run_typed ?rules case files =
+  compile_typed case files;
+  Lint.run ?rules ~typed:true
+    ~roots:[ Lint.root (Filename.concat "lint_fixtures" case) ]
+    ()
+
+let msgs_contain ~sub findings =
+  List.exists (fun f -> contains ~sub f.Lint.f_msg) findings
+
+let test_domain_race () =
+  let bad =
+    run_typed ~rules:[ "domain-race" ] "tdrace_bad" [ "pool.ml"; "store.ml" ]
+  in
+  Alcotest.(check int) "unlocked crossing write flagged" 1
+    (count "domain-race" bad);
+  Alcotest.(check int) "nothing else" 1 (List.length bad);
+  Alcotest.(check bool) "names the cell" true
+    (msgs_contain ~sub:"store.t.count" bad);
+  check_clean "same lock on both sides clean"
+    (run_typed ~rules:[ "domain-race" ] "tdrace_ok"
+       [ "mutexes.ml"; "pool.ml"; "store.ml" ]);
+  check_clean "justified [@lint.allow] suppresses"
+    (run_typed ~rules:[ "domain-race" ] "tdrace_allow" [ "pool.ml"; "store.ml" ])
+
+let test_atomic_discipline () =
+  let bad =
+    run_typed
+      ~rules:[ "atomic-discipline" ]
+      "tatomic_bad" [ "pool.ml"; "counter.ml" ]
+  in
+  Alcotest.(check int) "plain ref counter across domains flagged" 1
+    (count "atomic-discipline" bad);
+  Alcotest.(check bool) "suggests Atomic.t" true
+    (msgs_contain ~sub:"Atomic.t" bad);
+  check_clean "Atomic.t version clean"
+    (run_typed
+       ~rules:[ "atomic-discipline" ]
+       "tatomic_ok" [ "pool.ml"; "counter.ml" ])
+
+let test_blocking_under_lock () =
+  let bad =
+    run_typed
+      ~rules:[ "blocking-under-lock" ]
+      "tblock_bad"
+      [ "mutexes.ml"; "vfs.ml"; "table.ml" ]
+  in
+  Alcotest.(check int) "fsync under writer_lock flagged" 1
+    (count "blocking-under-lock" bad);
+  Alcotest.(check bool) "names op and hot lock" true
+    (msgs_contain ~sub:"Vfs.fsync" bad
+    && msgs_contain ~sub:"table.t.writer_lock" bad);
+  check_clean "fsync hoisted out of the region clean"
+    (run_typed
+       ~rules:[ "blocking-under-lock" ]
+       "tblock_ok"
+       [ "mutexes.ml"; "vfs.ml"; "table.ml" ])
+
+(* Regression: the shape of the real finding the typed pass caught in
+   lib/obs/trace.ml — an unlocked setter beside a mutex-guarded reader
+   of the same field (mixed lock discipline). *)
+let test_typed_regression_ring () =
+  let bad =
+    run_typed ~rules:[ "domain-race" ] "tregress_ring"
+      [ "mutexes.ml"; "ring.ml" ]
+  in
+  Alcotest.(check int) "mixed discipline on the threshold field" 1
+    (count "domain-race" bad);
+  Alcotest.(check bool) "names the cell and the discipline" true
+    (msgs_contain ~sub:"ring.t.slow_us" bad
+    && msgs_contain ~sub:"mixed lock discipline" bad)
+
+(* CI diffs findings textually, so the typed pass must be a pure
+   function of the cmts: two runs over the same tree are byte-equal. *)
+let test_typed_deterministic () =
+  let go () =
+    List.map Lint.to_plain (run_typed "tdrace_bad" [ "pool.ml"; "store.ml" ])
+  in
+  Alcotest.(check (list string)) "two runs byte-identical" (go ()) (go ())
+
 let test_rule_catalogue () =
-  Alcotest.(check int) "eight rules" 8 (List.length Lint.rule_names);
+  Alcotest.(check int) "eleven rules" 11 (List.length Lint.rule_names);
   List.iter
     (fun r ->
       Alcotest.(check bool) ("doc for " ^ r) true
@@ -135,6 +235,14 @@ let suite =
     Alcotest.test_case "domain-discipline" `Quick test_domain_discipline;
     Alcotest.test_case "mli-coverage" `Quick test_mli_coverage;
     Alcotest.test_case "net-discipline" `Quick test_net_discipline;
+    Alcotest.test_case "domain-race (typed)" `Quick test_domain_race;
+    Alcotest.test_case "atomic-discipline (typed)" `Quick test_atomic_discipline;
+    Alcotest.test_case "blocking-under-lock (typed)" `Quick
+      test_blocking_under_lock;
+    Alcotest.test_case "typed regression: trace ring" `Quick
+      test_typed_regression_ring;
+    Alcotest.test_case "typed pass deterministic" `Quick
+      test_typed_deterministic;
     Alcotest.test_case "allow is rule-scoped" `Quick test_allow_scoped;
     Alcotest.test_case "allow malformed" `Quick test_allow_malformed;
     Alcotest.test_case "allow floating" `Quick test_allow_floating;
