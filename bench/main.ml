@@ -9,7 +9,7 @@
 
    Experiments: headline fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
    fleet tablet-bounds ablation-bloom ablation-cache ablation-obs
-   ablation-parallel micro *)
+   ablation-parallel ablation-columnar micro *)
 
 let mib = Support.mib
 
@@ -37,6 +37,7 @@ let experiments ~full =
     ("ablation-cache", fun () -> Ablation_cache.run ~quick:(not full) ());
     ("ablation-obs", fun () -> Ablation_obs.run ~quick:(not full) ());
     ("ablation-parallel", fun () -> Ablation_parallel.run ~quick:(not full) ());
+    ("ablation-columnar", Ablation_columnar.run);
     ("micro", Micro.run);
   ]
 

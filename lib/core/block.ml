@@ -2,6 +2,8 @@ open Lt_util
 
 type entry = { key : string; value : string }
 
+type layout = Row_major | Col_major
+
 (* The payload is built incrementally in one buffer so callers can encode
    row values straight into it ({!add_enc}) instead of materializing a
    per-row value string first. *)
@@ -60,7 +62,148 @@ let finish b =
   b.last <- None;
   Buffer.contents out
 
-type t = { data : string; offsets : int array; payload_start : int }
+(* {1 Columnar building} *)
+
+let col_magic = 0xC7
+
+let col_version = 1
+
+type col_builder = {
+  cb_schema : Schema.t;
+  mutable cb_rows : (string * Value.t array) list;  (** reversed *)
+  mutable cb_count : int;
+  mutable cb_bytes : int;
+  mutable cb_first : string option;
+  mutable cb_last : string option;
+}
+
+let col_builder schema =
+  { cb_schema = schema;
+    cb_rows = [];
+    cb_count = 0;
+    cb_bytes = 0;
+    cb_first = None;
+    cb_last = None }
+
+let col_add b ~key row =
+  (match b.cb_last with
+  | Some last when String.compare key last <= 0 ->
+      invalid_arg "Block.col_add: keys must be strictly ascending"
+  | _ -> ());
+  b.cb_rows <- (key, row) :: b.cb_rows;
+  b.cb_count <- b.cb_count + 1;
+  b.cb_bytes <-
+    b.cb_bytes + String.length key + 4
+    + Array.fold_left (fun a v -> a + Value.encoded_size v) 0 row;
+  if b.cb_first = None then b.cb_first <- Some key;
+  b.cb_last <- Some key
+
+let col_count b = b.cb_count
+
+let col_raw_size b = b.cb_bytes + 16
+
+let col_first_key b = b.cb_first
+
+let col_last_key b = b.cb_last
+
+(* A section is one independently compressed byte run:
+   {v u8 codec | varint comp_len | varint raw_len | payload v}
+   with codec 1 = LZ (used only when it actually shrinks), 0 = raw. *)
+let put_section out raw =
+  let comp = Lt_lz.Lz.compress raw in
+  if String.length comp < String.length raw then begin
+    Binio.put_u8 out 1;
+    Binio.put_varint out (String.length comp);
+    Binio.put_varint out (String.length raw);
+    Buffer.add_string out comp
+  end
+  else begin
+    Binio.put_u8 out 0;
+    Binio.put_varint out (String.length raw);
+    Binio.put_varint out (String.length raw);
+    Buffer.add_string out raw
+  end
+
+let col_finish b =
+  let n = b.cb_count in
+  let pairs = Array.of_list (List.rev b.cb_rows) in
+  let rows = Array.map snd pairs in
+  let stats = Agg.stats_of_rows b.cb_schema rows ~count:n in
+  let columns = Schema.columns b.cb_schema in
+  let out = Buffer.create (b.cb_bytes + 64) in
+  Binio.put_u8 out col_magic;
+  Binio.put_u8 out col_version;
+  Binio.put_varint out n;
+  Binio.put_varint out (Array.length columns);
+  let keysec = Buffer.create ((b.cb_bytes / 2) + 16) in
+  Array.iter (fun (k, _) -> Binio.put_string keysec k) pairs;
+  put_section out (Buffer.contents keysec);
+  Array.iteri
+    (fun c col ->
+      if not (Schema.is_pkey b.cb_schema c) then begin
+        let default = col.Schema.default in
+        let stored = Array.map (fun r -> not (Value.equal r.(c) default)) rows in
+        let n_stored =
+          Array.fold_left (fun a s -> if s then a + 1 else a) 0 stored
+        in
+        let sec = Buffer.create 256 in
+        if n_stored = n then begin
+          (* Dense: every value differs from the default, skip the bitmap. *)
+          Binio.put_u8 out 0;
+          Array.iter (fun r -> Value.encode sec r.(c)) rows
+        end
+        else begin
+          (* Sparse: bitmap bit i set = row i's value is stored explicitly;
+             clear = the row holds the stored schema's column default. *)
+          Binio.put_u8 out 1;
+          let bm = Bytes.make ((n + 7) / 8) '\000' in
+          Array.iteri
+            (fun i s ->
+              if s then
+                Bytes.set bm (i / 8)
+                  (Char.chr
+                     (Char.code (Bytes.get bm (i / 8)) lor (1 lsl (i mod 8)))))
+            stored;
+          Buffer.add_bytes out bm;
+          Array.iteri (fun i s -> if s then Value.encode sec rows.(i).(c)) stored
+        end;
+        put_section out (Buffer.contents sec)
+      end)
+    columns;
+  (b.cb_rows <- [];
+   b.cb_count <- 0;
+   b.cb_bytes <- 0;
+   b.cb_first <- None;
+   b.cb_last <- None)
+  [@lint.allow
+    "domain-race: a [col_builder] is confined to the one tablet writer \
+     that created it — merges fill and finish it under [maint_lock], a \
+     straddling delete_prefix rewrite under its own writer lock; the \
+     builder never escapes to another domain, the lock merely comes \
+     with the caller"];
+  (Buffer.contents out, stats)
+
+(* {1 Reading} *)
+
+type row_repr = { offsets : int array; payload_start : int }
+
+type col_desc = {
+  cd_bitmap : int option;  (** offset of the presence bitmap in [data] *)
+  cd_codec : int;
+  cd_off : int;
+  cd_comp_len : int;
+  cd_raw_len : int;
+}
+
+type col_repr = {
+  c_rows : int;
+  c_keys : string array;
+  c_cols : col_desc option array;  (** [None] = primary-key column *)
+}
+
+type repr = Row_r of row_repr | Col_r of col_repr
+
+type t = { data : string; repr : repr }
 
 let decode data =
   let cur = Binio.cursor data in
@@ -68,24 +211,108 @@ let decode data =
   if count < 0 || count > String.length data then
     raise (Binio.Corrupt "block: implausible row count");
   let offsets = Array.init count (fun _ -> Binio.get_u32 cur) in
-  { data; offsets; payload_start = cur.Binio.pos }
+  { data; repr = Row_r { offsets; payload_start = cur.Binio.pos } }
 
-let count t = Array.length t.offsets
+let section_bytes data d =
+  if d.cd_off + d.cd_comp_len > String.length data then
+    raise (Binio.Corrupt "block: truncated column section");
+  let comp = String.sub data d.cd_off d.cd_comp_len in
+  if d.cd_codec = 1 then (
+    try Lt_lz.Lz.decompress ~raw_len:d.cd_raw_len comp
+    with Lt_lz.Lz.Corrupt m -> raise (Binio.Corrupt ("block: " ^ m)))
+  else if d.cd_comp_len <> d.cd_raw_len then
+    raise (Binio.Corrupt "block: section length mismatch")
+  else comp
+
+let get_section_desc cur ~bitmap =
+  let codec = Binio.get_u8 cur in
+  if codec <> 0 && codec <> 1 then
+    raise (Binio.Corrupt "block: unknown section codec");
+  let comp_len = Binio.get_varint cur in
+  let raw_len = Binio.get_varint cur in
+  if Binio.remaining cur < comp_len then
+    raise (Binio.Corrupt "block: truncated column section");
+  let off = cur.Binio.pos in
+  Binio.skip cur comp_len;
+  { cd_bitmap = bitmap; cd_codec = codec; cd_off = off; cd_comp_len = comp_len;
+    cd_raw_len = raw_len }
+
+let decode_columnar schema data =
+  let cur = Binio.cursor data in
+  if Binio.get_u8 cur <> col_magic then
+    raise (Binio.Corrupt "block: bad columnar magic");
+  if Binio.get_u8 cur <> col_version then
+    raise (Binio.Corrupt "block: unknown columnar version");
+  let rows = Binio.get_varint cur in
+  if rows < 0 || rows > String.length data then
+    raise (Binio.Corrupt "block: implausible row count");
+  let ncols = Binio.get_varint cur in
+  if ncols <> Schema.column_count schema then
+    raise (Binio.Corrupt "block: column count does not match footer schema");
+  let keys_desc = get_section_desc cur ~bitmap:None in
+  let keysec = section_bytes data keys_desc in
+  let kcur = Binio.cursor keysec in
+  let keys = Array.init rows (fun _ -> Binio.get_string kcur) in
+  Binio.expect_end kcur;
+  let cols =
+    Array.init ncols (fun c ->
+        if Schema.is_pkey schema c then None
+        else begin
+          let presence = Binio.get_u8 cur in
+          let bitmap =
+            match presence with
+            | 0 -> None
+            | 1 ->
+                let len = (rows + 7) / 8 in
+                if Binio.remaining cur < len then
+                  raise (Binio.Corrupt "block: truncated presence bitmap");
+                let off = cur.Binio.pos in
+                Binio.skip cur len;
+                Some off
+            | _ -> raise (Binio.Corrupt "block: unknown presence tag")
+          in
+          Some (get_section_desc cur ~bitmap)
+        end)
+  in
+  Binio.expect_end cur;
+  { data; repr = Col_r { c_rows = rows; c_keys = keys; c_cols = cols } }
+
+let layout t = match t.repr with Row_r _ -> Row_major | Col_r _ -> Col_major
+
+let count t =
+  match t.repr with
+  | Row_r r -> Array.length r.offsets
+  | Col_r c -> c.c_rows
+
+let row_repr t =
+  match t.repr with
+  | Row_r r -> r
+  | Col_r _ -> invalid_arg "Block: columnar block has no row payload"
+
+let col_repr t =
+  match t.repr with
+  | Col_r c -> c
+  | Row_r _ -> invalid_arg "Block: not a columnar block"
 
 let entry t i =
-  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
+  let r = row_repr t in
+  let cur = Binio.cursor ~pos:(r.payload_start + r.offsets.(i)) t.data in
   let key = Binio.get_string cur in
   let value = Binio.get_string cur in
   { key; value }
 
 let key t i =
-  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
-  Binio.get_string cur
+  match t.repr with
+  | Row_r r ->
+      let cur = Binio.cursor ~pos:(r.payload_start + r.offsets.(i)) t.data in
+      Binio.get_string cur
+  | Col_r c -> c.c_keys.(i)
 
 let data t = t.data
 
 let value_span t i =
-  let cur = Binio.cursor ~pos:(t.payload_start + t.offsets.(i)) t.data in
+  let r = row_repr t in
+  let cur = Binio.cursor ~pos:(r.payload_start + r.offsets.(i)) t.data in
   let key_len = Binio.get_varint cur in
   if Binio.remaining cur < key_len then
     raise (Binio.Corrupt "block: truncated key");
@@ -102,3 +329,65 @@ let search_geq t k =
     if String.compare (key t mid) k < 0 then lo := mid + 1 else hi := mid
   done;
   !lo
+
+let decode_column_into data d ~rows ~ctype ~default =
+  let raw = section_bytes data d in
+  let cur = Binio.cursor raw in
+  let out = Array.make rows default in
+  (match d.cd_bitmap with
+  | None -> for i = 0 to rows - 1 do out.(i) <- Value.decode ctype cur done
+  | Some boff ->
+      for i = 0 to rows - 1 do
+        if Char.code data.[boff + (i / 8)] land (1 lsl (i mod 8)) <> 0 then
+          out.(i) <- Value.decode ctype cur
+      done);
+  Binio.expect_end cur;
+  out
+
+let read_column t schema c =
+  let r = col_repr t in
+  let columns = Schema.columns schema in
+  if Schema.is_pkey schema c then begin
+    let pk = Schema.pkey schema in
+    let j = ref 0 in
+    Array.iteri (fun k idx -> if idx = c then j := k) pk;
+    Array.map (fun key -> (Key_codec.decode_key schema key).(!j)) r.c_keys
+  end
+  else
+    match r.c_cols.(c) with
+    | Some d ->
+        decode_column_into t.data d ~rows:r.c_rows
+          ~ctype:columns.(c).Schema.ctype ~default:columns.(c).Schema.default
+    | None -> assert false
+
+let columnar_rows t schema ?cols () =
+  let r = col_repr t in
+  let columns = Schema.columns schema in
+  let n = r.c_rows in
+  let out =
+    Array.init n (fun _ -> Array.map (fun c -> c.Schema.default) columns)
+  in
+  (* Primary-key columns are never stored as sections; every row's key
+     values come from one decode of its already materialized key. *)
+  let pk = Schema.pkey schema in
+  Array.iteri
+    (fun i key ->
+      let kv = Key_codec.decode_key schema key in
+      Array.iteri (fun j idx -> out.(i).(idx) <- kv.(j)) pk)
+    r.c_keys;
+  let wanted c = match cols with None -> true | Some l -> List.mem c l in
+  let decoded = ref 0 in
+  Array.iteri
+    (fun c desc ->
+      match desc with
+      | Some d when wanted c ->
+          incr decoded;
+          let vals =
+            decode_column_into t.data d ~rows:n
+              ~ctype:columns.(c).Schema.ctype
+              ~default:columns.(c).Schema.default
+          in
+          Array.iteri (fun i v -> out.(i).(c) <- v) vals
+      | Some _ | None -> ())
+    r.c_cols;
+  (out, !decoded)

@@ -9,9 +9,27 @@
     where [payload] holds, per row, a length-prefixed encoded key and a
     length-prefixed value. The offsets array supports the binary search
     within a block that query execution performs after the index search
-    (§3.2). *)
+    (§3.2).
+
+    Blocks also come in a self-describing {e column-major} form (chosen
+    at merge time for timespans older than [Config.columnar_age], after
+    the HTAP layout split of real-time LSM-trees):
+
+    {v u8 0xC7 | u8 version | varint rows | varint ncols
+       | key section
+       | per non-key column: u8 presence | [bitmap] | section v}
+
+    where a section is [u8 codec | varint comp_len | varint raw_len |
+    payload], independently LZ-compressed when that shrinks it. Key
+    columns are not stored as sections — they are recovered from the
+    key section's order-preserving encodings. A presence bitmap (bit
+    set = value stored) elides cells equal to the stored schema's
+    column default, and readers decompress only the columns a scan
+    references. *)
 
 type entry = { key : string; value : string }
+
+type layout = Row_major | Col_major
 
 (** {1 Building} *)
 
@@ -41,15 +59,51 @@ val first_key : builder -> string option
 (** Serialize and reset the builder. *)
 val finish : builder -> string
 
+(** {1 Columnar building} *)
+
+type col_builder
+
+(** Rows are buffered (not streamed) because every column's run must be
+    contiguous in the output; the builder is sized and flushed by the
+    tablet writer exactly like the row builder. *)
+val col_builder : Schema.t -> col_builder
+
+(** Keys must be added in strictly ascending order (checked); the row is
+    a full validated row under the builder's schema. *)
+val col_add : col_builder -> key:string -> Value.t array -> unit
+
+val col_count : col_builder -> int
+
+(** Approximate serialized size, for the flush threshold. *)
+val col_raw_size : col_builder -> int
+
+val col_first_key : col_builder -> string option
+val col_last_key : col_builder -> string option
+
+(** Serialize and reset the builder; also returns the per-column
+    min/max/sum stats the tablet writer records in its footer so
+    aggregate queries can answer whole blocks without reading them. *)
+val col_finish : col_builder -> string * Agg.col_stats array
+
 (** {1 Reading} *)
 
 type t
 
-(** @raise Lt_util.Binio.Corrupt on malformed input. *)
+(** Decode a row-major block.
+    @raise Lt_util.Binio.Corrupt on malformed input. *)
 val decode : string -> t
+
+(** Decode a column-major block written under the given (stored)
+    schema. Keys are materialized eagerly; column sections stay
+    compressed until {!read_column}/{!columnar_rows} asks for them.
+    @raise Lt_util.Binio.Corrupt on malformed input. *)
+val decode_columnar : Schema.t -> string -> t
+
+val layout : t -> layout
 
 val count : t -> int
 
+(** Row-major only. @raise Invalid_argument on a columnar block. *)
 val entry : t -> int -> entry
 
 val key : t -> int -> string
@@ -60,9 +114,26 @@ val data : t -> string
 
 (** [value_span t i] is the [(offset, length)] window of entry [i]'s
     value encoding within {!data}, so scans can decode rows straight out
-    of the block without allocating a value string per row. *)
+    of the block without allocating a value string per row. Row-major
+    only. @raise Invalid_argument on a columnar block. *)
 val value_span : t -> int -> int * int
 
 (** [search_geq t k] is the smallest index whose key is [>= k], or
     [count t] when every key is smaller. *)
 val search_geq : t -> string -> int
+
+(** {1 Columnar reading} *)
+
+(** [read_column t schema c] materializes column [c] (stored-schema
+    index) of a columnar block: decompresses and decodes just that
+    column's section, or recovers a primary-key column from the keys.
+    Absent cells take the stored schema's default. *)
+val read_column : t -> Schema.t -> int -> Value.t array
+
+(** [columnar_rows t schema ?cols ()] materializes a columnar block's
+    rows under its stored schema. Primary-key columns are always filled
+    from the keys; non-key columns are decoded only when listed in
+    [cols] (default: all), others keep their schema defaults. Returns
+    the rows and the number of column sections actually decoded. *)
+val columnar_rows :
+  t -> Schema.t -> ?cols:int list -> unit -> Value.t array array * int

@@ -16,6 +16,7 @@ type t = {
   slow_op_micros : int64;
   trace_capacity : int;
   query_domains : int;
+  columnar_age : int64;
 }
 
 let default =
@@ -35,6 +36,7 @@ let default =
     slow_op_micros = Clock.msec 100;
     trace_capacity = 1024;
     query_domains = Lt_exec.Pool.default_domains ();
+    columnar_age = Int64.max_int;
   }
 
 let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
@@ -49,7 +51,8 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     ?(cache_bytes = default.cache_bytes) ?(obs_enabled = default.obs_enabled)
     ?(slow_op_micros = default.slow_op_micros)
     ?(trace_capacity = default.trace_capacity)
-    ?(query_domains = default.query_domains) () =
+    ?(query_domains = default.query_domains)
+    ?(columnar_age = default.columnar_age) () =
   {
     block_size;
     flush_size;
@@ -66,4 +69,5 @@ let make ?(block_size = default.block_size) ?(flush_size = default.flush_size)
     slow_op_micros;
     trace_capacity;
     query_domains;
+    columnar_age;
   }

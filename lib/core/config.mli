@@ -50,6 +50,14 @@ type t = {
           size and are k-way merged back into primary-key order, with
           results byte-identical to a sequential scan. 0 forces the
           sequential path; default [max 1 (ncpu - 2)] *)
+  columnar_age : int64;
+      (** merges rewrite a tablet column-major once its newest row is at
+          least this old (microseconds), so fresh timespans stay
+          row-major for point lookups while aged timespans serve
+          aggregation from per-column runs and footer stats (the HTAP
+          layout split of real-time LSM-trees). [0] makes every merge
+          output columnar; [Int64.max_int] (the default) disables the
+          columnar layout entirely, so it is an opt-in knob *)
 }
 
 val default : t
@@ -71,5 +79,6 @@ val make :
   ?slow_op_micros:int64 ->
   ?trace_capacity:int ->
   ?query_domains:int ->
+  ?columnar_age:int64 ->
   unit ->
   t

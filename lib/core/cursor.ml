@@ -62,6 +62,10 @@ let take n src =
           some
     end
 
+let fold f init src =
+  let rec go acc = match src () with None -> acc | Some kv -> go (f acc kv) in
+  go init
+
 let to_list src =
   let rec go acc =
     match src () with None -> List.rev acc | Some kv -> go (kv :: acc)

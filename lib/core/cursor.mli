@@ -29,6 +29,10 @@ val filter_ts :
 (** Stop after [n] rows. *)
 val take : int -> source -> source
 
+(** Drain the source through an accumulator — how aggregate pushdown
+    consumes the residue streams that footer stats could not answer. *)
+val fold : ('a -> string * Value.t array -> 'a) -> 'a -> source -> 'a
+
 val to_list : source -> (string * Value.t array) list
 
 (** Rows only, discarding keys. *)

@@ -61,6 +61,12 @@ let stats_samples t =
       sample "lt_tablets_quarantined_total"
         "Corrupt tablets quarantined at table open." `Counter labels
         s.Stats.tablets_quarantined;
+      sample "lt_blocks_footer_answered_total"
+        "Columnar blocks whose aggregates were answered from footer stats."
+        `Counter labels s.Stats.blocks_footer_answered;
+      sample "lt_columns_decoded_total"
+        "Columnar column sections decompressed by scans." `Counter labels
+        s.Stats.columns_decoded;
       sample "lt_tablets" "On-disk tablets." `Gauge labels
         (Table.tablet_count tbl);
       sample "lt_memtables" "In-memory tablets (filling + frozen)." `Gauge

@@ -10,6 +10,7 @@ type tablet_meta = {
   max_key : string;
   row_count : int;
   size : int;
+  columnar : bool;
 }
 
 type t = {
@@ -52,7 +53,8 @@ let encode t =
       Binio.put_string buf m.min_key;
       Binio.put_string buf m.max_key;
       Binio.put_varint buf m.row_count;
-      Binio.put_varint buf m.size)
+      Binio.put_varint buf m.size;
+      Binio.put_u8 buf (if m.columnar then 1 else 0))
     t.tablets;
   let body = Buffer.contents buf in
   let out = Buffer.create (String.length body + 4) in
@@ -88,7 +90,14 @@ let decode data =
         let max_key = Binio.get_string cur in
         let row_count = Binio.get_varint cur in
         let size = Binio.get_varint cur in
-        { id; file; min_ts; max_ts; min_key; max_key; row_count; size })
+        let columnar =
+          match Binio.get_u8 cur with
+          | 0 -> false
+          | 1 -> true
+          | _ -> raise (Binio.Corrupt "descriptor: bad layout tag")
+        in
+        { id; file; min_ts; max_ts; min_key; max_key; row_count; size;
+          columnar })
   in
   if cur.Binio.pos <> body_len then
     raise (Binio.Corrupt "descriptor: trailing bytes");

@@ -22,6 +22,10 @@ type tablet_meta = {
   max_key : string;
   row_count : int;
   size : int;  (** bytes on disk *)
+  columnar : bool;
+      (** column-major data blocks (merge-time rewrite past
+          [Config.columnar_age]); merges use this to find tablets whose
+          layout has gone stale *)
 }
 
 type t = {

@@ -4,6 +4,7 @@ type input = {
   min_ts : int64;
   max_ts : int64;
   eligible_at : int64;
+  stale_layout : bool;
 }
 
 type plan = { ids : int list }
@@ -73,4 +74,15 @@ let plan ~now ~max_tablet_size inputs =
             Some { ids = List.init len (fun k -> arr.(start + k).id) }
         | None -> try_groups rest)
   in
-  try_groups groups
+  match try_groups groups with
+  | Some _ as p -> p
+  | None ->
+      (* Size fixpoint. If some eligible tablet's data has aged past the
+         layout threshold but it is still row-major, rewrite it alone
+         (oldest first) so old timespans converge to column-major even
+         when no size-rule merge is due. The rewrite flips [stale_layout]
+         off, so this converges rather than looping. *)
+      let stale =
+        List.filter (fun t -> t.stale_layout && t.eligible_at <= now) sorted
+      in
+      (match stale with [] -> None | t :: _ -> Some { ids = [ t.id ] })

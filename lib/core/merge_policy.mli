@@ -24,6 +24,10 @@ type input = {
   min_ts : int64;
   max_ts : int64;
   eligible_at : int64;  (** no merging before this time (write + rollover delays) *)
+  stale_layout : bool;
+      (** the tablet should be stored column-major (its newest row aged
+          past [Config.columnar_age]) but is not — makes it a rewrite
+          candidate even when the size rule is at a fixpoint *)
 }
 
 (** A run of adjacent tablets to merge, in timespan order. *)
@@ -36,7 +40,9 @@ type plan = { ids : int list }
     group is a maximal run of {e consecutive} tablets of one period all
     eligible at [now]. Within each group (oldest first) the first adjacent pair with
     [size t_i <= 2 * size t_{i+1}] seeds the run, extended right while the
-    total stays within [max_tablet_size]. *)
+    total stays within [max_tablet_size]. When the size rule is at a
+    fixpoint, the oldest eligible tablet with [stale_layout] becomes a
+    single-tablet rewrite plan (the background row-to-columnar pass). *)
 val plan : now:int64 -> max_tablet_size:int -> input list -> plan option
 
 (** The bare size-sequence policy of the appendix (no periods, no

@@ -9,6 +9,7 @@ type t = {
   ts_max : int64 option;
   direction : direction;
   limit : int option;
+  projection : int list option;
 }
 
 let all =
@@ -19,6 +20,7 @@ let all =
     ts_max = None;
     direction = Asc;
     limit = None;
+    projection = None;
   }
 
 let prefix vs = { all with key_low = Incl vs; key_high = Incl vs }
@@ -37,6 +39,8 @@ let between ?ts_min ?ts_max q =
 let with_direction direction q = { q with direction }
 
 let with_limit limit q = { q with limit = Some limit }
+
+let with_projection cols q = { q with projection = Some cols }
 
 type compiled = { lo : string; hi : string option }
 

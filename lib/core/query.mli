@@ -22,6 +22,11 @@ type t = {
   ts_max : int64 option;  (** inclusive *)
   direction : direction;
   limit : int option;
+  projection : int list option;
+      (** columns the caller will read (schema indices). [None] = all.
+          Purely an optimization hint: columnar tablets skip decoding
+          unlisted columns, whose returned cells are then unspecified
+          (column defaults); row-major data ignores it. *)
 }
 
 (** Everything, ascending, no limit. *)
@@ -36,6 +41,9 @@ val between : ?ts_min:int64 -> ?ts_max:int64 -> t -> t
 val with_direction : direction -> t -> t
 
 val with_limit : int -> t -> t
+
+(** Declare the columns the caller will read (see {!t.projection}). *)
+val with_projection : int list -> t -> t
 
 (** {1 Compilation}
 

@@ -18,6 +18,8 @@ type t = {
   mutable tablets_expired : int;
   mutable flush_retries : int;
   mutable tablets_quarantined : int;
+  mutable blocks_footer_answered : int;
+  mutable columns_decoded : int;
 }
 
 type cache_snapshot = {
@@ -51,6 +53,8 @@ type snapshot = {
   tablets_expired : int;
   flush_retries : int;
   tablets_quarantined : int;
+  blocks_footer_answered : int;
+  columns_decoded : int;
   bytes_written : int;
   cache : cache_snapshot;
 }
@@ -71,6 +75,8 @@ let create () =
     tablets_expired = 0;
     flush_retries = 0;
     tablets_quarantined = 0;
+    blocks_footer_answered = 0;
+    columns_decoded = 0;
   }
 
 let reset (t : t) =
@@ -87,7 +93,9 @@ let reset (t : t) =
       t.merged_bytes_out <- 0;
       t.tablets_expired <- 0;
       t.flush_retries <- 0;
-      t.tablets_quarantined <- 0)
+      t.tablets_quarantined <- 0;
+      t.blocks_footer_answered <- 0;
+      t.columns_decoded <- 0)
 
 let read ?(cache = no_cache) (t : t) =
   Lt_util.Mutexes.with_lock t.m (fun () ->
@@ -105,6 +113,8 @@ let read ?(cache = no_cache) (t : t) =
         tablets_expired = t.tablets_expired;
         flush_retries = t.flush_retries;
         tablets_quarantined = t.tablets_quarantined;
+        blocks_footer_answered = t.blocks_footer_answered;
+        columns_decoded = t.columns_decoded;
         bytes_written = t.flushed_bytes + t.merged_bytes_out;
         cache;
       })
@@ -128,6 +138,8 @@ let add (a : snapshot) (b : snapshot) =
     tablets_expired = a.tablets_expired + b.tablets_expired;
     flush_retries = a.flush_retries + b.flush_retries;
     tablets_quarantined = a.tablets_quarantined + b.tablets_quarantined;
+    blocks_footer_answered = a.blocks_footer_answered + b.blocks_footer_answered;
+    columns_decoded = a.columns_decoded + b.columns_decoded;
     bytes_written = a.bytes_written + b.bytes_written;
     cache =
       {
@@ -196,17 +208,24 @@ let note_quarantined (t : t) ~tablets =
   Lt_util.Mutexes.with_lock t.m (fun () ->
       t.tablets_quarantined <- bump t.tablets_quarantined tablets)
 
+let note_pushdown (t : t) ~footer_blocks ~columns =
+  Lt_util.Mutexes.with_lock t.m (fun () ->
+      t.blocks_footer_answered <- bump t.blocks_footer_answered footer_blocks;
+      t.columns_decoded <- bump t.columns_decoded columns)
+
 let pp ppf s =
   Format.fprintf ppf
     "@[<v>inserted %d rows in %d batches; %d queries returned %d rows \
      (scanned %d, ratio %.2f); %d flushes (%d B), %d merges (%d B in, %d B \
      out), write amp %.2f; %d tablets expired; %d flush retries, %d tablets \
-     quarantined; block cache %d hits / %d misses (%.0f%%), %d evictions, \
+     quarantined; pushdown: %d blocks footer-answered, %d columns decoded; \
+     block cache %d hits / %d misses (%.0f%%), %d evictions, \
      %d B resident@]"
     s.rows_inserted s.insert_batches s.queries s.rows_returned s.rows_scanned
     (scan_ratio s) s.flushes s.flushed_bytes s.merges s.merged_bytes_in
     s.merged_bytes_out (write_amplification s) s.tablets_expired
-    s.flush_retries s.tablets_quarantined s.cache.cache_hits
+    s.flush_retries s.tablets_quarantined s.blocks_footer_answered
+    s.columns_decoded s.cache.cache_hits
     s.cache.cache_misses
     (cache_hit_ratio s *. 100.0)
     s.cache.cache_evictions s.cache.cache_resident_bytes

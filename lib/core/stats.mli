@@ -51,6 +51,12 @@ type snapshot = {
   flush_retries : int;  (** flush attempts requeued after a transient I/O error *)
   tablets_quarantined : int;
       (** corrupt tablets set aside at {!Table.open_} instead of failing the open *)
+  blocks_footer_answered : int;
+      (** whole blocks whose aggregates came straight from footer stats,
+          with no block read or row decode *)
+  columns_decoded : int;
+      (** columnar column sections decompressed by scans — projection
+          and aggregate pushdown keep this below columns-per-block *)
   bytes_written : int;  (** flushes + merge output *)
   cache : cache_snapshot;
 }
@@ -82,5 +88,6 @@ val note_merge : t -> bytes_in:int -> bytes_out:int -> unit
 val note_expired : t -> tablets:int -> unit
 val note_flush_retry : t -> unit
 val note_quarantined : t -> tablets:int -> unit
+val note_pushdown : t -> footer_blocks:int -> columns:int -> unit
 
 val pp : Format.formatter -> snapshot -> unit

@@ -461,6 +461,7 @@ let write_memtable t mt =
       max_key = summary.Tablet.max_key;
       row_count = summary.Tablet.row_count;
       size = summary.Tablet.size;
+      columnar = summary.Tablet.columnar;
     }
 
 (* Flush [mt] and its dependency closure as one atomic descriptor
@@ -881,8 +882,11 @@ type scan = {
 }
 
 (* Select overlapping tablets and snapshot memtables. Takes refs on the
-   disk tablets; the caller must [release] them. *)
-let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
+   disk tablets; the caller must [release] them. [projection] and
+   [counters] thread through to {!Tablet.iter} so columnar tablets
+   decode only the referenced columns and report pushdown tallies. *)
+let open_scan ?projection ?counters t ~(compiled : Query.compiled) ~ts_min
+    ~ts_max ~asc =
   Mutexes.with_lock t.state (fun () ->
       let cutoff = ttl_cutoff_locked t in
       let eff_ts_min =
@@ -932,8 +936,8 @@ let open_scan t ~(compiled : Query.compiled) ~ts_min ~ts_max ~asc =
           (fun dt ->
             let r = get_reader_locked t dt in
             ( dt.meta.Descriptor.id,
-              Tablet.iter r ~asc ~lo:compiled.Query.lo ?hi:compiled.Query.hi ()
-            ))
+              Tablet.iter r ~asc ~lo:compiled.Query.lo ?hi:compiled.Query.hi
+                ?projection ?counters () ))
           selected
       in
       { sources = mem_sources @ disk_sources;
@@ -993,12 +997,14 @@ let maybe_stage ?prof t ~has_disk sources =
 
 let query_raw ?prof t (q : Query.t) =
   let plan0 = match prof with Some _ -> Clock.now t.clock | None -> 0L in
+  let counters = Tablet.fresh_counters () in
   match Query.compile t.schema q with
-  | None -> (empty_source, (fun () -> ()), ref 0, 0, 0)
+  | None -> (empty_source, (fun () -> ()), ref 0, 0, 0, counters)
   | Some compiled ->
       let asc = q.Query.direction = Query.Asc in
       let scan =
-        open_scan t ~compiled ~ts_min:q.Query.ts_min ~ts_max:q.Query.ts_max ~asc
+        open_scan ?projection:q.Query.projection ~counters t ~compiled
+          ~ts_min:q.Query.ts_min ~ts_max:q.Query.ts_max ~asc
       in
       let scanned = ref 0 in
       let staged, finish_stage =
@@ -1026,11 +1032,18 @@ let query_raw ?prof t (q : Query.t) =
         release_once,
         scanned,
         List.length scan.referenced,
-        scan.considered - List.length scan.referenced )
+        scan.considered - List.length scan.referenced,
+        counters )
+
+let note_pushdown_counters t (c : Tablet.scan_counters) =
+  let fb = Atomic.get c.Tablet.sc_footer_blocks in
+  let cd = Atomic.get c.Tablet.sc_cols_decoded in
+  if fb > 0 || cd > 0 then
+    Stats.note_pushdown t.stats ~footer_blocks:fb ~columns:cd
 
 let query_iter t q =
   let t0, h0, m0 = obs_begin t in
-  let src, release_once, scanned, tablets, _pruned = query_raw t q in
+  let src, release_once, scanned, tablets, _pruned, counters = query_raw t q in
   let src =
     match q.Query.limit with None -> src | Some n -> Cursor.take n src
   in
@@ -1046,6 +1059,7 @@ let query_iter t q =
       | None ->
           finished := true;
           release_once ();
+          note_pushdown_counters t counters;
           Stats.note_query t.stats ~scanned:!scanned ~returned:!returned;
           obs_end t ~hist:t.instr.Obs.h_query ~op:Otrace.Query ~t0 ~h0 ~m0
             ~scanned:!scanned ~returned:!returned ~tablets ();
@@ -1064,7 +1078,9 @@ let query ?(profile = false) t (q : Query.t) =
   let prof = if profile then Some (prof_acc_create ()) else None in
   let pt0 = if profile then Clock.now t.clock else 0L in
   let ph0, pm0 = if profile then cache_counts t else (0, 0) in
-  let src, release_once, scanned, tablets, pruned = query_raw ?prof t q in
+  let src, release_once, scanned, tablets, pruned, counters =
+    query_raw ?prof t q
+  in
   let server_cap = t.config.Config.server_row_limit in
   let cap =
     match q.Query.limit with
@@ -1084,6 +1100,7 @@ let query ?(profile = false) t (q : Query.t) =
   (* Joins in-flight producers, so worker busy totals are final. *)
   release_once ();
   let scanned = !scanned in
+  note_pushdown_counters t counters;
   Stats.note_query t.stats ~scanned ~returned:(List.length rows);
   obs_end t ~hist:t.instr.Obs.h_query ~op:Otrace.Query ~t0 ~h0 ~m0 ~scanned
     ~returned:(List.length rows) ~tablets ();
@@ -1118,9 +1135,202 @@ let query ?(profile = false) t (q : Query.t) =
             p_bloom_skips = 0;
             p_cache_hits = h1 - ph0;
             p_cache_misses = m1 - pm0;
+            p_blocks_footer_answered =
+              Atomic.get counters.Tablet.sc_footer_blocks;
+            p_columns_decoded = Atomic.get counters.Tablet.sc_cols_decoded;
             p_shards = [] }
   in
   { rows; more_available; scanned; profile }
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate pushdown                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [query_agg t q ~specs] evaluates one aggregate row over every row
+   matching [q]'s bounds. A selected disk tablet whose key span is
+   disjoint from every other selected source's span can never have a
+   row shadowed by the merge cursor's dedup, so it is folded directly
+   with {!Tablet.fold_aggs} — columnar blocks wholly inside the bounds
+   are answered from footer stats without being read. Overlapping
+   sources (and memtables) run through the ordinary merged cursor into
+   the same accumulators. Always sequential — never staged on the
+   worker pool — so results are identical at any [query_domains]. *)
+let query_agg ?(profile = false) t (q : Query.t) ~specs =
+  let t0, h0, m0 = obs_begin t in
+  let pt0 = if profile then Clock.now t.clock else 0L in
+  let ph0, pm0 = if profile then cache_counts t else (0, 0) in
+  let counters = Tablet.fresh_counters () in
+  let accs = Array.map (fun _ -> Agg.fresh_acc ()) specs in
+  let scanned = ref 0 in
+  let feed_row row =
+    Array.iteri
+      (fun i s ->
+        let v =
+          match s.Agg.a_col with
+          | Some c when c < Array.length row -> Some row.(c)
+          | _ -> None
+        in
+        Agg.feed accs.(i) v)
+      specs
+  in
+  let needed =
+    Array.to_list specs
+    |> List.filter_map (fun s -> s.Agg.a_col)
+    |> List.sort_uniq Int.compare
+  in
+  let tablets, pruned =
+    match Query.compile t.schema q with
+    | None -> (0, 0)
+    | Some compiled ->
+        let mem_sources, mem_spans, readers, eff_ts_min, considered =
+          Mutexes.with_lock t.state (fun () ->
+              let cutoff = ttl_cutoff_locked t in
+              let eff_ts_min =
+                match (q.Query.ts_min, cutoff) with
+                | None, c -> c
+                | (Some _ as m), None -> m
+                | Some m, Some c -> Some (max m c)
+              in
+              let ts_overlaps ~lo ~hi =
+                (match eff_ts_min with None -> true | Some b -> hi >= b)
+                &&
+                match q.Query.ts_max with
+                | None -> true
+                | Some b -> lo <= b
+              in
+              let key_overlaps ~min_key ~max_key =
+                String.compare compiled.Query.lo max_key <= 0
+                &&
+                match compiled.Query.hi with
+                | None -> true
+                | Some h -> String.compare h min_key > 0
+              in
+              let mems =
+                List.filter
+                  (fun m ->
+                    match Memtable.ts_range m with
+                    | Some (lo, hi) -> ts_overlaps ~lo ~hi
+                    | None -> false)
+                  (t.filling @ t.frozen)
+              in
+              let mem_sources =
+                List.map
+                  (fun m ->
+                    let snap = Memtable.snapshot m in
+                    let it =
+                      Avl.iter_asc ~lo:compiled.Query.lo ?hi:compiled.Query.hi
+                        snap
+                    in
+                    (Memtable.id m, fun () -> Avl.next it))
+                  mems
+              in
+              let mem_spans =
+                List.filter_map
+                  (fun m ->
+                    match (Memtable.min_key m, Memtable.max_key m) with
+                    | Some a, Some b -> Some (a, b)
+                    | _ -> None)
+                  mems
+              in
+              let selected =
+                List.filter
+                  (fun dt ->
+                    let m = dt.meta in
+                    ts_overlaps ~lo:m.Descriptor.min_ts
+                      ~hi:m.Descriptor.max_ts
+                    && key_overlaps ~min_key:m.Descriptor.min_key
+                         ~max_key:m.Descriptor.max_key)
+                  t.disk
+              in
+              List.iter (fun dt -> dt.refs <- dt.refs + 1) selected;
+              let readers =
+                List.map (fun dt -> (dt, get_reader_locked t dt)) selected
+              in
+              (mem_sources, mem_spans, readers, eff_ts_min,
+               List.length t.disk))
+        in
+        Fun.protect
+          ~finally:(fun () -> release t (List.map fst readers))
+          (fun () ->
+            let arr = Array.of_list readers in
+            let n = Array.length arr in
+            let span i =
+              let dt, _ = arr.(i) in
+              (dt.meta.Descriptor.min_key, dt.meta.Descriptor.max_key)
+            in
+            let disjoint (a_lo, a_hi) (b_lo, b_hi) =
+              String.compare a_hi b_lo < 0 || String.compare b_hi a_lo < 0
+            in
+            let pushable i =
+              let s = span i in
+              List.for_all (disjoint s) mem_spans
+              &&
+              let ok = ref true in
+              for j = 0 to n - 1 do
+                if j <> i && not (disjoint s (span j)) then ok := false
+              done;
+              !ok
+            in
+            let ts_lo =
+              match eff_ts_min with None -> Int64.min_int | Some v -> v
+            in
+            let ts_hi =
+              match q.Query.ts_max with None -> Int64.max_int | Some v -> v
+            in
+            let residue = ref [] in
+            for i = n - 1 downto 0 do
+              let dt, r = arr.(i) in
+              if pushable i then
+                Tablet.fold_aggs r ~counters ~lo:(Some compiled.Query.lo)
+                  ~hi:compiled.Query.hi ~ts_min:ts_lo ~ts_max:ts_hi ~specs
+                  ~accs ()
+              else
+                residue :=
+                  ( dt.meta.Descriptor.id,
+                    Tablet.iter r ~asc:true ~lo:compiled.Query.lo
+                      ?hi:compiled.Query.hi ~projection:needed ~counters () )
+                  :: !residue
+            done;
+            (match mem_sources @ !residue with
+            | [] -> ()
+            | sources ->
+                let src =
+                  Cursor.filter_ts ~scanned ?ts_min:eff_ts_min
+                    ?ts_max:q.Query.ts_max
+                    (Cursor.merge ~asc:true sources)
+                in
+                Cursor.fold (fun () (_, row) -> feed_row row) () src);
+            (List.length readers, considered - List.length readers))
+  in
+  note_pushdown_counters t counters;
+  Stats.note_query t.stats ~scanned:!scanned ~returned:1;
+  obs_end t ~hist:t.instr.Obs.h_query ~op:Otrace.Query ~t0 ~h0 ~m0
+    ~scanned:!scanned ~returned:1 ~tablets ();
+  let results = Array.mapi (fun i s -> Agg.result s.Agg.a_fn accs.(i)) specs in
+  let prof =
+    if not profile then None
+    else begin
+      let fin = Clock.now t.clock in
+      let h1, m1 = cache_counts t in
+      Some
+        { Lt_obs.Profile.p_plan_us = 0L;
+          p_scan_us = Int64.sub fin pt0;
+          p_stall_us = 0L;
+          p_total_us = Int64.sub fin pt0;
+          p_rows_scanned = !scanned;
+          p_rows_returned = 1;
+          p_tablets = tablets;
+          p_tablets_pruned = pruned;
+          p_bloom_skips = 0;
+          p_cache_hits = h1 - ph0;
+          p_cache_misses = m1 - pm0;
+          p_blocks_footer_answered =
+            Atomic.get counters.Tablet.sc_footer_blocks;
+          p_columns_decoded = Atomic.get counters.Tablet.sc_cols_decoded;
+          p_shards = [] }
+    end
+  in
+  (results, prof)
 
 (* ------------------------------------------------------------------ *)
 (* Latest row for a key prefix (§3.4.5)                                *)
@@ -1262,6 +1472,16 @@ let latest t prefix_values =
 (* Merging (§3.4.1, §3.4.2)                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Layout policy: a merge (or layout rewrite) whose newest input row has
+   aged past [columnar_age] writes its output column-major; anything
+   younger stays row-major, so fresh flushes are never columnar and a
+   table mixes layouts freely. [Int64.max_int] disables the rewrite
+   entirely. The same predicate drives [Merge_policy.input.stale_layout],
+   so a rewrite provably flips its own trigger off. *)
+let columnar_output t ~now ~max_ts =
+  let age = t.config.Config.columnar_age in
+  age <> Int64.max_int && Int64.sub now max_ts >= age
+
 (* Advance rollover bookkeeping and pick a merge candidate. Must be
    called with [state] held. *)
 let merge_plan_locked t =
@@ -1291,6 +1511,9 @@ let merge_plan_locked t =
             min_ts = dt.meta.Descriptor.min_ts;
             max_ts = dt.meta.Descriptor.max_ts;
             eligible_at = dt.eligible_at;
+            stale_layout =
+              (not dt.meta.Descriptor.columnar)
+              && columnar_output t ~now:n ~max_ts:dt.meta.Descriptor.max_ts;
           })
       t.disk
   in
@@ -1340,11 +1563,21 @@ let merge_step_unlocked t =
               (fun acc dt -> acc + dt.meta.Descriptor.row_count)
               0 sources
           in
+          let out_max_ts =
+            List.fold_left
+              (fun acc dt -> max acc dt.meta.Descriptor.max_ts)
+              Int64.min_int sources
+          in
+          let layout =
+            if columnar_output t ~now:(now t) ~max_ts:out_max_ts then
+              Block.Col_major
+            else Block.Row_major
+          in
           let writer =
             Tablet.writer t.vfs ~path:(tablet_path t file) ~schema
               ~block_size:t.config.Config.block_size
               ~bloom_bits_per_key:t.config.Config.bloom_bits_per_key
-              ~expected_rows ()
+              ~expected_rows ~layout ()
           in
           let rows = ref 0 in
           let new_meta =
@@ -1359,11 +1592,8 @@ let merge_step_unlocked t =
                     let _, prefixes =
                       Key_codec.encode_key_with_prefixes schema row
                     in
-                    Tablet.add_enc writer ~key ~key_prefixes:prefixes
-                      ~ts:(Key_codec.ts_of_key key)
-                      ~value_size:(Row_codec.value_size schema row)
-                      ~encode:(fun buf ->
-                        Row_codec.encode_value_into buf schema row);
+                    Tablet.add_row writer ~key ~key_prefixes:prefixes
+                      ~ts:(Key_codec.ts_of_key key) row;
                     copy ()
               in
               copy ();
@@ -1385,6 +1615,7 @@ let merge_step_unlocked t =
                       max_key = s.Tablet.max_key;
                       row_count = s.Tablet.row_count;
                       size = s.Tablet.size;
+                      columnar = s.Tablet.columnar;
                     }
               end
             with e ->
@@ -1602,11 +1833,18 @@ let delete_prefix t prefix_values =
                         (r, t.schema, id))
                   in
                   let file = Descriptor.tablet_file new_id in
+                  let layout =
+                    if
+                      columnar_output t ~now:(now t)
+                        ~max_ts:m.Descriptor.max_ts
+                    then Block.Col_major
+                    else Block.Row_major
+                  in
                   let writer =
                     Tablet.writer t.vfs ~path:(tablet_path t file) ~schema
                       ~block_size:t.config.Config.block_size
                       ~bloom_bits_per_key:t.config.Config.bloom_bits_per_key
-                      ~expected_rows:m.Descriptor.row_count ()
+                      ~expected_rows:m.Descriptor.row_count ~layout ()
                   in
                   let it = Tablet.iter reader ~asc:true () in
                   let kept = ref 0 in
@@ -1621,11 +1859,8 @@ let delete_prefix t prefix_values =
                              let _, prefixes =
                                Key_codec.encode_key_with_prefixes schema row
                              in
-                             Tablet.add_enc writer ~key ~key_prefixes:prefixes
-                               ~ts:(Key_codec.ts_of_key key)
-                               ~value_size:(Row_codec.value_size schema row)
-                               ~encode:(fun buf ->
-                                 Row_codec.encode_value_into buf schema row)
+                             Tablet.add_row writer ~key ~key_prefixes:prefixes
+                               ~ts:(Key_codec.ts_of_key key) row
                            end;
                            copy ()
                      in
@@ -1656,6 +1891,7 @@ let delete_prefix t prefix_values =
                             max_key = s.Tablet.max_key;
                             row_count = s.Tablet.row_count;
                             size = s.Tablet.size;
+                            columnar = s.Tablet.columnar;
                           } )
                   end
                 end)

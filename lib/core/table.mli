@@ -112,6 +112,19 @@ val query : ?profile:bool -> t -> Query.t -> result
     the tablets it reads; they release when it is drained. *)
 val query_iter : t -> Query.t -> Cursor.source
 
+(** [query_agg t q ~specs] evaluates one row of aggregates over every
+    row matching [q]'s key/timestamp bounds ([q]'s direction and limit
+    are ignored). Columnar tablets answer whole blocks from footer
+    stats where possible and decode only referenced columns otherwise;
+    the result is bit-identical to scanning the rows and feeding them
+    through {!Agg.feed}, at any layout mix or parallelism setting. *)
+val query_agg :
+  ?profile:bool ->
+  t ->
+  Query.t ->
+  specs:Agg.spec array ->
+  Value.t array * Lt_obs.Profile.t option
+
 (** [latest t prefix] finds the newest row whose key starts with
     [prefix], working backwards through groups of tablets with
     overlapping timespans and consulting Bloom filters (§3.4.5). *)

@@ -28,6 +28,18 @@ let encode_frame raw =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
+(* Columnar blocks carry per-column sections that are already LZ'd where
+   profitable; wrapping them in a stored frame keeps the CRC without
+   burning merge CPU on a compression pass that cannot win. *)
+let encode_frame_store raw =
+  let buf = Buffer.create (frame_header_len + String.length raw) in
+  Binio.put_u8 buf 0;
+  Binio.put_u32 buf (String.length raw);
+  Binio.put_u32 buf (String.length raw);
+  Binio.put_i32 buf (Crc32c.string raw);
+  Buffer.add_string buf raw;
+  Buffer.contents buf
+
 let decode_frame frame =
   let cur = Binio.cursor frame in
   let codec = Binio.get_u8 cur in
@@ -57,6 +69,9 @@ type index_entry = {
   frame_len : int;
   rows : int;
   last_key : string;
+  e_layout : Block.layout;
+  e_stats : Agg.col_stats array option;
+      (** per-column min/max/sum, columnar blocks only *)
 }
 
 type summary = {
@@ -66,6 +81,7 @@ type summary = {
   max_ts : int64;
   min_key : string;
   max_key : string;
+  columnar : bool;
 }
 
 type footer = {
@@ -78,6 +94,34 @@ type footer = {
   index : index_entry array;
   bloom : Lt_bloom.Bloom.t option;
 }
+
+(* Per-column footer stats. [cs_min]/[cs_max] travel as their column's
+   value encoding (the footer schema supplies the type on decode);
+   presence flags: bit 0 = min/max, bit 1 = wrapping int sum. *)
+let encode_col_stats buf (st : Agg.col_stats) =
+  let flags =
+    (if st.Agg.cs_min <> None then 1 else 0)
+    lor if st.Agg.cs_sum <> None then 2 else 0
+  in
+  Binio.put_u8 buf flags;
+  (match (st.Agg.cs_min, st.Agg.cs_max) with
+  | Some mn, Some mx ->
+      Value.encode buf mn;
+      Value.encode buf mx
+  | _ -> ());
+  match st.Agg.cs_sum with Some s -> Binio.put_i64 buf s | None -> ()
+
+let decode_col_stats ctype cur =
+  let flags = Binio.get_u8 cur in
+  let cs_min, cs_max =
+    if flags land 1 <> 0 then
+      let mn = Value.decode ctype cur in
+      let mx = Value.decode ctype cur in
+      (Some mn, Some mx)
+    else (None, None)
+  in
+  let cs_sum = if flags land 2 <> 0 then Some (Binio.get_i64 cur) else None in
+  { Agg.cs_min; cs_max; cs_sum }
 
 let encode_footer f =
   let buf = Buffer.create 4096 in
@@ -93,7 +137,13 @@ let encode_footer f =
       Binio.put_varint buf e.file_off;
       Binio.put_varint buf e.frame_len;
       Binio.put_varint buf e.rows;
-      Binio.put_string buf e.last_key)
+      Binio.put_string buf e.last_key;
+      match e.e_layout with
+      | Block.Row_major -> Binio.put_u8 buf 0
+      | Block.Col_major ->
+          Binio.put_u8 buf 1;
+          let stats = Option.get e.e_stats in
+          Array.iter (encode_col_stats buf) stats)
     f.index;
   (match f.bloom with
   | None -> Binio.put_u8 buf 0
@@ -111,13 +161,26 @@ let decode_footer raw =
   let f_min_key = Binio.get_string cur in
   let f_max_key = Binio.get_string cur in
   let nblocks = Binio.get_varint cur in
+  let columns = Schema.columns schema in
   let index =
     Array.init nblocks (fun _ ->
         let file_off = Binio.get_varint cur in
         let frame_len = Binio.get_varint cur in
         let rows = Binio.get_varint cur in
         let last_key = Binio.get_string cur in
-        { file_off; frame_len; rows; last_key })
+        let e_layout, e_stats =
+          match Binio.get_u8 cur with
+          | 0 -> (Block.Row_major, None)
+          | 1 ->
+              let stats =
+                Array.map
+                  (fun (c : Schema.column) -> decode_col_stats c.Schema.ctype cur)
+                  columns
+              in
+              (Block.Col_major, Some stats)
+          | _ -> raise (Binio.Corrupt "tablet footer: bad block layout tag")
+        in
+        { file_off; frame_len; rows; last_key; e_layout; e_stats })
   in
   let bloom =
     match Binio.get_u8 cur with
@@ -132,13 +195,15 @@ let decode_footer raw =
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
+type builder_kind = B_row of Block.builder | B_col of Block.col_builder
+
 type writer = {
   vfs : Vfs.t;
   path : string;
   w_schema : Schema.t;
   block_size : int;
   file : Vfs.file;
-  builder : Block.builder;
+  w_builder : builder_kind;
   mutable w_off : int;
   mutable w_index : index_entry list;  (** reversed *)
   mutable w_rows : int;
@@ -152,7 +217,8 @@ type writer = {
   mutable bloom : Lt_bloom.Bloom.t option;
 }
 
-let writer vfs ~path ~schema ~block_size ~bloom_bits_per_key ?expected_rows () =
+let writer vfs ~path ~schema ~block_size ~bloom_bits_per_key ?expected_rows
+    ?(layout = Block.Row_major) () =
   if block_size < 1024 then invalid_arg "Tablet.writer: block size too small";
   let file = Vfs.create vfs path in
   let bloom =
@@ -171,7 +237,10 @@ let writer vfs ~path ~schema ~block_size ~bloom_bits_per_key ?expected_rows () =
     w_schema = schema;
     block_size;
     file;
-    builder = Block.builder ();
+    w_builder =
+      (match layout with
+      | Block.Row_major -> B_row (Block.builder ())
+      | Block.Col_major -> B_col (Block.col_builder schema));
     w_off = 0;
     w_index = [];
     w_rows = 0;
@@ -186,17 +255,33 @@ let writer vfs ~path ~schema ~block_size ~bloom_bits_per_key ?expected_rows () =
   }
 
 let flush_block w =
-  match Block.last_key w.builder with
-  | None -> ()
-  | Some last_key ->
-      let rows = Block.entry_count w.builder in
-      let raw = Block.finish w.builder in
-      let frame = encode_frame raw in
-      Vfs.append w.vfs w.file frame;
-      w.w_index <-
-        { file_off = w.w_off; frame_len = String.length frame; rows; last_key }
-        :: w.w_index;
-      w.w_off <- w.w_off + String.length frame
+  match w.w_builder with
+  | B_row builder -> (
+      match Block.last_key builder with
+      | None -> ()
+      | Some last_key ->
+          let rows = Block.entry_count builder in
+          let raw = Block.finish builder in
+          let frame = encode_frame raw in
+          Vfs.append w.vfs w.file frame;
+          w.w_index <-
+            { file_off = w.w_off; frame_len = String.length frame; rows;
+              last_key; e_layout = Block.Row_major; e_stats = None }
+            :: w.w_index;
+          w.w_off <- w.w_off + String.length frame)
+  | B_col builder -> (
+      match Block.col_last_key builder with
+      | None -> ()
+      | Some last_key ->
+          let rows = Block.col_count builder in
+          let raw, stats = Block.col_finish builder in
+          let frame = encode_frame_store raw in
+          Vfs.append w.vfs w.file frame;
+          w.w_index <-
+            { file_off = w.w_off; frame_len = String.length frame; rows;
+              last_key; e_layout = Block.Col_major; e_stats = Some stats }
+            :: w.w_index;
+          w.w_off <- w.w_off + String.length frame)
 
 (* The filter must be sized before the first insertion, but the final key
    count is unknown while streaming. We buffer the first few thousand
@@ -229,20 +314,41 @@ let bloom_add w key =
         end
   end
 
-let add_enc w ~key ~key_prefixes ~ts ~value_size ~encode =
+let note_row w ~key ~key_prefixes ~ts =
   (match w.w_min_key with None -> w.w_min_key <- Some key | Some _ -> ());
   w.w_max_key <- key;
   w.w_rows <- w.w_rows + 1;
   if ts < w.w_min_ts then w.w_min_ts <- ts;
   if ts > w.w_max_ts then w.w_max_ts <- ts;
   bloom_add w key;
-  if w.bloom_bits_per_key > 0 then List.iter (bloom_add w) key_prefixes;
-  Block.add_enc w.builder ~key ~value_size ~encode;
-  if Block.raw_size w.builder >= w.block_size then flush_block w
+  if w.bloom_bits_per_key > 0 then List.iter (bloom_add w) key_prefixes
+
+let add_enc w ~key ~key_prefixes ~ts ~value_size ~encode =
+  let builder =
+    match w.w_builder with
+    | B_row b -> b
+    | B_col _ -> invalid_arg "Tablet.add_enc: writer is columnar"
+  in
+  note_row w ~key ~key_prefixes ~ts;
+  Block.add_enc builder ~key ~value_size ~encode;
+  if Block.raw_size builder >= w.block_size then flush_block w
 
 let add w ~key ~key_prefixes ~ts ~value =
   add_enc w ~key ~key_prefixes ~ts ~value_size:(String.length value)
     ~encode:(fun buf -> Buffer.add_string buf value)
+
+let add_row w ~key ~key_prefixes ~ts row =
+  match w.w_builder with
+  | B_row builder ->
+      note_row w ~key ~key_prefixes ~ts;
+      Block.add_enc builder ~key
+        ~value_size:(Row_codec.value_size w.w_schema row)
+        ~encode:(fun buf -> Row_codec.encode_value_into buf w.w_schema row);
+      if Block.raw_size builder >= w.block_size then flush_block w
+  | B_col builder ->
+      note_row w ~key ~key_prefixes ~ts;
+      Block.col_add builder ~key row;
+      if Block.col_raw_size builder >= w.block_size then flush_block w
 
 let finish w =
   if w.w_rows = 0 then invalid_arg "Tablet.finish: empty tablet";
@@ -292,6 +398,7 @@ let finish w =
     max_ts = w.w_max_ts;
     min_key = Option.get w.w_min_key;
     max_key = w.w_max_key;
+    columnar = (match w.w_builder with B_row _ -> false | B_col _ -> true);
   }
 
 let abandon w =
@@ -368,6 +475,10 @@ let summary r =
     max_ts = r.footer.f_max_ts;
     min_key = r.footer.f_min_key;
     max_key = r.footer.f_max_key;
+    columnar =
+      Array.for_all
+        (fun e -> match e.e_layout with Block.Col_major -> true | _ -> false)
+        r.footer.index;
   }
 
 let stored_schema r = r.footer.schema
@@ -395,18 +506,26 @@ let read_block r i =
     (Int64.sub (Obs.now_us r.r_obs) t1);
   raw
 
+let decode_block r i raw =
+  match r.footer.index.(i).e_layout with
+  | Block.Row_major -> Block.decode raw
+  | Block.Col_major -> Block.decode_columnar r.footer.schema raw
+
 (* The cache sits above the VFS and below the block decode: a hit skips
    the (modeled) disk read, the checksum, and the decompression. Weights
-   are raw frame bytes, approximating resident memory. *)
+   are raw frame bytes, approximating resident memory. Columnar blocks
+   cache in the same decoded form — keys materialized, column sections
+   still compressed — so cached blocks stay immutable and column
+   decompression remains per-scan. *)
 let load_block r i =
   match r.r_cache with
-  | None -> Block.decode (read_block r i)
+  | None -> decode_block r i (read_block r i)
   | Some (c, fid) -> (
       match Bcache.find c ~file:fid ~block:i with
       | Some b -> b
       | None ->
           let raw = read_block r i in
-          let b = Block.decode raw in
+          let b = decode_block r i raw in
           Bcache.insert c ~file:fid ~block:i ~bytes:(String.length raw) b;
           b)
 
@@ -439,8 +558,60 @@ let translate_at r b i ~key =
   Row_codec.decode_translated_slice ~from:r.footer.schema ~into:r.target ~key
     ~data:(Block.data b) ~off ~len
 
-let iter r ~asc ?lo ?hi () =
+type scan_counters = {
+  sc_footer_blocks : int Atomic.t;
+  sc_cols_decoded : int Atomic.t;
+}
+
+let fresh_counters () =
+  { sc_footer_blocks = Atomic.make 0; sc_cols_decoded = Atomic.make 0 }
+
+let bump counters field n =
+  match counters with
+  | None -> ()
+  | Some c -> ignore (Atomic.fetch_and_add (field c) n)
+
+(* Stored-schema column indices a target-schema projection needs: since
+   schema evolution only appends columns, a shared index is the same
+   column; target-only columns are dropped (translation refills their
+   defaults). *)
+let stored_projection r projection =
+  match projection with
+  | None -> None
+  | Some cols ->
+      let n = Schema.column_count r.footer.schema in
+      Some (List.filter (fun c -> c < n) cols)
+
+(* Materialize a columnar block's rows, translated to the target schema.
+   Unprojected columns carry their defaults — invisible to projected
+   reads, and identical to the row layout's values for untouched columns
+   since defaults only change by widening. *)
+let materialize r ?counters ~projection b =
+  let cols = stored_projection r projection in
+  let rows, decoded = Block.columnar_rows b r.footer.schema ?cols () in
+  bump counters (fun c -> c.sc_cols_decoded) decoded;
+  if Schema.equal r.footer.schema r.target then rows
+  else
+    Array.map (Schema.translate_row ~from:r.footer.schema ~into:r.target) rows
+
+type loaded = { lb : Block.t; lrows : Value.t array array option }
+
+let iter r ~asc ?lo ?hi ?projection ?counters () =
   let nblocks = block_count r in
+  let load bi =
+    let b = load_block r bi in
+    let lrows =
+      match Block.layout b with
+      | Block.Row_major -> None
+      | Block.Col_major -> Some (materialize r ?counters ~projection b)
+    in
+    { lb = b; lrows }
+  in
+  let row_at l i ~key =
+    match l.lrows with
+    | Some rows -> rows.(i)
+    | None -> translate_at r l.lb i ~key
+  in
   let in_lo k = match lo with None -> true | Some b -> String.compare k b >= 0 in
   let in_hi k = match hi with None -> true | Some b -> String.compare k b < 0 in
   if asc then begin
@@ -452,20 +623,20 @@ let iter r ~asc ?lo ?hi () =
       | None ->
           if !bi >= nblocks then None
           else begin
-            let b = load_block r !bi in
-            block := Some b;
-            pos := (match lo with None -> 0 | Some k -> Block.search_geq b k);
+            let l = load !bi in
+            block := Some l;
+            pos := (match lo with None -> 0 | Some k -> Block.search_geq l.lb k);
             next ()
           end
-      | Some b ->
-          if !pos >= Block.count b then begin
+      | Some l ->
+          if !pos >= Block.count l.lb then begin
             block := None;
             incr bi;
             next ()
           end
           else begin
             let i = !pos in
-            let key = Block.key b i in
+            let key = Block.key l.lb i in
             incr pos;
             if not (in_hi key) then begin
               (* Sorted: nothing further can qualify. *)
@@ -473,7 +644,7 @@ let iter r ~asc ?lo ?hi () =
               block := None;
               None
             end
-            else Some (key, translate_at r b i ~key)
+            else Some (key, row_at l i ~key)
           end
     in
     next
@@ -492,38 +663,193 @@ let iter r ~asc ?lo ?hi () =
       else begin
         match !block with
         | None ->
-            let b = load_block r !bi in
-            block := Some b;
+            let l = load !bi in
+            block := Some l;
             (* Last index with key < hi. *)
             pos :=
               (match hi with
-              | None -> Block.count b - 1
-              | Some k -> Block.search_geq b k - 1);
+              | None -> Block.count l.lb - 1
+              | Some k -> Block.search_geq l.lb k - 1);
             next ()
-        | Some b ->
+        | Some l ->
             if !pos < 0 then begin
               block := None;
               decr bi;
               (* Earlier blocks are entirely below hi. *)
               if !bi >= 0 then begin
-                let b' = load_block r !bi in
-                block := Some b';
-                pos := Block.count b' - 1
+                let l' = load !bi in
+                block := Some l';
+                pos := Block.count l'.lb - 1
               end;
               next ()
             end
             else begin
               let i = !pos in
-              let key = Block.key b i in
+              let key = Block.key l.lb i in
               decr pos;
               if not (in_lo key) then begin
                 bi := -1;
                 block := None;
                 None
               end
-              else Some (key, translate_at r b i ~key)
+              else Some (key, row_at l i ~key)
             end
       end
     in
     next
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate pushdown                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fold_aggs r ?counters ~lo ~hi ~ts_min ~ts_max ~specs ~accs () =
+  if Int64.compare ts_min ts_max <= 0 then begin
+    let index = r.footer.index in
+    let nblocks = Array.length index in
+    let stored = r.footer.schema in
+    let stored_cols = Schema.columns stored in
+    let target_cols = Schema.columns r.target in
+    let stored_n = Array.length stored_cols in
+    let ts_ix = Schema.ts_index stored in
+    let ctype_of c =
+      if c < Array.length target_cols then Some target_cols.(c).Schema.ctype
+      else None
+    in
+    (* Non-footer blocks decode only the columns some spec references. *)
+    let needed_cols =
+      Array.to_list specs
+      |> List.filter_map (fun (s : Agg.spec) -> s.Agg.a_col)
+      |> List.sort_uniq Int.compare
+      |> List.filter (fun c -> c < stored_n)
+    in
+    let stats_of e c =
+      match e.e_stats with
+      | None -> None
+      | Some st ->
+          if c >= stored_n then None
+          else begin
+            let s = st.(c) in
+            let from_t = stored_cols.(c).Schema.ctype in
+            let into_t =
+              if c < Array.length target_cols then target_cols.(c).Schema.ctype
+              else from_t
+            in
+            if from_t = into_t then Some s
+            else
+              (* Widened column (int32 -> int64): footer values must
+                 compare against row-path values of the target type. *)
+              let widen v =
+                match Value.widen ~from:from_t ~into:into_t v with
+                | Some x -> x
+                | None -> v
+              in
+              Some
+                { s with
+                  Agg.cs_min = Option.map widen s.Agg.cs_min;
+                  cs_max = Option.map widen s.Agg.cs_max }
+          end
+    in
+    let in_lo k =
+      match lo with None -> true | Some b -> String.compare k b >= 0
+    in
+    let in_hi k =
+      match hi with None -> true | Some b -> String.compare k b < 0
+    in
+    let in_ts ts =
+      Int64.compare ts ts_min >= 0 && Int64.compare ts ts_max <= 0
+    in
+    let feed_row row =
+      Array.iteri
+        (fun si (s : Agg.spec) ->
+          Agg.feed accs.(si)
+            (match s.Agg.a_col with None -> None | Some c -> Some row.(c)))
+        specs
+    in
+    let translate =
+      if Schema.equal stored r.target then fun row -> row
+      else Schema.translate_row ~from:stored ~into:r.target
+    in
+    let start = match lo with None -> 0 | Some k -> search_block r k in
+    try
+      for i = start to nblocks - 1 do
+        let e = index.(i) in
+        (* Lower bound on this block's smallest key: the previous block's
+           last key (keys here are strictly greater), or the tablet
+           minimum for the first block. *)
+        let above bound =
+          if i = 0 then String.compare r.footer.f_min_key bound >= 0
+          else String.compare index.(i - 1).last_key bound >= 0
+        in
+        (match hi with
+        | Some k when above k -> raise Exit (* this and later blocks >= hi *)
+        | _ -> ());
+        let key_covered =
+          (match lo with None -> true | Some k -> above k) && in_hi e.last_key
+        in
+        let block_ts =
+          match e.e_stats with
+          | None -> None
+          | Some st -> (
+              match (st.(ts_ix).Agg.cs_min, st.(ts_ix).Agg.cs_max) with
+              | Some (Value.Timestamp a), Some (Value.Timestamp b) ->
+                  Some (a, b)
+              | _ -> None)
+        in
+        let ts_covered =
+          match block_ts with
+          | Some (a, b) ->
+              Int64.compare a ts_min >= 0 && Int64.compare b ts_max <= 0
+          | None -> false
+        in
+        let ts_disjoint =
+          match block_ts with
+          | Some (a, b) ->
+              Int64.compare b ts_min < 0 || Int64.compare a ts_max > 0
+          | None -> false
+        in
+        if
+          key_covered && ts_covered
+          && Agg.block_answerable ~specs ~stats_of:(stats_of e) ~ctype_of
+        then begin
+          (* Whole block answered from the footer: no read, no decode. *)
+          Agg.absorb_block ~accs ~specs ~rows:e.rows ~stats_of:(stats_of e);
+          bump counters (fun c -> c.sc_footer_blocks) 1
+        end
+        else if not ts_disjoint then begin
+          let b = load_block r i in
+          let j0 = match lo with None -> 0 | Some k -> Block.search_geq b k in
+          let n = Block.count b in
+          match Block.layout b with
+          | Block.Row_major ->
+              let j = ref j0 in
+              let stop = ref false in
+              while (not !stop) && !j < n do
+                let key = Block.key b !j in
+                if not (in_hi key) then stop := true
+                else begin
+                  if in_ts (Key_codec.ts_of_key key) then
+                    feed_row (translate_at r b !j ~key);
+                  incr j
+                end
+              done
+          | Block.Col_major ->
+              let rows, decoded =
+                Block.columnar_rows b stored ~cols:needed_cols ()
+              in
+              bump counters (fun c -> c.sc_cols_decoded) decoded;
+              let j = ref j0 in
+              let stop = ref false in
+              while (not !stop) && !j < n do
+                let key = Block.key b !j in
+                if not (in_hi key) then stop := true
+                else begin
+                  if in_lo key && in_ts (Key_codec.ts_of_key key) then
+                    feed_row (translate rows.(!j));
+                  incr j
+                end
+              done
+        end
+      done
+    with Exit -> ()
   end

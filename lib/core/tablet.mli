@@ -29,6 +29,7 @@ type summary = {
   max_ts : int64;
   min_key : string;
   max_key : string;
+  columnar : bool;  (** data blocks are column-major *)
 }
 
 (** {1 Writing} *)
@@ -39,7 +40,10 @@ type writer
     tablet file. [bloom_bits_per_key = 0] disables the filter.
     [expected_rows], when the caller knows it (a flush knows its memtable
     count; a merge knows the sum of its inputs), sizes the Bloom filter
-    exactly; otherwise the writer estimates from the stream. *)
+    exactly; otherwise the writer estimates from the stream. [layout]
+    (default row-major) selects the data-block encoding; column-major
+    writers accept rows only through {!add_row} and record per-column
+    footer stats for aggregate pushdown. *)
 val writer :
   Lt_vfs.Vfs.t ->
   path:string ->
@@ -47,6 +51,7 @@ val writer :
   block_size:int ->
   bloom_bits_per_key:int ->
   ?expected_rows:int ->
+  ?layout:Block.layout ->
   unit ->
   writer
 
@@ -64,6 +69,14 @@ val add :
 val add_enc :
   writer -> key:string -> key_prefixes:string list -> ts:int64 ->
   value_size:int -> encode:(Buffer.t -> unit) -> unit
+
+(** Add a full decoded row (the writer's schema). Works for both
+    layouts, so the merge and bulk-delete rewrite loops — which hold
+    decoded rows anyway — need not care which layout the output tablet
+    uses. {!add_enc}/{!add} remain the row-major flush hot path. *)
+val add_row :
+  writer -> key:string -> key_prefixes:string list -> ts:int64 ->
+  Value.t array -> unit
 
 (** Flush remaining rows, write footer and trailer, [fsync], close.
     @raise Invalid_argument if no rows were added — empty tablets are
@@ -112,16 +125,53 @@ val may_contain_prefix : reader -> string -> bool
     any) passes. *)
 val mem : reader -> string -> bool
 
-(** [iter r ~asc ?lo ?hi ()] streams rows with encoded keys in
-    [\[lo, hi)], ascending or descending; rows are translated to the
-    target schema. The returned thunk is single-consumer. *)
+(** Per-scan pushdown counters, shared across the fan-out of one query
+    (hence atomic): blocks answered entirely from footer stats, and
+    columnar column sections actually decompressed. *)
+type scan_counters = {
+  sc_footer_blocks : int Atomic.t;
+  sc_cols_decoded : int Atomic.t;
+}
+
+val fresh_counters : unit -> scan_counters
+
+(** [iter r ~asc ?lo ?hi ?projection ?counters ()] streams rows with
+    encoded keys in [\[lo, hi)], ascending or descending; rows are
+    translated to the target schema. [projection] (target-schema column
+    indices) lets columnar blocks decode only the named columns —
+    unprojected non-key cells are unspecified (defaults); row-major
+    blocks ignore it. [counters] receives per-block pushdown tallies.
+    The returned thunk is single-consumer. *)
 val iter :
   reader ->
   asc:bool ->
   ?lo:string ->
   ?hi:string ->
+  ?projection:int list ->
+  ?counters:scan_counters ->
   unit ->
   unit ->
   (string * Value.t array) option
+
+(** [fold_aggs r ?counters ~lo ~hi ~ts_min ~ts_max ~specs ~accs ()]
+    folds every row with key in [\[lo, hi)] and timestamp in
+    [\[ts_min, ts_max\]] into [accs] (one accumulator per spec, target
+    schema column indices). Columnar blocks whose whole key and
+    timestamp ranges fall inside the bounds are absorbed from footer
+    stats without being read; remaining blocks decode only referenced
+    columns (row-major blocks decode rows as usual). The result is
+    bit-identical to feeding the same rows through {!Agg.feed} one at a
+    time. *)
+val fold_aggs :
+  reader ->
+  ?counters:scan_counters ->
+  lo:string option ->
+  hi:string option ->
+  ts_min:int64 ->
+  ts_max:int64 ->
+  specs:Agg.spec array ->
+  accs:Agg.acc array ->
+  unit ->
+  unit
 
 val block_count : reader -> int

@@ -488,6 +488,9 @@ let sql_backend t =
       (fun name q ->
         let it = query_iter t name q in
         fun () -> Option.map (fun row -> ("", row)) (it ()));
+    (* No wire aggregation: the client streams rows and aggregates
+       locally. Projection pushdown still rides [b_query]'s Query.t. *)
+    b_query_agg = None;
     b_insert = (fun name rows ->
         try insert t name rows
         with Remote_error msg -> raise (Lt_sql.Executor.Exec_error msg));

@@ -223,7 +223,13 @@ let put_query b (q : Query.t) =
   | None -> Binio.put_u8 b 0
   | Some n ->
       Binio.put_u8 b 1;
-      Binio.put_varint b n)
+      Binio.put_varint b n);
+  match q.Query.projection with
+  | None -> Binio.put_u8 b 0
+  | Some cols ->
+      Binio.put_u8 b 1;
+      Binio.put_varint b (List.length cols);
+      List.iter (Binio.put_varint b) cols
 
 let get_query cur =
   let key_low = get_key_bound cur in
@@ -242,7 +248,16 @@ let get_query cur =
     | 1 -> Some (Binio.get_varint cur)
     | n -> error "bad limit tag %d" n
   in
-  { Query.key_low; key_high; ts_min; ts_max; direction; limit }
+  let projection =
+    match Binio.get_u8 cur with
+    | 0 -> None
+    | 1 ->
+        let n = Binio.get_varint cur in
+        if n < 0 || n > 4096 then error "implausible projection width %d" n;
+        Some (List.init n (fun _ -> Binio.get_varint cur))
+    | n -> error "bad projection tag %d" n
+  in
+  { Query.key_low; key_high; ts_min; ts_max; direction; limit; projection }
 
 (* ---- Requests ----------------------------------------------------------- *)
 
@@ -392,7 +407,8 @@ let put_stats b (s : Stats.snapshot) =
       s.Stats.rows_scanned; s.Stats.queries; s.Stats.flushes;
       s.Stats.flushed_bytes; s.Stats.merges; s.Stats.merged_bytes_in;
       s.Stats.merged_bytes_out; s.Stats.tablets_expired; s.Stats.flush_retries;
-      s.Stats.tablets_quarantined; s.Stats.bytes_written;
+      s.Stats.tablets_quarantined; s.Stats.blocks_footer_answered;
+      s.Stats.columns_decoded; s.Stats.bytes_written;
       s.Stats.cache.Stats.cache_hits; s.Stats.cache.Stats.cache_misses;
       s.Stats.cache.Stats.cache_evictions;
       s.Stats.cache.Stats.cache_inserted_bytes;
@@ -414,6 +430,8 @@ let get_stats cur =
   let tablets_expired = v () in
   let flush_retries = v () in
   let tablets_quarantined = v () in
+  let blocks_footer_answered = v () in
+  let columns_decoded = v () in
   let bytes_written = v () in
   let cache_hits = v () in
   let cache_misses = v () in
@@ -423,7 +441,8 @@ let get_stats cur =
   {
     Stats.rows_inserted; insert_batches; rows_returned; rows_scanned; queries;
     flushes; flushed_bytes; merges; merged_bytes_in; merged_bytes_out;
-    tablets_expired; flush_retries; tablets_quarantined; bytes_written;
+    tablets_expired; flush_retries; tablets_quarantined;
+    blocks_footer_answered; columns_decoded; bytes_written;
     cache =
       {
         Stats.cache_hits; cache_misses; cache_evictions; cache_inserted_bytes;
@@ -519,7 +538,8 @@ let rec put_profile b (p : Lt_obs.Profile.t) =
   Binio.put_i64 b p.p_total_us;
   List.iter (Binio.put_varint b)
     [ p.p_rows_scanned; p.p_rows_returned; p.p_tablets; p.p_tablets_pruned;
-      p.p_bloom_skips; p.p_cache_hits; p.p_cache_misses ];
+      p.p_bloom_skips; p.p_cache_hits; p.p_cache_misses;
+      p.p_blocks_footer_answered; p.p_columns_decoded ];
   Binio.put_varint b (List.length p.p_shards);
   List.iter
     (fun (label, sub) ->
@@ -541,6 +561,8 @@ let rec get_profile ?(depth = 0) cur =
   let p_bloom_skips = v () in
   let p_cache_hits = v () in
   let p_cache_misses = v () in
+  let p_blocks_footer_answered = v () in
+  let p_columns_decoded = v () in
   let n = Binio.get_varint cur in
   if n < 0 || n > 4096 then error "implausible shard profile count %d" n;
   let p_shards =
@@ -551,7 +573,8 @@ let rec get_profile ?(depth = 0) cur =
   in
   { Lt_obs.Profile.p_plan_us; p_scan_us; p_stall_us; p_total_us;
     p_rows_scanned; p_rows_returned; p_tablets; p_tablets_pruned;
-    p_bloom_skips; p_cache_hits; p_cache_misses; p_shards }
+    p_bloom_skips; p_cache_hits; p_cache_misses; p_blocks_footer_answered;
+    p_columns_decoded; p_shards }
 
 let put_opt_profile b = function
   | None -> Binio.put_u8 b 0

@@ -10,6 +10,8 @@ type t = {
   p_bloom_skips : int;
   p_cache_hits : int;
   p_cache_misses : int;
+  p_blocks_footer_answered : int;
+  p_columns_decoded : int;
   p_shards : (string * t) list;
 }
 
@@ -25,6 +27,8 @@ let empty =
     p_bloom_skips = 0;
     p_cache_hits = 0;
     p_cache_misses = 0;
+    p_blocks_footer_answered = 0;
+    p_columns_decoded = 0;
     p_shards = [] }
 
 (* Merge same-labeled shard sub-profiles, preserving first-seen label
@@ -59,6 +63,9 @@ and aggregate ps =
         p_bloom_skips = acc.p_bloom_skips + p.p_bloom_skips;
         p_cache_hits = acc.p_cache_hits + p.p_cache_hits;
         p_cache_misses = acc.p_cache_misses + p.p_cache_misses;
+        p_blocks_footer_answered =
+          acc.p_blocks_footer_answered + p.p_blocks_footer_answered;
+        p_columns_decoded = acc.p_columns_decoded + p.p_columns_decoded;
         p_shards = merge_shards (acc.p_shards @ p.p_shards) })
     empty ps
 
@@ -75,6 +82,8 @@ let rec pp_indent ppf ~indent p =
   Format.fprintf ppf "%sstall   %8.3f ms@." pad (ms p.p_stall_us);
   Format.fprintf ppf "%scache   hits=%d misses=%d@." pad p.p_cache_hits
     p.p_cache_misses;
+  Format.fprintf ppf "%spush    blocks_footer_answered=%d columns_decoded=%d@."
+    pad p.p_blocks_footer_answered p.p_columns_decoded;
   List.iter
     (fun (label, sub) ->
       Format.fprintf ppf "%sshard %s: total %.3f ms@." pad label

@@ -24,6 +24,10 @@ type t = {
   p_bloom_skips : int;  (** tablets skipped by bloom filter (latest) *)
   p_cache_hits : int;
   p_cache_misses : int;
+  p_blocks_footer_answered : int;
+      (** whole blocks answered from columnar footer stats, unread *)
+  p_columns_decoded : int;
+      (** columnar column sections decompressed for this query *)
   p_shards : (string * t) list;  (** router: per-backend sub-profiles *)
 }
 

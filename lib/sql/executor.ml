@@ -7,6 +7,7 @@ let error fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
 type backend = {
   b_schema : string -> Schema.t option;
   b_query : string -> Query.t -> Cursor.source;
+  b_query_agg : (string -> Query.t -> Agg.spec array -> Value.t array) option;
   b_insert : string -> Value.t array list -> unit;
   b_create : string -> Schema.t -> ttl:int64 option -> unit;
   b_drop : string -> unit;
@@ -32,6 +33,12 @@ let local_backend db =
         match Db.find_table db name with
         | Some t -> Table.query_iter t q
         | None -> error "no such table %S" name);
+    b_query_agg =
+      Some
+        (fun name q specs ->
+          match Db.find_table db name with
+          | Some t -> fst (Table.query_agg t q ~specs)
+          | None -> error "no such table %S" name);
     b_insert =
       (fun name rows ->
         match Db.find_table db name with
@@ -96,61 +103,57 @@ let cond_holds (r : Planner.residual) row =
 
 (* ---- Aggregation ------------------------------------------------------ *)
 
-type acc = {
-  mutable count : int64;
-  mutable sum : float;
-  mutable sum_i : int64;
-  mutable is_int : bool;
-  mutable min_v : Value.t option;
-  mutable max_v : Value.t option;
-}
+(* Accumulators live in the engine ({!Littletable.Agg}) so that rows fed
+   here and blocks absorbed from columnar footer stats inside the engine
+   can never drift apart. *)
 
-let fresh_acc () =
-  { count = 0L; sum = 0.0; sum_i = 0L; is_int = true; min_v = None; max_v = None }
-
-let feed_acc acc value =
-  acc.count <- Int64.add acc.count 1L;
-  (match value with
-  | Some (Value.Int32 v) ->
-      acc.sum_i <- Int64.add acc.sum_i (Int64.of_int32 v);
-      acc.sum <- acc.sum +. Int32.to_float v
-  | Some (Value.Int64 v) ->
-      acc.sum_i <- Int64.add acc.sum_i v;
-      acc.sum <- acc.sum +. Int64.to_float v
-  | Some (Value.Double v) ->
-      acc.is_int <- false;
-      acc.sum <- acc.sum +. v
-  | Some (Value.Timestamp _ | Value.String _ | Value.Blob _) | None -> ());
-  match value with
-  | None -> ()
-  | Some v ->
-      (match acc.min_v with
-      | None -> acc.min_v <- Some v
-      | Some m -> if Value.compare v m < 0 then acc.min_v <- Some v);
-      (match acc.max_v with
-      | None -> acc.max_v <- Some v
-      | Some m -> if Value.compare v m > 0 then acc.max_v <- Some v)
-
-let acc_result agg acc =
-  match agg with
-  | Ast.Count -> Value.Int64 acc.count
-  | Ast.Sum -> if acc.is_int then Value.Int64 acc.sum_i else Value.Double acc.sum
-  | Ast.Avg ->
-      if acc.count = 0L then Value.Double 0.0
-      else Value.Double (acc.sum /. Int64.to_float acc.count)
-  | Ast.Min -> (
-      match acc.min_v with Some v -> v | None -> Value.Int64 0L)
-  | Ast.Max -> (
-      match acc.max_v with Some v -> v | None -> Value.Int64 0L)
+let fn_of_agg = function
+  | Ast.Count -> Agg.Count
+  | Ast.Sum -> Agg.Sum
+  | Ast.Avg -> Agg.Avg
+  | Ast.Min -> Agg.Min
+  | Ast.Max -> Agg.Max
 
 (* ---- SELECT ------------------------------------------------------------ *)
 
 let run_select b (s : Ast.select) =
   let schema = schema_of b s.Ast.table in
   let plan = Planner.plan_select schema ~now:(b.b_now ()) s in
+  let columns = List.map snd plan.Planner.outputs in
+  (* Whole-query aggregate pushdown: no grouping and no residual
+     filters means the engine can answer the aggregates itself —
+     columnar tablets straight from block footers — without streaming a
+     single row up here. Grouped or filtered queries still stream. *)
+  let pushed_agg =
+    if
+      plan.Planner.aggregated
+      && plan.Planner.group_cols = []
+      && plan.Planner.residuals = []
+    then b.b_query_agg
+    else None
+  in
+  match pushed_agg with
+  | Some query_agg ->
+      let specs =
+        Array.of_list
+          (List.map
+             (fun (o, _) ->
+               match o with
+               | Planner.Out_agg (a, c) ->
+                   { Agg.a_fn = fn_of_agg a; a_col = c }
+               | Planner.Out_col _ ->
+                   (* ungrouped plain columns were rejected by the planner *)
+                   assert false)
+             plan.Planner.outputs)
+      in
+      let row = query_agg s.Ast.table plan.Planner.query specs in
+      let rows =
+        match plan.Planner.post_limit with Some 0 -> [] | _ -> [ row ]
+      in
+      Rows { columns; rows }
+  | None ->
   let src = b.b_query s.Ast.table plan.Planner.query in
   let passes row = List.for_all (fun r -> cond_holds r row) plan.Planner.residuals in
-  let columns = List.map snd plan.Planner.outputs in
   if not plan.Planner.aggregated then begin
     let out = ref [] and count = ref 0 in
     let limit = match plan.Planner.post_limit with Some n -> n | None -> max_int in
@@ -181,7 +184,9 @@ let run_select b (s : Ast.select) =
   else begin
     (* Group rows; one accumulator per aggregate output per group. *)
     let module Tbl = Hashtbl in
-    let groups : (Value.t list, acc array * Value.t array) Tbl.t = Tbl.create 64 in
+    let groups : (Value.t list, Agg.acc array * Value.t array) Tbl.t =
+      Tbl.create 64
+    in
     let order = ref [] in
     let agg_outputs =
       List.filter_map
@@ -199,7 +204,9 @@ let run_select b (s : Ast.select) =
               | Some entry -> entry
               | None ->
                   let entry =
-                    (Array.init (List.length agg_outputs) (fun _ -> fresh_acc ()), row)
+                    ( Array.init (List.length agg_outputs) (fun _ ->
+                          Agg.fresh_acc ()),
+                      row )
                   in
                   Tbl.add groups key entry;
                   order := key :: !order;
@@ -207,7 +214,7 @@ let run_select b (s : Ast.select) =
             in
             List.iteri
               (fun i (_, col) ->
-                feed_acc accs.(i) (Option.map (fun c -> row.(c)) col))
+                Agg.feed accs.(i) (Option.map (fun c -> row.(c)) col))
               agg_outputs
           end;
           consume ()
@@ -216,7 +223,10 @@ let run_select b (s : Ast.select) =
     (* With no GROUP BY, an aggregate query yields one row even when the
        scan is empty. *)
     if plan.Planner.group_cols = [] && Tbl.length groups = 0 then begin
-      let entry = (Array.init (List.length agg_outputs) (fun _ -> fresh_acc ()), [||]) in
+      let entry =
+        ( Array.init (List.length agg_outputs) (fun _ -> Agg.fresh_acc ()),
+          [||] )
+      in
       Tbl.add groups [] entry;
       order := [ [] ]
     end;
@@ -234,7 +244,7 @@ let run_select b (s : Ast.select) =
                  | Planner.Out_col i -> sample.(i)
                  | Planner.Out_agg (a, _) ->
                      incr agg_idx;
-                     acc_result a accs.(!agg_idx))
+                     Agg.result (fn_of_agg a) accs.(!agg_idx))
                plan.Planner.outputs))
         !order
     in

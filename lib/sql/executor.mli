@@ -14,6 +14,10 @@ type backend = {
   b_schema : string -> Schema.t option;
   b_query : string -> Query.t -> Cursor.source;
       (** streaming scan; the executor drains it fully or up to LIMIT *)
+  b_query_agg : (string -> Query.t -> Agg.spec array -> Value.t array) option;
+      (** whole-query aggregates evaluated inside the engine (columnar
+          footer pushdown); [None] (e.g. over the wire) streams rows and
+          aggregates here instead — same results either way *)
   b_insert : string -> Value.t array list -> unit;
   b_create : string -> Schema.t -> ttl:int64 option -> unit;
   b_drop : string -> unit;

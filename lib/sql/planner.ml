@@ -172,6 +172,23 @@ let plan_select schema ~now (s : Ast.select) =
   (* The limit is pushed into the scan only when nothing downstream can
      drop or combine rows. *)
   let pushable = residuals = [] && not aggregated in
+  (* Projection pushdown: every column the executor will touch — outputs,
+     residual filters, group keys. [SELECT *] reads everything. Columnar
+     tablets then decode only these; row-major data ignores the hint. *)
+  let projection =
+    if s.Ast.star then None
+    else
+      let of_output = function
+        | Out_col i, _ -> [ i ]
+        | Out_agg (_, Some i), _ -> [ i ]
+        | Out_agg (_, None), _ -> []
+      in
+      Some
+        (List.sort_uniq Int.compare
+           (List.concat_map of_output outputs
+           @ List.map (fun r -> r.r_col) residuals
+           @ group_cols))
+  in
   let query =
     {
       Query.key_low = (if prefix = [] then Query.Unbounded else Query.Incl prefix);
@@ -180,6 +197,7 @@ let plan_select schema ~now (s : Ast.select) =
       Query.ts_max = !ts_max;
       Query.direction = direction;
       Query.limit = (if pushable then s.Ast.limit else None);
+      Query.projection = projection;
     }
   in
   {

@@ -6,17 +6,20 @@ module Sync = Lt_vfs.Sync
 type workload =
   | Insert_flush
   | Merge
+  | Columnar_merge
   | Ttl_expiry
   | Schema_change
   | Set_ttl
   | Sync_spare
 
 let all_workloads =
-  [ Insert_flush; Merge; Ttl_expiry; Schema_change; Set_ttl; Sync_spare ]
+  [ Insert_flush; Merge; Columnar_merge; Ttl_expiry; Schema_change; Set_ttl;
+    Sync_spare ]
 
 let workload_name = function
   | Insert_flush -> "insert-flush"
   | Merge -> "merge"
+  | Columnar_merge -> "columnar-merge"
   | Ttl_expiry -> "ttl-expiry"
   | Schema_change -> "schema-change"
   | Set_ttl -> "set-ttl"
@@ -51,10 +54,18 @@ let spare_dir = "spare/usage"
 let tname = "usage"
 
 (* Deterministic, observability off, tiny blocks, eager merges. *)
-let config =
+let base_config =
   Config.make ~block_size:1024 ~flush_size:(16 * 1024) ~merge_delay:0L
     ~rollover_spread:0.0 ~enforce_unique:false ~cache_bytes:0
     ~obs_enabled:false ()
+
+(* [Columnar_merge] sets [columnar_age = 0]: every merge whose newest
+   row is not in the future rewrites column-major, so the fault sweep
+   covers every point of the columnar rewrite path (block build, column
+   sections, footer stats, descriptor swap). *)
+let config_of = function
+  | Columnar_merge -> { base_config with Config.columnar_age = 0L }
+  | _ -> base_config
 
 (* network, device, ts key; [bytes] carries the insertion sequence
    number; [flags] is int32 so Schema_change can widen it. *)
@@ -152,6 +163,22 @@ let run ctx = function
       flush_note ctx;
       insert_rows ctx 6;
       flush_note ctx;
+      insert_rows ctx 6;
+      flush_note ctx;
+      while Table.merge_step ctx.table do
+        ()
+      done
+  | Columnar_merge ->
+      (* Same shape as [Merge] but under [columnar_age = 0], plus a
+         second generation of flushes and merges so row-major tablets
+         merge with already-columnar output (the mixed-layout rewrite). *)
+      insert_rows ctx 6;
+      flush_note ctx;
+      insert_rows ctx 6;
+      flush_note ctx;
+      while Table.merge_step ctx.table do
+        ()
+      done;
       insert_rows ctx 6;
       flush_note ctx;
       while Table.merge_step ctx.table do
@@ -281,6 +308,7 @@ let check_table ctx ~floor ~label t =
 
 let check ctx w =
   Vfs.crash ctx.base;
+  let config = config_of w in
   let open_and_check ~floor ~label d =
     match Table.open_ ctx.base ~clock:ctx.clock ~config ~dir:d ~name:tname with
     | exception e ->
@@ -311,6 +339,7 @@ let check ctx w =
 (* ------------------------------------------------------------------ *)
 
 let run_once ~inject ~seed w =
+  let config = config_of w in
   let base = Vfs.memory () in
   let vfs_inject =
     match inject with

@@ -23,6 +23,9 @@
 type workload =
   | Insert_flush  (** inserts across period bins, explicit flushes *)
   | Merge  (** several flushed generations, then merges to fixpoint *)
+  | Columnar_merge
+      (** [Merge] under [columnar_age = 0]: every merge rewrites aged
+          tablets column-major, covering the columnar rewrite path *)
   | Ttl_expiry  (** TTL'd table: insert, expire, insert again *)
   | Schema_change  (** add a column and widen an int32 mid-stream *)
   | Set_ttl  (** descriptor-only updates between flushes *)

@@ -27,6 +27,7 @@ let () =
       ("apps", Test_apps.suite);
       ("shard", Test_shard.suite);
       ("exec", Test_exec.suite);
+      ("columnar", Test_columnar.suite);
       ("model", Test_model.suite);
       ("lint", Test_lint.suite);
     ]

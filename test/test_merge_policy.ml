@@ -114,8 +114,9 @@ let prop_fixpoint_has_no_pair =
 
 let now = 1_720_000_000_000_000L
 
-let input ?(eligible_at = 0L) ~id ~size ~min_ts ~max_ts () =
-  Merge_policy.{ id; size; min_ts; max_ts; eligible_at }
+let input ?(eligible_at = 0L) ?(stale_layout = false) ~id ~size ~min_ts
+    ~max_ts () =
+  Merge_policy.{ id; size; min_ts; max_ts; eligible_at; stale_layout }
 
 let hour = Lt_util.Clock.hour
 let week = Lt_util.Clock.week

@@ -346,6 +346,186 @@ let batched_cases seeds () =
       run_batched_vs_rows ~domains:2 seed)
     seeds
 
+(* ---- Cross-layout equality -------------------------------------------- *)
+
+(* Three tables driven through the same seeded op stream, differing only
+   in [columnar_age]: 0 (every merge output column-major), max_int
+   (columnar disabled, pure row-major — the reference), and 30 minutes
+   (mixed: old tablets rewrite columnar, fresh ones stay row-major).
+   Every query, aggregate, latest-row lookup, and query-observable stats
+   counter must be identical across the three — the layout is a storage
+   detail that may never leak into results. *)
+let layout_ages =
+  [ ("row", Int64.max_int); ("col", 0L); ("mixed", Int64.mul 30L Clock.minute) ]
+
+let run_layout_sweep ~domains seed =
+  let mk (_, age) =
+    let config =
+      Config.make ~query_domains:domains ~server_row_limit:server_cap
+        ~columnar_age:age ()
+    in
+    Support.fresh_db ~config ()
+  in
+  let dbs = List.map mk layout_ages in
+  Fun.protect ~finally:(fun () -> List.iter (fun (db, _, _) -> Db.close db) dbs)
+  @@ fun () ->
+  let schema = Support.usage_schema () in
+  let tbls =
+    List.map (fun (db, _, _) -> Db.create_table db "usage" schema ~ttl:None) dbs
+  in
+  let clocks = List.map (fun (_, clock, _) -> clock) dbs in
+  let ref_tbl = List.hd tbls and ref_clock = List.hd clocks in
+  let rng = X.create (Int64.of_int (0x1a70 + (seed * 6121))) in
+  let each f = List.iter2 f (List.map fst layout_ages) tbls in
+  let agg_specs =
+    [|
+      { Agg.a_fn = Agg.Count; a_col = None };
+      { Agg.a_fn = Agg.Sum; a_col = Some 3 };
+      { Agg.a_fn = Agg.Min; a_col = Some 3 };
+      { Agg.a_fn = Agg.Max; a_col = Some 3 };
+      { Agg.a_fn = Agg.Avg; a_col = Some 3 };
+      { Agg.a_fn = Agg.Min; a_col = Some 4 };
+      { Agg.a_fn = Agg.Max; a_col = Some 2 };
+    |]
+  in
+  let check ctx =
+    let now = Clock.now ref_clock in
+    let mq = gen_query rng ~now in
+    let want = Table.query ref_tbl (to_query mq) in
+    each (fun name tbl ->
+        if tbl != ref_tbl then begin
+          let got = Table.query tbl (to_query mq) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s row count" ctx name)
+            (List.length want.Table.rows)
+            (List.length got.Table.rows);
+          List.iteri
+            (fun i (w, g) ->
+              if not (w = g) then
+                Alcotest.failf "%s: %s row %d differs from row-major" ctx name i)
+            (List.combine want.Table.rows got.Table.rows);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s more_available" ctx name)
+            want.Table.more_available got.Table.more_available
+        end);
+    (* Whole-query aggregates: the footer-pushdown path must be
+       bit-identical to streaming row-major evaluation. *)
+    let aq =
+      to_query { mq with q_desc = false; q_limit = None }
+    in
+    let want_aggs = fst (Table.query_agg ref_tbl aq ~specs:agg_specs) in
+    each (fun name tbl ->
+        if tbl != ref_tbl then
+          let got = fst (Table.query_agg tbl aq ~specs:agg_specs) in
+          Array.iteri
+            (fun i w ->
+              if not (w = got.(i)) then
+                Alcotest.failf "%s: %s aggregate %d differs from row-major" ctx
+                  name i)
+            want_aggs);
+    (* Latest-row searches walk tablets newest-first — layout-blind. *)
+    let prefix = gen_prefix rng ~depth:(X.int rng 3) in
+    let want_latest = Table.latest ref_tbl prefix in
+    each (fun name tbl ->
+        if tbl != ref_tbl then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s latest row equal" ctx name)
+            true
+            (want_latest = Table.latest tbl prefix))
+  in
+  let n_ops = 120 in
+  for op = 1 to n_ops do
+    let ctx = Printf.sprintf "layout seed=%d domains=%d op=%d" seed domains op in
+    (match X.int rng 100 with
+    | r when r < 45 ->
+        (* Insert identical batches; timestamps reach two hours back so
+           the mixed table holds both layouts at once. *)
+        for _ = 1 to 1 + X.int rng 6 do
+          let now = Clock.now ref_clock in
+          let ts =
+            Int64.sub now
+              (Int64.of_int
+                 (X.int rng (Int64.to_int (Int64.mul 2L Clock.hour))))
+          in
+          let row =
+            Support.usage_row
+              ~network:(Int64.of_int (X.int rng 4))
+              ~device:(Int64.of_int (X.int rng 5))
+              ~ts
+              ~bytes:(Int64.of_int (X.int rng 1_000_000))
+              ~rate:(float_of_int (X.int rng 1000) /. 8.)
+          in
+          each (fun _ tbl ->
+              try Table.insert_row tbl row
+              with Table.Duplicate_key _ -> ())
+        done
+    | r when r < 60 -> each (fun _ tbl -> Table.flush_all tbl)
+    | r when r < 75 ->
+        (* Merge to fixpoint so stale-layout rewrites actually run on
+           the columnar/mixed tables. *)
+        each (fun _ tbl ->
+            let fuel = ref 32 in
+            while Table.merge_step tbl && !fuel > 0 do
+              decr fuel
+            done)
+    | r when r < 82 -> each (fun _ tbl -> Table.maintenance tbl)
+    | _ ->
+        let d =
+          Int64.of_int (1 + X.int rng (Int64.to_int (Int64.mul 20L Clock.minute)))
+        in
+        List.iter (fun clock -> Clock.advance clock d) clocks);
+    if op mod 6 = 0 then check ctx
+  done;
+  each (fun _ tbl -> Table.flush_all tbl);
+  for k = 1 to 20 do
+    check (Printf.sprintf "layout seed=%d domains=%d final=%d" seed domains k)
+  done;
+  (* The mixed/columnar tables must have produced columnar tablets, or
+     this sweep proved nothing. *)
+  let columnar_count tbl =
+    List.length
+      (List.filter
+         (fun (m : Descriptor.tablet_meta) -> m.Descriptor.columnar)
+         (Table.tablets tbl))
+  in
+  each (fun name tbl ->
+      if name <> "row" then
+        Alcotest.(check bool)
+          (Printf.sprintf "seed=%d domains=%d: %s table went columnar" seed
+             domains name)
+          true
+          (columnar_count tbl > 0)
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "seed=%d domains=%d: row table stayed row-major" seed
+             domains)
+          0 (columnar_count tbl));
+  (* Query-observable stats agree; layout-dependent counters (bytes,
+     merges, pushdown) are exempt by design. *)
+  let ref_stats = Table.stats ref_tbl in
+  each (fun name tbl ->
+      if tbl != ref_tbl then begin
+        let s = Table.stats tbl in
+        let eq what a b =
+          Alcotest.(check int)
+            (Printf.sprintf "seed=%d domains=%d: %s stats.%s" seed domains name
+               what)
+            a b
+        in
+        eq "rows_inserted" ref_stats.Stats.rows_inserted s.Stats.rows_inserted;
+        eq "insert_batches" ref_stats.Stats.insert_batches
+          s.Stats.insert_batches;
+        eq "queries" ref_stats.Stats.queries s.Stats.queries;
+        eq "rows_returned" ref_stats.Stats.rows_returned s.Stats.rows_returned
+      end)
+
+let layout_cases seeds () =
+  List.iter
+    (fun seed ->
+      run_layout_sweep ~domains:0 seed;
+      run_layout_sweep ~domains:2 seed)
+    seeds
+
 let suite =
   [
     Alcotest.test_case "oracle: ops + duplicates + delete_prefix" `Quick
@@ -354,4 +534,6 @@ let suite =
       (oracle_cases ~with_ttl:true [ 7; 8; 9; 10 ]);
     Alcotest.test_case "oracle: batched = row-at-a-time" `Quick
       (batched_cases [ 11; 12; 13; 14 ]);
+    Alcotest.test_case "cross-layout equality: row = columnar = mixed" `Quick
+      (layout_cases [ 21; 22; 23 ]);
   ]

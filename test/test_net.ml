@@ -114,6 +114,8 @@ let sample_profile =
     p_bloom_skips = 0;
     p_cache_hits = 7;
     p_cache_misses = 1;
+    p_blocks_footer_answered = 4;
+    p_columns_decoded = 11;
     p_shards =
       [
         ("shard0", { Lt_obs.Profile.empty with Lt_obs.Profile.p_scan_us = 100L });

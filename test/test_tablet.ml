@@ -249,6 +249,7 @@ let meta id =
       max_key = "z";
       row_count = 42;
       size = 1000 + id;
+      columnar = id mod 2 = 1;
     }
 
 let test_descriptor_roundtrip () =
